@@ -1,0 +1,99 @@
+"""Figure 7: the INRIA co-publications graph, laid out with LinLog.
+
+The paper's figure is qualitative (a picture of ~4,500 nodes).  We
+regenerate its substance: build the synthetic co-publication network at
+the paper's scale, run the LinLog layout, and report size, convergence,
+and clustering quality (team-mates end up closer than strangers --
+the property that makes the picture readable).
+"""
+
+import math
+
+import pytest
+
+from repro.apps import copub
+from repro.bench import SeriesTable
+from repro.vis import LinLogLayout
+
+#: Paper scale: "about 4500 nodes".  The bench sweep uses smaller sizes
+#: to keep wall-clock sane; the headline run matches the paper's size.
+PAPER_AUTHORS = 4500
+PAPER_PUBLICATIONS = 3600
+
+
+@pytest.fixture(scope="module")
+def copub_graph():
+    generator = copub.CopublicationGenerator(
+        n_authors=PAPER_AUTHORS, n_teams=180, seed=31
+    )
+    publications = generator.take(PAPER_PUBLICATIONS)
+    graph = copub.build_graph(publications)
+    return generator, graph
+
+
+def test_fig7_graph_matches_paper_scale(copub_graph, benchmark, emit):
+    generator, graph = copub_graph
+    emit(
+        f"\n== Figure 7: co-publication graph ==\n"
+        f"authors (nodes available): {PAPER_AUTHORS}\n"
+        f"authors with >=1 co-publication: {len(graph)}\n"
+        f"co-authorship edges: {graph.edge_count}"
+    )
+    assert 2000 < len(graph) <= PAPER_AUTHORS
+    assert graph.edge_count > len(graph)  # denser than a tree
+
+    def small_layout():
+        small = copub.build_graph(
+            copub.CopublicationGenerator(n_authors=300, n_teams=20, seed=1).take(200)
+        )
+        return LinLogLayout(small, seed=5).run(max_iterations=60)
+
+    benchmark(small_layout)
+
+
+def test_fig7_layout_converges_and_clusters(copub_graph, benchmark, emit):
+    generator, _big = copub_graph
+    # Layout quality check on a mid-size slice (full 4.5k layout is the
+    # separate headline iteration bench below).
+    small_gen = copub.CopublicationGenerator(n_authors=400, n_teams=20, seed=9)
+    publications = small_gen.take(350)
+    graph = copub.build_graph(publications)
+    layout = LinLogLayout(graph, seed=11)
+    result = benchmark.pedantic(
+        lambda: LinLogLayout(graph, seed=11).run(max_iterations=300),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.converged or result.iterations == 300
+    positions = result.positions
+    teams = {a["id"]: a["team"] for a in small_gen.authors}
+    same_team, cross_team = [], []
+    nodes = [n for n in graph.nodes()]
+    for i, u in enumerate(nodes[:150]):
+        for v in nodes[i + 1 : 150]:
+            d = math.dist(positions[u], positions[v])
+            if teams[u] == teams[v]:
+                same_team.append(d)
+            else:
+                cross_team.append(d)
+    assert same_team and cross_team
+    mean_same = sum(same_team) / len(same_team)
+    mean_cross = sum(cross_team) / len(cross_team)
+    emit(
+        f"clustering: mean same-team distance {mean_same:.3f} vs "
+        f"cross-team {mean_cross:.3f} ({mean_cross / mean_same:.1f}x)"
+    )
+    assert mean_same < mean_cross  # teams form visible clusters
+
+
+def test_fig7_full_scale_iteration_cost(copub_graph, benchmark):
+    """One LinLog iteration at the paper's full scale (4,500 nodes)."""
+    _generator, graph = copub_graph
+    layout = LinLogLayout(graph, seed=13)
+    layout.seed_positions()
+
+    def one_iteration():
+        return layout._minimize(max_iterations=1, on_iteration=None, step=layout.step)
+
+    result = benchmark.pedantic(one_iteration, rounds=3, iterations=1)
+    assert len(result.positions) == len(graph)

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+``emit`` prints around pytest's output capture so the paper-style series
+tables land in the terminal (and in ``bench_output.txt`` when tee'd) even
+without ``-s``.  Every emitted block is also appended to
+``benchmarks/results.txt`` for later inspection.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def emit(pytestconfig):
+    capman = pytestconfig.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text)
+        else:
+            print(text)
+        with open(RESULTS_FILE, "a", encoding="utf-8") as out:
+            out.write(text + "\n")
+
+    return _emit
+
+
+def pytest_sessionstart(session):
+    # Fresh results file per run.
+    try:
+        RESULTS_FILE.unlink()
+    except FileNotFoundError:
+        pass

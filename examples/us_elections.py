@@ -1,0 +1,68 @@
+"""The US-elections application (paper Section III-a, Figure 1).
+
+Simulates election night: returns stream in, the two-activity EdiFlow
+process keeps per-state aggregates fresh through delta handlers, and a
+TreeMap (area = population, shade = leading-party share) is re-rendered
+as data arrives.  The final frame is written to ``us_elections.svg``.
+
+Run:  python examples/us_elections.py
+"""
+
+from repro import EdiFlow
+from repro.apps import elections
+from repro.vis import Display
+
+
+def main() -> None:
+    platform = EdiFlow()
+    elections.install_schema(platform.database)
+    platform.procedures.register(elections.AggregateVotes())
+    treemap = elections.TreemapVotes()
+    platform.procedures.register(treemap)
+    platform.deploy(elections.build_process())
+
+    feed = elections.ReturnsFeed(seed=2008, total_minutes=30)
+    batches = list(feed.batches())
+
+    # A first tranche of returns exists when the analyst opens the app.
+    platform.database.insert_many(elections.T_VOTES, batches[0].rows)
+    execution = platform.run("us-elections")
+    print(f"process running; {len(batches)} batches of returns to come")
+
+    display = Display("anchor-desk", width=900, height=500)
+    reported_states = 0
+    for i, batch in enumerate(batches[1:], start=2):
+        platform.database.insert_many(elections.T_VOTES, batch.rows)
+        # The 'ra' propagation already refreshed the treemap procedure;
+        # render its current items.
+        display.clear()
+        display.apply_items(treemap.last_items)
+        display.refresh()
+        reported = sum(1 for it in treemap.last_items if it.color != "#cccccc")
+        if reported != reported_states:
+            reported_states = reported
+            print(f"  minute {i:3d}: {reported:2d}/51 states reporting")
+        if reported == len(elections.STATES):
+            break
+
+    summary = platform.query(
+        f"SELECT state, dem, rep, margin FROM {elections.T_AGG} "
+        "ORDER BY margin DESC LIMIT 5"
+    )
+    print("\nstrongest DEM margins:")
+    for row in summary:
+        print(f"  {row['state']}: {row['margin']:+.2%} "
+              f"({row['dem']:,} vs {row['rep']:,})")
+
+    svg = display.render_svg()
+    with open("us_elections.svg", "w", encoding="utf-8") as out:
+        out.write(svg)
+    print(f"\nfinal frame written to us_elections.svg ({len(svg)} bytes, "
+          f"{display.refreshes} refreshes)")
+
+    platform.close_execution(execution)
+    platform.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The Wikipedia application (paper Section III-b, Figure 2).
+
+A synthetic revision stream plays the role of the live Wikipedia feed
+("10 edits per second on average").  The analyzer maintains, incrementally:
+
+  (i)   diffs between successive versions,
+  (ii)  per-token contribution tables,
+  (iii) distinct effective contributors per article,
+  (iv)  per-user totals and the durability metric.
+
+At the end it verifies the incremental metrics against a full
+recomputation -- the recomputation the paper calls "out of reach" at
+Wikipedia scale.
+
+Run:  python examples/wikipedia_metrics.py
+"""
+
+import time
+
+from repro import EdiFlow
+from repro.apps import wikipedia
+
+
+def main() -> None:
+    platform = EdiFlow()
+    analyzer = wikipedia.WikipediaAnalyzer(platform.database)
+    stream = wikipedia.RevisionStream(n_articles=40, n_users=15, seed=2011)
+
+    n_revisions = 600
+    start = time.perf_counter()
+    for revision in stream.take(n_revisions):
+        analyzer.process(revision)
+    analyzer.flush_user_metrics()
+    elapsed = time.perf_counter() - start
+    print(f"processed {n_revisions} revisions incrementally in {elapsed:.2f}s "
+          f"({n_revisions / elapsed:.0f} rev/s)")
+
+    articles = sorted(
+        analyzer.article_metrics(), key=lambda r: r["versions"], reverse=True
+    )
+    print("\nhottest articles:")
+    print(f"  {'article':>8} {'versions':>9} {'contributors':>13} {'length':>7} {'churn':>7}")
+    for row in articles[:5]:
+        print(f"  {row['article_id']:>8} {row['versions']:>9} "
+              f"{row['contributors']:>13} {row['length']:>7} {row['churn']:>7}")
+
+    users = sorted(
+        (u for u in analyzer.user_metrics() if u["durability"] is not None),
+        key=lambda r: r["durability"],
+        reverse=True,
+    )
+    print("\nmost durable contributors (surviving/inserted tokens):")
+    for row in users[:5]:
+        print(f"  user {row['user_id']:>3}: durability {row['durability']:.2f} "
+              f"({row['remaining']}/{row['inserted']} tokens, {row['edits']} edits)")
+
+    # Verify against full recomputation.
+    incremental = sorted(
+        (r["article_id"], r["versions"], r["contributors"], r["length"])
+        for r in analyzer.article_metrics()
+    )
+    start = time.perf_counter()
+    analyzer.recompute_all()
+    recompute_elapsed = time.perf_counter() - start
+    recomputed = sorted(
+        (r["article_id"], r["versions"], r["contributors"], r["length"])
+        for r in analyzer.article_metrics()
+    )
+    assert incremental == recomputed, "incremental metrics diverged!"
+    print(f"\nfull recomputation took {recompute_elapsed:.2f}s and matches "
+          "the incremental metrics exactly")
+    print(f"per-revision incremental cost ~{elapsed / n_revisions * 1000:.2f}ms vs "
+          f"~{recompute_elapsed * 1000:.0f}ms for one recomputation")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""The paper's applications (Section III) and their substrates."""
+
+from . import copub, diff, elections, reports, similarity, wikipedia
+
+__all__ = ["copub", "diff", "elections", "reports", "similarity", "wikipedia"]

@@ -1,0 +1,234 @@
+"""The INRIA co-publications application (Section III-c, Section VII).
+
+"We used a dataset of co-publications between INRIA researchers... about
+4500 nodes and edges.  The goal is to compute the attributes of each node
+and edge, display the graph over one or several screens and update it as
+the underlying data changes."
+
+The paper's dataset is not public, so :class:`CopublicationGenerator`
+produces a synthetic equivalent: researchers spread over teams and
+research centres, publications drawn with team-biased author sets and
+preferential attachment -- yielding the clustered, heavy-tailed
+co-authorship structure LinLog is good at (Figure 7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from ..db.database import Database
+from ..db.schema import Column
+from ..db.types import INTEGER, TEXT
+from ..vis.layout.graph import Graph
+
+T_AUTHOR = "copub_author"
+T_PUBLICATION = "copub_publication"
+T_AUTHORSHIP = "copub_authorship"
+T_EDGE = "copub_edge"
+
+RESEARCH_CENTERS = (
+    "Saclay", "Rocquencourt", "Sophia", "Grenoble", "Rennes", "Bordeaux",
+    "Lille", "Nancy",
+)
+
+
+def install_schema(database: Database) -> None:
+    """Create the co-publication entity tables (idempotent)."""
+    if not database.has_table(T_AUTHOR):
+        database.create_table(
+            T_AUTHOR,
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", TEXT, nullable=False),
+                Column("team", TEXT, nullable=False),
+                Column("center", TEXT, nullable=False),
+            ],
+            primary_key="id",
+        )
+    if not database.has_table(T_PUBLICATION):
+        database.create_table(
+            T_PUBLICATION,
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("year", INTEGER, nullable=False),
+                Column("title", TEXT),
+            ],
+            primary_key="id",
+        )
+    if not database.has_table(T_AUTHORSHIP):
+        database.create_table(
+            T_AUTHORSHIP,
+            [
+                Column("publication_id", INTEGER, nullable=False),
+                Column("author_id", INTEGER, nullable=False),
+            ],
+        )
+    if not database.has_table(T_EDGE):
+        database.create_table(
+            T_EDGE,
+            [
+                Column("source", INTEGER, nullable=False),
+                Column("target", INTEGER, nullable=False),
+                Column("weight", INTEGER, nullable=False, default=1),
+            ],
+        )
+
+
+@dataclass
+class Publication:
+    """One publication event: id, year, and its author ids."""
+
+    publication_id: int
+    year: int
+    authors: tuple[int, ...]
+
+
+class CopublicationGenerator:
+    """Synthetic INRIA-like co-authorship network.
+
+    Parameters are sized so defaults approximate the paper's dataset
+    (~4,500 researchers).  Publications draw 2-5 authors, mostly from one
+    team, with preferential attachment toward productive authors.
+    """
+
+    def __init__(
+        self,
+        n_authors: int = 4500,
+        n_teams: int = 180,
+        seed: int = 31,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.n_authors = n_authors
+        self.n_teams = n_teams
+        self.teams = [f"team-{i:03d}" for i in range(n_teams)]
+        self.authors = [
+            {
+                "id": i + 1,
+                "name": f"Researcher {i + 1}",
+                "team": self.teams[i % n_teams],
+                "center": RESEARCH_CENTERS[i % len(RESEARCH_CENTERS)],
+            }
+            for i in range(n_authors)
+        ]
+        self._by_team: dict[str, list[int]] = {}
+        for author in self.authors:
+            self._by_team.setdefault(author["team"], []).append(author["id"])
+        self._productivity = [1.0] * (n_authors + 1)  # 1-indexed
+        self._next_publication = 1
+
+    def publications(self, start_year: int = 2005, end_year: int = 2010) -> Iterator[Publication]:
+        """Infinite stream of publications across the year range."""
+        while True:
+            team = self.rng.choice(self.teams)
+            members = self._by_team[team]
+            k = min(len(members), self.rng.randint(2, 5))
+            weights = [self._productivity[a] for a in members]
+            authors = set()
+            guard = 0
+            while len(authors) < k and guard < 50:
+                authors.add(self.rng.choices(members, weights=weights, k=1)[0])
+                guard += 1
+            # Occasionally a cross-team collaborator (the inter-cluster
+            # edges that make the layout interesting).
+            if self.rng.random() < 0.25:
+                other = self.rng.randint(1, self.n_authors)
+                authors.add(other)
+            for author in authors:
+                self._productivity[author] += 1.0
+            publication = Publication(
+                publication_id=self._next_publication,
+                year=self.rng.randint(start_year, end_year),
+                authors=tuple(sorted(authors)),
+            )
+            self._next_publication += 1
+            yield publication
+
+    def take(self, count: int) -> list[Publication]:
+        stream = self.publications()
+        return [next(stream) for _ in range(count)]
+
+
+def load_into_database(
+    database: Database,
+    generator: CopublicationGenerator,
+    n_publications: int,
+) -> list[Publication]:
+    """Populate the entity tables with authors and publications."""
+    install_schema(database)
+    database.insert_many(T_AUTHOR, generator.authors)
+    publications = generator.take(n_publications)
+    pub_rows = []
+    authorship_rows = []
+    for pub in publications:
+        pub_rows.append(
+            {
+                "id": pub.publication_id,
+                "year": pub.year,
+                "title": f"Publication {pub.publication_id}",
+            }
+        )
+        for author in pub.authors:
+            authorship_rows.append(
+                {"publication_id": pub.publication_id, "author_id": author}
+            )
+    database.insert_many(T_PUBLICATION, pub_rows)
+    database.insert_many(T_AUTHORSHIP, authorship_rows)
+    refresh_edges(database)
+    return publications
+
+
+def refresh_edges(database: Database) -> int:
+    """(Re)compute the co-authorship edge table from authorships."""
+    pairs: dict[tuple[int, int], int] = {}
+    by_publication: dict[int, list[int]] = {}
+    for row in database.table(T_AUTHORSHIP).scan():
+        by_publication.setdefault(row["publication_id"], []).append(row["author_id"])
+    for authors in by_publication.values():
+        authors = sorted(set(authors))
+        for i, u in enumerate(authors):
+            for v in authors[i + 1 :]:
+                pairs[(u, v)] = pairs.get((u, v), 0) + 1
+    database.delete(T_EDGE)
+    database.insert_many(
+        T_EDGE,
+        [
+            {"source": u, "target": v, "weight": w}
+            for (u, v), w in sorted(pairs.items())
+        ],
+    )
+    return len(pairs)
+
+
+def build_graph(
+    publications: Sequence[Publication], graph: Optional[Graph] = None
+) -> Graph:
+    """Fold publications into a co-authorship :class:`Graph`.
+
+    Passing an existing graph applies the publications incrementally --
+    the delta path of the layout handler experiment.
+    """
+    graph = graph if graph is not None else Graph()
+    for pub in publications:
+        authors = sorted(set(pub.authors))
+        for node in authors:
+            graph.add_node(node)
+        for i, u in enumerate(authors):
+            for v in authors[i + 1 :]:
+                current = graph.neighbors(u).get(v, 0.0)
+                graph.add_edge(u, v, current + 1.0)
+    return graph
+
+
+def graph_from_database(database: Database) -> Graph:
+    """Build the layout graph from the stored edge table."""
+    graph = Graph()
+    for row in database.table(T_EDGE).scan():
+        graph.add_edge(row["source"], row["target"], float(row["weight"]))
+    return graph
+
+
+def connected_authors(graph: Graph) -> int:
+    """Number of non-isolated authors (what Figure 7 actually shows)."""
+    return sum(1 for node in graph.nodes() if graph.degree(node) > 0)

@@ -1,0 +1,382 @@
+"""The INRIA activity-reports application (Section III-c).
+
+"The data are collected from Raweb (INRIA's legacy collection of
+activity reports)... the report of each team from each year is a
+separate XML file; new files are added as teams produce new annual
+reports.  Our goal was to build a self-maintained application which,
+once deployed, would automatically and incrementally re-compute
+statistics, as needed."
+
+This module provides:
+
+* :class:`ReportGenerator` -- synthetic Raweb-like XML files (team,
+  year, members with ages and *noisy name variants*, publication
+  counts);
+* :func:`parse_report` / :class:`ReportIngestor` -- XML -> relational
+  ingestion with similarity-based entity resolution (the "external
+  code" of the paper: is this member already in the database?);
+* statistics helpers (age / team / research-centre distributions as SQL)
+  and an EdiFlow process definition that recomputes them incrementally
+  when new report files arrive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+from xml.etree import ElementTree as ET
+
+from ..db.database import Database
+from ..db.schema import Column
+from ..db.types import FLOAT, INTEGER, TEXT
+from ..errors import SpecificationError
+from .similarity import PersonMatcher
+
+T_REPORT = "raweb_report"
+T_TEAM = "raweb_team"
+T_MEMBER = "raweb_member"
+T_MEMBERSHIP = "raweb_membership"
+T_STATS = "raweb_stats"
+
+_FIRST = (
+    "Jean", "Marie", "Pierre", "Sophie", "Luc", "Anne", "Paul", "Claire",
+    "Hugo", "Emma", "Louis", "Alice", "Jules", "Lea", "Victor", "Nina",
+)
+_LAST = (
+    "Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit",
+    "Durand", "Leroy", "Moreau", "Simon", "Laurent", "Lefebvre", "Michel",
+)
+CENTERS = ("Saclay", "Rocquencourt", "Sophia", "Grenoble", "Rennes")
+
+
+def install_schema(database: Database) -> None:
+    """Create the activity-report tables (idempotent)."""
+    if not database.has_table(T_TEAM):
+        database.create_table(
+            T_TEAM,
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", TEXT, nullable=False),
+                Column("center", TEXT, nullable=False),
+            ],
+            primary_key="id",
+            unique=["name"],
+        )
+    if not database.has_table(T_REPORT):
+        database.create_table(
+            T_REPORT,
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("team_id", INTEGER, nullable=False),
+                Column("year", INTEGER, nullable=False),
+                Column("publications", INTEGER, nullable=False, default=0),
+            ],
+            primary_key="id",
+        )
+    if not database.has_table(T_MEMBER):
+        database.create_table(
+            T_MEMBER,
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", TEXT, nullable=False),
+                Column("birth_year", INTEGER),
+            ],
+            primary_key="id",
+        )
+    if not database.has_table(T_MEMBERSHIP):
+        database.create_table(
+            T_MEMBERSHIP,
+            [
+                Column("report_id", INTEGER, nullable=False),
+                Column("member_id", INTEGER, nullable=False),
+                Column("role", TEXT),
+            ],
+        )
+    if not database.has_table(T_STATS):
+        database.create_table(
+            T_STATS,
+            [
+                Column("stat", TEXT, nullable=False),
+                Column("key", TEXT, nullable=False),
+                Column("value", FLOAT, nullable=False),
+            ],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Synthetic Raweb-like XML
+
+
+@dataclass
+class MemberRecord:
+    name: str
+    birth_year: int
+    role: str
+
+
+@dataclass
+class TeamYearReport:
+    team: str
+    center: str
+    year: int
+    publications: int
+    members: list[MemberRecord]
+
+
+class ReportGenerator:
+    """Generates one XML activity report per (team, year).
+
+    Member names are deliberately noisy across years -- initials,
+    swapped orders, stray hyphens -- so that ingestion must do entity
+    resolution, exactly the paper's challenge.
+    """
+
+    def __init__(self, n_teams: int = 12, seed: int = 2005) -> None:
+        self.rng = random.Random(seed)
+        self.teams = [
+            (f"team-{chr(ord('a') + i)}", CENTERS[i % len(CENTERS)])
+            for i in range(n_teams)
+        ]
+        # A stable roster per team; reports sample and perturb it.
+        self._rosters: dict[str, list[MemberRecord]] = {}
+        for team, _center in self.teams:
+            roster = []
+            for _ in range(self.rng.randint(5, 12)):
+                name = f"{self.rng.choice(_FIRST)} {self.rng.choice(_LAST)}"
+                roster.append(
+                    MemberRecord(
+                        name=name,
+                        birth_year=self.rng.randint(1950, 1990),
+                        role=self.rng.choice(
+                            ("researcher", "phd", "engineer", "postdoc")
+                        ),
+                    )
+                )
+            self._rosters[team] = roster
+
+    def _noisy_name(self, name: str) -> str:
+        """A report-specific rendering of a person's name."""
+        first, last = name.split(" ", 1)
+        style = self.rng.random()
+        if style < 0.25:
+            return f"{first[0]}. {last}"        # initials
+        if style < 0.40:
+            return f"{last}, {first}"            # inverted
+        if style < 0.50:
+            return name.upper()                  # shouting legacy export
+        return name
+
+    def reports(self, start_year: int = 2005, end_year: int = 2008) -> Iterator[TeamYearReport]:
+        """One report per (team, year), years in order."""
+        for year in range(start_year, end_year + 1):
+            for team, center in self.teams:
+                roster = self._rosters[team]
+                size = self.rng.randint(max(3, len(roster) - 3), len(roster))
+                sampled = self.rng.sample(roster, size)
+                members = [
+                    MemberRecord(
+                        name=self._noisy_name(m.name),
+                        birth_year=m.birth_year,
+                        role=m.role,
+                    )
+                    for m in sampled
+                ]
+                yield TeamYearReport(
+                    team=team,
+                    center=center,
+                    year=year,
+                    publications=self.rng.randint(3, 40),
+                    members=members,
+                )
+
+    def to_xml(self, report: TeamYearReport) -> str:
+        root = ET.Element(
+            "raweb",
+            {"team": report.team, "center": report.center, "year": str(report.year)},
+        )
+        ET.SubElement(root, "publications", {"count": str(report.publications)})
+        members_el = ET.SubElement(root, "members")
+        for member in report.members:
+            ET.SubElement(
+                members_el,
+                "member",
+                {
+                    "name": member.name,
+                    "birthYear": str(member.birth_year),
+                    "role": member.role,
+                },
+            )
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode")
+
+
+def parse_report(xml_text: str) -> TeamYearReport:
+    """Parse one Raweb-like XML document."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SpecificationError(f"invalid report XML: {exc}") from None
+    if root.tag != "raweb":
+        raise SpecificationError(f"expected <raweb>, found <{root.tag}>")
+    team = root.get("team")
+    year = root.get("year")
+    if not team or not year:
+        raise SpecificationError("<raweb> needs team and year attributes")
+    pubs_el = root.find("publications")
+    publications = int(pubs_el.get("count", "0")) if pubs_el is not None else 0
+    members = []
+    members_el = root.find("members")
+    if members_el is not None:
+        for member_el in members_el.findall("member"):
+            name = member_el.get("name")
+            if not name:
+                raise SpecificationError("<member> needs a name")
+            birth = member_el.get("birthYear")
+            members.append(
+                MemberRecord(
+                    name=name,
+                    birth_year=int(birth) if birth else 0,
+                    role=member_el.get("role", ""),
+                )
+            )
+    return TeamYearReport(
+        team=team,
+        center=root.get("center", ""),
+        year=int(year),
+        publications=publications,
+        members=members,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ingestion with entity resolution
+
+
+class ReportIngestor:
+    """Loads reports into the database, resolving member identities.
+
+    The matcher decides, per mention, "whether an employee is already
+    present in the database or needs to be added" (Section III-c).
+    """
+
+    def __init__(self, database: Database, threshold: float = 0.88) -> None:
+        self.database = database
+        install_schema(database)
+        self.matcher = PersonMatcher(threshold=threshold)
+        self._team_ids: dict[str, int] = {
+            row["name"]: row["id"] for row in database.table(T_TEAM).scan()
+        }
+        self._next_team = max(self._team_ids.values(), default=0) + 1
+        self._next_report = (
+            max((r["id"] for r in database.table(T_REPORT).scan()), default=0) + 1
+        )
+        self._stored_members: set[int] = {
+            row["id"] for row in database.table(T_MEMBER).scan()
+        }
+        self.reports_ingested = 0
+
+    def ingest_xml(self, xml_text: str) -> int:
+        return self.ingest(parse_report(xml_text))
+
+    def ingest(self, report: TeamYearReport) -> int:
+        """Load one report; returns its report id."""
+        team_id = self._team_ids.get(report.team)
+        if team_id is None:
+            team_id = self._next_team
+            self._next_team += 1
+            self.database.insert(
+                T_TEAM,
+                {"id": team_id, "name": report.team, "center": report.center},
+            )
+            self._team_ids[report.team] = team_id
+        report_id = self._next_report
+        self._next_report += 1
+        self.database.insert(
+            T_REPORT,
+            {
+                "id": report_id,
+                "team_id": team_id,
+                "year": report.year,
+                "publications": report.publications,
+            },
+        )
+        memberships = []
+        for member in report.members:
+            person_id = self.matcher.resolve(member.name)
+            if person_id not in self._stored_members:
+                self.database.insert(
+                    T_MEMBER,
+                    {
+                        "id": person_id,
+                        "name": self.matcher.name_of(person_id),
+                        "birth_year": member.birth_year or None,
+                    },
+                )
+                self._stored_members.add(person_id)
+            memberships.append(
+                {
+                    "report_id": report_id,
+                    "member_id": person_id,
+                    "role": member.role,
+                }
+            )
+        if memberships:
+            self.database.insert_many(T_MEMBERSHIP, memberships)
+        self.reports_ingested += 1
+        return report_id
+
+
+# ---------------------------------------------------------------------------
+# Statistics ("simple statistics were then computed by means of SQL queries")
+
+
+def compute_statistics(database: Database, as_of_year: int = 2024) -> dict[str, dict[str, float]]:
+    """Age / team-size / centre / publication statistics via SQL.
+
+    Results are both returned and materialized into ``raweb_stats`` so
+    the visualization layer can mirror them.
+    """
+    stats: dict[str, dict[str, float]] = {}
+
+    center_rows = database.query(
+        f"SELECT t.center AS center, COUNT(*) AS n "
+        f"FROM {T_REPORT} r JOIN {T_TEAM} t ON r.team_id = t.id "
+        "GROUP BY t.center ORDER BY t.center"
+    )
+    stats["reports_by_center"] = {r["center"]: float(r["n"]) for r in center_rows}
+
+    pub_rows = database.query(
+        f"SELECT t.name AS team, SUM(r.publications) AS pubs "
+        f"FROM {T_REPORT} r JOIN {T_TEAM} t ON r.team_id = t.id "
+        "GROUP BY t.name ORDER BY t.name"
+    )
+    stats["publications_by_team"] = {r["team"]: float(r["pubs"]) for r in pub_rows}
+
+    member_rows = database.query(
+        f"SELECT t.name AS team, COUNT(DISTINCT m.member_id) AS members "
+        f"FROM {T_MEMBERSHIP} m "
+        f"JOIN {T_REPORT} r ON m.report_id = r.id "
+        f"JOIN {T_TEAM} t ON r.team_id = t.id "
+        "GROUP BY t.name ORDER BY t.name"
+    )
+    stats["members_by_team"] = {r["team"]: float(r["members"]) for r in member_rows}
+
+    age_rows = database.query(
+        f"SELECT birth_year FROM {T_MEMBER} WHERE birth_year IS NOT NULL"
+    )
+    buckets: dict[str, float] = {}
+    for row in age_rows:
+        age = as_of_year - row["birth_year"]
+        bucket = f"{(age // 10) * 10}s"
+        buckets[bucket] = buckets.get(bucket, 0.0) + 1.0
+    stats["age_distribution"] = dict(sorted(buckets.items()))
+
+    database.delete(T_STATS)
+    rows = []
+    for stat, values in stats.items():
+        for key, value in values.items():
+            rows.append({"stat": stat, "key": str(key), "value": value})
+    if rows:
+        database.insert_many(T_STATS, rows)
+    return stats

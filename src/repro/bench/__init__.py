@@ -1,0 +1,27 @@
+"""Benchmark harness: timing, result tables, and the Figure-8 pipeline."""
+
+from .harness import (
+    ExperimentRecord,
+    SeriesTable,
+    Timer,
+    dominance_ratio,
+    is_roughly_linear,
+    linear_fit,
+    speedup,
+    time_ms,
+)
+from .pipeline import FIG8_SERIES, BatchTiming, InsertPipeline
+
+__all__ = [
+    "BatchTiming",
+    "ExperimentRecord",
+    "FIG8_SERIES",
+    "InsertPipeline",
+    "SeriesTable",
+    "Timer",
+    "dominance_ratio",
+    "is_roughly_linear",
+    "linear_fit",
+    "speedup",
+    "time_ms",
+]

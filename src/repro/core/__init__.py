@@ -1,0 +1,15 @@
+"""EdiFlow core: the shared data model and the platform facade."""
+
+from . import datamodel
+
+__all__ = ["datamodel"]
+
+
+def __getattr__(name):
+    # Late import: platform pulls in every subsystem, and importing it at
+    # module load time would create a cycle with repro.workflow.
+    if name == "EdiFlow":
+        from .platform import EdiFlow
+
+        return EdiFlow
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

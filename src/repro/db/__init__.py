@@ -1,0 +1,88 @@
+"""Embedded relational engine -- the DBMS substrate EdiFlow runs on.
+
+Public surface::
+
+    from repro.db import Database, Column, TableSchema, col
+    from repro.db import INTEGER, FLOAT, TEXT, BOOLEAN, TIMESTAMP, ANY
+
+    db = Database()
+    db.execute("CREATE TABLE authors (id INTEGER PRIMARY KEY, name TEXT)")
+    db.execute("INSERT INTO authors (id, name) VALUES (?, ?)", [1, "Noack"])
+    rows = db.query("SELECT name FROM authors WHERE id = 1")
+"""
+
+from .algebra import (
+    AggSpec,
+    format_plan,
+    Aggregate,
+    Difference,
+    Distinct,
+    HashJoin,
+    KeepAll,
+    Limit,
+    MapRows,
+    Plan,
+    Product,
+    Project,
+    RowSource,
+    Scan,
+    Select,
+    Sort,
+    Union,
+)
+from .database import Database, Result
+from .expression import (
+    ColumnRef,
+    Expression,
+    Lambda,
+    Literal,
+    col,
+)
+from .persistence import load_snapshot, save_snapshot
+from .schema import CREATED_AT, TID, UPDATED_AT, Column, ForeignKey, TableSchema
+from .table import ChangeSet, Table
+from .types import ANY, BOOLEAN, FLOAT, INTEGER, TEXT, TIMESTAMP, ColumnType
+
+__all__ = [
+    "ANY",
+    "AggSpec",
+    "Aggregate",
+    "BOOLEAN",
+    "CREATED_AT",
+    "ChangeSet",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "Database",
+    "Difference",
+    "Distinct",
+    "Expression",
+    "FLOAT",
+    "ForeignKey",
+    "HashJoin",
+    "INTEGER",
+    "KeepAll",
+    "Lambda",
+    "Limit",
+    "Literal",
+    "MapRows",
+    "Plan",
+    "Product",
+    "Project",
+    "Result",
+    "RowSource",
+    "Scan",
+    "Select",
+    "Sort",
+    "TEXT",
+    "TID",
+    "TIMESTAMP",
+    "Table",
+    "TableSchema",
+    "UPDATED_AT",
+    "Union",
+    "col",
+    "format_plan",
+    "load_snapshot",
+    "save_snapshot",
+]

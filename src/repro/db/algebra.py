@@ -1,0 +1,608 @@
+"""Relational algebra plans and their pull-based executor.
+
+The paper's query language is "a relational algebraic expression over the
+relations... selection, projection, and cartesian product" (Section V).
+We implement those plus the operators every realistic deployment of the
+model needs: hash joins, grouping/aggregation, sort, distinct, limit,
+union, and difference.
+
+Plans are immutable trees of :class:`Plan` nodes; :meth:`Plan.rows` pulls
+result rows as dicts.  A plan executes against any object exposing
+``table(name) -> Table`` -- in practice the :class:`repro.db.database.Database`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
+
+from ..errors import DatabaseError, UnknownColumnError
+from .expression import ColumnRef, Expression, evaluate_predicate
+from .schema import HIDDEN_FIELDS
+from .table import Table
+
+
+class TableProvider(Protocol):
+    """Anything that can resolve table names (Database implements this)."""
+
+    def table(self, name: str) -> Table: ...
+
+
+Row = dict[str, Any]
+
+
+class Plan:
+    """Base class for algebra operators."""
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def to_list(self, source: TableProvider) -> list[Row]:
+        return list(self.rows(source))
+
+    # -- fluent builders ------------------------------------------------
+    def where(self, predicate: Expression) -> "Select":
+        return Select(self, predicate)
+
+    def project(self, *items: str | tuple[str, Expression]) -> "Project":
+        return Project(self, _normalize_items(items))
+
+    def join(self, other: "Plan", left_on: str, right_on: str) -> "HashJoin":
+        return HashJoin(self, other, left_on, right_on)
+
+    def order_by(self, *keys: str | tuple[str, bool]) -> "Sort":
+        norm = [(k, True) if isinstance(k, str) else k for k in keys]
+        return Sort(self, norm)
+
+    def limit(self, count: int, offset: int = 0) -> "Limit":
+        return Limit(self, count, offset)
+
+    def distinct(self) -> "Distinct":
+        return Distinct(self)
+
+    def base_tables(self) -> set[str]:
+        """Names of the stored tables this plan reads (for IVM wiring)."""
+        out: set[str] = set()
+        for child in self.children():
+            out |= child.base_tables()
+        return out
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+
+def _normalize_items(
+    items: Sequence[str | tuple[str, Expression]],
+) -> list[tuple[str, Expression]]:
+    out: list[tuple[str, Expression]] = []
+    for item in items:
+        if isinstance(item, str):
+            out.append((item, ColumnRef(item)))
+        else:
+            out.append(item)
+    return out
+
+
+class Scan(Plan):
+    """Full scan of a stored table.
+
+    With an ``alias``, each output row additionally carries qualified keys
+    (``alias.col``) so joins between tables with overlapping column names
+    stay unambiguous.  Without one, internal row dicts are yielded directly
+    (the fast path the Figure-8 pipeline depends on).
+    """
+
+    def __init__(self, table: str, alias: str | None = None) -> None:
+        self.table_name = table
+        self.alias = alias
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        table = source.table(self.table_name)
+        if self.alias is None:
+            yield from table.rows()
+            return
+        prefix = self.alias
+        for row in table.rows():
+            qualified = dict(row)
+            for key, value in row.items():
+                if not key.startswith("__"):
+                    qualified[f"{prefix}.{key}"] = value
+            yield qualified
+
+    def base_tables(self) -> set[str]:
+        return {self.table_name}
+
+    def __repr__(self) -> str:
+        return f"Scan({self.table_name!r})"
+
+
+class IndexScan(Plan):
+    """Point lookup through a hash index: ``WHERE col = value``.
+
+    Falls back to a full scan when the source cannot serve the index
+    (e.g. isolation-filtered views wrap tables without exposing indexes)
+    -- the result is identical either way, only the cost differs.
+    """
+
+    def __init__(self, table: str, column: str, value: Any) -> None:
+        self.table_name = table
+        self.column = column
+        self.value = value
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        table = source.table(self.table_name)
+        find = getattr(table, "find_hash_index", None)
+        index = find(self.column) if find is not None else None
+        if index is None:
+            # Fallback: filtered scan (correctness over speed).
+            for row in table.rows():
+                if row.get(self.column) == self.value:
+                    yield row
+            return
+        get = table.get
+        for tid in index.lookup(self.value):
+            row = get(tid)
+            if row is not None:
+                yield row
+
+    def base_tables(self) -> set[str]:
+        return {self.table_name}
+
+    def __repr__(self) -> str:
+        return f"IndexScan({self.table_name}.{self.column} = {self.value!r})"
+
+
+class RowSource(Plan):
+    """Adapter exposing an in-memory row collection as a plan leaf.
+
+    Used by delta propagation: the incremental maintenance algorithms
+    (Section VI-B, citing Gupta-Mumick) re-run query fragments over delta
+    rows instead of stored tables.
+    """
+
+    def __init__(self, rows: Iterable[Row], label: str = "<rows>") -> None:
+        self._rows = list(rows)
+        self.label = label
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"RowSource({self.label}, n={len(self._rows)})"
+
+
+class Select(Plan):
+    """Selection: keep rows whose predicate evaluates to TRUE."""
+
+    def __init__(self, child: Plan, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.rows(source):
+            if predicate.eval(row) is True:
+                yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select({self.predicate!r}, {self.child!r})"
+
+
+class Project(Plan):
+    """Projection with computed items: ``[(output_name, expression), ...]``."""
+
+    def __init__(self, child: Plan, items: Sequence[tuple[str, Expression]]) -> None:
+        if not items:
+            raise DatabaseError("projection needs at least one item")
+        self.child = child
+        self.items = list(items)
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        items = self.items
+        for row in self.child.rows(source):
+            yield {name: expr.eval(row) for name, expr in items}
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        names = [name for name, _ in self.items]
+        return f"Project({names}, {self.child!r})"
+
+
+class KeepAll(Plan):
+    """Identity projection that strips hidden engine fields.
+
+    ``SELECT * FROM t`` compiles to this so users never see ``__tid__``
+    unless they ask for it.
+    """
+
+    def __init__(self, child: Plan) -> None:
+        self.child = child
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        for row in self.child.rows(source):
+            yield {
+                k: v
+                for k, v in row.items()
+                if not k.startswith("__") and "." not in k
+            }
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+class Product(Plan):
+    """Cartesian product.  Right side is materialized once."""
+
+    def __init__(self, left: Plan, right: Plan) -> None:
+        self.left = left
+        self.right = right
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        right_rows = self.right.to_list(source)
+        for lrow in self.left.rows(source):
+            for rrow in right_rows:
+                yield {**lrow, **rrow}
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class HashJoin(Plan):
+    """Equi-join implemented by building a hash table on the right input."""
+
+    def __init__(
+        self,
+        left: Plan,
+        right: Plan,
+        left_on: str,
+        right_on: str,
+        how: str = "inner",
+    ) -> None:
+        if how not in ("inner", "left"):
+            raise DatabaseError(f"unsupported join type {how!r}")
+        self.left = left
+        self.right = right
+        self.left_on = left_on
+        self.right_on = right_on
+        self.how = how
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        buckets: dict[Any, list[Row]] = {}
+        right_key = ColumnRef(self.right_on)
+        right_cols: set[str] = set()
+        for rrow in self.right.rows(source):
+            key = right_key.eval(rrow)
+            right_cols.update(k for k in rrow if not k.startswith("__"))
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(rrow)
+        if self.how == "left" and not right_cols:
+            # Empty right input: derive padding columns from the schema so
+            # unmatched left rows still carry NULL right-side fields.
+            right_cols = self._schema_columns(source)
+        left_key = ColumnRef(self.left_on)
+        null_pad = {c: None for c in right_cols}
+        for lrow in self.left.rows(source):
+            key = left_key.eval(lrow)
+            matches = buckets.get(key, ()) if key is not None else ()
+            if matches:
+                for rrow in matches:
+                    yield {**lrow, **rrow}
+            elif self.how == "left":
+                yield {**null_pad, **lrow}
+
+    def _schema_columns(self, source: TableProvider) -> set[str]:
+        """Right-side column names (plain + qualified) from the catalog."""
+        child = self.right
+        if not isinstance(child, (Scan, IndexScan)):
+            return set()
+        try:
+            schema = source.table(child.table_name).schema
+        except Exception:
+            return set()
+        columns = set(schema.column_names)
+        alias = getattr(child, "alias", None)
+        if alias:
+            columns |= {f"{alias}.{c}" for c in schema.column_names}
+        return columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return (
+            f"HashJoin({self.left!r} {self.left_on} = "
+            f"{self.right_on} {self.right!r}, how={self.how})"
+        )
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output: ``func([DISTINCT] arg) AS name``.
+
+    ``func`` is one of COUNT, SUM, AVG, MIN, MAX; ``arg is None`` means
+    ``COUNT(*)``.  With ``distinct=True`` duplicate argument values are
+    folded once (``COUNT(DISTINCT x)`` and friends).
+    """
+
+    func: str
+    arg: Expression | None
+    name: str
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.func not in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            raise DatabaseError(f"unknown aggregate {self.func!r}")
+        if self.arg is None and self.func != "COUNT":
+            raise DatabaseError(f"{self.func} requires an argument")
+        if self.distinct and self.arg is None:
+            raise DatabaseError("DISTINCT requires an aggregate argument")
+
+
+class _AggState:
+    """Running state for one aggregate within one group."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "seen")
+
+    def __init__(self, distinct: bool = False) -> None:
+        self.count = 0
+        self.total: Any = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: set[Any] | None = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        try:
+            self.total += value
+        except TypeError:
+            pass  # non-numeric: SUM/AVG will report None via count check
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self, func: str) -> Any:
+        if func == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if func == "SUM":
+            return self.total
+        if func == "AVG":
+            return self.total / self.count
+        if func == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+class Aggregate(Plan):
+    """GROUP BY + aggregates.  Empty ``group_by`` yields one global row."""
+
+    def __init__(
+        self,
+        child: Plan,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        having: Expression | None = None,
+    ) -> None:
+        self.child = child
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.having = having
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        groups: dict[tuple[Any, ...], tuple[Row, list[_AggState], int]] = {}
+        group_refs = [ColumnRef(g) for g in self.group_by]
+        for row in self.child.rows(source):
+            key = tuple(ref.eval(row) for ref in group_refs)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (
+                    row,
+                    [_AggState(s.distinct) for s in self.aggregates],
+                    0,
+                )
+                groups[key] = entry
+            first_row, states, star = entry
+            groups[key] = (first_row, states, star + 1)
+            for spec, state in zip(self.aggregates, states):
+                if spec.arg is not None:
+                    state.add(spec.arg.eval(row))
+        if not groups and not self.group_by:
+            # Global aggregate over an empty input still yields one row.
+            groups[()] = ({}, [_AggState(s.distinct) for s in self.aggregates], 0)
+        for key, (first_row, states, star) in groups.items():
+            out: Row = {g: v for g, v in zip(self.group_by, key)}
+            for spec, state in zip(self.aggregates, states):
+                if spec.func == "COUNT" and spec.arg is None:
+                    out[spec.name] = star
+                else:
+                    out[spec.name] = state.result(spec.func)
+            if self.having is None or evaluate_predicate(self.having, out):
+                yield out
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+class Sort(Plan):
+    """ORDER BY.  NULLs sort first ascending, last descending."""
+
+    def __init__(self, child: Plan, keys: Sequence[tuple[str, bool]]) -> None:
+        self.child = child
+        self.keys = list(keys)
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        rows = self.child.to_list(source)
+        # Stable multi-key sort: apply keys right-to-left.
+        for name, ascending in reversed(self.keys):
+            ref = ColumnRef(name)
+
+            def sort_key(row: Row, ref: ColumnRef = ref) -> tuple[int, Any]:
+                value = ref.eval(row)
+                return (0, 0) if value is None else (1, value)
+
+            rows.sort(key=sort_key, reverse=not ascending)
+        return iter(rows)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+class Limit(Plan):
+    """LIMIT/OFFSET."""
+
+    def __init__(self, child: Plan, count: int, offset: int = 0) -> None:
+        if count < 0 or offset < 0:
+            raise DatabaseError("LIMIT/OFFSET must be non-negative")
+        self.child = child
+        self.count = count
+        self.offset = offset
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        it = self.child.rows(source)
+        for _ in range(self.offset):
+            try:
+                next(it)
+            except StopIteration:
+                return
+        for i, row in enumerate(it):
+            if i >= self.count:
+                return
+            yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+def _row_key(row: Row) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted((k, v) for k, v in row.items() if not k.startswith("__")))
+
+
+class Distinct(Plan):
+    """Duplicate elimination over visible columns."""
+
+    def __init__(self, child: Plan) -> None:
+        self.child = child
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        seen: set[tuple[tuple[str, Any], ...]] = set()
+        for row in self.child.rows(source):
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+class Union(Plan):
+    """UNION (set) or UNION ALL (bag)."""
+
+    def __init__(self, left: Plan, right: Plan, all: bool = False) -> None:
+        self.left = left
+        self.right = right
+        self.all = all
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        if self.all:
+            yield from self.left.rows(source)
+            yield from self.right.rows(source)
+            return
+        seen: set[tuple[tuple[str, Any], ...]] = set()
+        for row in self.left.rows(source):
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+        for row in self.right.rows(source):
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class Difference(Plan):
+    """Set difference (EXCEPT)."""
+
+    def __init__(self, left: Plan, right: Plan) -> None:
+        self.left = left
+        self.right = right
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        exclude = {_row_key(r) for r in self.right.rows(source)}
+        seen: set[tuple[tuple[str, Any], ...]] = set()
+        for row in self.left.rows(source):
+            key = _row_key(row)
+            if key not in exclude and key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class MapRows(Plan):
+    """Apply an arbitrary row transformation (procedure escape hatch)."""
+
+    def __init__(self, child: Plan, fn: Callable[[Row], Row], label: str = "map") -> None:
+        self.child = child
+        self.fn = fn
+        self.label = label
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        fn = self.fn
+        for row in self.child.rows(source):
+            yield fn(row)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+def format_plan(plan: Plan, indent: int = 0) -> str:
+    """Render a plan tree, one operator per line (EXPLAIN output)."""
+    pad = "  " * indent
+    label = type(plan).__name__
+    detail = ""
+    if isinstance(plan, Scan):
+        detail = f" {plan.table_name}" + (f" AS {plan.alias}" if plan.alias else "")
+    elif isinstance(plan, IndexScan):
+        detail = f" {plan.table_name}.{plan.column} = {plan.value!r}"
+    elif isinstance(plan, Select):
+        detail = f" {plan.predicate!r}"
+    elif isinstance(plan, Project):
+        detail = f" {[name for name, _ in plan.items]}"
+    elif isinstance(plan, HashJoin):
+        detail = f" {plan.left_on} = {plan.right_on} ({plan.how})"
+    elif isinstance(plan, Aggregate):
+        aggs = [f"{s.func}({'DISTINCT ' if s.distinct else ''}...) AS {s.name}"
+                for s in plan.aggregates]
+        detail = f" group_by={plan.group_by} aggs={aggs}"
+    elif isinstance(plan, Sort):
+        detail = f" {plan.keys}"
+    elif isinstance(plan, Limit):
+        detail = f" {plan.count} offset {plan.offset}"
+    elif isinstance(plan, Union):
+        detail = " ALL" if plan.all else ""
+    elif isinstance(plan, RowSource):
+        detail = f" {plan.label}"
+    lines = [f"{pad}{label}{detail}"]
+    for child in plan.children():
+        lines.append(format_plan(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""System catalog: schema metadata exposed as queryable tables.
+
+Mirrors the paper's observation that "by issuing a query to the database,
+one can determine which are the completed activity instances in process P"
+(Section IV-B) -- all engine metadata is itself relational.  The catalog
+is computed on demand from live state, so it can never drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .database import Database
+
+
+def catalog_tables(database: Database) -> list[dict[str, Any]]:
+    """One row per table: name, column count, row count, primary key."""
+    out = []
+    for name in database.table_names():
+        table = database.table(name)
+        out.append(
+            {
+                "table_name": name,
+                "column_count": len(table.schema.columns),
+                "row_count": len(table),
+                "primary_key": table.schema.primary_key,
+            }
+        )
+    return out
+
+
+def catalog_columns(database: Database) -> list[dict[str, Any]]:
+    """One row per column of every table."""
+    out = []
+    for name in database.table_names():
+        table = database.table(name)
+        for position, column in enumerate(table.schema.columns):
+            out.append(
+                {
+                    "table_name": name,
+                    "column_name": column.name,
+                    "position": position,
+                    "type": column.type.name,
+                    "nullable": column.nullable,
+                    "default": column.default,
+                }
+            )
+    return out
+
+
+def catalog_foreign_keys(database: Database) -> list[dict[str, Any]]:
+    """One row per declared foreign key."""
+    out = []
+    for name in database.table_names():
+        table = database.table(name)
+        for fk in table.schema.foreign_keys:
+            out.append(
+                {
+                    "table_name": name,
+                    "column_name": fk.column,
+                    "ref_table": fk.ref_table,
+                    "ref_column": fk.ref_column,
+                }
+            )
+    return out
+
+
+def catalog_triggers(database: Database) -> list[dict[str, Any]]:
+    """One row per installed trigger."""
+    manager = database._triggers
+    out = []
+    for name in manager.names():
+        trigger = manager._triggers[name]
+        out.append(
+            {
+                "trigger_name": name,
+                "table_name": trigger.table,
+                "events": ",".join(trigger.events),
+                "enabled": trigger.enabled,
+            }
+        )
+    return out

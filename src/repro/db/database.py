@@ -1,0 +1,447 @@
+"""The embedded database facade.
+
+:class:`Database` plays the role Oracle 11g / MySQL 5 play in the paper's
+deployment (Section VI-D): persistent relations, a SQL interface,
+statement-level triggers, and a logical clock stamping every tuple --
+everything the EdiFlow layers above (workflow, propagation, isolation,
+synchronization) require of "a standard DBMS".
+
+All public methods are thread-safe behind one reentrant lock: the
+synchronization server (Section VI-C) serves remote clients from threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import DatabaseError, SchemaError, UnknownTableError
+from .algebra import Plan, format_plan
+from .expression import Expression, evaluate_predicate
+from .schema import HIDDEN_FIELDS, TID, Column, ForeignKey, TableSchema
+from .sql.ast import (
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+    UpdateStmt,
+)
+from .sql.parser import parse
+from .sql.planner import _Scope, lower_expr, plan_select
+from .table import ChangeSet, Table
+from .transactions import Transaction, TransactionContext
+from .triggers import TriggerManager
+from .types import type_from_name
+
+
+class Result:
+    """Outcome of one statement.
+
+    For SELECT: ``rows`` holds the result (list of dicts).  For mutations:
+    ``rowcount`` is the number of affected rows and ``rows`` is empty.
+    """
+
+    def __init__(self, rows: list[dict[str, Any]] | None = None, rowcount: int = 0) -> None:
+        self.rows = rows if rows is not None else []
+        self.rowcount = rowcount
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (or None on empty results)."""
+        if not self.rows:
+            return None
+        return next(iter(self.rows[0].values()))
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+
+class Database:
+    """An embedded, in-process relational database.
+
+    Parameters
+    ----------
+    name:
+        Purely informational label (shows up in repr and snapshots).
+    """
+
+    def __init__(self, name: str = "ediflow") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._triggers = TriggerManager()
+        self._clock = 0
+        self._lock = threading.RLock()
+        self._current_transaction: Transaction | None = None
+        self._trigger_counter = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    def now(self) -> int:
+        """Current logical time (does not advance the clock)."""
+        with self._lock:
+            return self._clock
+
+    def tick(self) -> int:
+        """Advance and return the logical clock.
+
+        Every row mutation calls this, so creation/update timestamps are
+        unique and totally ordered -- the property time-based isolation
+        (Section VI-A) depends on.
+        """
+        with self._lock:
+            self._clock += 1
+            return self._clock
+
+    # ------------------------------------------------------------------
+    # Schema management
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column] | None = None,
+        primary_key: str | None = None,
+        unique: Iterable[Sequence[str] | str] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+        schema: TableSchema | None = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create a table from a schema or from column definitions."""
+        with self._lock:
+            if schema is None:
+                if columns is None:
+                    raise SchemaError("create_table needs columns or a schema")
+                schema = TableSchema(
+                    name,
+                    columns,
+                    primary_key=primary_key,
+                    unique=unique,
+                    foreign_keys=foreign_keys,
+                )
+            if schema.name in self._tables:
+                if if_not_exists:
+                    return self._tables[schema.name]
+                raise SchemaError(f"table {schema.name!r} already exists")
+            table = Table(schema, self.tick)
+            self._tables[schema.name] = table
+            return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        with self._lock:
+            if name not in self._tables:
+                if if_exists:
+                    return
+                raise UnknownTableError(f"no table named {name!r}")
+            del self._tables[name]
+            self._triggers.drop_for_table(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Triggers
+    def on(
+        self,
+        table: str,
+        events: str | tuple[str, ...],
+        fn: Callable[[ChangeSet], None],
+        name: str | None = None,
+    ) -> str:
+        """Install a statement-level trigger; returns its name."""
+        with self._lock:
+            self.table(table)  # validate existence
+            if name is None:
+                self._trigger_counter += 1
+                name = f"trg_{table}_{self._trigger_counter}"
+            self._triggers.create(name, table, events, fn)
+            return name
+
+    def drop_trigger(self, name: str) -> None:
+        with self._lock:
+            self._triggers.drop(name)
+
+    def trigger_names(self) -> list[str]:
+        return self._triggers.names()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    def transaction(self) -> TransactionContext:
+        """Context manager for an atomic statement batch."""
+        return TransactionContext(self)
+
+    def in_transaction(self) -> bool:
+        return self._current_transaction is not None
+
+    def _dispatch(self, change: ChangeSet) -> None:
+        """Route a change set to triggers now, or defer to commit."""
+        if change.is_empty():
+            return
+        transaction = self._current_transaction
+        if transaction is not None:
+            transaction.defer_triggers(change)
+        else:
+            self._triggers.fire(change)
+
+    # ------------------------------------------------------------------
+    # Programmatic mutations
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert one row; fires insert triggers; returns the stored row."""
+        with self._lock:
+            table = self.table(table_name)
+            row = table.insert(values)
+            if self._current_transaction is not None:
+                self._current_transaction.record_insert(table_name, row)
+            change = ChangeSet(table_name, inserted=[row])
+            self._dispatch(change)
+            return row
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Insert many rows as ONE statement: triggers fire once.
+
+        This is the write path the Figure-8 experiment exercises -- a batch
+        of tuples arrives and a single statement-level trigger notification
+        is emitted for the whole batch.
+        """
+        with self._lock:
+            table = self.table(table_name)
+            inserted: list[dict[str, Any]] = []
+            try:
+                for values in rows:
+                    inserted.append(table.insert(values))
+            except Exception:
+                # Statement atomicity: undo the partial batch.
+                for row in reversed(inserted):
+                    table.delete_row(row[TID])
+                raise
+            if self._current_transaction is not None:
+                for row in inserted:
+                    self._current_transaction.record_insert(table_name, row)
+            self._dispatch(ChangeSet(table_name, inserted=inserted))
+            return inserted
+
+    def update(
+        self,
+        table_name: str,
+        changes: Mapping[str, Any],
+        where: Expression | None = None,
+    ) -> int:
+        """Update all rows matching ``where``; returns the affected count."""
+        with self._lock:
+            table = self.table(table_name)
+            matching = [
+                row[TID] for row in table.rows() if evaluate_predicate(where, row)
+            ]
+            updated: list[tuple[dict[str, Any], dict[str, Any]]] = []
+            for tid in matching:
+                before, after = table.update_row(tid, changes)
+                updated.append((before, after))
+                if self._current_transaction is not None:
+                    self._current_transaction.record_update(table_name, before, after)
+            self._dispatch(ChangeSet(table_name, updated=updated))
+            return len(updated)
+
+    def update_by_tid(
+        self, table_name: str, tid: int, changes: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Point update through the tid (used by sync write-back)."""
+        with self._lock:
+            table = self.table(table_name)
+            before, after = table.update_row(tid, changes)
+            if self._current_transaction is not None:
+                self._current_transaction.record_update(table_name, before, after)
+            self._dispatch(ChangeSet(table_name, updated=[(before, after)]))
+            return after
+
+    def delete(self, table_name: str, where: Expression | None = None) -> int:
+        """Delete all rows matching ``where``; returns the affected count."""
+        with self._lock:
+            table = self.table(table_name)
+            matching = [
+                row[TID] for row in table.rows() if evaluate_predicate(where, row)
+            ]
+            deleted: list[dict[str, Any]] = []
+            for tid in matching:
+                row = table.delete_row(tid)
+                deleted.append(row)
+                if self._current_transaction is not None:
+                    self._current_transaction.record_delete(table_name, row)
+            self._dispatch(ChangeSet(table_name, deleted=deleted))
+            return len(deleted)
+
+    def delete_by_tids(self, table_name: str, tids: Iterable[int]) -> int:
+        """Delete specific rows by tid (used by deferred physical deletes)."""
+        with self._lock:
+            table = self.table(table_name)
+            deleted: list[dict[str, Any]] = []
+            for tid in tids:
+                if tid in table:
+                    row = table.delete_row(tid)
+                    deleted.append(row)
+                    if self._current_transaction is not None:
+                        self._current_transaction.record_delete(table_name, row)
+            self._dispatch(ChangeSet(table_name, deleted=deleted))
+            return len(deleted)
+
+    # ------------------------------------------------------------------
+    # SQL interface
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Parse and run one SQL statement.
+
+        ``?`` placeholders are bound to ``params`` positionally.
+        """
+        statement = parse(sql)
+        return self.execute_statement(statement, params)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
+        """Shorthand: run a SELECT and return its rows."""
+        return self.execute(sql, params).rows
+
+    def execute_statement(self, statement: Statement, params: Sequence[Any] = ()) -> Result:
+        with self._lock:
+            if isinstance(statement, SelectStmt):
+                plan = plan_select(statement, self, params)
+                return Result(rows=plan.to_list(self))
+            if isinstance(statement, InsertStmt):
+                return self._execute_insert(statement, params)
+            if isinstance(statement, UpdateStmt):
+                return self._execute_update(statement, params)
+            if isinstance(statement, DeleteStmt):
+                return self._execute_delete(statement, params)
+            if isinstance(statement, CreateTableStmt):
+                return self._execute_create(statement)
+            if isinstance(statement, DropTableStmt):
+                self.drop_table(statement.table, if_exists=statement.if_exists)
+                return Result()
+            raise DatabaseError(f"unsupported statement {statement!r}")
+
+    def plan(self, sql: str, params: Sequence[Any] = ()) -> Plan:
+        """Compile a SELECT to an algebra plan without executing it."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise DatabaseError("plan() accepts SELECT statements only")
+        return plan_select(statement, self, params)
+
+    def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
+        """Human-readable plan tree for a SELECT (EXPLAIN-style)."""
+        return format_plan(self.plan(sql, params))
+
+    # -- statement executors --------------------------------------------
+    def _execute_insert(self, stmt: InsertStmt, params: Sequence[Any]) -> Result:
+        table = self.table(stmt.table)
+        columns = stmt.columns or table.schema.column_names
+        scope = _Scope(self, params)
+        rows_to_insert: list[dict[str, Any]] = []
+        if stmt.select is not None:
+            select_rows = plan_select(stmt.select, self, params).to_list(self)
+            for src in select_rows:
+                if stmt.columns:
+                    values = list(src.values())
+                    if len(values) != len(columns):
+                        raise DatabaseError(
+                            "INSERT ... SELECT column count mismatch: "
+                            f"{len(columns)} target(s), {len(values)} value(s)"
+                        )
+                    rows_to_insert.append(dict(zip(columns, values)))
+                else:
+                    rows_to_insert.append(
+                        {k: v for k, v in src.items() if k not in HIDDEN_FIELDS}
+                    )
+        else:
+            for value_tuple in stmt.rows:
+                if len(value_tuple) != len(columns):
+                    raise DatabaseError(
+                        f"INSERT column count mismatch: {len(columns)} "
+                        f"column(s), {len(value_tuple)} value(s)"
+                    )
+                rows_to_insert.append(
+                    {
+                        column: lower_expr(expr, scope).eval({})
+                        for column, expr in zip(columns, value_tuple)
+                    }
+                )
+        inserted = self.insert_many(stmt.table, rows_to_insert)
+        return Result(rowcount=len(inserted))
+
+    def _execute_update(self, stmt: UpdateStmt, params: Sequence[Any]) -> Result:
+        scope = _Scope(self, params)
+        scope.add_table(stmt.table, None)
+        where = lower_expr(stmt.where, scope) if stmt.where is not None else None
+        table = self.table(stmt.table)
+        # Assignments may reference the row (SET x = x + 1), so evaluate
+        # per row before applying.
+        assignment_exprs = [
+            (name, lower_expr(expr, scope)) for name, expr in stmt.assignments
+        ]
+        matching = [
+            row[TID] for row in table.rows() if evaluate_predicate(where, row)
+        ]
+        updated: list[tuple[dict[str, Any], dict[str, Any]]] = []
+        for tid in matching:
+            row = table.get(tid)
+            assert row is not None
+            changes = {name: expr.eval(row) for name, expr in assignment_exprs}
+            before, after = table.update_row(tid, changes)
+            updated.append((before, after))
+            if self._current_transaction is not None:
+                self._current_transaction.record_update(stmt.table, before, after)
+        self._dispatch(ChangeSet(stmt.table, updated=updated))
+        return Result(rowcount=len(updated))
+
+    def _execute_delete(self, stmt: DeleteStmt, params: Sequence[Any]) -> Result:
+        scope = _Scope(self, params)
+        scope.add_table(stmt.table, None)
+        where = lower_expr(stmt.where, scope) if stmt.where is not None else None
+        count = self.delete(stmt.table, where)
+        return Result(rowcount=count)
+
+    def _execute_create(self, stmt: CreateTableStmt) -> Result:
+        columns: list[Column] = []
+        primary_key: str | None = None
+        unique: list[str] = []
+        foreign_keys: list[ForeignKey] = []
+        for cdef in stmt.columns:
+            columns.append(
+                Column(
+                    name=cdef.name,
+                    type=type_from_name(cdef.type_name),
+                    nullable=not (cdef.not_null or cdef.primary_key),
+                )
+            )
+            if cdef.primary_key:
+                if primary_key is not None:
+                    raise SchemaError("multiple PRIMARY KEY columns")
+                primary_key = cdef.name
+            if cdef.unique:
+                unique.append(cdef.name)
+            if cdef.references is not None:
+                foreign_keys.append(
+                    ForeignKey(cdef.name, cdef.references[0], cdef.references[1])
+                )
+        self.create_table(
+            stmt.table,
+            columns,
+            primary_key=primary_key,
+            unique=unique,
+            foreign_keys=foreign_keys,
+            if_not_exists=stmt.if_not_exists,
+        )
+        return Result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Database {self.name!r} tables={self.table_names()}>"

@@ -1,0 +1,165 @@
+"""Secondary indexes for the embedded engine.
+
+Two kinds are provided:
+
+* :class:`HashIndex` -- equality lookups (used for primary keys, unique
+  constraints, and hash joins on foreign keys).
+* :class:`SortedIndex` -- range lookups over an ordered key (used for the
+  time-based isolation predicates of Section VI-A, which filter rows by
+  creation timestamp, and for Notification ``seq_no`` scans in VI-C).
+
+Indexes map key values to sets of tuple identifiers (tids); the owning
+table resolves tids to rows.  NULL keys are indexed under a sentinel so
+uniqueness checks can skip them (SQL semantics: NULLs never collide).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Iterable, Iterator
+
+from ..errors import ConstraintViolation
+
+_NULL = object()  # sentinel bucket for NULL keys
+
+
+def _key_of(value: Any) -> Hashable:
+    return _NULL if value is None else value
+
+
+class HashIndex:
+    """Equality index: key value -> set of tids."""
+
+    def __init__(self, table_name: str, columns: tuple[str, ...], unique: bool = False) -> None:
+        self.table_name = table_name
+        self.columns = columns
+        self.unique = unique
+        self._buckets: dict[Hashable, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, row: dict[str, Any]) -> Hashable:
+        if len(self.columns) == 1:
+            return _key_of(row[self.columns[0]])
+        return tuple(_key_of(row[c]) for c in self.columns)
+
+    def _is_null_key(self, key: Hashable) -> bool:
+        if key is _NULL:
+            return True
+        if isinstance(key, tuple):
+            return any(part is _NULL for part in key)
+        return False
+
+    # ------------------------------------------------------------------
+    def add(self, tid: int, row: dict[str, Any]) -> None:
+        key = self._key(row)
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket and not self._is_null_key(key):
+            cols = ",".join(self.columns)
+            raise ConstraintViolation(
+                f"unique constraint on {self.table_name}({cols}) violated by key {key!r}"
+            )
+        bucket.add(tid)
+
+    def remove(self, tid: int, row: dict[str, Any]) -> None:
+        key = self._key(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(tid)
+            if not bucket:
+                del self._buckets[key]
+
+    def check_insert(self, row: dict[str, Any]) -> None:
+        """Raise if adding ``row`` would violate uniqueness (without adding)."""
+        if not self.unique:
+            return
+        key = self._key(row)
+        if self._is_null_key(key):
+            return
+        if self._buckets.get(key):
+            cols = ",".join(self.columns)
+            raise ConstraintViolation(
+                f"unique constraint on {self.table_name}({cols}) violated by key {key!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def lookup(self, value: Any) -> frozenset[int]:
+        """Tids whose indexed key equals ``value`` (single-column form)."""
+        if len(self.columns) != 1:
+            raise ValueError("use lookup_tuple for composite indexes")
+        return frozenset(self._buckets.get(_key_of(value), ()))
+
+    def lookup_tuple(self, values: Iterable[Any]) -> frozenset[int]:
+        key = tuple(_key_of(v) for v in values)
+        return frozenset(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class SortedIndex:
+    """Ordered index over a single column supporting range scans.
+
+    Maintained as a sorted list of ``(key, tid)`` pairs.  NULL keys are not
+    indexed (range predicates never match NULL).
+    """
+
+    def __init__(self, table_name: str, column: str) -> None:
+        self.table_name = table_name
+        self.column = column
+        self._entries: list[tuple[Any, int]] = []
+
+    def add(self, tid: int, row: dict[str, Any]) -> None:
+        key = row[self.column]
+        if key is None:
+            return
+        bisect.insort(self._entries, (key, tid))
+
+    def remove(self, tid: int, row: dict[str, Any]) -> None:
+        key = row[self.column]
+        if key is None:
+            return
+        i = bisect.bisect_left(self._entries, (key, tid))
+        if i < len(self._entries) and self._entries[i] == (key, tid):
+            del self._entries[i]
+
+    def check_insert(self, row: dict[str, Any]) -> None:
+        """Sorted indexes are never unique; nothing to check."""
+
+    # ------------------------------------------------------------------
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[int]:
+        """Yield tids with ``low <= key <= high`` (bounds optional)."""
+        entries = self._entries
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(entries, (low,))
+        else:
+            # First entry strictly greater than every (low, tid).
+            start = bisect.bisect_right(entries, (low, float("inf")))
+        i = start
+        n = len(entries)
+        while i < n:
+            key, tid = entries[i]
+            if high is not None:
+                if include_high:
+                    if key > high:
+                        break
+                elif key >= high:
+                    break
+            yield tid
+            i += 1
+
+    def min_key(self) -> Any:
+        return self._entries[0][0] if self._entries else None
+
+    def max_key(self) -> Any:
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

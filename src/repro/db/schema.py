@@ -1,0 +1,213 @@
+"""Table schemas: columns, keys, and row validation.
+
+A schema is the concrete enactment of one entity of the conceptual data
+model (Section IV-B of the paper): "a relation is created for each entity
+endowed with a primary key".  Relationships become foreign-key columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import ConstraintViolation, SchemaError, TypeMismatchError
+from .types import ColumnType, type_from_name
+
+#: Hidden per-row fields maintained by the engine itself.  ``tid`` is the
+#: tuple identifier used by deletion tables (Section VI-A), the timestamps
+#: implement time-based isolation.
+TID = "__tid__"
+CREATED_AT = "__created__"
+UPDATED_AT = "__updated__"
+HIDDEN_FIELDS = (TID, CREATED_AT, UPDATED_AT)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column of a relation."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.name.startswith("__"):
+            raise SchemaError(
+                f"column name {self.name!r} collides with hidden engine fields"
+            )
+        if self.default is not None:
+            # Validate the default eagerly so bad schemas fail at definition.
+            object.__setattr__(self, "default", self.type.validate(self.default))
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declarative foreign key: ``column`` references ``ref_table.ref_column``.
+
+    The engine records foreign keys in the catalog and (optionally) checks
+    them on insert; the EdiFlow data model uses them to tie application
+    entities to activity instances (``createdBy`` relationships, Fig. 3).
+    """
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+class TableSchema:
+    """Schema of a relation: ordered columns plus key constraints."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: str | None = None,
+        unique: Iterable[Sequence[str] | str] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid table name {name!r}")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._by_name: dict[str, Column] = {}
+        for col in self.columns:
+            if col.name in self._by_name:
+                raise SchemaError(f"duplicate column {col.name!r} in {name!r}")
+            self._by_name[col.name] = col
+        if primary_key is not None and primary_key not in self._by_name:
+            raise SchemaError(
+                f"primary key {primary_key!r} is not a column of {name!r}"
+            )
+        self.primary_key = primary_key
+        norm_unique: list[tuple[str, ...]] = []
+        for spec in unique:
+            cols = (spec,) if isinstance(spec, str) else tuple(spec)
+            for c in cols:
+                if c not in self._by_name:
+                    raise SchemaError(f"unique constraint on unknown column {c!r}")
+            norm_unique.append(cols)
+        self.unique: tuple[tuple[str, ...], ...] = tuple(norm_unique)
+        fks = tuple(foreign_keys)
+        for fk in fks:
+            if fk.column not in self._by_name:
+                raise SchemaError(f"foreign key on unknown column {fk.column!r}")
+        self.foreign_keys: tuple[ForeignKey, ...] = fks
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def validate_row(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and complete a row for insertion.
+
+        Unknown keys raise; missing columns take their default (or NULL).
+        Returns a fresh dict with every schema column present, coerced to
+        canonical Python representations.
+        """
+        for key in values:
+            if key not in self._by_name and key not in HIDDEN_FIELDS:
+                raise SchemaError(
+                    f"table {self.name!r} has no column {key!r}"
+                )
+        row: dict[str, Any] = {}
+        for col in self.columns:
+            if col.name in values:
+                value = values[col.name]
+            else:
+                value = col.default
+            try:
+                value = col.type.validate(value)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"{self.name}.{col.name}: {exc}"
+                ) from None
+            if value is None and not col.nullable:
+                raise ConstraintViolation(
+                    f"{self.name}.{col.name} is NOT NULL but no value was given"
+                )
+            row[col.name] = value
+        return row
+
+    def validate_update(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a partial row used by UPDATE: only the given columns."""
+        out: dict[str, Any] = {}
+        for key, value in values.items():
+            col = self.column(key)
+            try:
+                value = col.type.validate(value)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(f"{self.name}.{key}: {exc}") from None
+            if value is None and not col.nullable:
+                raise ConstraintViolation(
+                    f"{self.name}.{key} is NOT NULL; cannot set to NULL"
+                )
+            out[key] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable description, used by the catalog and persistence."""
+        return {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": c.name,
+                    "type": c.type.name,
+                    "nullable": c.nullable,
+                    "default": c.default,
+                }
+                for c in self.columns
+            ],
+            "primary_key": self.primary_key,
+            "unique": [list(u) for u in self.unique],
+            "foreign_keys": [
+                {"column": fk.column, "ref_table": fk.ref_table, "ref_column": fk.ref_column}
+                for fk in self.foreign_keys
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TableSchema":
+        """Inverse of :meth:`to_dict`."""
+        columns = [
+            Column(
+                name=c["name"],
+                type=type_from_name(c["type"]),
+                nullable=c.get("nullable", True),
+                default=c.get("default"),
+            )
+            for c in data["columns"]
+        ]
+        fks = [
+            ForeignKey(f["column"], f["ref_table"], f["ref_column"])
+            for f in data.get("foreign_keys", ())
+        ]
+        return cls(
+            name=data["name"],
+            columns=columns,
+            primary_key=data.get("primary_key"),
+            unique=[tuple(u) for u in data.get("unique", ())],
+            foreign_keys=fks,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.type.name}" for c in self.columns)
+        return f"<TableSchema {self.name}({cols})>"

@@ -1,0 +1,6 @@
+"""SQL subset: lexer, parser, and planner for the embedded engine."""
+
+from .ast import Statement
+from .parser import parse, parse_select
+
+__all__ = ["Statement", "parse", "parse_select"]

@@ -1,0 +1,125 @@
+"""Tokenizer for the SQL subset.
+
+Token kinds: keywords, identifiers, numbers, strings, operators,
+punctuation, and ``?`` parameter placeholders.  Keywords are recognized
+case-insensitively; identifiers preserve case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "IN", "IS", "NULL", "TRUE", "FALSE", "JOIN", "LEFT", "INNER", "OUTER",
+    "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "TABLE", "DROP", "PRIMARY", "KEY", "UNIQUE", "REFERENCES", "COUNT",
+    "SUM", "AVG", "MIN", "MAX", "UNION", "ALL", "EXCEPT", "BETWEEN", "LIKE",
+    "IF", "EXISTS",
+}
+
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+PUNCTUATION = ("(", ")", ",", ".", ";", "?")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | PUNCT | EOF
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in names
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn SQL text into tokens, raising :class:`SQLSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # Line comment.
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")  # escaped quote
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            has_dot = False
+            has_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not has_dot and not has_exp:
+                    has_dot = True
+                    j += 1
+                elif c in "eE" and not has_exp and j > i:
+                    has_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if ch == '"':
+            # Quoted identifier.
+            end = text.find('"', i + 1)
+            if end == -1:
+                raise SQLSyntaxError("unterminated quoted identifier", i)
+            tokens.append(Token("IDENT", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

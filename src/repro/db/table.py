@@ -1,0 +1,257 @@
+"""Row storage for one relation.
+
+A :class:`Table` owns its rows, assigns tuple identifiers (tids), stamps
+creation/update logical timestamps (used by the time-based isolation of
+Section VI-A), and maintains its indexes.  It is deliberately unaware of
+triggers and transactions -- those live in :mod:`repro.db.database` so that
+every mutation path (SQL or programmatic) funnels through one place.
+
+Rows are plain dicts.  Scans yield the *internal* dict objects for speed;
+callers must treat them as immutable and perform writes through the table
+API only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ConstraintViolation, DatabaseError, SchemaError
+from .index import HashIndex, SortedIndex
+from .schema import CREATED_AT, TID, UPDATED_AT, TableSchema
+
+
+@dataclass
+class ChangeSet:
+    """Rows affected by one statement against one table.
+
+    This is what statement-level triggers receive (Section VI-B compiles
+    update-propagation statements into such triggers).  ``updated`` holds
+    ``(before, after)`` pairs; ``before`` images are snapshots.
+    """
+
+    table: str
+    inserted: list[dict[str, Any]] = field(default_factory=list)
+    updated: list[tuple[dict[str, Any], dict[str, Any]]] = field(default_factory=list)
+    deleted: list[dict[str, Any]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.inserted or self.updated or self.deleted)
+
+    def merge(self, other: "ChangeSet") -> None:
+        if other.table != self.table:
+            raise DatabaseError(
+                f"cannot merge changes of {other.table!r} into {self.table!r}"
+            )
+        self.inserted.extend(other.inserted)
+        self.updated.extend(other.updated)
+        self.deleted.extend(other.deleted)
+
+    @property
+    def operations(self) -> list[str]:
+        ops = []
+        if self.inserted:
+            ops.append("insert")
+        if self.updated:
+            ops.append("update")
+        if self.deleted:
+            ops.append("delete")
+        return ops
+
+
+class Table:
+    """In-memory storage for one relation.
+
+    Parameters
+    ----------
+    schema:
+        The table schema (columns, keys).
+    clock:
+        Zero-argument callable returning the next logical timestamp.  The
+        owning :class:`~repro.db.database.Database` passes its global clock
+        so timestamps are totally ordered across tables.
+    """
+
+    def __init__(self, schema: TableSchema, clock: Callable[[], int]) -> None:
+        self.schema = schema
+        self._clock = clock
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_tid = 1
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        if schema.primary_key:
+            self.create_index(
+                f"pk_{schema.name}", (schema.primary_key,), unique=True
+            )
+        for i, cols in enumerate(schema.unique):
+            self.create_index(f"uq_{schema.name}_{i}", cols, unique=True)
+        # Every table gets a sorted index on creation time: the isolation
+        # machinery (Section VI-A) constantly filters by it.
+        self._created_index = SortedIndex(schema.name, CREATED_AT)
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._rows
+
+    # ------------------------------------------------------------------
+    # Index management
+    def create_index(
+        self, name: str, columns: Sequence[str], unique: bool = False, sorted: bool = False
+    ) -> None:
+        """Create and backfill a secondary index."""
+        if name in self._indexes:
+            raise SchemaError(f"index {name!r} already exists on {self.name!r}")
+        for col in columns:
+            self.schema.column(col)  # validates existence
+        index: HashIndex | SortedIndex
+        if sorted:
+            if len(columns) != 1:
+                raise SchemaError("sorted indexes must be single-column")
+            index = SortedIndex(self.name, columns[0])
+        else:
+            index = HashIndex(self.name, tuple(columns), unique=unique)
+        for tid, row in self._rows.items():
+            index.add(tid, row)
+        self._indexes[name] = index
+
+    def index(self, name: str) -> HashIndex | SortedIndex:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise SchemaError(f"no index {name!r} on table {self.name!r}") from None
+
+    def find_hash_index(self, column: str) -> HashIndex | None:
+        """Best single-column hash index on ``column``, if any (for joins)."""
+        for idx in self._indexes.values():
+            if isinstance(idx, HashIndex) and idx.columns == (column,):
+                return idx
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutations (called by Database; do not invoke triggers themselves)
+    def insert(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert one row; returns the stored row (with hidden fields)."""
+        row = self.schema.validate_row(values)
+        for idx in self._indexes.values():
+            idx.check_insert(row)
+        tid = self._next_tid
+        self._next_tid += 1
+        now = self._clock()
+        row[TID] = tid
+        row[CREATED_AT] = now
+        row[UPDATED_AT] = now
+        self._rows[tid] = row
+        for idx in self._indexes.values():
+            idx.add(tid, row)
+        self._created_index.add(tid, row)
+        return row
+
+    def update_row(self, tid: int, changes: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Apply validated ``changes`` to the row ``tid``.
+
+        Returns ``(before_snapshot, after_row)``.
+        """
+        try:
+            row = self._rows[tid]
+        except KeyError:
+            raise DatabaseError(f"{self.name}: no row with tid {tid}") from None
+        validated = self.schema.validate_update(changes)
+        before = dict(row)
+        # Re-index: remove under old key, check uniqueness, add under new.
+        touched = [
+            idx
+            for idx in self._indexes.values()
+            if any(c in validated for c in getattr(idx, "columns", (getattr(idx, "column", ""),)))
+        ]
+        for idx in touched:
+            idx.remove(tid, row)
+        row.update(validated)
+        row[UPDATED_AT] = self._clock()
+        try:
+            for idx in touched:
+                idx.check_insert(row)
+        except ConstraintViolation:
+            # Roll the row back so the table stays consistent.
+            row.clear()
+            row.update(before)
+            for idx in touched:
+                idx.add(tid, row)
+            raise
+        for idx in touched:
+            idx.add(tid, row)
+        return before, row
+
+    def delete_row(self, tid: int) -> dict[str, Any]:
+        """Physically remove row ``tid``; returns its final image."""
+        try:
+            row = self._rows.pop(tid)
+        except KeyError:
+            raise DatabaseError(f"{self.name}: no row with tid {tid}") from None
+        for idx in self._indexes.values():
+            idx.remove(tid, row)
+        self._created_index.remove(tid, row)
+        return row
+
+    def restore_row(self, row: dict[str, Any]) -> None:
+        """Re-insert a previously deleted row image (transaction rollback)."""
+        tid = row[TID]
+        if tid in self._rows:
+            raise DatabaseError(f"{self.name}: tid {tid} already present")
+        self._rows[tid] = dict(row)
+        stored = self._rows[tid]
+        for idx in self._indexes.values():
+            idx.add(tid, stored)
+        self._created_index.add(tid, stored)
+        self._next_tid = max(self._next_tid, tid + 1)
+
+    # ------------------------------------------------------------------
+    # Reads
+    def get(self, tid: int) -> dict[str, Any] | None:
+        return self._rows.get(tid)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """All rows, in tid order.  Internal dicts: treat as read-only."""
+        for tid in sorted(self._rows):
+            yield self._rows[tid]
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Unordered scan (fastest)."""
+        return iter(self._rows.values())
+
+    def tids(self) -> list[int]:
+        return sorted(self._rows)
+
+    def by_key(self, value: Any) -> dict[str, Any] | None:
+        """Primary-key point lookup."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        idx = self._indexes[f"pk_{self.name}"]
+        assert isinstance(idx, HashIndex)
+        tids = idx.lookup(value)
+        for tid in tids:
+            return self._rows[tid]
+        return None
+
+    def created_between(
+        self, low: int | None = None, high: int | None = None
+    ) -> Iterator[dict[str, Any]]:
+        """Rows with creation timestamp in ``[low, high]`` (bounds optional).
+
+        This backs time-based isolation: a process instance started at
+        ``t0`` sees ``created_between(None, t0)`` minus deleted tids.
+        """
+        for tid in self._created_index.range(low, high):
+            yield self._rows[tid]
+
+    def clear(self) -> list[dict[str, Any]]:
+        """Remove all rows; returns the removed row images."""
+        removed = [self._rows[tid] for tid in sorted(self._rows)]
+        for row in removed:
+            self.delete_row(row[TID])
+        return removed

@@ -1,0 +1,100 @@
+"""View registry: wires base-table triggers to maintenance.
+
+Registering a view installs statement-level triggers on each of its base
+tables; every subsequent change set is converted to a delta and folded
+into the view incrementally.  The registry records counters so benchmarks
+(ablation A1) can report maintenance vs recomputation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..db.database import Database
+from ..db.table import ChangeSet
+from ..errors import ViewError
+from .delta import Delta
+from .maintenance import apply_delta
+from .view import ViewDefinition
+
+
+@dataclass
+class ViewStats:
+    """Bookkeeping for one registered view."""
+
+    recomputes: int = 0
+    deltas_applied: int = 0
+    delta_rows: int = 0
+
+
+class ViewRegistry:
+    """Owns materialized views over one database."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._views: dict[str, ViewDefinition] = {}
+        self._stats: dict[str, ViewStats] = {}
+        self._trigger_names: dict[str, list[str]] = {}
+
+    def register(self, view: ViewDefinition, populate: bool = True) -> ViewDefinition:
+        """Add a view, install its triggers, and (by default) populate it."""
+        if view.name in self._views:
+            raise ViewError(f"view {view.name!r} already registered")
+        self._views[view.name] = view
+        self._stats[view.name] = ViewStats()
+        triggers: list[str] = []
+        for table in sorted(view.base_tables()):
+            name = self._database.on(
+                table,
+                ("insert", "update", "delete"),
+                self._make_handler(view),
+                name=f"ivm_{view.name}_{table}",
+            )
+            triggers.append(name)
+        self._trigger_names[view.name] = triggers
+        if populate:
+            self.recompute(view.name)
+        return view
+
+    def _make_handler(self, view: ViewDefinition):
+        def handler(change: ChangeSet) -> None:
+            delta = Delta.from_changeset(change)
+            applied = apply_delta(view, delta, self._database)
+            stats = self._stats[view.name]
+            stats.deltas_applied += 1
+            stats.delta_rows += applied
+
+        return handler
+
+    def unregister(self, name: str) -> None:
+        if name not in self._views:
+            raise ViewError(f"no view named {name!r}")
+        for trigger in self._trigger_names.pop(name, []):
+            try:
+                self._database.drop_trigger(trigger)
+            except Exception:
+                pass  # table may have been dropped, taking triggers with it
+        del self._views[name]
+        del self._stats[name]
+
+    def view(self, name: str) -> ViewDefinition:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def recompute(self, name: str) -> None:
+        """Full recomputation (also the fallback for doubt or repair)."""
+        view = self.view(name)
+        view.recompute(self._database)
+        self._stats[name].recomputes += 1
+
+    def stats(self, name: str) -> ViewStats:
+        return self._stats[name]
+
+    def rows(self, name: str) -> list[dict[str, Any]]:
+        return self.view(name).rows()

@@ -1,0 +1,325 @@
+"""Materialized view definitions and storage.
+
+Three view shapes cover everything EdiFlow's applications need:
+
+* :class:`SelectProjectView` -- sigma/pi over one base table;
+* :class:`JoinView` -- equi-join of two base tables with optional
+  selection and projection;
+* :class:`AggregateView` -- GROUP BY with COUNT/SUM/AVG/MIN/MAX over one
+  base table (the US-election vote aggregates and the Wikipedia
+  contribution metrics are exactly this shape).
+
+Views store their result as a counted multiset so that duplicate tuples
+delete correctly (classic counting algorithm of Gupta-Mumick).  The
+maintenance algorithms live in :mod:`repro.ivm.maintenance`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..db.algebra import AggSpec
+from ..db.expression import ColumnRef, Expression, evaluate_predicate
+from ..errors import ViewError
+from .delta import Row, row_key
+
+
+class ViewDefinition:
+    """Base class: which tables feed the view, and how to recompute it."""
+
+    name: str
+
+    def base_tables(self) -> set[str]:
+        raise NotImplementedError
+
+    def recompute(self, database: Any) -> None:
+        raise NotImplementedError
+
+    def rows(self) -> list[Row]:
+        raise NotImplementedError
+
+
+class _MultisetStorage:
+    """Counted multiset of rows keyed by their visible-column identity."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[tuple[tuple[str, Any], ...]] = Counter()
+        self._samples: dict[tuple[tuple[str, Any], ...], Row] = {}
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._samples.clear()
+
+    def add(self, row: Row, count: int = 1) -> None:
+        key = row_key(row)
+        self._counts[key] += count
+        self._samples.setdefault(
+            key, {k: v for k, v in row.items() if not k.startswith("__")}
+        )
+
+    def remove(self, row: Row, count: int = 1) -> None:
+        key = row_key(row)
+        current = self._counts.get(key, 0)
+        if current < count:
+            raise ViewError(
+                f"view multiset underflow removing {dict(key)!r} "
+                f"(have {current}, removing {count})"
+            )
+        if current == count:
+            del self._counts[key]
+            del self._samples[key]
+        else:
+            self._counts[key] = current - count
+
+    def rows(self) -> list[Row]:
+        out: list[Row] = []
+        for key, count in self._counts.items():
+            sample = self._samples[key]
+            out.extend(dict(sample) for _ in range(count))
+        return out
+
+    def distinct_rows(self) -> list[Row]:
+        return [dict(self._samples[key]) for key in self._counts]
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def __contains__(self, row: Row) -> bool:
+        return self._counts.get(row_key(row), 0) > 0
+
+    def count(self, row: Row) -> int:
+        return self._counts.get(row_key(row), 0)
+
+
+def _project(row: Row, items: Sequence[tuple[str, Expression]] | None) -> Row:
+    if items is None:
+        return {k: v for k, v in row.items() if not k.startswith("__")}
+    return {name: expr.eval(row) for name, expr in items}
+
+
+class SelectProjectView(ViewDefinition):
+    """``SELECT <project> FROM <table> WHERE <predicate>`` materialized."""
+
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        where: Expression | None = None,
+        project: Sequence[tuple[str, Expression]] | None = None,
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.where = where
+        self.project = list(project) if project is not None else None
+        self.storage = _MultisetStorage()
+
+    def base_tables(self) -> set[str]:
+        return {self.table}
+
+    def recompute(self, database: Any) -> None:
+        self.storage.clear()
+        for row in database.table(self.table).rows():
+            if evaluate_predicate(self.where, row):
+                self.storage.add(_project(row, self.project))
+
+    def rows(self) -> list[Row]:
+        return self.storage.rows()
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+
+class JoinView(ViewDefinition):
+    """Materialized equi-join ``left JOIN right ON left_on = right_on``.
+
+    Maintains per-side hash maps from join-key to source-row multiplicity
+    so a delta on either side joins against the *other side's current
+    state* in O(|delta|) expected time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        left_on: str,
+        right_on: str,
+        where: Expression | None = None,
+        project: Sequence[tuple[str, Expression]] | None = None,
+    ) -> None:
+        if left == right:
+            raise ViewError("self-joins are not supported by JoinView")
+        self.name = name
+        self.left = left
+        self.right = right
+        self.left_on = left_on
+        self.right_on = right_on
+        self.where = where
+        self.project = list(project) if project is not None else None
+        self.storage = _MultisetStorage()
+        # join key -> list of row images currently on that side
+        self.left_rows: dict[Any, list[Row]] = {}
+        self.right_rows: dict[Any, list[Row]] = {}
+
+    def base_tables(self) -> set[str]:
+        return {self.left, self.right}
+
+    def combine(self, lrow: Row, rrow: Row) -> Row | None:
+        joined = {
+            **{k: v for k, v in lrow.items() if not k.startswith("__")},
+            **{k: v for k, v in rrow.items() if not k.startswith("__")},
+        }
+        if not evaluate_predicate(self.where, joined):
+            return None
+        return _project(joined, self.project)
+
+    def recompute(self, database: Any) -> None:
+        self.storage.clear()
+        self.left_rows.clear()
+        self.right_rows.clear()
+        for row in database.table(self.left).rows():
+            image = dict(row)
+            self.left_rows.setdefault(row[self.left_on], []).append(image)
+        for row in database.table(self.right).rows():
+            image = dict(row)
+            self.right_rows.setdefault(row[self.right_on], []).append(image)
+        for key, lrows in self.left_rows.items():
+            for rrow in self.right_rows.get(key, ()):
+                for lrow in lrows:
+                    combined = self.combine(lrow, rrow)
+                    if combined is not None:
+                        self.storage.add(combined)
+
+    def rows(self) -> list[Row]:
+        return self.storage.rows()
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+
+class _GroupState:
+    """Incremental state of one group in an aggregate view."""
+
+    __slots__ = ("count_star", "sums", "counts", "value_counts")
+
+    def __init__(self, n_aggs: int) -> None:
+        self.count_star = 0
+        self.sums: list[Any] = [0] * n_aggs
+        self.counts = [0] * n_aggs
+        # For MIN/MAX: multiset of observed values per aggregate slot.
+        self.value_counts: list[Counter[Any] | None] = [None] * n_aggs
+
+
+class AggregateView(ViewDefinition):
+    """Materialized ``SELECT group_by..., aggs... FROM table WHERE ...``.
+
+    SUM/COUNT/AVG maintain in O(1) per delta row.  MIN/MAX keep a counted
+    multiset of values per group, so deletions of the current extremum
+    find the next one without touching the base table.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table: str,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        where: Expression | None = None,
+    ) -> None:
+        self.name = name
+        self.table = table
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self.where = where
+        self.groups: dict[tuple[Any, ...], _GroupState] = {}
+        for spec in self.aggregates:
+            if spec.arg is not None and not isinstance(spec.arg, ColumnRef):
+                # Arbitrary expressions are fine -- they are evaluated over
+                # base rows -- this is just a sanity note, not a limitation.
+                pass
+
+    def base_tables(self) -> set[str]:
+        return {self.table}
+
+    # -- maintenance primitives (called by maintenance.py) ---------------
+    def _group_key(self, row: Row) -> tuple[Any, ...]:
+        return tuple(row[g] for g in self.group_by)
+
+    def apply_row(self, row: Row, sign: int) -> None:
+        """Fold one base row in (+1) or out (-1) of its group."""
+        key = self._group_key(row)
+        state = self.groups.get(key)
+        if state is None:
+            if sign < 0:
+                raise ViewError(
+                    f"aggregate view {self.name!r}: deleting from unknown group {key!r}"
+                )
+            state = _GroupState(len(self.aggregates))
+            self.groups[key] = state
+        state.count_star += sign
+        for i, spec in enumerate(self.aggregates):
+            if spec.arg is None:
+                continue
+            value = spec.arg.eval(row)
+            if value is None:
+                continue
+            state.counts[i] += sign
+            if spec.func in ("SUM", "AVG"):
+                state.sums[i] += sign * value
+            elif spec.func in ("MIN", "MAX"):
+                vc = state.value_counts[i]
+                if vc is None:
+                    vc = Counter()
+                    state.value_counts[i] = vc
+                vc[value] += sign
+                if vc[value] <= 0:
+                    del vc[value]
+        if state.count_star < 0:
+            raise ViewError(
+                f"aggregate view {self.name!r}: group {key!r} count underflow"
+            )
+        if state.count_star == 0:
+            del self.groups[key]
+
+    def recompute(self, database: Any) -> None:
+        self.groups.clear()
+        for row in database.table(self.table).rows():
+            if evaluate_predicate(self.where, row):
+                self.apply_row(row, +1)
+
+    def rows(self) -> list[Row]:
+        out: list[Row] = []
+        for key, state in self.groups.items():
+            row: Row = dict(zip(self.group_by, key))
+            for i, spec in enumerate(self.aggregates):
+                row[spec.name] = self._result(state, i, spec)
+            out.append(row)
+        return out
+
+    def _result(self, state: _GroupState, i: int, spec: AggSpec) -> Any:
+        if spec.func == "COUNT":
+            return state.count_star if spec.arg is None else state.counts[i]
+        if state.counts[i] == 0:
+            return None
+        if spec.func == "SUM":
+            return state.sums[i]
+        if spec.func == "AVG":
+            return state.sums[i] / state.counts[i]
+        vc = state.value_counts[i]
+        assert vc is not None
+        return min(vc) if spec.func == "MIN" else max(vc)
+
+    def group(self, *key: Any) -> Row | None:
+        """Result row for one group key, or None if the group is empty."""
+        state = self.groups.get(tuple(key))
+        if state is None:
+            return None
+        row: Row = dict(zip(self.group_by, key))
+        for i, spec in enumerate(self.aggregates):
+            row[spec.name] = self._result(state, i, spec)
+        return row
+
+    def __len__(self) -> int:
+        return len(self.groups)

@@ -1,0 +1,43 @@
+"""DBMS <-> visualization synchronization (Section VI-C of the paper).
+
+Typical socket-mode use::
+
+    center = NotificationCenter(db)
+    server = SyncServer(db, center)           # DBMS side
+    client = SyncClient(server)               # visualization host
+    rm = client.mirror("visual_attributes")   # steps 1-6 + initial fill
+    ... db changes ... client receives NOTIFY ...
+    client.refresh("visual_attributes")       # step 8: pull
+    client.write_back("visual_attributes", tid, "x", 4.2)   # step 9
+"""
+
+from .client import SyncClient
+from .memtable import MemoryTable
+from .notification import NotificationCenter, T_CHANGED_ROWS
+from .refresher import RefreshDriver
+from .protocol import (
+    DISCONNECT,
+    HELLO,
+    NOTIFY,
+    REPLY,
+    MessageStream,
+    decode,
+    encode,
+)
+from .server import SyncServer
+
+__all__ = [
+    "DISCONNECT",
+    "HELLO",
+    "MemoryTable",
+    "MessageStream",
+    "NOTIFY",
+    "NotificationCenter",
+    "REPLY",
+    "RefreshDriver",
+    "SyncClient",
+    "SyncServer",
+    "T_CHANGED_ROWS",
+    "decode",
+    "encode",
+]

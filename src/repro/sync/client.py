@@ -1,0 +1,253 @@
+"""Client-side synchronization: listening socket, R_M refresh, write-back.
+
+One :class:`SyncClient` plays the role of the "connection manager" on a
+visualization host (Section VI-C): it owns a listening socket, registers
+its memory tables with the DBMS server, accepts the DBMS's call-back
+connection, and counts NOTIFY messages.  The visualization software
+"may decide what are the appropriate moments to refresh the display"
+(step 8) -- so NOTIFYs only raise a dirty flag; :meth:`refresh` performs
+the actual pull.
+
+The client talks to the database through direct method calls (standing in
+for JDBC): in the paper's deployment the client host holds a DB
+connection too; here both ends share the process, while the *notification
+path* still crosses a real TCP socket when ``use_sockets=True``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Optional
+
+from ..db.database import Database
+from ..db.schema import TID
+from ..errors import SyncError
+from . import protocol
+from .memtable import MemoryTable, RowPredicate
+from .notification import NotificationCenter
+from .server import SyncServer
+
+Row = dict[str, Any]
+
+#: Callback invoked (table, op, seq_no) whenever a NOTIFY arrives.
+NotifyHook = Callable[[str, str, int], None]
+
+
+class SyncClient:
+    """A visualization host's connection manager plus its R_M tables."""
+
+    def __init__(
+        self,
+        server: SyncServer,
+        host: str = "127.0.0.1",
+        user_id: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.database: Database = server.database
+        self.center: NotificationCenter = server.center
+        self.host = host
+        self.user_id = user_id
+        self._tables: dict[str, MemoryTable] = {}
+        self._cu_ids: dict[str, int] = {}
+        self._dirty: set[str] = set()
+        self._dirty_lock = threading.Lock()
+        self.notify_received = 0
+        self._hooks: list[NotifyHook] = []
+        self._listener: Optional[socket.socket] = None
+        self._reader: Optional[threading.Thread] = None
+        self._stream: Optional[protocol.MessageStream] = None
+        self.port = 0
+        self._closed = False
+        if server.use_sockets:
+            self._open_listener()
+        else:
+            # In-process transport: dirty flags come straight from the
+            # notification center instead of a socket reader thread.
+            self.center.add_listener(self._on_local_notify)
+
+    def _on_local_notify(self, table: str, op: str, seq_no: int) -> None:
+        if table not in self._tables:
+            return
+        self.notify_received += 1
+        with self._dirty_lock:
+            self._dirty.add(table)
+        for hook in list(self._hooks):
+            hook(table, op, seq_no)
+
+    # ------------------------------------------------------------------
+    def _open_listener(self) -> None:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(4)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+
+    def _accept_callback_connection(self) -> None:
+        """Accept the DBMS's call-back connection and handshake (step 6)."""
+        assert self._listener is not None
+        self._listener.settimeout(5.0)
+        try:
+            sock, _addr = self._listener.accept()
+        except socket.timeout:
+            raise SyncError("DBMS never connected back") from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = protocol.MessageStream(sock)
+        protocol.client_handshake(self._stream)
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        assert self._stream is not None
+        while not self._closed:
+            try:
+                message = self._stream.receive(timeout=None)
+            except Exception:
+                return  # connection closed
+            if message["type"] == protocol.NOTIFY:
+                table = message["table"]
+                self.notify_received += 1
+                with self._dirty_lock:
+                    self._dirty.add(table)
+                for hook in list(self._hooks):
+                    hook(table, message.get("op", ""), message.get("seq_no", 0))
+            elif message["type"] == protocol.DISCONNECT:
+                return
+
+    def on_notify(self, hook: NotifyHook) -> None:
+        """Register a callback fired on every incoming NOTIFY."""
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def mirror(
+        self,
+        table: str,
+        fraction: float = 1.0,
+        predicate: Optional[RowPredicate] = None,
+        prefill: bool = True,
+    ) -> MemoryTable:
+        """Create R_M for ``table`` and register with the DBMS (steps 1-6)."""
+        if table in self._tables:
+            raise SyncError(f"table {table!r} is already mirrored")
+        memtable = MemoryTable(table, fraction=fraction, predicate=predicate)
+        self._tables[table] = memtable
+        first_socket_table = self.server.use_sockets and self._stream is None
+        if first_socket_table:
+            # Register, then accept the call-back connection the server
+            # opens during register_client.  Registration happens in a
+            # helper thread so accept() and connect() can rendezvous.
+            result: dict[str, Any] = {}
+
+            def register() -> None:
+                try:
+                    result["cu_id"] = self.server.register_client(
+                        table, self.host, self.port, self.user_id
+                    )
+                except Exception as exc:  # pragma: no cover - plumbing
+                    result["error"] = exc
+
+            thread = threading.Thread(target=register, daemon=True)
+            thread.start()
+            self._accept_callback_connection()
+            thread.join(timeout=5.0)
+            if "error" in result:
+                raise result["error"]
+            self._cu_ids[table] = result["cu_id"]
+        else:
+            self._cu_ids[table] = self.server.register_client(
+                table, self.host, self.port, self.user_id
+            )
+        if prefill:
+            self.refresh(table, full=True)
+        return memtable
+
+    def table(self, name: str) -> MemoryTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SyncError(f"table {name!r} is not mirrored") from None
+
+    # ------------------------------------------------------------------
+    def dirty_tables(self) -> set[str]:
+        """Tables with NOTIFYs not yet refreshed (socket mode)."""
+        with self._dirty_lock:
+            return set(self._dirty)
+
+    def wait_dirty(self, table: str, timeout: float = 5.0) -> bool:
+        """Poll until ``table`` is flagged dirty (testing convenience)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._dirty_lock:
+                if table in self._dirty:
+                    return True
+            time.sleep(0.001)
+        return False
+
+    def refresh(self, table: str, full: bool = False) -> dict[str, int]:
+        """Step 8: pull changed rows from R_D and fold them into R_M.
+
+        Returns counters: pulled inserts/updates/deletes.  With
+        ``full=True``, the entire table is pulled (initial fill).
+        """
+        memtable = self.table(table)
+        base = self.database.table(table)
+        stats = {"upserts": 0, "deletes": 0}
+        if full:
+            # Take the current notification horizon first, so changes that
+            # land during the scan are re-pulled on the next refresh.
+            newest, _changes = self.center.changes_since(table, memtable.last_seq_no)
+            for row in base.rows():
+                memtable.apply_upsert(row)
+                stats["upserts"] += 1
+            memtable.last_seq_no = newest
+        else:
+            newest, changes = self.center.changes_since(table, memtable.last_seq_no)
+            for tid, op in changes:
+                if op == "delete":
+                    memtable.apply_delete(tid)
+                    stats["deletes"] += 1
+                else:
+                    row = base.get(tid)
+                    if row is None:
+                        memtable.apply_delete(tid)
+                        stats["deletes"] += 1
+                    else:
+                        memtable.apply_upsert(row)
+                        stats["upserts"] += 1
+            memtable.last_seq_no = newest
+        with self._dirty_lock:
+            self._dirty.discard(table)
+        self.server.update_client_seq(self._cu_ids[table], memtable.last_seq_no)
+        return stats
+
+    # ------------------------------------------------------------------
+    def write_back(self, table: str, tid: int, column: str, value: Any) -> None:
+        """Step 9: propagate a local R_M edit to R_D.
+
+        The DBMS-side trigger will emit a NOTIFY for this change; the
+        memtable remembers the pending write so the echo is processed
+        "in a smart way to avoid redundant work".
+        """
+        memtable = self.table(table)
+        memtable.stage_write(tid, column, value)
+        self.database.update_by_tid(table, tid, {column: value})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Step 10: disconnect and remove ConnectedUser entries."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.server.use_sockets:
+            self.center.remove_listener(self._on_local_notify)
+        for table, cu_id in self._cu_ids.items():
+            self.server.unregister_client(cu_id)
+        self._cu_ids.clear()
+        self._tables.clear()
+        if self._stream is not None:
+            self._stream.close()
+        if self._listener is not None:
+            self._listener.close()

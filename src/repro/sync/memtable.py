@@ -1,0 +1,146 @@
+"""In-memory mirrors of disk-resident tables (R_M for R_D).
+
+"The visualisation software running within an instance of a visualisation
+activity needs to maintain portions of a table in memory, to refresh the
+visualisation fast" (Section VI-C).  A :class:`MemoryTable` is such a
+portion: a client-side dict of rows keyed by tid, refreshed by *pulling*
+changed rows after a NOTIFY, and *pushing* local edits back to R_D.
+
+The mirror may be partial: a ``fraction`` or a ``predicate`` restricts
+which rows it keeps, supporting the paper's multi-device scenario ("an
+iphone showing 10% of the data, a laptop 30%, the WILD wall all of it").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Optional
+
+from ..db.schema import TID
+from ..errors import SyncError
+
+Row = dict[str, Any]
+
+#: Row filter deciding membership in a partial mirror.
+RowPredicate = Callable[[Row], bool]
+
+
+class MemoryTable:
+    """Client-side mirror of one DBMS table.
+
+    The mirror does not talk to the database directly: a
+    :class:`~repro.sync.client.SyncClient` feeds it pulled rows and
+    carries its write-backs, so the same class also works in the
+    in-process (no socket) configuration used by unit tests.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        fraction: float = 1.0,
+        predicate: Optional[RowPredicate] = None,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise SyncError(f"fraction must be in (0, 1], got {fraction}")
+        self.table = table
+        self.fraction = fraction
+        self.predicate = predicate
+        self.rows: dict[int, Row] = {}
+        self.last_seq_no = 0
+        self._lock = threading.RLock()
+        #: (tid, column) -> value written locally and not yet re-observed;
+        #: lets refresh skip redundant reapplication of our own edits
+        #: (protocol step 9's "smart" processing).
+        self._pending_writes: dict[tuple[int, str], Any] = {}
+        # Counters for tests/benchmarks.
+        self.applied_inserts = 0
+        self.applied_updates = 0
+        self.applied_deletes = 0
+        self.skipped_self_updates = 0
+
+    # ------------------------------------------------------------------
+    def accepts(self, row: Row) -> bool:
+        """Partial-mirror membership test."""
+        if self.predicate is not None and not self.predicate(row):
+            return False
+        if self.fraction < 1.0:
+            # Deterministic sampling on tid: stable across refreshes.
+            return (row[TID] * 2654435761 % 1000) < self.fraction * 1000
+        return True
+
+    # ------------------------------------------------------------------
+    # Applying pulled changes (called by the sync client)
+    def apply_upsert(self, row: Row) -> None:
+        with self._lock:
+            tid = row[TID]
+            if not self.accepts(row):
+                self.rows.pop(tid, None)
+                return
+            image = dict(row)
+            existing = self.rows.get(tid)
+            if existing is not None:
+                if self._is_own_echo(tid, image):
+                    self.skipped_self_updates += 1
+                    self.rows[tid] = image
+                    return
+                self.applied_updates += 1
+            else:
+                self.applied_inserts += 1
+            self.rows[tid] = image
+
+    def _is_own_echo(self, tid: int, image: Row) -> bool:
+        """True when the pulled image only confirms our own pending writes."""
+        pending = {
+            (ptid, column): value
+            for (ptid, column), value in self._pending_writes.items()
+            if ptid == tid
+        }
+        if not pending:
+            return False
+        for (ptid, column), value in pending.items():
+            if image.get(column) != value:
+                return False  # a concurrent remote change won; apply normally
+        current = self.rows.get(tid, {})
+        for key, value in image.items():
+            if key.startswith("__") or (tid, key) in pending:
+                continue
+            if current.get(key) != value:
+                return False  # something else changed alongside our write
+        for key in pending:
+            del self._pending_writes[key]
+        return True
+
+    def apply_delete(self, tid: int) -> None:
+        with self._lock:
+            if self.rows.pop(tid, None) is not None:
+                self.applied_deletes += 1
+
+    # ------------------------------------------------------------------
+    # Local edits (to be pushed back by the client)
+    def stage_write(self, tid: int, column: str, value: Any) -> None:
+        with self._lock:
+            if tid not in self.rows:
+                raise SyncError(f"R_M for {self.table!r} holds no row with tid {tid}")
+            self.rows[tid][column] = value
+            self._pending_writes[(tid, column)] = value
+
+    # ------------------------------------------------------------------
+    # Reads
+    def get(self, tid: int) -> Optional[Row]:
+        with self._lock:
+            row = self.rows.get(tid)
+            return dict(row) if row is not None else None
+
+    def all_rows(self) -> list[Row]:
+        with self._lock:
+            return [dict(row) for row in self.rows.values()]
+
+    def tids(self) -> list[int]:
+        with self._lock:
+            return sorted(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.all_rows())

@@ -1,0 +1,184 @@
+"""The Notification table and its feeding triggers.
+
+"Whenever one such change happens, the corresponding trigger adds to the
+Notification table stored in the database one tuple of the form
+``(seq_no, ts, tn, op)``" (Section VI-C).  Alongside, a compact tombstone
+table records the tids touched by each notification so clients can pull
+exactly the changed rows later (the notification itself stays minimal;
+tombstones are server-side state, never sent over the wire).
+
+The center also fans each notification out to in-process listeners --
+the :class:`~repro.sync.server.SyncServer` registers one to push NOTIFY
+messages to remote clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from ..core import datamodel
+from ..db.database import Database
+from ..db.expression import col
+from ..db.schema import TID, Column
+from ..db.table import ChangeSet
+from ..db.types import INTEGER, TEXT, TIMESTAMP
+from ..errors import SyncError
+
+T_CHANGED_ROWS = "ediflow_changed_rows"
+
+#: Listener signature: (table_name, op, seq_no).
+Listener = Callable[[str, str, int], None]
+
+
+class NotificationCenter:
+    """Watches tables and appends to the Notification table."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        datamodel.install_core_schema(database)
+        if not database.has_table(T_CHANGED_ROWS):
+            database.create_table(
+                T_CHANGED_ROWS,
+                [
+                    Column("seq_no", INTEGER, nullable=False),
+                    Column("table_name", TEXT, nullable=False),
+                    Column("tid", INTEGER, nullable=False),
+                    Column("op", TEXT, nullable=False),
+                ],
+            )
+        self._watched: set[str] = set()
+        self._listeners: list[Listener] = []
+        self._lock = threading.RLock()
+        self._next_seq = self._initial_seq()
+
+    def _initial_seq(self) -> int:
+        highest = 0
+        for row in self.database.table(datamodel.T_NOTIFICATION).scan():
+            if row["seq_no"] > highest:
+                highest = row["seq_no"]
+        return highest + 1
+
+    # ------------------------------------------------------------------
+    def watch(self, table: str) -> None:
+        """Install CREATE/UPDATE/DELETE monitoring on ``table``."""
+        if table in (datamodel.T_NOTIFICATION, T_CHANGED_ROWS):
+            raise SyncError(f"cannot watch the notification machinery table {table!r}")
+        with self._lock:
+            if table in self._watched:
+                return
+            self.database.table(table)  # must exist
+            self.database.on(
+                table,
+                ("insert", "update", "delete"),
+                self._on_change,
+                name=f"notify_{table}",
+            )
+            self._watched.add(table)
+
+    def unwatch(self, table: str) -> None:
+        with self._lock:
+            if table not in self._watched:
+                return
+            self.database.drop_trigger(f"notify_{table}")
+            self._watched.discard(table)
+
+    def watched_tables(self) -> list[str]:
+        return sorted(self._watched)
+
+    def add_listener(self, listener: Listener) -> None:
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    def _on_change(self, change: ChangeSet) -> None:
+        events: list[tuple[str, list[int]]] = []
+        if change.inserted:
+            events.append((datamodel.OP_INSERT, [r[TID] for r in change.inserted]))
+        if change.updated:
+            events.append(
+                (datamodel.OP_UPDATE, [after[TID] for _, after in change.updated])
+            )
+        if change.deleted:
+            events.append((datamodel.OP_DELETE, [r[TID] for r in change.deleted]))
+        notified: list[tuple[str, str, int]] = []
+        with self._lock:
+            for op, tids in events:
+                seq_no = self._next_seq
+                self._next_seq += 1
+                ts = self.database.now()
+                self.database.insert(
+                    datamodel.T_NOTIFICATION,
+                    {
+                        "seq_no": seq_no,
+                        "ts": ts,
+                        "table_name": change.table,
+                        "op": op,
+                    },
+                )
+                self.database.insert_many(
+                    T_CHANGED_ROWS,
+                    [
+                        {
+                            "seq_no": seq_no,
+                            "table_name": change.table,
+                            "tid": tid,
+                            "op": op,
+                        }
+                        for tid in tids
+                    ],
+                )
+                notified.append((change.table, op, seq_no))
+            listeners = list(self._listeners)
+        for table, op, seq_no in notified:
+            for listener in listeners:
+                listener(table, op, seq_no)
+
+    # ------------------------------------------------------------------
+    # Client pull support
+    def changes_since(
+        self, table: str, last_seq_no: int
+    ) -> tuple[int, list[tuple[int, str]]]:
+        """All ``(tid, op)`` changes on ``table`` after ``last_seq_no``.
+
+        Returns ``(newest_seq_no, changes)``; changes are ordered by
+        sequence number so replaying them yields the current state.
+        """
+        newest = last_seq_no
+        entries: list[tuple[int, int, str]] = []
+        for row in self.database.table(T_CHANGED_ROWS).scan():
+            if row["table_name"] == table and row["seq_no"] > last_seq_no:
+                entries.append((row["seq_no"], row["tid"], row["op"]))
+                if row["seq_no"] > newest:
+                    newest = row["seq_no"]
+        entries.sort()
+        return newest, [(tid, op) for _, tid, op in entries]
+
+    def purge(self) -> int:
+        """Drop notifications every connected client has already consumed.
+
+        Step 11 of the protocol: the purge horizon is the lowest
+        ``last_seq_no`` in the ConnectedUser table -- our ``last_seq_no``
+        means "consumed up to and including", so entries at or below the
+        horizon are safe to drop.  Returns the number of notification
+        rows removed.
+        """
+        connected = self.database.table(datamodel.T_CONNECTED_USER)
+        lowest: Optional[int] = None
+        for row in connected.scan():
+            seq = row["last_seq_no"]
+            if lowest is None or seq < lowest:
+                lowest = seq
+        if lowest is None:
+            # No clients: everything already consumed.
+            lowest = self._next_seq
+        removed = self.database.delete(
+            datamodel.T_NOTIFICATION, col("seq_no") <= lowest
+        )
+        self.database.delete(T_CHANGED_ROWS, col("seq_no") <= lowest)
+        return removed

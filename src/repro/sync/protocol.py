@@ -1,0 +1,123 @@
+"""Wire protocol for DBMS <-> visualization synchronization.
+
+Section VI-C's protocol, verbatim:
+
+5. The DBMS connects back to the client at ``ip:port`` and expects a
+   HELLO message to check that it is the right protocol.
+6. The connection manager accepts the connection, sends the HELLO
+   message and expects a REPLY message.
+7. When R_D is modified, the DBMS trigger sends a NOTIFY message with
+   the table name as parameter.
+10. When R_M is deleted, it sends a DISCONNECT message.
+
+Messages are newline-delimited JSON objects: ``{"type": ..., ...}``.
+"Smooth interaction with a visualization component requires that
+notifications be processed very fast, therefore we keep them very
+compact and transmit no more information than the above" -- a NOTIFY
+carries only the table name and sequence number.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional
+
+from ..errors import ProtocolError
+
+# Message types.
+HELLO = "HELLO"
+REPLY = "REPLY"
+NOTIFY = "NOTIFY"
+DISCONNECT = "DISCONNECT"
+
+#: Protocol magic exchanged during the handshake (steps 5-6).
+MAGIC = "ediflow-sync-1"
+
+#: Generous bound on one serialized message; protects against garbage peers.
+MAX_MESSAGE_BYTES = 1 << 16
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """Serialize one message to its wire form."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message too large ({len(data)} bytes)")
+    return data
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a message dict."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"malformed message: {message!r}")
+    return message
+
+
+def hello() -> dict[str, Any]:
+    return {"type": HELLO, "magic": MAGIC}
+
+
+def reply() -> dict[str, Any]:
+    return {"type": REPLY, "magic": MAGIC}
+
+
+def notify(table: str, seq_no: int, op: str) -> dict[str, Any]:
+    return {"type": NOTIFY, "table": table, "seq_no": seq_no, "op": op}
+
+
+def disconnect() -> dict[str, Any]:
+    return {"type": DISCONNECT}
+
+
+class MessageStream:
+    """Line-framed message I/O over a connected socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+
+    def send(self, message: dict[str, Any]) -> None:
+        self._sock.sendall(encode(message))
+
+    def receive(self, timeout: Optional[float] = None) -> dict[str, Any]:
+        """Block until one full message arrives (or raise on EOF/timeout)."""
+        self._sock.settimeout(timeout)
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise ProtocolError("peer sent an over-long unterminated line")
+            try:
+                chunk = self._sock.recv(4096)
+            except socket.timeout:
+                raise ProtocolError("timed out waiting for a message") from None
+            if not chunk:
+                raise ProtocolError("connection closed by peer")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode(line)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def client_handshake(stream: MessageStream, timeout: float = 5.0) -> None:
+    """Client side of steps 5-6: send HELLO, await REPLY."""
+    stream.send(hello())
+    message = stream.receive(timeout)
+    if message.get("type") != REPLY or message.get("magic") != MAGIC:
+        raise ProtocolError(f"bad handshake reply: {message!r}")
+
+
+def server_handshake(stream: MessageStream, timeout: float = 5.0) -> None:
+    """Server side of steps 5-6: await HELLO, send REPLY."""
+    message = stream.receive(timeout)
+    if message.get("type") != HELLO or message.get("magic") != MAGIC:
+        raise ProtocolError(f"bad handshake hello: {message!r}")
+    stream.send(reply())

@@ -1,0 +1,108 @@
+"""Rate-limited automatic refresh driver.
+
+"Smooth visual interaction requires redisplaying the manipulated data
+10 times per second" (Section I) and "the visualization software may
+decide what are the appropriate moments to refresh the display"
+(Section VI-C, step 8).  A :class:`RefreshDriver` is that decision,
+packaged: it watches a client's dirty flags from a background thread and
+pulls at most ``max_rate`` times per second per table -- NOTIFY bursts
+coalesce into single refreshes, idle tables cost nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..errors import SyncError
+from .client import SyncClient
+
+#: Called after each automatic refresh: (table, stats-dict).
+RefreshListener = Callable[[str, dict[str, int]], None]
+
+
+class RefreshDriver:
+    """Background auto-refresher for one :class:`SyncClient`."""
+
+    def __init__(
+        self,
+        client: SyncClient,
+        max_rate: float = 10.0,
+        poll_interval: float = 0.005,
+    ) -> None:
+        if max_rate <= 0:
+            raise SyncError(f"max_rate must be positive, got {max_rate}")
+        self.client = client
+        self.min_period = 1.0 / max_rate
+        self.poll_interval = poll_interval
+        self._listeners: list[RefreshListener] = []
+        self._last_refresh: dict[str, float] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        # Counters (tests and dashboards read these).
+        self.refreshes = 0
+        self.coalesced_rows = 0
+
+    # ------------------------------------------------------------------
+    def on_refresh(self, listener: RefreshListener) -> None:
+        self._listeners.append(listener)
+
+    def start(self) -> None:
+        """Start the background driver (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Stop the driver and wait for the thread to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "RefreshDriver":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            refreshed_any = False
+            for table in self.client.dirty_tables():
+                last = self._last_refresh.get(table, 0.0)
+                if now - last < self.min_period:
+                    continue  # rate limit: let further NOTIFYs coalesce
+                try:
+                    stats = self.client.refresh(table)
+                except Exception:
+                    # The client may be closing; stop quietly.
+                    self._stop.set()
+                    return
+                self._last_refresh[table] = time.monotonic()
+                self.refreshes += 1
+                self.coalesced_rows += stats.get("upserts", 0) + stats.get(
+                    "deletes", 0
+                )
+                refreshed_any = True
+                for listener in list(self._listeners):
+                    listener(table, stats)
+            if not refreshed_any:
+                self._stop.wait(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    def flush(self, table: str) -> dict[str, int]:
+        """Refresh ``table`` immediately, bypassing the rate limit."""
+        stats = self.client.refresh(table)
+        self._last_refresh[table] = time.monotonic()
+        self.refreshes += 1
+        return stats

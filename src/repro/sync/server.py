@@ -1,0 +1,186 @@
+"""DBMS-side connection manager and NOTIFY dispatcher.
+
+Implements steps 4, 5, 7 and 11 of the Section VI-C protocol: clients
+register a ``(db, R_D, ip, port)`` quadruplet in the ConnectedUser table;
+the DBMS connects back to each client's listening socket, handshakes, and
+thereafter pushes one compact NOTIFY message per statement-level change
+to a watched table.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core import datamodel
+from ..db.database import Database
+from ..db.expression import col
+from ..errors import SyncError
+from . import protocol
+from .notification import NotificationCenter
+
+
+@dataclass
+class _ClientLink:
+    """One registered client connection."""
+
+    connected_user_id: int
+    table: str
+    host: str
+    port: int
+    stream: Optional[protocol.MessageStream]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    notify_count: int = 0
+
+
+class SyncServer:
+    """Pushes change notifications to registered clients.
+
+    ``use_sockets=False`` runs the identical bookkeeping without opening
+    TCP connections -- clients then poll :class:`NotificationCenter`
+    directly.  Benchmarks use real sockets (loopback); most unit tests use
+    the in-process mode.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        center: Optional[NotificationCenter] = None,
+        use_sockets: bool = True,
+    ) -> None:
+        self.database = database
+        self.center = center or NotificationCenter(database)
+        self.use_sockets = use_sockets
+        self._links: dict[int, _ClientLink] = {}
+        #: (host, port) -> shared call-back connection; one per client
+        #: process even when it mirrors several tables.
+        self._streams: dict[tuple[str, int], protocol.MessageStream] = {}
+        self._lock = threading.RLock()
+        self._allocator = datamodel.IdAllocator(database)
+        self.center.add_listener(self._on_notification)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def register_client(
+        self,
+        table: str,
+        host: str,
+        port: int,
+        user_id: Optional[int] = None,
+    ) -> int:
+        """Protocol steps 4-6: record the quadruplet, connect back,
+        handshake.  Returns the ConnectedUser id."""
+        if self._closed:
+            raise SyncError("server is closed")
+        self.center.watch(table)
+        cu_id = self._allocator.next_id(datamodel.T_CONNECTED_USER)
+        self.database.insert(
+            datamodel.T_CONNECTED_USER,
+            {
+                "id": cu_id,
+                "user_id": user_id,
+                "host": host,
+                "port": port,
+                "table_name": table,
+                "last_seq_no": 0,
+            },
+        )
+        stream: Optional[protocol.MessageStream] = None
+        if self.use_sockets:
+            with self._lock:
+                stream = self._streams.get((host, port))
+            if stream is None:
+                stream = None
+                try:
+                    sock = socket.create_connection((host, port), timeout=5.0)
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    stream = protocol.MessageStream(sock)
+                    # Step 5/6: the DBMS expects HELLO and answers REPLY.
+                    protocol.server_handshake(stream, timeout=5.0)
+                except (OSError, SyncError) as exc:
+                    # Failed connection or handshake: no trace left behind.
+                    if stream is not None:
+                        stream.close()
+                    self.database.delete(
+                        datamodel.T_CONNECTED_USER, col("id") == cu_id
+                    )
+                    raise SyncError(
+                        f"cannot connect back to client at {host}:{port}: {exc}"
+                    ) from None
+                with self._lock:
+                    self._streams[(host, port)] = stream
+        with self._lock:
+            self._links[cu_id] = _ClientLink(cu_id, table, host, port, stream)
+        return cu_id
+
+    def unregister_client(self, connected_user_id: int) -> None:
+        """Protocol step 10: drop the link and the ConnectedUser row."""
+        with self._lock:
+            link = self._links.pop(connected_user_id, None)
+            close_stream = False
+            if link is not None and link.stream is not None:
+                still_used = any(
+                    other.stream is link.stream for other in self._links.values()
+                )
+                if not still_used:
+                    self._streams.pop((link.host, link.port), None)
+                    close_stream = True
+        if link is not None and close_stream and link.stream is not None:
+            link.stream.close()
+        self.database.delete(
+            datamodel.T_CONNECTED_USER, col("id") == connected_user_id
+        )
+
+    def update_client_seq(self, connected_user_id: int, seq_no: int) -> None:
+        """Record how far a client has consumed (enables purging)."""
+        self.database.update(
+            datamodel.T_CONNECTED_USER,
+            {"last_seq_no": seq_no},
+            col("id") == connected_user_id,
+        )
+
+    def client_count(self) -> int:
+        with self._lock:
+            return len(self._links)
+
+    # ------------------------------------------------------------------
+    def _on_notification(self, table: str, op: str, seq_no: int) -> None:
+        """Step 7: push NOTIFY to every client registered on ``table``."""
+        with self._lock:
+            links = [link for link in self._links.values() if link.table == table]
+        dead: list[int] = []
+        for link in links:
+            link.notify_count += 1
+            if link.stream is None:
+                continue
+            with link.lock:
+                try:
+                    link.stream.send(protocol.notify(table, seq_no, op))
+                except OSError:
+                    dead.append(link.connected_user_id)
+        for cu_id in dead:
+            self.unregister_client(cu_id)
+
+    # ------------------------------------------------------------------
+    def purge_notifications(self) -> int:
+        """Step 11: purge fully-consumed notifications."""
+        return self.center.purge()
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            links = list(self._links.values())
+            self._links.clear()
+        for link in links:
+            if link.stream is not None:
+                try:
+                    link.stream.send(protocol.disconnect())
+                except OSError:
+                    pass
+                link.stream.close()
+            self.database.delete(
+                datamodel.T_CONNECTED_USER, col("id") == link.connected_user_id
+            )
+        self.center.remove_listener(self._on_notification)

@@ -1,0 +1,49 @@
+"""Headless visualization toolkit (the InfoVis-toolkit stand-in)."""
+
+from .attributes import VisualAttributesStore, VisualItem
+from .color import (
+    CATEGORICAL_10,
+    DivergingScale,
+    SequentialScale,
+    categorical,
+    darken,
+    lerp,
+    lighten,
+)
+from .component import VisualizationManager
+from .display import Display
+from .layout import FruchtermanReingold, Graph, LayoutResult, LinLogLayout
+from .scales import BandScale, LinearScale, OrdinalScale, SqrtScale
+from .scatter import ScatterPlot
+from .treemap import NestedCell, TreemapCell, squarify, squarify_nested, treemap_rows
+from .views import ViewBinding, ViewManager
+
+__all__ = [
+    "BandScale",
+    "CATEGORICAL_10",
+    "DivergingScale",
+    "Display",
+    "FruchtermanReingold",
+    "Graph",
+    "LayoutResult",
+    "LinLogLayout",
+    "LinearScale",
+    "NestedCell",
+    "OrdinalScale",
+    "ScatterPlot",
+    "SequentialScale",
+    "SqrtScale",
+    "TreemapCell",
+    "ViewBinding",
+    "ViewManager",
+    "VisualAttributesStore",
+    "VisualItem",
+    "VisualizationManager",
+    "categorical",
+    "darken",
+    "lerp",
+    "lighten",
+    "squarify",
+    "squarify_nested",
+    "treemap_rows",
+]

@@ -1,0 +1,216 @@
+"""The VisualAttributes store.
+
+"A visualization can be seen as an assignment of visual attributes (e.g.,
+X and Y coordinates, color, size) to a given set of data items...
+visualizations have high added value and it must be easy to store and
+share them" (Section I).  This module reads/writes the shared
+``ediflow_visual_attributes`` table (Figure 3 / Figure 6): the layout
+procedure fills it once, and any number of display views render from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..core import datamodel
+from ..db.database import Database
+from ..db.expression import col
+from ..db.schema import TID
+from ..errors import VisError
+
+
+@dataclass
+class VisualItem:
+    """One entity's visual attributes within one component."""
+
+    obj_id: Any
+    x: Optional[float] = None
+    y: Optional[float] = None
+    width: Optional[float] = None
+    height: Optional[float] = None
+    color: Optional[str] = None
+    label: Optional[str] = None
+    selected: bool = False
+
+    def to_row(self, component_id: int, item_id: int) -> dict[str, Any]:
+        return {
+            "id": item_id,
+            "component_id": component_id,
+            "obj_id": self.obj_id,
+            "x": self.x,
+            "y": self.y,
+            "width": self.width,
+            "height": self.height,
+            "color": self.color,
+            "label": self.label,
+            "selected": self.selected,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "VisualItem":
+        return cls(
+            obj_id=row["obj_id"],
+            x=row["x"],
+            y=row["y"],
+            width=row["width"],
+            height=row["height"],
+            color=row["color"],
+            label=row["label"],
+            selected=bool(row["selected"]),
+        )
+
+
+class VisualAttributesStore:
+    """CRUD over the shared VisualAttributes table.
+
+    Items are keyed by ``(component_id, obj_id)``.  Batch upserts go
+    through ``insert_many``/``update`` so one call produces one
+    statement-level notification -- the write path Figure 8 measures
+    ("Inserting tuples in VisualAttributes table").
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        datamodel.install_core_schema(database)
+        self._allocator = datamodel.IdAllocator(database)
+        #: component_id -> (obj_id -> (row id, tid)); lazily built, then
+        #: kept current by this store's own writes.  The store assumes it
+        #: is the only writer of the VisualAttributes table (it is, in
+        #: every EdiFlow deployment: procedures go through it).  Caching
+        #: the tid makes updates point operations instead of scans.
+        self._cache: dict[int, dict[Any, tuple[int, int]]] = {}
+
+    @property
+    def table_name(self) -> str:
+        return datamodel.T_VISUAL_ATTRIBUTES
+
+    # ------------------------------------------------------------------
+    def write(self, component_id: int, items: Sequence[VisualItem]) -> int:
+        """Upsert a batch of items for one component; returns rows written.
+
+        New ``obj_id``s are inserted (one statement for the whole batch);
+        existing ones are updated in place.
+        """
+        if not items:
+            return 0
+        existing = self._index(component_id)
+        inserts: list[dict[str, Any]] = []
+        insert_items: list[VisualItem] = []
+        updates: list[tuple[int, VisualItem]] = []
+        for item in items:
+            key = item.obj_id
+            if key in existing:
+                updates.append((existing[key][1], item))
+            else:
+                row_id = self._allocator.next_id(datamodel.T_VISUAL_ATTRIBUTES)
+                inserts.append(item.to_row(component_id, row_id))
+                insert_items.append(item)
+        if inserts:
+            stored = self.database.insert_many(
+                datamodel.T_VISUAL_ATTRIBUTES, inserts
+            )
+            for item, row in zip(insert_items, stored):
+                existing[item.obj_id] = (row["id"], row[TID])
+        for tid, item in updates:
+            self.database.update_by_tid(
+                datamodel.T_VISUAL_ATTRIBUTES,
+                tid,
+                {
+                    "x": item.x,
+                    "y": item.y,
+                    "width": item.width,
+                    "height": item.height,
+                    "color": item.color,
+                    "label": item.label,
+                    "selected": item.selected,
+                },
+            )
+        return len(items)
+
+    def write_positions(
+        self, component_id: int, positions: dict[Any, tuple[float, float]]
+    ) -> int:
+        """Fast path for layout streaming: update only x/y."""
+        items = [
+            VisualItem(obj_id=obj_id, x=xy[0], y=xy[1])
+            for obj_id, xy in positions.items()
+        ]
+        existing = self._index(component_id)
+        inserts = []
+        insert_items = []
+        for item in items:
+            if item.obj_id in existing:
+                self.database.update_by_tid(
+                    datamodel.T_VISUAL_ATTRIBUTES,
+                    existing[item.obj_id][1],
+                    {"x": item.x, "y": item.y},
+                )
+            else:
+                row_id = self._allocator.next_id(datamodel.T_VISUAL_ATTRIBUTES)
+                inserts.append(item.to_row(component_id, row_id))
+                insert_items.append(item)
+        if inserts:
+            stored = self.database.insert_many(
+                datamodel.T_VISUAL_ATTRIBUTES, inserts
+            )
+            for item, row in zip(insert_items, stored):
+                existing[item.obj_id] = (row["id"], row[TID])
+        return len(items)
+
+    def _index(self, component_id: int) -> dict[Any, tuple[int, int]]:
+        """obj_id -> (row id, tid) for one component (cached)."""
+        cached = self._cache.get(component_id)
+        if cached is None:
+            cached = {}
+            for row in self.database.table(datamodel.T_VISUAL_ATTRIBUTES).scan():
+                if row["component_id"] == component_id:
+                    cached[row["obj_id"]] = (row["id"], row[TID])
+            self._cache[component_id] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def read(self, component_id: int) -> list[VisualItem]:
+        return [
+            VisualItem.from_row(row)
+            for row in self.database.table(datamodel.T_VISUAL_ATTRIBUTES).scan()
+            if row["component_id"] == component_id
+        ]
+
+    def get(self, component_id: int, obj_id: Any) -> Optional[VisualItem]:
+        for row in self.database.table(datamodel.T_VISUAL_ATTRIBUTES).scan():
+            if row["component_id"] == component_id and row["obj_id"] == obj_id:
+                return VisualItem.from_row(row)
+        return None
+
+    def select(self, component_id: int, obj_ids: Iterable[Any], selected: bool = True) -> int:
+        """Flip the selection flag -- "whether the data instance is
+        currently selected by a given visualisation component (which
+        typically triggers the recomputation of the other components)"."""
+        wanted = set(obj_ids)
+        count = 0
+        for row in list(self.database.table(datamodel.T_VISUAL_ATTRIBUTES).scan()):
+            if row["component_id"] == component_id and row["obj_id"] in wanted:
+                self.database.update(
+                    datamodel.T_VISUAL_ATTRIBUTES,
+                    {"selected": selected},
+                    col("id") == row["id"],
+                )
+                count += 1
+        return count
+
+    def remove(self, component_id: int, obj_ids: Iterable[Any]) -> int:
+        wanted = set(obj_ids)
+        predicate = (col("component_id") == component_id) & col("obj_id").is_in(wanted)
+        removed = self.database.delete(datamodel.T_VISUAL_ATTRIBUTES, predicate)
+        cached = self._cache.get(component_id)
+        if cached is not None:
+            for obj_id in wanted:
+                cached.pop(obj_id, None)
+        return removed
+
+    def clear(self, component_id: int) -> int:
+        self._cache.pop(component_id, None)
+        return self.database.delete(
+            datamodel.T_VISUAL_ATTRIBUTES, col("component_id") == component_id
+        )

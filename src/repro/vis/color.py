@@ -1,0 +1,130 @@
+"""Colors and color scales.
+
+The US-election use case colors states with "varying color shades: the
+more the states vote for the respective party, the darker the color"
+(Section III) -- that is :class:`SequentialScale`.  Categorical palettes
+serve party/cluster hues.
+
+Colors are hex strings (``#rrggbb``) end to end; interpolation happens in
+plain sRGB, which is entirely adequate for shade ramps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import VisError
+
+
+def parse_hex(color: str) -> tuple[int, int, int]:
+    """``#rgb`` or ``#rrggbb`` -> (r, g, b) ints."""
+    if not color.startswith("#"):
+        raise VisError(f"color must start with '#', got {color!r}")
+    digits = color[1:]
+    if len(digits) == 3:
+        digits = "".join(ch * 2 for ch in digits)
+    if len(digits) != 6:
+        raise VisError(f"bad hex color {color!r}")
+    try:
+        return (
+            int(digits[0:2], 16),
+            int(digits[2:4], 16),
+            int(digits[4:6], 16),
+        )
+    except ValueError:
+        raise VisError(f"bad hex color {color!r}") from None
+
+
+def to_hex(rgb: tuple[int, int, int]) -> str:
+    r, g, b = (max(0, min(255, int(round(c)))) for c in rgb)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def lerp(c0: str, c1: str, t: float) -> str:
+    """Linear interpolation between two colors, ``t`` in [0, 1]."""
+    t = max(0.0, min(1.0, t))
+    r0, g0, b0 = parse_hex(c0)
+    r1, g1, b1 = parse_hex(c1)
+    return to_hex((r0 + (r1 - r0) * t, g0 + (g1 - g0) * t, b0 + (b1 - b0) * t))
+
+
+def darken(color: str, amount: float) -> str:
+    """Shade toward black by ``amount`` in [0, 1]."""
+    return lerp(color, "#000000", amount)
+
+
+def lighten(color: str, amount: float) -> str:
+    """Tint toward white by ``amount`` in [0, 1]."""
+    return lerp(color, "#ffffff", amount)
+
+
+class SequentialScale:
+    """Map [v0, v1] to a light->dark (or arbitrary two-stop) color ramp."""
+
+    def __init__(
+        self,
+        domain: tuple[float, float],
+        low: str = "#f7f7f7",
+        high: str = "#08306b",
+    ) -> None:
+        self.domain = (float(domain[0]), float(domain[1]))
+        self.low = low
+        self.high = high
+
+    def __call__(self, value: float) -> str:
+        d0, d1 = self.domain
+        if d0 == d1:
+            return lerp(self.low, self.high, 0.5)
+        t = (value - d0) / (d1 - d0)
+        return lerp(self.low, self.high, t)
+
+
+class DivergingScale:
+    """Two ramps around a midpoint (e.g. red <- white -> blue margins)."""
+
+    def __init__(
+        self,
+        domain: tuple[float, float, float],
+        low: str = "#b2182b",
+        mid: str = "#f7f7f7",
+        high: str = "#2166ac",
+    ) -> None:
+        d0, dm, d1 = domain
+        if not (d0 <= dm <= d1):
+            raise VisError(f"diverging domain must be ordered, got {domain}")
+        self.domain = (float(d0), float(dm), float(d1))
+        self.low = low
+        self.mid = mid
+        self.high = high
+
+    def __call__(self, value: float) -> str:
+        d0, dm, d1 = self.domain
+        if value <= dm:
+            if d0 == dm:
+                return self.mid
+            t = (value - d0) / (dm - d0)
+            return lerp(self.low, self.mid, t)
+        if dm == d1:
+            return self.mid
+        t = (value - dm) / (d1 - dm)
+        return lerp(self.mid, self.high, t)
+
+
+#: A colorblind-reasonable categorical palette (Tableau-like).
+CATEGORICAL_10: tuple[str, ...] = (
+    "#4e79a7",
+    "#f28e2b",
+    "#e15759",
+    "#76b7b2",
+    "#59a14f",
+    "#edc948",
+    "#b07aa1",
+    "#ff9da7",
+    "#9c755f",
+    "#bab0ac",
+)
+
+
+def categorical(index: int, palette: Sequence[str] = CATEGORICAL_10) -> str:
+    """The ``index``-th categorical color (cycling)."""
+    return palette[index % len(palette)]

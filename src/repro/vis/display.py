@@ -1,0 +1,137 @@
+"""Headless display: the terminal stage of the visualization pipeline.
+
+A :class:`Display` stands in for one screen of the paper's deployment
+(laptop, iPhone, or one WILD tile).  It keeps a display list of visual
+items keyed by object id and can render to SVG for inspection.  The
+Figure-8 experiment's final step -- "inserting new nodes into the display
+screen" -- is :meth:`apply_rows`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Optional
+
+from ..errors import VisError
+from .attributes import VisualItem
+
+
+class Display:
+    """One render surface fed from VisualAttributes rows."""
+
+    def __init__(self, name: str = "display", width: float = 800, height: float = 600) -> None:
+        self.name = name
+        self.width = width
+        self.height = height
+        self.items: dict[Any, VisualItem] = {}
+        # Render bookkeeping (benchmarks read these).
+        self.inserted = 0
+        self.updated = 0
+        self.removed = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def apply_rows(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Fold VisualAttributes rows into the display list."""
+        count = 0
+        for row in rows:
+            item = VisualItem.from_row(row)
+            if item.obj_id in self.items:
+                self.updated += 1
+            else:
+                self.inserted += 1
+            self.items[item.obj_id] = item
+            count += 1
+        return count
+
+    def apply_items(self, items: Iterable[VisualItem]) -> int:
+        count = 0
+        for item in items:
+            if item.obj_id in self.items:
+                self.updated += 1
+            else:
+                self.inserted += 1
+            self.items[item.obj_id] = item
+            count += 1
+        return count
+
+    def remove_objects(self, obj_ids: Iterable[Any]) -> int:
+        count = 0
+        for obj_id in obj_ids:
+            if self.items.pop(obj_id, None) is not None:
+                self.removed += 1
+                count += 1
+        return count
+
+    def clear(self) -> None:
+        self.items.clear()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> int:
+        """Mark one display refresh (a frame); returns the frame number.
+
+        Real toolkits redraw "10 times per second" (Section I); headless,
+        a refresh just counts -- the data movement it would render is
+        already in ``items``.
+        """
+        self.refreshes += 1
+        return self.refreshes
+
+    # ------------------------------------------------------------------
+    def bounds(self) -> tuple[float, float, float, float]:
+        """(min_x, min_y, max_x, max_y) over placed items."""
+        xs = [i.x for i in self.items.values() if i.x is not None]
+        ys = [i.y for i in self.items.values() if i.y is not None]
+        if not xs or not ys:
+            return (0.0, 0.0, 1.0, 1.0)
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def render_svg(self) -> str:
+        """Render the display list to a standalone SVG string."""
+        min_x, min_y, max_x, max_y = self.bounds()
+        span_x = max(max_x - min_x, 1e-9)
+        span_y = max(max_y - min_y, 1e-9)
+        margin = 10.0
+
+        def sx(x: float) -> float:
+            return margin + (x - min_x) / span_x * (self.width - 2 * margin)
+
+        def sy(y: float) -> float:
+            return margin + (y - min_y) / span_y * (self.height - 2 * margin)
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width:.0f}" '
+            f'height="{self.height:.0f}" viewBox="0 0 {self.width:.0f} {self.height:.0f}">'
+        ]
+        for item in self.items.values():
+            if item.x is None or item.y is None:
+                continue
+            color = item.color or "#4e79a7"
+            if item.width and item.height:
+                parts.append(
+                    f'<rect x="{sx(item.x):.2f}" y="{sy(item.y):.2f}" '
+                    f'width="{max(item.width, 0):.2f}" height="{max(item.height, 0):.2f}" '
+                    f'fill="{color}" stroke="#ffffff"/>'
+                )
+            else:
+                radius = 3.0
+                parts.append(
+                    f'<circle cx="{sx(item.x):.2f}" cy="{sy(item.y):.2f}" '
+                    f'r="{radius}" fill="{color}"/>'
+                )
+            if item.label:
+                parts.append(
+                    f'<text x="{sx(item.x):.2f}" y="{sy(item.y) - 4:.2f}" '
+                    f'font-size="9">{_escape(item.label)}</text>'
+                )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

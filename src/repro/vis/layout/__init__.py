@@ -1,0 +1,7 @@
+"""Graph layout algorithms: LinLog (Noack) and Fruchterman-Reingold."""
+
+from .force import FruchtermanReingold
+from .graph import Graph
+from .linlog import LayoutResult, LinLogLayout
+
+__all__ = ["FruchtermanReingold", "Graph", "LayoutResult", "LinLogLayout"]

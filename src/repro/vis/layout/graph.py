@@ -1,0 +1,123 @@
+"""Lightweight undirected graph used by the layout algorithms.
+
+Holds node ids (hashable), weighted edges, and positions.  Supports the
+incremental operations the paper's layout handler needs: "it updates the
+in-memory co-publication graph, discards the nodes that have been removed
+and adds new nodes" (Section VII-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator
+
+from ...errors import LayoutError
+
+NodeId = Hashable
+
+
+class Graph:
+    """Undirected weighted graph with adjacency sets."""
+
+    def __init__(self) -> None:
+        self._adjacency: dict[NodeId, dict[NodeId, float]] = {}
+        self._edge_count = 0
+
+    # -- construction -------------------------------------------------------
+    def add_node(self, node: NodeId) -> None:
+        self._adjacency.setdefault(node, {})
+
+    def add_edge(self, u: NodeId, v: NodeId, weight: float = 1.0) -> None:
+        if u == v:
+            raise LayoutError(f"self-loop on {u!r} is not allowed")
+        if weight <= 0:
+            raise LayoutError(f"edge weight must be positive, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adjacency[u]:
+            self._edge_count += 1
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        if v in self._adjacency.get(u, {}):
+            del self._adjacency[u][v]
+            del self._adjacency[v][u]
+            self._edge_count -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        neighbors = self._adjacency.pop(node, None)
+        if neighbors is None:
+            return
+        for other in neighbors:
+            del self._adjacency[other][node]
+        self._edge_count -= len(neighbors)
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self) -> list[NodeId]:
+        return list(self._adjacency)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId, float]]:
+        """Each undirected edge once (u < v by insertion-independent id)."""
+        seen: set[tuple[NodeId, NodeId]] = set()
+        for u, neighbors in self._adjacency.items():
+            for v, weight in neighbors.items():
+                if (v, u) in seen:
+                    continue
+                seen.add((u, v))
+                yield (u, v, weight)
+
+    def neighbors(self, node: NodeId) -> dict[NodeId, float]:
+        try:
+            return dict(self._adjacency[node])
+        except KeyError:
+            raise LayoutError(f"no node {node!r}") from None
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency.get(node, {}))
+
+    def weighted_degree(self, node: NodeId) -> float:
+        return sum(self._adjacency.get(node, {}).values())
+
+    # -- bulk helpers --------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[NodeId, NodeId]]) -> "Graph":
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        clone = Graph()
+        for node in self._adjacency:
+            clone.add_node(node)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def connected_components(self) -> list[set[NodeId]]:
+        """Connected components (used to place disconnected additions)."""
+        remaining = set(self._adjacency)
+        components: list[set[NodeId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            remaining -= component
+            components.append(component)
+        return components

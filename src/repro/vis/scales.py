@@ -1,0 +1,134 @@
+"""Scales: map data values to visual ranges.
+
+The small, classic set every InfoVis-toolkit-style library carries:
+linear (quantitative -> pixel), band (categorical -> pixel slots), and
+ordinal (categorical -> arbitrary range values, e.g. colors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from ..errors import VisError
+
+
+class LinearScale:
+    """Affine map from a data domain ``[d0, d1]`` to a range ``[r0, r1]``.
+
+    A degenerate domain (d0 == d1) maps everything to the range midpoint.
+    With ``clamp=True`` outputs never leave the range.
+    """
+
+    def __init__(
+        self,
+        domain: tuple[float, float],
+        range: tuple[float, float],
+        clamp: bool = False,
+    ) -> None:
+        self.domain = (float(domain[0]), float(domain[1]))
+        self.range = (float(range[0]), float(range[1]))
+        self.clamp = clamp
+
+    def __call__(self, value: float) -> float:
+        d0, d1 = self.domain
+        r0, r1 = self.range
+        if d0 == d1:
+            return (r0 + r1) / 2.0
+        t = (value - d0) / (d1 - d0)
+        if self.clamp:
+            t = min(1.0, max(0.0, t))
+        return r0 + t * (r1 - r0)
+
+    def invert(self, output: float) -> float:
+        """Map a range value back to the data domain."""
+        d0, d1 = self.domain
+        r0, r1 = self.range
+        if r0 == r1:
+            return (d0 + d1) / 2.0
+        t = (output - r0) / (r1 - r0)
+        return d0 + t * (d1 - d0)
+
+    @classmethod
+    def fit(
+        cls, values: Sequence[float], range: tuple[float, float], clamp: bool = False
+    ) -> "LinearScale":
+        """Build a scale whose domain spans the observed values."""
+        cleaned = [v for v in values if v is not None]
+        if not cleaned:
+            return cls((0.0, 1.0), range, clamp=clamp)
+        return cls((min(cleaned), max(cleaned)), range, clamp=clamp)
+
+
+class BandScale:
+    """Map categories to evenly spaced bands of ``[r0, r1]``.
+
+    ``padding`` (0..1) is the fraction of each step left empty between
+    bands -- the usual bar-chart layout scale.
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[Hashable],
+        range: tuple[float, float],
+        padding: float = 0.1,
+    ) -> None:
+        if not categories:
+            raise VisError("BandScale needs at least one category")
+        if not 0.0 <= padding < 1.0:
+            raise VisError(f"padding must be in [0, 1), got {padding}")
+        self.categories = list(categories)
+        self._index = {c: i for i, c in enumerate(self.categories)}
+        if len(self._index) != len(self.categories):
+            raise VisError("BandScale categories must be unique")
+        self.range = (float(range[0]), float(range[1]))
+        self.padding = padding
+        span = self.range[1] - self.range[0]
+        self.step = span / len(self.categories)
+        self.bandwidth = self.step * (1.0 - padding)
+
+    def __call__(self, category: Hashable) -> float:
+        """Left edge of the category's band."""
+        try:
+            index = self._index[category]
+        except KeyError:
+            raise VisError(f"unknown category {category!r}") from None
+        return self.range[0] + index * self.step + (self.step - self.bandwidth) / 2.0
+
+    def center(self, category: Hashable) -> float:
+        return self(category) + self.bandwidth / 2.0
+
+
+class OrdinalScale:
+    """Cycle categories through a fixed list of range values."""
+
+    def __init__(self, range_values: Sequence[Any]) -> None:
+        if not range_values:
+            raise VisError("OrdinalScale needs at least one range value")
+        self.range_values = list(range_values)
+        self._assigned: dict[Hashable, Any] = {}
+
+    def __call__(self, category: Hashable) -> Any:
+        if category not in self._assigned:
+            index = len(self._assigned) % len(self.range_values)
+            self._assigned[category] = self.range_values[index]
+        return self._assigned[category]
+
+    def known_categories(self) -> list[Hashable]:
+        return list(self._assigned)
+
+
+class SqrtScale:
+    """Square-root scale, the standard choice for mapping data to *areas*
+    (e.g. scatter-plot dot sizes) so perceived size tracks magnitude."""
+
+    def __init__(self, domain: tuple[float, float], range: tuple[float, float]) -> None:
+        if domain[0] < 0 or domain[1] < 0:
+            raise VisError("SqrtScale domain must be non-negative")
+        self._linear = LinearScale(
+            (domain[0] ** 0.5, domain[1] ** 0.5), range, clamp=True
+        )
+
+    def __call__(self, value: float) -> float:
+        if value < 0:
+            raise VisError(f"SqrtScale got negative value {value}")
+        return self._linear(value**0.5)

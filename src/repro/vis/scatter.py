@@ -1,0 +1,92 @@
+"""Scatter-plot mapping: data rows -> visual items.
+
+"A user may want to visualize a scatter plot displaying the number of
+publications per year on one machine and displaying the number of
+publication by author on another machine.  The two are obtained from the
+same data but using two different views" (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import VisError
+from .attributes import VisualItem
+from .color import CATEGORICAL_10, SequentialScale
+from .scales import LinearScale, OrdinalScale, SqrtScale
+
+
+class ScatterPlot:
+    """Declarative scatter-plot specification.
+
+    ``x``/``y`` name quantitative columns; ``size`` (optional) maps a
+    column to dot area; ``color_by`` (optional) maps a categorical column
+    to hues or, with ``color_scale='sequential'``, a quantitative column
+    to shades.  ``compute`` turns data rows into :class:`VisualItem`s.
+    """
+
+    def __init__(
+        self,
+        x: str,
+        y: str,
+        key: str,
+        size: Optional[str] = None,
+        color_by: Optional[str] = None,
+        color_scale: str = "categorical",
+        label: Optional[str] = None,
+        width: float = 800.0,
+        height: float = 600.0,
+    ) -> None:
+        if color_scale not in ("categorical", "sequential"):
+            raise VisError(f"unknown color_scale {color_scale!r}")
+        self.x = x
+        self.y = y
+        self.key = key
+        self.size = size
+        self.color_by = color_by
+        self.color_scale = color_scale
+        self.label = label
+        self.width = width
+        self.height = height
+
+    def compute(self, rows: Sequence[dict[str, Any]]) -> list[VisualItem]:
+        """Assign visual attributes for ``rows`` (one item per row)."""
+        if not rows:
+            return []
+        x_scale = LinearScale.fit([r[self.x] for r in rows], (0.0, self.width))
+        # SVG-style y: larger data values sit higher (smaller y coordinate).
+        y_scale = LinearScale.fit([r[self.y] for r in rows], (self.height, 0.0))
+        size_scale: Optional[SqrtScale] = None
+        if self.size is not None:
+            values = [r[self.size] for r in rows if r[self.size] is not None]
+            high = max(values) if values else 1.0
+            size_scale = SqrtScale((0.0, max(high, 1e-9)), (2.0, 20.0))
+        color_fn: Callable[[dict[str, Any]], Optional[str]]
+        if self.color_by is None:
+            color_fn = lambda row: None  # noqa: E731 - tiny closure
+        elif self.color_scale == "categorical":
+            ordinal = OrdinalScale(CATEGORICAL_10)
+            color_fn = lambda row: ordinal(row[self.color_by])  # noqa: E731
+        else:
+            values = [r[self.color_by] for r in rows if r[self.color_by] is not None]
+            low = min(values) if values else 0.0
+            high = max(values) if values else 1.0
+            sequential = SequentialScale((low, high))
+            color_fn = lambda row: sequential(row[self.color_by])  # noqa: E731
+        items = []
+        for row in rows:
+            if row[self.x] is None or row[self.y] is None:
+                continue
+            radius = size_scale(row[self.size] or 0.0) if size_scale else None
+            items.append(
+                VisualItem(
+                    obj_id=row[self.key],
+                    x=x_scale(row[self.x]),
+                    y=y_scale(row[self.y]),
+                    width=radius,
+                    height=radius,
+                    color=color_fn(row),
+                    label=str(row[self.label]) if self.label else None,
+                )
+            )
+        return items

@@ -1,0 +1,236 @@
+"""Squarified treemap layout.
+
+The US-election application's main view is "a TreeMap visualisation...
+computed over the database" (Section III, Figure 1).  This is the
+standard squarify algorithm (Bruls, Huizing & van Wijk): lay items into
+rows/columns so that cell aspect ratios stay close to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class TreemapCell:
+    """One laid-out rectangle."""
+
+    key: Any
+    value: float
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect(self) -> float:
+        if self.width == 0 or self.height == 0:
+            return float("inf")
+        return max(self.width / self.height, self.height / self.width)
+
+
+def _worst_aspect(row: list[float], side: float) -> float:
+    """Worst cell aspect ratio if ``row`` areas share a strip on ``side``."""
+    total = sum(row)
+    if total == 0 or side == 0:
+        return float("inf")
+    strip = total / side  # thickness of the strip
+    worst = 0.0
+    for area in row:
+        length = area / strip
+        aspect = max(strip / length, length / strip) if length > 0 else float("inf")
+        worst = max(worst, aspect)
+    return worst
+
+
+def squarify(
+    items: Sequence[tuple[Any, float]],
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+) -> list[TreemapCell]:
+    """Lay out ``(key, value)`` items inside the given rectangle.
+
+    Values must be non-negative; zero-valued items produce zero-area
+    cells at the end of the layout.  Items are laid out in decreasing
+    value order (the algorithm's requirement for good aspect ratios).
+    """
+    if width < 0 or height < 0:
+        raise LayoutError(f"negative extent {width}x{height}")
+    for key, value in items:
+        if value < 0:
+            raise LayoutError(f"negative treemap value {value!r} for {key!r}")
+    positives = sorted(
+        (item for item in items if item[1] > 0), key=lambda kv: kv[1], reverse=True
+    )
+    zeros = [item for item in items if item[1] == 0]
+    total = sum(v for _, v in positives)
+    cells: list[TreemapCell] = []
+    if total > 0 and width > 0 and height > 0:
+        full_area = width * height
+        scaled = [(k, v / total * full_area) for k, v in positives]
+        cells.extend(_layout(scaled, x, y, width, height))
+        # Restore original (unscaled) values in the output.
+        by_key = {k: v for k, v in positives}
+        cells = [
+            TreemapCell(c.key, by_key[c.key], c.x, c.y, c.width, c.height)
+            for c in cells
+        ]
+    for key, value in zeros:
+        cells.append(TreemapCell(key, value, x + width, y + height, 0.0, 0.0))
+    return cells
+
+
+def _layout(
+    scaled: list[tuple[Any, float]], x: float, y: float, width: float, height: float
+) -> list[TreemapCell]:
+    cells: list[TreemapCell] = []
+    remaining = list(scaled)
+    while remaining:
+        side = min(width, height)
+        if side <= 0:
+            # Degenerate leftover space: stack zero-thickness cells.
+            for key, area in remaining:
+                cells.append(TreemapCell(key, area, x, y, 0.0, 0.0))
+            break
+        row: list[tuple[Any, float]] = [remaining.pop(0)]
+        areas = [row[0][1]]
+        while remaining:
+            candidate = areas + [remaining[0][1]]
+            if _worst_aspect(candidate, side) <= _worst_aspect(areas, side):
+                item = remaining.pop(0)
+                row.append(item)
+                areas.append(item[1])
+            else:
+                break
+        strip_total = sum(areas)
+        strip = strip_total / side
+        # Lay the row along the shorter side.
+        offset = 0.0
+        if width >= height:
+            # Vertical strip at the left.
+            for key, area in row:
+                length = area / strip if strip > 0 else 0.0
+                cells.append(TreemapCell(key, area, x, y + offset, strip, length))
+                offset += length
+            x += strip
+            width -= strip
+        else:
+            # Horizontal strip at the top.
+            for key, area in row:
+                length = area / strip if strip > 0 else 0.0
+                cells.append(TreemapCell(key, area, x + offset, y, length, strip))
+                offset += length
+            y += strip
+            height -= strip
+    return cells
+
+
+@dataclass(frozen=True)
+class NestedCell:
+    """One rectangle of a hierarchical treemap, with its depth and path."""
+
+    path: tuple[Any, ...]
+    value: float
+    x: float
+    y: float
+    width: float
+    height: float
+    depth: int
+    is_leaf: bool
+
+    @property
+    def key(self) -> Any:
+        return self.path[-1]
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+def squarify_nested(
+    tree: dict[Any, Any],
+    x: float,
+    y: float,
+    width: float,
+    height: float,
+    padding: float = 0.0,
+    _depth: int = 0,
+    _path: tuple[Any, ...] = (),
+) -> list[NestedCell]:
+    """Hierarchical squarified treemap.
+
+    ``tree`` maps keys to either a number (leaf weight) or a nested dict
+    (subtree).  Each internal node gets a cell sized by its subtree
+    total, then its children are squarified inside it (inset by
+    ``padding`` on every side, so group borders stay visible).
+
+    Returns cells for *every* node, parents before children, so a
+    renderer can paint group backgrounds first.
+    """
+    if padding < 0:
+        raise LayoutError(f"padding must be >= 0, got {padding}")
+
+    def total(node: Any) -> float:
+        if isinstance(node, dict):
+            return sum(total(child) for child in node.values())
+        value = float(node)
+        if value < 0:
+            raise LayoutError(f"negative treemap value {node!r}")
+        return value
+
+    items = [(key, total(node)) for key, node in tree.items()]
+    cells = squarify(items, x, y, width, height)
+    out: list[NestedCell] = []
+    for cell in cells:
+        node = tree[cell.key]
+        path = _path + (cell.key,)
+        is_leaf = not isinstance(node, dict)
+        out.append(
+            NestedCell(
+                path=path,
+                value=cell.value,
+                x=cell.x,
+                y=cell.y,
+                width=cell.width,
+                height=cell.height,
+                depth=_depth,
+                is_leaf=is_leaf,
+            )
+        )
+        if not is_leaf and cell.width > 2 * padding and cell.height > 2 * padding:
+            out.extend(
+                squarify_nested(
+                    node,
+                    cell.x + padding,
+                    cell.y + padding,
+                    cell.width - 2 * padding,
+                    cell.height - 2 * padding,
+                    padding=padding,
+                    _depth=_depth + 1,
+                    _path=path,
+                )
+            )
+    return out
+
+
+def treemap_rows(
+    rows: Sequence[dict[str, Any]],
+    key: str,
+    value: str,
+    width: float,
+    height: float,
+    x: float = 0.0,
+    y: float = 0.0,
+) -> list[TreemapCell]:
+    """Convenience: squarify a list of row dicts by two column names."""
+    items = [(row[key], float(row[value] or 0.0)) for row in rows]
+    return squarify(items, x, y, width, height)

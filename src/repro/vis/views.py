@@ -1,0 +1,108 @@
+"""Multi-view management (Figure 6 of the paper).
+
+"Ediflow can maintain several visualization views for one visualization...
+the visual attributes can be shared by several visualization views and by
+several users... the visualization component computes and fills the
+visual attributes only once regardless of the number of generated views.
+For each view, a display component is activated to show the data on the
+associated machine."
+
+A :class:`ViewManager` owns the shared VisualAttributes table side; each
+:class:`ViewBinding` couples one display to one synchronized mirror of
+that table (optionally partial -- the iPhone/laptop/WILD fractions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..core import datamodel
+from ..db.database import Database
+from ..errors import VisError
+from ..sync.client import SyncClient
+from ..sync.memtable import MemoryTable, RowPredicate
+from ..sync.server import SyncServer
+from .attributes import VisualAttributesStore, VisualItem
+from .component import VisualizationManager
+from .display import Display
+
+
+@dataclass
+class ViewBinding:
+    """One display view bound to the shared VisualAttributes table."""
+
+    name: str
+    component_id: int
+    client: SyncClient
+    memtable: MemoryTable
+    display: Display
+
+    def refresh(self) -> int:
+        """Pull pending changes and redraw; returns #rows applied."""
+        stats = self.client.refresh(self.memtable.table)
+        rows = [
+            row
+            for row in self.memtable.all_rows()
+            if row["component_id"] == self.component_id
+        ]
+        self.display.clear()
+        applied = self.display.apply_rows(rows)
+        self.display.refresh()
+        return applied
+
+
+class ViewManager:
+    """Fans one computed visualization out to many display views."""
+
+    def __init__(self, database: Database, server: Optional[SyncServer] = None) -> None:
+        self.database = database
+        self.visualizations = VisualizationManager(database)
+        self.attributes: VisualAttributesStore = self.visualizations.attributes
+        self.server = server or SyncServer(database, use_sockets=False)
+        self.views: list[ViewBinding] = []
+
+    # ------------------------------------------------------------------
+    def add_view(
+        self,
+        name: str,
+        component_id: int,
+        fraction: float = 1.0,
+        predicate: Optional[RowPredicate] = None,
+        width: float = 800.0,
+        height: float = 600.0,
+    ) -> ViewBinding:
+        """Create one display view over the shared attribute table.
+
+        ``fraction`` keeps only that share of rows in the view's mirror
+        (the paper's 10% iPhone / 30% laptop / 100% wall example).
+        """
+        client = SyncClient(self.server)
+        memtable = client.mirror(
+            datamodel.T_VISUAL_ATTRIBUTES,
+            fraction=fraction,
+            predicate=predicate,
+        )
+        display = Display(name=name, width=width, height=height)
+        binding = ViewBinding(name, component_id, client, memtable, display)
+        binding.refresh()
+        self.views.append(binding)
+        return binding
+
+    def publish(self, component_id: int, items: Sequence[VisualItem]) -> int:
+        """Compute-once write of visual attributes (shared by all views)."""
+        return self.attributes.write(component_id, items)
+
+    def publish_positions(
+        self, component_id: int, positions: dict[Any, tuple[float, float]]
+    ) -> int:
+        return self.attributes.write_positions(component_id, positions)
+
+    def refresh_all(self) -> dict[str, int]:
+        """Refresh every view; returns rows applied per view name."""
+        return {view.name: view.refresh() for view in self.views}
+
+    def close(self) -> None:
+        for view in self.views:
+            view.client.close()
+        self.views.clear()

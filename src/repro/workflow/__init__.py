@@ -1,0 +1,124 @@
+"""EdiFlow workflow layer: process model, enactment, propagation, isolation.
+
+Typical use::
+
+    from repro.db import Database
+    from repro.workflow import (
+        WorkflowEngine, PropagationManager, ProcessDefinition,
+        CallProcedure, RunQuery, seq, UpdatePropagation,
+    )
+
+    db = Database()
+    engine = WorkflowEngine(db)
+    propagation = PropagationManager(engine)
+    engine.procedures.register(MyLayoutProcedure())
+    engine.deploy(definition)
+    execution = engine.run("my-process", user="alice")
+"""
+
+from .engine import Execution, LiveActivity, WorkflowEngine
+from .expressions import (
+    ProcCallExpr,
+    PythonExpr,
+    QueryExpr,
+    TableExpr,
+    ValueExpr,
+    WorkflowExpression,
+)
+from .instance import ActivityInstance, ProcessInstance
+from .monitor import ActivityTrace, ProcessMonitor, ProcessTrace
+from .isolation import IsolationContext, IsolationManager
+from .model import (
+    Activity,
+    ActivityNode,
+    AndSplitJoin,
+    AskUser,
+    Assign,
+    CallProcedure,
+    ConditionalNode,
+    Configuration,
+    Constant,
+    OrBranch,
+    OrSplitJoin,
+    ProcessDefinition,
+    ProcessNode,
+    RelationDecl,
+    RunQuery,
+    SequenceNode,
+    UpdatePropagation,
+    UpdateTable,
+    Variable,
+    alt,
+    par,
+    propagate_to_future,
+    seq,
+    when,
+)
+from .procedures import (
+    FunctionProcedure,
+    Procedure,
+    ProcedureRegistry,
+    ProcessEnv,
+)
+from .propagation import PropagationLog, PropagationManager
+from .roles import RoleManager
+from .spec import (
+    load_procedures,
+    parse_process,
+    parse_process_file,
+    serialize_process,
+)
+
+__all__ = [
+    "Activity",
+    "ActivityInstance",
+    "ActivityTrace",
+    "ActivityNode",
+    "AndSplitJoin",
+    "AskUser",
+    "Assign",
+    "CallProcedure",
+    "ConditionalNode",
+    "Configuration",
+    "Constant",
+    "Execution",
+    "FunctionProcedure",
+    "IsolationContext",
+    "IsolationManager",
+    "LiveActivity",
+    "OrBranch",
+    "OrSplitJoin",
+    "ProcCallExpr",
+    "ProcessDefinition",
+    "ProcessEnv",
+    "ProcessInstance",
+    "ProcessMonitor",
+    "ProcessNode",
+    "ProcessTrace",
+    "Procedure",
+    "ProcedureRegistry",
+    "PropagationLog",
+    "PropagationManager",
+    "PythonExpr",
+    "QueryExpr",
+    "RelationDecl",
+    "RoleManager",
+    "RunQuery",
+    "SequenceNode",
+    "TableExpr",
+    "UpdatePropagation",
+    "UpdateTable",
+    "ValueExpr",
+    "Variable",
+    "WorkflowEngine",
+    "WorkflowExpression",
+    "alt",
+    "load_procedures",
+    "par",
+    "parse_process",
+    "parse_process_file",
+    "propagate_to_future",
+    "seq",
+    "serialize_process",
+    "when",
+]

@@ -1,0 +1,150 @@
+"""The workflow expression language.
+
+Section V of the paper:
+
+    e ::= Q | p(e_1, ..., e_n, T^w_1, ..., T^w_p).t_j
+
+The simplest expressions are queries; complex ones call a procedure over
+sub-expression inputs and retain one of its output tables.  Expressions
+evaluate to a list of rows within a :class:`~repro.workflow.procedures.ProcessEnv`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..errors import WorkflowError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .procedures import ProcessEnv
+
+Row = dict[str, Any]
+
+
+class WorkflowExpression:
+    """Base class: evaluates to a list of rows (or a scalar for Value)."""
+
+    def evaluate(self, env: "ProcessEnv") -> list[Row]:
+        raise NotImplementedError
+
+
+class QueryExpr(WorkflowExpression):
+    """A query ``Q``: SQL text with optional ``$variable`` parameters.
+
+    Parameters written ``$name`` are resolved from the instance's
+    variables/constants and bound as SQL ``?`` parameters.  Queries run
+    through the instance's isolation context, so an expression inside a
+    process instance sees that instance's snapshot (Section VI-A).
+    """
+
+    def __init__(self, sql: str, params: Sequence[Any] = ()) -> None:
+        self.sql = sql
+        self.params = tuple(params)
+
+    def evaluate(self, env: "ProcessEnv") -> list[Row]:
+        return env.query(self.sql, self.params)
+
+    def __repr__(self) -> str:
+        return f"QueryExpr({self.sql!r})"
+
+
+class TableExpr(WorkflowExpression):
+    """The contents of one relation (isolation-filtered)."""
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+    def evaluate(self, env: "ProcessEnv") -> list[Row]:
+        return env.read_table(self.table)
+
+    def __repr__(self) -> str:
+        return f"TableExpr({self.table!r})"
+
+
+class ProcCallExpr(WorkflowExpression):
+    """``p(e_1, ..., e_n, T^w_1, ..., T^w_m).t_j``.
+
+    Calls procedure ``name`` with evaluated sub-expressions as read-only
+    inputs and ``read_write`` tables, then returns output table number
+    ``output_index`` (0-based over the procedure's declared outputs).
+
+    Per the paper, if side effects on the T^w tables are undesired the
+    caller passes fresh temporary tables "which will be silently discarded
+    at the end of the process".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        args: Sequence[WorkflowExpression] = (),
+        read_write: Sequence[str] = (),
+        output_index: int = 0,
+    ) -> None:
+        self.name = name
+        self.args = tuple(args)
+        self.read_write = tuple(read_write)
+        self.output_index = output_index
+
+    def evaluate(self, env: "ProcessEnv") -> list[Row]:
+        inputs = [arg.evaluate(env) for arg in self.args]
+        outputs = env.call_procedure(self.name, inputs, self.read_write)
+        try:
+            return outputs[self.output_index]
+        except IndexError:
+            raise WorkflowError(
+                f"procedure {self.name!r} produced {len(outputs)} output "
+                f"table(s); index {self.output_index} requested"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"ProcCallExpr({self.name!r}, outputs[{self.output_index}])"
+
+
+class ValueExpr(WorkflowExpression):
+    """A literal value or a variable reference (``$name``)."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, env: "ProcessEnv") -> Any:
+        if isinstance(self.value, str) and self.value.startswith("$"):
+            return env.lookup(self.value[1:])
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ValueExpr({self.value!r})"
+
+
+class PythonExpr(WorkflowExpression):
+    """Escape hatch: compute with an arbitrary callable over the env."""
+
+    def __init__(self, fn: Callable[["ProcessEnv"], Any]) -> None:
+        self.fn = fn
+
+    def evaluate(self, env: "ProcessEnv") -> Any:
+        return self.fn(env)
+
+
+def evaluate_condition(condition: Any, env: "ProcessEnv") -> bool:
+    """Evaluate an OR-branch / conditional guard.
+
+    Accepts SQL text (truthy scalar of the first row), a callable over
+    the environment, a :class:`WorkflowExpression` (truthy scalar or
+    non-empty row list), or a plain value.
+    """
+    if condition is None:
+        return True
+    if isinstance(condition, str):
+        rows = env.query(condition)
+        if not rows:
+            return False
+        value = next(iter(rows[0].values()))
+        return bool(value)
+    if isinstance(condition, WorkflowExpression):
+        result = condition.evaluate(env)
+        if isinstance(result, list):
+            return bool(result)
+        return bool(result)
+    if callable(condition):
+        return bool(condition(env))
+    return bool(condition)

@@ -1,0 +1,160 @@
+"""Process and activity instances: persisted state machines.
+
+"The enactment of a process... consists of adding the necessary tuples to
+the Process and Activity relations.  During process executions, the
+necessary data manipulation statements are issued to record in the
+database the advancement of process and activity instances" (Section VI).
+
+Both instance kinds move through ``not_started -> running -> completed``
+(Section IV-A); every transition is a row update in the core tables, so
+the full execution history is queryable with plain SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import datamodel
+from ..db.database import Database
+from ..db.expression import col
+from ..errors import EnactmentError
+
+_VALID_TRANSITIONS = {
+    datamodel.NOT_STARTED: {datamodel.RUNNING},
+    datamodel.RUNNING: {datamodel.COMPLETED},
+    datamodel.COMPLETED: set(),
+}
+
+
+def _check_transition(kind: str, row_id: int, current: str, target: str) -> None:
+    if target not in _VALID_TRANSITIONS.get(current, set()):
+        raise EnactmentError(
+            f"{kind} instance {row_id}: illegal status transition "
+            f"{current!r} -> {target!r}"
+        )
+
+
+class ProcessInstance:
+    """Handle over one row of ``ediflow_process_instance``."""
+
+    def __init__(self, database: Database, instance_id: int) -> None:
+        self._database = database
+        self.id = instance_id
+
+    # -- state -------------------------------------------------------------
+    def row(self) -> dict[str, Any]:
+        row = self._database.table(datamodel.T_PROCESS_INSTANCE).by_key(self.id)
+        if row is None:
+            raise EnactmentError(f"process instance {self.id} does not exist")
+        return row
+
+    @property
+    def status(self) -> str:
+        return self.row()["status"]
+
+    @property
+    def start_time(self) -> Optional[int]:
+        return self.row()["start"]
+
+    @property
+    def end_time(self) -> Optional[int]:
+        return self.row()["end"]
+
+    def is_running(self) -> bool:
+        return self.status == datamodel.RUNNING
+
+    def is_completed(self) -> bool:
+        return self.status == datamodel.COMPLETED
+
+    # -- transitions ---------------------------------------------------------
+    def start(self) -> int:
+        """Mark running; returns the start timestamp."""
+        _check_transition("process", self.id, self.status, datamodel.RUNNING)
+        now = self._database.tick()
+        self._database.update(
+            datamodel.T_PROCESS_INSTANCE,
+            {"status": datamodel.RUNNING, "start": now},
+            col("id") == self.id,
+        )
+        return now
+
+    def complete(self) -> int:
+        """Mark completed; returns the end timestamp."""
+        _check_transition("process", self.id, self.status, datamodel.COMPLETED)
+        now = self._database.tick()
+        self._database.update(
+            datamodel.T_PROCESS_INSTANCE,
+            {"status": datamodel.COMPLETED, "end": now},
+            col("id") == self.id,
+        )
+        return now
+
+    def activity_instances(self) -> list[dict[str, Any]]:
+        return [
+            dict(row)
+            for row in self._database.table(datamodel.T_ACTIVITY_INSTANCE).rows()
+            if row["process_instance_id"] == self.id
+        ]
+
+
+class ActivityInstance:
+    """Handle over one row of ``ediflow_activity_instance``."""
+
+    def __init__(self, database: Database, instance_id: int) -> None:
+        self._database = database
+        self.id = instance_id
+
+    def row(self) -> dict[str, Any]:
+        row = self._database.table(datamodel.T_ACTIVITY_INSTANCE).by_key(self.id)
+        if row is None:
+            raise EnactmentError(f"activity instance {self.id} does not exist")
+        return row
+
+    @property
+    def status(self) -> str:
+        return self.row()["status"]
+
+    @property
+    def start_time(self) -> Optional[int]:
+        return self.row()["start"]
+
+    @property
+    def process_instance_id(self) -> int:
+        return self.row()["process_instance_id"]
+
+    @property
+    def activity_id(self) -> int:
+        return self.row()["activity_id"]
+
+    def assign_to(self, user_id: int) -> None:
+        """Record that ``user_id`` will perform this instance.
+
+        Mirrors the paper's description of ``not_started``: "the activity
+        instance is created by a user who assigns it to another for
+        completion".
+        """
+        self._database.update(
+            datamodel.T_ACTIVITY_INSTANCE,
+            {"user_id": user_id},
+            col("id") == self.id,
+        )
+
+    def start(self) -> int:
+        _check_transition("activity", self.id, self.status, datamodel.RUNNING)
+        now = self._database.tick()
+        self._database.update(
+            datamodel.T_ACTIVITY_INSTANCE,
+            {"status": datamodel.RUNNING, "start": now},
+            col("id") == self.id,
+        )
+        return now
+
+    def complete(self) -> int:
+        _check_transition("activity", self.id, self.status, datamodel.COMPLETED)
+        now = self._database.tick()
+        self._database.update(
+            datamodel.T_ACTIVITY_INSTANCE,
+            {"status": datamodel.COMPLETED, "end": now},
+            col("id") == self.id,
+        )
+        return now

@@ -1,0 +1,348 @@
+"""Isolation between concurrent processes (Section VI-A of the paper).
+
+Three mechanisms:
+
+**Time-based isolation.**  Every tuple carries a creation timestamp; an
+instance with snapshot time ``t`` sees only tuples created at or before
+``t``.  By default the snapshot is taken at *process-instance* start
+("each process operates on exactly the data which was available when the
+process started"); activities marked ``fresh_snapshot`` re-snapshot at
+activity start (UP option 2).
+
+**Deletion tables.**  A process instance deleting from ``R`` does not
+physically remove tuples: they are recorded in ``R_deleted`` as
+``(tid, t_del, pid, process_end)``.  Queries are rewritten:
+
+* for the deleting instance ``p3``:
+  ``... WHERE tid NOT IN (SELECT tid FROM R_deleted WHERE pid = p3)``
+* for instances started at ``t0 > p3.end``:
+  ``... WHERE tid NOT IN (SELECT tid FROM R_deleted WHERE process_end < t0)``
+
+**Deferred physical deletion.**  When the deleting process ends, tuples
+are physically removed once every process instance started before that
+end has itself terminated (the ``wait`` sets of the paper).
+
+**Process/activity-based isolation** rides on provenance relationships
+(``createdBy``): :meth:`IsolationManager.own_rows` filters a relation to
+the tuples created by a given process instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+
+from ..core import datamodel
+from ..db.database import Database, Result
+from ..db.expression import Expression, col, evaluate_predicate
+from ..db.schema import CREATED_AT, TID, Column
+from ..db.sql.ast import DeleteStmt, InsertStmt, SelectStmt
+from ..db.sql.parser import parse
+from ..db.sql.planner import _Scope, lower_expr, plan_select
+from ..db.table import Table
+from ..db.types import INTEGER, TIMESTAMP
+from ..errors import IsolationError
+
+Row = dict[str, Any]
+
+
+@dataclass
+class IsolationContext:
+    """Visibility parameters of one executing instance.
+
+    ``snapshot_time=None`` means "see everything" (used by propagation
+    handlers that must observe fresh data).  ``own_tids`` maps table name
+    to the tids this process instance itself wrote -- a process always
+    sees its own writes, regardless of the snapshot.
+    """
+
+    process_instance_id: int
+    start_time: int
+    snapshot_time: Optional[int]
+    own_tids: Optional[dict[str, set[int]]] = None
+
+    @classmethod
+    def unrestricted(cls, process_instance_id: int = 0, start_time: int = 0) -> "IsolationContext":
+        return cls(process_instance_id, start_time, None)
+
+    def owns(self, table: str, tid: int) -> bool:
+        if self.own_tids is None:
+            return False
+        tids = self.own_tids.get(table)
+        return tids is not None and tid in tids
+
+    def record_own(self, table: str, tids: Iterable[int]) -> None:
+        if self.own_tids is not None:
+            self.own_tids.setdefault(table, set()).update(tids)
+
+
+class _IsolatedTable:
+    """Read-only view of a table filtered by an isolation context."""
+
+    def __init__(self, table: Table, manager: "IsolationManager", ctx: IsolationContext) -> None:
+        self._table = table
+        self._manager = manager
+        self._ctx = ctx
+        self.schema = table.schema
+        self.name = table.name
+
+    def rows(self) -> Iterator[Row]:
+        hidden = self._manager.hidden_tids(self._table.name, self._ctx)
+        snapshot = self._ctx.snapshot_time
+        ctx = self._ctx
+        name = self._table.name
+        if snapshot is None:
+            for row in self._table.rows():
+                if row[TID] not in hidden:
+                    yield row
+            return
+        # Snapshot isolation, with the instance's own writes always
+        # visible (they necessarily carry timestamps past the snapshot).
+        for row in self._table.rows():
+            tid = row[TID]
+            if tid in hidden:
+                continue
+            if row[CREATED_AT] <= snapshot or ctx.owns(name, tid):
+                yield row
+
+    def scan(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.rows())
+
+
+class _IsolatedSource:
+    """Database adapter handing out isolated tables to the planner."""
+
+    def __init__(self, manager: "IsolationManager", ctx: IsolationContext) -> None:
+        self._manager = manager
+        self._ctx = ctx
+
+    def table(self, name: str) -> Any:
+        table = self._manager.database.table(name)
+        if self._manager.is_managed(name):
+            return _IsolatedTable(table, self._manager, self._ctx)
+        return table
+
+
+class IsolationManager:
+    """Implements deletion tables, query rewriting, and deferred deletes."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._managed: set[str] = set()
+        # pid -> set of tables it deleted from (to resolve at process end)
+        self._pending_deletes: dict[int, set[str]] = {}
+        # Running process instances: pid -> start_time (maintained by engine)
+        self._running: dict[int, int] = {}
+
+    # -- registration ------------------------------------------------------
+    def manage(self, table: str) -> None:
+        """Put ``table`` under isolation management (creates ``R_deleted``)."""
+        if table in self._managed:
+            return
+        self.database.table(table)  # must exist
+        deletion = datamodel.deletion_table_name(table)
+        if not self.database.has_table(deletion):
+            self.database.create_table(
+                deletion,
+                [
+                    Column("tid", INTEGER, nullable=False),
+                    Column("t_del", TIMESTAMP, nullable=False),
+                    Column("pid", INTEGER, nullable=False),
+                    Column("process_end", TIMESTAMP),
+                ],
+            )
+        self._managed.add(table)
+
+    def is_managed(self, table: str) -> bool:
+        return table in self._managed
+
+    def managed_tables(self) -> list[str]:
+        return sorted(self._managed)
+
+    # -- engine lifecycle hooks ---------------------------------------------
+    def process_started(self, pid: int, start_time: int) -> None:
+        self._running[pid] = start_time
+
+    def process_ended(self, pid: int) -> None:
+        """Stamp the instance's deletions and attempt physical deletion."""
+        self._running.pop(pid, None)
+        end_time = self.database.tick()
+        tables = self._pending_deletes.pop(pid, set())
+        for table in tables:
+            deletion = datamodel.deletion_table_name(table)
+            self.database.update(
+                deletion, {"process_end": end_time}, col("pid") == pid
+            )
+        for table in self._managed:
+            self.collect_garbage(table)
+
+    # -- visibility ---------------------------------------------------------
+    def hidden_tids(self, table: str, ctx: IsolationContext) -> set[int]:
+        """Tids of ``table`` that ``ctx`` must not see.
+
+        A tuple is hidden when (a) this very instance deleted it, or
+        (b) the deleting process finished before this instance started.
+        """
+        if table not in self._managed:
+            return set()
+        deletion = datamodel.deletion_table_name(table)
+        hidden: set[int] = set()
+        for entry in self.database.table(deletion).scan():
+            if entry["pid"] == ctx.process_instance_id:
+                hidden.add(entry["tid"])
+            elif (
+                entry["process_end"] is not None
+                and entry["process_end"] < ctx.start_time
+            ):
+                hidden.add(entry["tid"])
+        return hidden
+
+    def visible_rows(self, table: str, ctx: IsolationContext) -> list[Row]:
+        base = self.database.table(table)
+        return list(_IsolatedTable(base, self, ctx).rows())
+
+    def own_rows(self, table: str, process_instance_id: int) -> list[Row]:
+        """Process-based isolation: tuples created by one process instance.
+
+        Resolved through provenance records ("such isolation is easily
+        enforced using relationships between the application relations and
+        the ActivityInstance table", Section VI-A).
+        """
+        prov = self.database.table(datamodel.T_PROVENANCE)
+        instances = self.database.table(datamodel.T_ACTIVITY_INSTANCE)
+        activity_ids = {
+            row["id"]
+            for row in instances.scan()
+            if row["process_instance_id"] == process_instance_id
+        }
+        tids = {
+            row["entity_tid"]
+            for row in prov.scan()
+            if row["entity_table"] == table
+            and row["activity_instance_id"] in activity_ids
+        }
+        base = self.database.table(table)
+        return [row for row in base.rows() if row[TID] in tids]
+
+    # -- statement interface --------------------------------------------------
+    def query(self, sql: str, params: Sequence[Any], ctx: IsolationContext) -> list[Row]:
+        """Run a SELECT with isolation applied at every scan."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStmt):
+            raise IsolationError("isolation.query() accepts SELECT only")
+        source = _IsolatedSource(self, ctx)
+        plan = plan_select(statement, source, params)
+        return plan.to_list(source)
+
+    def execute(self, sql: str, params: Sequence[Any], ctx: IsolationContext) -> Result:
+        """Run any statement; SELECTs are isolated, DELETEs deferred."""
+        statement = parse(sql)
+        if isinstance(statement, SelectStmt):
+            return Result(rows=self.query(sql, params, ctx))
+        if isinstance(statement, InsertStmt) and ctx.own_tids is not None:
+            # Record inserted tids so the instance sees its own writes.
+            collected: list[int] = []
+            trigger = self.database.on(
+                statement.table,
+                "insert",
+                lambda change: collected.extend(r[TID] for r in change.inserted),
+            )
+            try:
+                result = self.database.execute_statement(statement, params)
+            finally:
+                self.database.drop_trigger(trigger)
+            ctx.record_own(statement.table, collected)
+            return result
+        if isinstance(statement, DeleteStmt) and statement.table in self._managed:
+            scope = _Scope(self.database, params)
+            scope.add_table(statement.table, None)
+            where = (
+                lower_expr(statement.where, scope)
+                if statement.where is not None
+                else None
+            )
+            count = self.logical_delete(statement.table, where, ctx)
+            return Result(rowcount=count)
+        return self.database.execute_statement(statement, params)
+
+    def logical_delete(
+        self, table: str, where: Expression | None, ctx: IsolationContext
+    ) -> int:
+        """Record deletions in ``R_deleted`` instead of removing rows."""
+        if table not in self._managed:
+            raise IsolationError(f"table {table!r} is not isolation-managed")
+        base = self.database.table(table)
+        already_hidden = self.hidden_tids(table, ctx)
+        now = self.database.tick()
+        deletion = datamodel.deletion_table_name(table)
+        entries = []
+        for row in base.rows():
+            if row[TID] in already_hidden:
+                continue
+            if evaluate_predicate(where, row):
+                entries.append(
+                    {
+                        "tid": row[TID],
+                        "t_del": now,
+                        "pid": ctx.process_instance_id,
+                        "process_end": None,
+                    }
+                )
+        if entries:
+            self.database.insert_many(deletion, entries)
+            self._pending_deletes.setdefault(ctx.process_instance_id, set()).add(table)
+        return len(entries)
+
+    # -- SQL text rewriting (the paper's presentation of the mechanism) ----
+    def rewrite_select_star(self, table: str, ctx: IsolationContext) -> str:
+        """Produce the rewritten SQL of Section VI-A for ``SELECT * FROM R``.
+
+        For the deleting instance:
+            ``... WHERE __tid__ NOT IN (SELECT tid FROM R_deleted WHERE pid = <p>)``
+        For a later-started instance:
+            ``... WHERE __tid__ NOT IN (SELECT tid FROM R_deleted WHERE process_end < <t0>)``
+
+        The executable path uses :meth:`query`; this method exists so the
+        rewriting is observable/testable in the paper's own terms.
+        """
+        deletion = datamodel.deletion_table_name(table)
+        if ctx.process_instance_id in self._pending_deletes and table in self._pending_deletes[ctx.process_instance_id]:
+            return (
+                f"SELECT * FROM {table} WHERE __tid__ NOT IN "
+                f"(SELECT tid FROM {deletion} WHERE pid = {ctx.process_instance_id})"
+            )
+        return (
+            f"SELECT * FROM {table} WHERE __tid__ NOT IN "
+            f"(SELECT tid FROM {deletion} WHERE process_end < {ctx.start_time})"
+        )
+
+    # -- deferred physical deletion -----------------------------------------
+    def collect_garbage(self, table: str) -> int:
+        """Physically delete tuples whose deletion no running instance can
+        still observe; returns the number of tuples removed.
+
+        A deletion entry is collectible once its ``process_end`` is set and
+        no running process instance started before that end.
+        """
+        if table not in self._managed:
+            return 0
+        deletion = datamodel.deletion_table_name(table)
+        running_starts = list(self._running.values())
+        collectible: list[int] = []
+        entry_tids: list[int] = []
+        for entry in self.database.table(deletion).scan():
+            end = entry["process_end"]
+            if end is None:
+                continue
+            if any(start < end for start in running_starts):
+                continue  # someone may still rely on seeing the tuple
+            collectible.append(entry["tid"])
+            entry_tids.append(entry[TID])
+        if not collectible:
+            return 0
+        removed = self.database.delete_by_tids(table, collectible)
+        self.database.delete_by_tids(deletion, entry_tids)
+        return removed

@@ -1,0 +1,445 @@
+"""The EdiFlow process model (Section V, Figure 4 of the paper).
+
+A process is built from:
+
+* a configuration (database identification),
+* constants and typed variables,
+* relation declarations (persistent DBMS-hosted or temporary),
+* procedure declarations (black boxes, with optional delta handlers),
+* a structured process body -- the grammar
+  ``P ::= eps | a , P | P || P | P (+) P | e ? P``
+  i.e. sequence, AND split-join, OR split-join and conditional blocks,
+* a set of update-propagation (UP) statements describing how data deltas
+  reach activity instances.
+
+Everything here is declarative description; execution lives in
+:mod:`repro.workflow.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import SpecificationError
+
+# ---------------------------------------------------------------------------
+# Scalars: constants and variables
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A named constant: ``name value`` (Figure 4)."""
+
+    name: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A typed process variable: ``name type`` (Figure 4).
+
+    ``type_name`` is one of the engine's type names (INTEGER, FLOAT,
+    TEXT, BOOLEAN, TIMESTAMP, ANY).  ``initial`` seeds the variable at
+    instance start.
+    """
+
+    name: str
+    type_name: str = "ANY"
+    initial: Any = None
+
+
+# ---------------------------------------------------------------------------
+# Relations
+
+
+@dataclass(frozen=True)
+class RelationDecl:
+    """A relation used by the process.
+
+    ``temporary=True`` marks a memory-resident relation local to one
+    process instance: "their lifespan is restricted to that of the process
+    instance which uses them" (Section IV-B).  Persistent relations must
+    already exist in the database or carry a full column list so the
+    engine can create them.
+    """
+
+    name: str
+    columns: tuple[tuple[str, str], ...] = ()  # (attname, atttype)
+    primary_key: Optional[str] = None
+    temporary: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Activities (the leaves of the process structure)
+
+
+class Activity:
+    """Base class for activities.
+
+    ``group`` names the user group (role) that must perform the activity;
+    ``detached=True`` marks a long-lived activity (e.g. an interactive
+    visualization) that stays ``running`` after the engine moves on, until
+    explicitly finished -- the paper's use cases 4/5 in Section V depend
+    on such activities.
+    ``fresh_snapshot=True`` gives instances the freshest possible data
+    snapshot (taken at activity start instead of process start) -- UP
+    option 2 in Section V.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        group: Optional[str] = None,
+        detached: bool = False,
+        fresh_snapshot: bool = False,
+    ) -> None:
+        if not name:
+            raise SpecificationError("activity needs a non-empty name")
+        self.name = name
+        self.group = group
+        self.detached = detached
+        self.fresh_snapshot = fresh_snapshot
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Assign(Activity):
+    """``v <- alpha``: assign an expression's value to a variable."""
+
+    def __init__(
+        self,
+        name: str,
+        variable: str,
+        expression: "WorkflowExpression | Any",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        self.variable = variable
+        self.expression = expression
+
+
+class UpdateTable(Activity):
+    """``upd(R)``: a declarative SQL update/insert/delete statement.
+
+    ``params`` may reference process variables with ``$name`` values.
+    """
+
+    def __init__(self, name: str, sql: str, params: Sequence[Any] = (), **kwargs: Any) -> None:
+        super().__init__(name, **kwargs)
+        self.sql = sql
+        self.params = tuple(params)
+
+
+class RunQuery(Activity):
+    """``runQuery``: evaluate a query, store rows into a target.
+
+    The result lands in the process variable ``into_variable`` and/or is
+    appended to the relation ``into_table``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sql: str,
+        params: Sequence[Any] = (),
+        into_variable: Optional[str] = None,
+        into_table: Optional[str] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        self.sql = sql
+        self.params = tuple(params)
+        self.into_variable = into_variable
+        self.into_table = into_table
+
+
+class CallProcedure(Activity):
+    """``callFunction``: invoke a black-box procedure.
+
+    ``inputs`` are read-only relations/expressions (R_1..R_l in the
+    paper's signature), ``read_write`` the T^w tables the procedure may
+    change, and ``outputs`` the S_1..S_n tables receiving its results.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        procedure: str,
+        inputs: Sequence["WorkflowExpression | str"] = (),
+        read_write: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        options: Optional[dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        self.procedure = procedure
+        self.inputs = tuple(inputs)
+        self.read_write = tuple(read_write)
+        self.outputs = tuple(outputs)
+        self.options = dict(options or {})
+
+
+class AskUser(Activity):
+    """``askUser``: obtain a value from a human.
+
+    The engine resolves it through a pluggable responder callback (tests
+    and examples install programmatic responders), storing the answer in
+    ``variable``.
+    """
+
+    def __init__(self, name: str, prompt: str, variable: str, **kwargs: Any) -> None:
+        super().__init__(name, **kwargs)
+        self.prompt = prompt
+        self.variable = variable
+
+
+# ---------------------------------------------------------------------------
+# Structured process nodes
+
+
+class ProcessNode:
+    """Base class for structure nodes."""
+
+    def activities(self) -> list[Activity]:
+        """All activities in document order (for validation/propagation)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ActivityNode(ProcessNode):
+    activity: Activity
+
+    def activities(self) -> list[Activity]:
+        return [self.activity]
+
+
+@dataclass
+class SequenceNode(ProcessNode):
+    """``a, P`` -- generalized to an ordered list of steps."""
+
+    steps: list[ProcessNode] = field(default_factory=list)
+
+    def activities(self) -> list[Activity]:
+        out: list[Activity] = []
+        for step in self.steps:
+            out.extend(step.activities())
+        return out
+
+
+@dataclass
+class AndSplitJoin(ProcessNode):
+    """``P1 || P2 || ...`` -- all branches run; the join waits for all."""
+
+    branches: list[ProcessNode] = field(default_factory=list)
+    parallel: bool = False  # True: run branches in threads
+
+    def activities(self) -> list[Activity]:
+        out: list[Activity] = []
+        for branch in self.branches:
+            out.extend(branch.activities())
+        return out
+
+
+@dataclass
+class OrBranch:
+    """One guarded alternative of an OR split-join."""
+
+    condition: "Condition | None"
+    body: ProcessNode
+
+
+@dataclass
+class OrSplitJoin(ProcessNode):
+    """``P1 (+) P2``: "once a branch is triggered, the other is
+    invalidated and can no longer be triggered" (Section V).
+
+    The first branch whose condition holds is triggered; a ``None``
+    condition means "always eligible" (useful as a final else-branch).
+    """
+
+    branches: list[OrBranch] = field(default_factory=list)
+
+    def activities(self) -> list[Activity]:
+        out: list[Activity] = []
+        for branch in self.branches:
+            out.extend(branch.body.activities())
+        return out
+
+
+@dataclass
+class ConditionalNode(ProcessNode):
+    """``e ? P`` -- run ``body`` when the condition evaluates to true."""
+
+    condition: "Condition"
+    body: ProcessNode
+
+    def activities(self) -> list[Activity]:
+        return self.body.activities()
+
+
+#: Conditions are either SQL text evaluated to a scalar truth value, or a
+#: Python callable over the instance environment.
+Condition = Any  # str (SQL) | Callable[[ProcessEnv], bool] | WorkflowExpression
+
+
+# ---------------------------------------------------------------------------
+# Update propagation (reactive processes, Section V)
+
+#: Scope tokens, straight from the paper's UP grammar:
+#:  ta-rp  terminated activity instances, running processes
+#:  ta-tp  terminated activity instances, terminated processes
+#:  ra     running activity instances
+#:  fa-rp  future activity instances, running processes
+UP_SCOPES = ("ta-rp", "ta-tp", "ra", "fa-rp")
+
+
+@dataclass(frozen=True)
+class UpdatePropagation:
+    """One UP statement: propagate deltas on ``relation`` to ``activity``.
+
+    ``scope`` is one of :data:`UP_SCOPES`.  Several UP statements may
+    target the same (relation, activity) pair -- the paper's example is
+    ``(R, a, ra), (R, a, fa-rp)``.
+    """
+
+    relation: str
+    activity: str
+    scope: str
+
+    def __post_init__(self) -> None:
+        if self.scope not in UP_SCOPES:
+            raise SpecificationError(
+                f"unknown UP scope {self.scope!r}; expected one of {UP_SCOPES}"
+            )
+
+
+def propagate_to_future(relation: str, activities: Sequence[Activity]) -> list[UpdatePropagation]:
+    """The "macro" option 3 of Section V: propagate to all activities yet
+    to start in a running process -- expands to one fa-rp UP per activity.
+    """
+    return [UpdatePropagation(relation, a.name, "fa-rp") for a in activities]
+
+
+# ---------------------------------------------------------------------------
+# Process definition
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """DB driver/URI/user of Figure 4 -- informational in the embedded
+    engine, but parsed and kept for spec round-tripping."""
+
+    driver: str = "embedded"
+    uri: str = "memory://"
+    user: str = ""
+
+
+class ProcessDefinition:
+    """A complete reactive process: ``RP ::= <R, v, p, P, UP>``."""
+
+    def __init__(
+        self,
+        name: str,
+        body: ProcessNode,
+        relations: Sequence[RelationDecl] = (),
+        variables: Sequence[Variable] = (),
+        constants: Sequence[Constant] = (),
+        procedures: Sequence[str] = (),
+        propagations: Sequence[UpdatePropagation] = (),
+        configuration: Configuration = Configuration(),
+    ) -> None:
+        if not name:
+            raise SpecificationError("process needs a non-empty name")
+        self.name = name
+        self.body = body
+        self.relations = tuple(relations)
+        self.variables = tuple(variables)
+        self.constants = tuple(constants)
+        self.procedures = tuple(procedures)
+        self.propagations = tuple(propagations)
+        self.configuration = configuration
+        self._validate()
+
+    def _validate(self) -> None:
+        activities = self.body.activities()
+        names = [a.name for a in activities]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SpecificationError(
+                f"duplicate activity names in process {self.name!r}: {sorted(duplicates)}"
+            )
+        known = set(names)
+        for up in self.propagations:
+            if up.activity not in known:
+                raise SpecificationError(
+                    f"UP statement targets unknown activity {up.activity!r}"
+                )
+        relation_names = {r.name for r in self.relations}
+        var_names = [v.name for v in self.variables]
+        dup_vars = {n for n in var_names if var_names.count(n) > 1}
+        if dup_vars:
+            raise SpecificationError(f"duplicate variables: {sorted(dup_vars)}")
+        const_names = {c.name for c in self.constants}
+        clash = const_names & set(var_names)
+        if clash:
+            raise SpecificationError(
+                f"names used as both constant and variable: {sorted(clash)}"
+            )
+        for up in self.propagations:
+            if relation_names and up.relation not in relation_names:
+                raise SpecificationError(
+                    f"UP statement references undeclared relation {up.relation!r}"
+                )
+
+    def activity(self, name: str) -> Activity:
+        for activity in self.body.activities():
+            if activity.name == name:
+                return activity
+        raise SpecificationError(f"no activity named {name!r} in {self.name!r}")
+
+    def activity_names(self) -> list[str]:
+        return [a.name for a in self.body.activities()]
+
+    def propagations_for(self, relation: str) -> list[UpdatePropagation]:
+        return [up for up in self.propagations if up.relation == relation]
+
+    def __repr__(self) -> str:
+        return f"<ProcessDefinition {self.name!r} activities={self.activity_names()}>"
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders
+
+
+def seq(*steps: ProcessNode | Activity) -> SequenceNode:
+    """Build a sequence, lifting bare activities into nodes."""
+    return SequenceNode([_lift(s) for s in steps])
+
+
+def par(*branches: ProcessNode | Activity, parallel: bool = False) -> AndSplitJoin:
+    """Build an AND split-join."""
+    return AndSplitJoin([_lift(b) for b in branches], parallel=parallel)
+
+
+def alt(*branches: tuple[Condition, ProcessNode | Activity]) -> OrSplitJoin:
+    """Build an OR split-join from (condition, body) pairs."""
+    return OrSplitJoin([OrBranch(c, _lift(b)) for c, b in branches])
+
+
+def when(condition: Condition, body: ProcessNode | Activity) -> ConditionalNode:
+    """Build a conditional block."""
+    return ConditionalNode(condition, _lift(body))
+
+
+def _lift(node: ProcessNode | Activity) -> ProcessNode:
+    if isinstance(node, Activity):
+        return ActivityNode(node)
+    if isinstance(node, ProcessNode):
+        return node
+    raise SpecificationError(f"expected Activity or ProcessNode, got {node!r}")
+
+
+# Imported late to avoid a cycle; re-exported for convenience.
+from .expressions import WorkflowExpression  # noqa: E402  (intentional)

@@ -1,0 +1,170 @@
+"""Execution monitoring: inspect the advancement of every process.
+
+"It also may be necessary to log and allow inspecting the advancement of
+each execution of the application" (Section I).  Everything here is
+derived by querying the core instance tables -- the monitor adds no
+state of its own, so it can run against a live engine or a loaded
+snapshot equally well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core import datamodel
+from ..db.database import Database
+
+
+@dataclass(frozen=True)
+class ActivityTrace:
+    """One activity instance's recorded advancement."""
+
+    activity_instance_id: int
+    activity_name: str
+    status: str
+    start: Optional[int]
+    end: Optional[int]
+    user: Optional[str]
+
+    @property
+    def duration(self) -> Optional[int]:
+        """Logical-clock ticks from start to end (None while running)."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ProcessTrace:
+    """One process instance with its activity timeline."""
+
+    process_instance_id: int
+    process_name: str
+    status: str
+    start: Optional[int]
+    end: Optional[int]
+    activities: tuple[ActivityTrace, ...]
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+class ProcessMonitor:
+    """Read-only inspection over the core tables."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def _process_names(self) -> dict[int, str]:
+        return {
+            row["id"]: row["name"]
+            for row in self.database.table(datamodel.T_PROCESS).scan()
+        }
+
+    def _activity_names(self) -> dict[int, str]:
+        return {
+            row["id"]: row["name"]
+            for row in self.database.table(datamodel.T_ACTIVITY).scan()
+        }
+
+    def _user_names(self) -> dict[int, str]:
+        return {
+            row["id"]: row["name"]
+            for row in self.database.table(datamodel.T_USER).scan()
+        }
+
+    # ------------------------------------------------------------------
+    def trace(self, process_instance_id: int) -> ProcessTrace:
+        """Full timeline of one process instance."""
+        instance = self.database.table(datamodel.T_PROCESS_INSTANCE).by_key(
+            process_instance_id
+        )
+        if instance is None:
+            raise KeyError(f"no process instance {process_instance_id}")
+        activity_names = self._activity_names()
+        user_names = self._user_names()
+        activities = []
+        for row in self.database.table(datamodel.T_ACTIVITY_INSTANCE).rows():
+            if row["process_instance_id"] != process_instance_id:
+                continue
+            activities.append(
+                ActivityTrace(
+                    activity_instance_id=row["id"],
+                    activity_name=activity_names.get(row["activity_id"], "?"),
+                    status=row["status"],
+                    start=row["start"],
+                    end=row["end"],
+                    user=user_names.get(row["user_id"]),
+                )
+            )
+        activities.sort(key=lambda a: (a.start is None, a.start or 0))
+        return ProcessTrace(
+            process_instance_id=process_instance_id,
+            process_name=self._process_names().get(instance["process_id"], "?"),
+            status=instance["status"],
+            start=instance["start"],
+            end=instance["end"],
+            activities=tuple(activities),
+        )
+
+    def history(self, process_name: Optional[str] = None) -> list[ProcessTrace]:
+        """All process instances (optionally of one definition), oldest first."""
+        process_names = self._process_names()
+        traces = []
+        for row in self.database.table(datamodel.T_PROCESS_INSTANCE).rows():
+            name = process_names.get(row["process_id"], "?")
+            if process_name is not None and name != process_name:
+                continue
+            traces.append(self.trace(row["id"]))
+        traces.sort(key=lambda t: (t.start is None, t.start or 0))
+        return traces
+
+    def running(self) -> list[ProcessTrace]:
+        """Process instances currently running."""
+        return [t for t in self.history() if t.status == datamodel.RUNNING]
+
+    # ------------------------------------------------------------------
+    def activity_statistics(self) -> dict[str, dict[str, Any]]:
+        """Per activity name: instance count and duration statistics."""
+        activity_names = self._activity_names()
+        durations: dict[str, list[int]] = {}
+        counts: dict[str, int] = {}
+        for row in self.database.table(datamodel.T_ACTIVITY_INSTANCE).scan():
+            name = activity_names.get(row["activity_id"], "?")
+            counts[name] = counts.get(name, 0) + 1
+            if row["start"] is not None and row["end"] is not None:
+                durations.setdefault(name, []).append(row["end"] - row["start"])
+        out: dict[str, dict[str, Any]] = {}
+        for name, count in counts.items():
+            spans = durations.get(name, [])
+            out[name] = {
+                "instances": count,
+                "completed": len(spans),
+                "mean_duration": sum(spans) / len(spans) if spans else None,
+                "max_duration": max(spans) if spans else None,
+            }
+        return out
+
+    def format_trace(self, process_instance_id: int) -> str:
+        """Human-readable timeline (for logs and REPL inspection)."""
+        trace = self.trace(process_instance_id)
+        lines = [
+            f"process {trace.process_name!r} instance {trace.process_instance_id}: "
+            f"{trace.status}"
+            + (f" (t={trace.start}..{trace.end})" if trace.start is not None else "")
+        ]
+        for activity in trace.activities:
+            span = ""
+            if activity.start is not None:
+                end = activity.end if activity.end is not None else "…"
+                span = f" t={activity.start}..{end}"
+            who = f" by {activity.user}" if activity.user else ""
+            lines.append(
+                f"  [{activity.status:<11}] {activity.activity_name}{span}{who}"
+            )
+        return "\n".join(lines)

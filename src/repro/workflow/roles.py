@@ -1,0 +1,95 @@
+"""Users, groups, and role assignment.
+
+"An activity must be performed by a different group of users (one can
+also see a group as a role to be played within the process)" and
+"individual users may belong to one or several groups" (Section IV-A).
+This module manages those relations and enforces the role check when an
+activity instance is assigned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core import datamodel
+from ..db.database import Database
+from ..errors import WorkflowError
+
+
+class RoleManager:
+    """CRUD over the user/group tables plus the assignment check."""
+
+    def __init__(self, database: Database, allocator: datamodel.IdAllocator) -> None:
+        self._database = database
+        self._allocator = allocator
+
+    # -- groups ------------------------------------------------------------
+    def create_group(self, name: str) -> int:
+        gid = self._allocator.next_id(datamodel.T_GROUP)
+        self._database.insert(datamodel.T_GROUP, {"id": gid, "name": name})
+        return gid
+
+    def group_id(self, name: str) -> Optional[int]:
+        for row in self._database.table(datamodel.T_GROUP).scan():
+            if row["name"] == name:
+                return row["id"]
+        return None
+
+    def ensure_group(self, name: str) -> int:
+        existing = self.group_id(name)
+        return existing if existing is not None else self.create_group(name)
+
+    # -- users -------------------------------------------------------------
+    def create_user(self, name: str, password: str | None = None) -> int:
+        uid = self._allocator.next_id(datamodel.T_USER)
+        self._database.insert(
+            datamodel.T_USER, {"id": uid, "name": name, "password": password}
+        )
+        return uid
+
+    def user_id(self, name: str) -> Optional[int]:
+        for row in self._database.table(datamodel.T_USER).scan():
+            if row["name"] == name:
+                return row["id"]
+        return None
+
+    def ensure_user(self, name: str, password: str | None = None) -> int:
+        existing = self.user_id(name)
+        return existing if existing is not None else self.create_user(name, password)
+
+    def add_to_group(self, user_id: int, group_id: int) -> None:
+        for row in self._database.table(datamodel.T_USER_GROUP).scan():
+            if row["user_id"] == user_id and row["group_id"] == group_id:
+                return  # already a member
+        self._database.insert(
+            datamodel.T_USER_GROUP, {"user_id": user_id, "group_id": group_id}
+        )
+
+    def groups_of(self, user_id: int) -> set[int]:
+        return {
+            row["group_id"]
+            for row in self._database.table(datamodel.T_USER_GROUP).scan()
+            if row["user_id"] == user_id
+        }
+
+    def members_of(self, group_id: int) -> set[int]:
+        return {
+            row["user_id"]
+            for row in self._database.table(datamodel.T_USER_GROUP).scan()
+            if row["group_id"] == group_id
+        }
+
+    # -- the role check ------------------------------------------------------
+    def check_assignment(self, user_id: int, group_id: Optional[int]) -> None:
+        """Raise unless ``user_id`` may perform activities of ``group_id``."""
+        if group_id is None:
+            return  # unconstrained activity
+        if group_id not in self.groups_of(user_id):
+            user = self._database.table(datamodel.T_USER).by_key(user_id)
+            group = self._database.table(datamodel.T_GROUP).by_key(group_id)
+            user_name = user["name"] if user else user_id
+            group_name = group["name"] if group else group_id
+            raise WorkflowError(
+                f"user {user_name!r} is not a member of group {group_name!r} "
+                "required by this activity"
+            )

@@ -1,0 +1,470 @@
+"""XML process specifications.
+
+"EdiFlow processes are specified in a simple XML syntax, closely
+resembling the XML WfMC syntax XPDL" (Section VI-D).  This module parses
+that syntax into :class:`~repro.workflow.model.ProcessDefinition` objects
+and serializes definitions back to XML (round-trip tested).
+
+Example::
+
+    <process name="elections">
+      <configuration driver="embedded" uri="memory://" user="analyst"/>
+      <constant name="min_votes" type="INTEGER" value="100"/>
+      <variable name="party" type="TEXT" initial="DEM"/>
+      <relation name="votes" primaryKey="id">
+        <column name="id" type="INTEGER"/>
+        <column name="state" type="TEXT"/>
+        <column name="count" type="INTEGER"/>
+      </relation>
+      <function name="aggregate" classpath="myapp.procs:AggregateVotes"/>
+      <body>
+        <sequence>
+          <activity name="ask" type="askUser" prompt="Party?" variable="party"/>
+          <activity name="agg" type="callFunction" procedure="aggregate">
+            <input table="votes"/>
+            <output table="votes_agg"/>
+          </activity>
+        </sequence>
+      </body>
+      <propagation relation="votes" activity="agg" scope="ra"/>
+    </process>
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Optional
+from xml.etree import ElementTree as ET
+
+from ..errors import SpecificationError
+from .model import (
+    Activity,
+    ActivityNode,
+    AndSplitJoin,
+    AskUser,
+    Assign,
+    CallProcedure,
+    ConditionalNode,
+    Configuration,
+    Constant,
+    OrBranch,
+    OrSplitJoin,
+    ProcessDefinition,
+    ProcessNode,
+    RelationDecl,
+    RunQuery,
+    SequenceNode,
+    UpdatePropagation,
+    UpdateTable,
+    Variable,
+)
+from .procedures import Procedure, ProcedureRegistry
+
+
+def _typed_value(text: Optional[str], type_name: str) -> Any:
+    if text is None:
+        return None
+    upper = type_name.upper()
+    if upper in ("INTEGER", "INT", "TIMESTAMP"):
+        return int(text)
+    if upper in ("FLOAT", "REAL", "DOUBLE"):
+        return float(text)
+    if upper in ("BOOLEAN", "BOOL"):
+        return text.strip().lower() in ("true", "1", "yes")
+    return text
+
+
+def _bool_attr(element: ET.Element, name: str, default: bool = False) -> bool:
+    raw = element.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("true", "1", "yes")
+
+
+def parse_process(xml_text: str) -> ProcessDefinition:
+    """Parse an XML process specification."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SpecificationError(f"invalid process XML: {exc}") from None
+    return parse_process_element(root)
+
+
+def parse_process_file(path: str) -> ProcessDefinition:
+    with open(path, encoding="utf-8") as infile:
+        return parse_process(infile.read())
+
+
+def parse_process_element(root: ET.Element) -> ProcessDefinition:
+    if root.tag != "process":
+        raise SpecificationError(f"expected <process>, found <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise SpecificationError("<process> needs a name attribute")
+
+    configuration = Configuration()
+    config_el = root.find("configuration")
+    if config_el is not None:
+        configuration = Configuration(
+            driver=config_el.get("driver", "embedded"),
+            uri=config_el.get("uri", "memory://"),
+            user=config_el.get("user", ""),
+        )
+
+    constants = []
+    for el in root.findall("constant"):
+        cname = el.get("name")
+        if not cname:
+            raise SpecificationError("<constant> needs a name")
+        ctype = el.get("type", "TEXT")
+        constants.append(Constant(cname, _typed_value(el.get("value"), ctype)))
+
+    variables = []
+    for el in root.findall("variable"):
+        vname = el.get("name")
+        if not vname:
+            raise SpecificationError("<variable> needs a name")
+        vtype = el.get("type", "ANY")
+        variables.append(
+            Variable(vname, vtype, initial=_typed_value(el.get("initial"), vtype))
+        )
+
+    relations = []
+    for el in root.findall("relation"):
+        rname = el.get("name")
+        if not rname:
+            raise SpecificationError("<relation> needs a name")
+        columns = tuple(
+            (c.get("name", ""), c.get("type", "ANY")) for c in el.findall("column")
+        )
+        for cname, _ in columns:
+            if not cname:
+                raise SpecificationError(f"relation {rname!r}: column needs a name")
+        relations.append(
+            RelationDecl(
+                name=rname,
+                columns=columns,
+                primary_key=el.get("primaryKey"),
+                temporary=_bool_attr(el, "temporary"),
+            )
+        )
+
+    procedures = []
+    classpaths: dict[str, str] = {}
+    for el in root.findall("function"):
+        fname = el.get("name")
+        if not fname:
+            raise SpecificationError("<function> needs a name")
+        procedures.append(fname)
+        classpath = el.get("classpath")
+        if classpath:
+            classpaths[fname] = classpath
+
+    body_el = root.find("body")
+    if body_el is None or len(body_el) != 1:
+        raise SpecificationError("<process> needs a <body> with exactly one child")
+    body = _parse_node(body_el[0])
+
+    propagations = []
+    for el in root.findall("propagation"):
+        relation = el.get("relation")
+        activity = el.get("activity")
+        scope = el.get("scope")
+        if not (relation and activity and scope):
+            raise SpecificationError(
+                "<propagation> needs relation, activity and scope attributes"
+            )
+        propagations.append(UpdatePropagation(relation, activity, scope))
+
+    definition = ProcessDefinition(
+        name=name,
+        body=body,
+        relations=relations,
+        variables=variables,
+        constants=constants,
+        procedures=procedures,
+        propagations=propagations,
+        configuration=configuration,
+    )
+    definition.classpaths = classpaths  # type: ignore[attr-defined]
+    return definition
+
+
+def _parse_node(element: ET.Element) -> ProcessNode:
+    tag = element.tag
+    if tag == "sequence":
+        return SequenceNode([_parse_node(child) for child in element])
+    if tag in ("and-split-join", "and"):
+        return AndSplitJoin(
+            [_parse_node(child) for child in element],
+            parallel=_bool_attr(element, "parallel"),
+        )
+    if tag in ("or-split-join", "or"):
+        branches = []
+        for child in element:
+            if child.tag != "branch":
+                raise SpecificationError(
+                    f"<{tag}> children must be <branch>, found <{child.tag}>"
+                )
+            if len(child) != 1:
+                raise SpecificationError("<branch> needs exactly one child node")
+            branches.append(OrBranch(child.get("condition"), _parse_node(child[0])))
+        return OrSplitJoin(branches)
+    if tag == "if":
+        condition = element.get("condition")
+        if condition is None:
+            raise SpecificationError("<if> needs a condition attribute")
+        if len(element) != 1:
+            raise SpecificationError("<if> needs exactly one child node")
+        return ConditionalNode(condition, _parse_node(element[0]))
+    if tag == "activity":
+        return ActivityNode(_parse_activity(element))
+    raise SpecificationError(f"unknown process node <{tag}>")
+
+
+def _parse_activity(element: ET.Element) -> Activity:
+    name = element.get("name")
+    if not name:
+        raise SpecificationError("<activity> needs a name")
+    kind = element.get("type")
+    common = {
+        "group": element.get("group"),
+        "detached": _bool_attr(element, "detached"),
+        "fresh_snapshot": _bool_attr(element, "freshSnapshot"),
+    }
+    if kind == "askUser":
+        prompt = element.get("prompt", "")
+        variable = element.get("variable")
+        if not variable:
+            raise SpecificationError(f"askUser activity {name!r} needs a variable")
+        return AskUser(name, prompt, variable, **common)
+    if kind == "assign":
+        variable = element.get("variable")
+        if not variable:
+            raise SpecificationError(f"assign activity {name!r} needs a variable")
+        vtype = element.get("valueType", "TEXT")
+        return Assign(name, variable, _typed_value(element.get("value"), vtype), **common)
+    if kind == "update":
+        sql = element.get("sql") or (element.text or "").strip()
+        if not sql:
+            raise SpecificationError(f"update activity {name!r} needs sql")
+        params = tuple(p.get("value", "") for p in element.findall("param"))
+        return UpdateTable(name, sql, params, **common)
+    if kind == "runQuery":
+        sql = element.get("sql") or (element.text or "").strip()
+        if not sql:
+            raise SpecificationError(f"runQuery activity {name!r} needs sql")
+        params = tuple(p.get("value", "") for p in element.findall("param"))
+        return RunQuery(
+            name,
+            sql,
+            params,
+            into_variable=element.get("intoVariable"),
+            into_table=element.get("intoTable"),
+            **common,
+        )
+    if kind == "callFunction":
+        procedure = element.get("procedure")
+        if not procedure:
+            raise SpecificationError(
+                f"callFunction activity {name!r} needs a procedure"
+            )
+        inputs = tuple(i.get("table", "") for i in element.findall("input"))
+        outputs = tuple(o.get("table", "") for o in element.findall("output"))
+        read_write = tuple(
+            rw.get("table", "") for rw in element.findall("readWrite")
+        )
+        return CallProcedure(
+            name,
+            procedure,
+            inputs=inputs,
+            read_write=read_write,
+            outputs=outputs,
+            **common,
+        )
+    raise SpecificationError(f"unknown activity type {kind!r} for {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Serialization (definition -> XML)
+
+
+def serialize_process(definition: ProcessDefinition) -> str:
+    """Serialize a definition back to the XML syntax (round-trippable for
+    definitions expressible in the XML subset)."""
+    root = ET.Element("process", {"name": definition.name})
+    config = definition.configuration
+    ET.SubElement(
+        root,
+        "configuration",
+        {"driver": config.driver, "uri": config.uri, "user": config.user},
+    )
+    for constant in definition.constants:
+        ET.SubElement(
+            root,
+            "constant",
+            {
+                "name": constant.name,
+                "type": _python_type_name(constant.value),
+                "value": "" if constant.value is None else str(constant.value),
+            },
+        )
+    for variable in definition.variables:
+        attrs = {"name": variable.name, "type": variable.type_name}
+        if variable.initial is not None:
+            attrs["initial"] = str(variable.initial)
+        ET.SubElement(root, "variable", attrs)
+    for relation in definition.relations:
+        rel_el = ET.SubElement(root, "relation", {"name": relation.name})
+        if relation.primary_key:
+            rel_el.set("primaryKey", relation.primary_key)
+        if relation.temporary:
+            rel_el.set("temporary", "true")
+        for cname, ctype in relation.columns:
+            ET.SubElement(rel_el, "column", {"name": cname, "type": ctype})
+    for proc in definition.procedures:
+        ET.SubElement(root, "function", {"name": proc})
+    body_el = ET.SubElement(root, "body")
+    body_el.append(_serialize_node(definition.body))
+    for up in definition.propagations:
+        ET.SubElement(
+            root,
+            "propagation",
+            {"relation": up.relation, "activity": up.activity, "scope": up.scope},
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _python_type_name(value: Any) -> str:
+    if isinstance(value, bool):
+        return "BOOLEAN"
+    if isinstance(value, int):
+        return "INTEGER"
+    if isinstance(value, float):
+        return "FLOAT"
+    return "TEXT"
+
+
+def _serialize_node(node: ProcessNode) -> ET.Element:
+    if isinstance(node, SequenceNode):
+        el = ET.Element("sequence")
+        for step in node.steps:
+            el.append(_serialize_node(step))
+        return el
+    if isinstance(node, AndSplitJoin):
+        el = ET.Element("and-split-join")
+        if node.parallel:
+            el.set("parallel", "true")
+        for branch in node.branches:
+            el.append(_serialize_node(branch))
+        return el
+    if isinstance(node, OrSplitJoin):
+        el = ET.Element("or-split-join")
+        for branch in node.branches:
+            branch_el = ET.SubElement(el, "branch")
+            if isinstance(branch.condition, str):
+                branch_el.set("condition", branch.condition)
+            branch_el.append(_serialize_node(branch.body))
+        return el
+    if isinstance(node, ConditionalNode):
+        el = ET.Element("if")
+        if isinstance(node.condition, str):
+            el.set("condition", node.condition)
+        el.append(_serialize_node(node.body))
+        return el
+    if isinstance(node, ActivityNode):
+        return _serialize_activity(node.activity)
+    raise SpecificationError(f"cannot serialize node {node!r}")
+
+
+def _serialize_activity(activity: Activity) -> ET.Element:
+    el = ET.Element("activity", {"name": activity.name})
+    if activity.group:
+        el.set("group", activity.group)
+    if activity.detached:
+        el.set("detached", "true")
+    if activity.fresh_snapshot:
+        el.set("freshSnapshot", "true")
+    if isinstance(activity, AskUser):
+        el.set("type", "askUser")
+        el.set("prompt", activity.prompt)
+        el.set("variable", activity.variable)
+    elif isinstance(activity, Assign):
+        el.set("type", "assign")
+        el.set("variable", activity.variable)
+        el.set("value", str(activity.expression))
+        el.set("valueType", _python_type_name(activity.expression))
+    elif isinstance(activity, UpdateTable):
+        el.set("type", "update")
+        el.set("sql", activity.sql)
+        for param in activity.params:
+            ET.SubElement(el, "param", {"value": str(param)})
+    elif isinstance(activity, RunQuery):
+        el.set("type", "runQuery")
+        el.set("sql", activity.sql)
+        if activity.into_variable:
+            el.set("intoVariable", activity.into_variable)
+        if activity.into_table:
+            el.set("intoTable", activity.into_table)
+        for param in activity.params:
+            ET.SubElement(el, "param", {"value": str(param)})
+    elif isinstance(activity, CallProcedure):
+        el.set("type", "callFunction")
+        el.set("procedure", activity.procedure)
+        for table in activity.inputs:
+            if isinstance(table, str):
+                ET.SubElement(el, "input", {"table": table})
+        for table in activity.read_write:
+            ET.SubElement(el, "readWrite", {"table": table})
+        for table in activity.outputs:
+            ET.SubElement(el, "output", {"table": table})
+    else:
+        raise SpecificationError(f"cannot serialize activity {activity!r}")
+    return el
+
+
+# ---------------------------------------------------------------------------
+# Classpath loading (the OSGi-flavored part of Section VI-D)
+
+
+def load_procedures(
+    definition: ProcessDefinition, registry: ProcedureRegistry
+) -> list[str]:
+    """Import and register procedures declared with a ``classpath``.
+
+    A classpath is ``package.module:ClassName``; the class must subclass
+    :class:`~repro.workflow.procedures.Procedure` and be constructible
+    with no arguments.  Returns the names registered.
+    """
+    registered = []
+    classpaths = getattr(definition, "classpaths", {})
+    for name, classpath in classpaths.items():
+        if name in registry:
+            continue
+        module_name, _, class_name = classpath.partition(":")
+        if not class_name:
+            raise SpecificationError(
+                f"classpath {classpath!r} must look like module:ClassName"
+            )
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise SpecificationError(
+                f"cannot import module {module_name!r}: {exc}"
+            ) from None
+        try:
+            cls = getattr(module, class_name)
+        except AttributeError:
+            raise SpecificationError(
+                f"module {module_name!r} has no attribute {class_name!r}"
+            ) from None
+        if not (isinstance(cls, type) and issubclass(cls, Procedure)):
+            raise SpecificationError(
+                f"{classpath!r} is not a Procedure subclass"
+            )
+        instance = cls()
+        instance.name = name
+        registry.register(instance, name=name)
+        registered.append(name)
+    return registered

@@ -1,0 +1,120 @@
+"""Co-publications application: generator, edge table, layout graph."""
+
+import pytest
+
+from repro.apps import copub
+from repro.db import Database
+from repro.vis import LinLogLayout
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    copub.install_schema(database)
+    return database
+
+
+class TestGenerator:
+    def test_author_population(self):
+        gen = copub.CopublicationGenerator(n_authors=100, n_teams=10, seed=1)
+        assert len(gen.authors) == 100
+        teams = {a["team"] for a in gen.authors}
+        assert len(teams) == 10
+        centers = {a["center"] for a in gen.authors}
+        assert centers <= set(copub.RESEARCH_CENTERS)
+
+    def test_publications_have_authors(self):
+        gen = copub.CopublicationGenerator(n_authors=50, n_teams=5, seed=2)
+        for pub in gen.take(20):
+            assert len(pub.authors) >= 1
+            assert len(set(pub.authors)) == len(pub.authors)
+            assert all(1 <= a <= 50 for a in pub.authors)
+
+    def test_publication_ids_sequential(self):
+        gen = copub.CopublicationGenerator(n_authors=30, n_teams=3, seed=3)
+        pubs = gen.take(10)
+        assert [p.publication_id for p in pubs] == list(range(1, 11))
+
+    def test_deterministic(self):
+        a = copub.CopublicationGenerator(n_authors=30, n_teams=3, seed=4).take(5)
+        b = copub.CopublicationGenerator(n_authors=30, n_teams=3, seed=4).take(5)
+        assert [p.authors for p in a] == [p.authors for p in b]
+
+    def test_productivity_skew(self):
+        gen = copub.CopublicationGenerator(n_authors=200, n_teams=10, seed=5)
+        pubs = gen.take(400)
+        counts = {}
+        for pub in pubs:
+            for author in pub.authors:
+                counts[author] = counts.get(author, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        # Preferential attachment: top author far above median.
+        assert ordered[0] >= 3 * ordered[len(ordered) // 2]
+
+
+class TestDatabaseLoading:
+    def test_load_and_edges(self, db):
+        gen = copub.CopublicationGenerator(n_authors=60, n_teams=6, seed=6)
+        pubs = copub.load_into_database(db, gen, n_publications=40)
+        assert len(pubs) == 40
+        assert len(db.table(copub.T_AUTHOR)) == 60
+        assert len(db.table(copub.T_PUBLICATION)) == 40
+        edges = list(db.table(copub.T_EDGE).rows())
+        assert edges
+        for edge in edges:
+            assert edge["source"] < edge["target"]
+            assert edge["weight"] >= 1
+
+    def test_edge_weights_count_copublications(self, db):
+        copub.install_schema(db)
+        db.insert_many(
+            copub.T_AUTHORSHIP,
+            [
+                {"publication_id": 1, "author_id": 1},
+                {"publication_id": 1, "author_id": 2},
+                {"publication_id": 2, "author_id": 1},
+                {"publication_id": 2, "author_id": 2},
+                {"publication_id": 2, "author_id": 3},
+            ],
+        )
+        copub.refresh_edges(db)
+        edges = {
+            (e["source"], e["target"]): e["weight"]
+            for e in db.table(copub.T_EDGE).rows()
+        }
+        assert edges[(1, 2)] == 2
+        assert edges[(1, 3)] == 1
+        assert edges[(2, 3)] == 1
+
+    def test_graph_from_database(self, db):
+        gen = copub.CopublicationGenerator(n_authors=40, n_teams=4, seed=7)
+        copub.load_into_database(db, gen, n_publications=30)
+        graph = copub.graph_from_database(db)
+        assert len(graph) > 0
+        assert graph.edge_count == len(db.table(copub.T_EDGE))
+
+
+class TestGraphBuilding:
+    def test_incremental_equals_batch(self):
+        gen = copub.CopublicationGenerator(n_authors=50, n_teams=5, seed=8)
+        pubs = gen.take(30)
+        batch_graph = copub.build_graph(pubs)
+        incremental = copub.build_graph(pubs[:15])
+        incremental = copub.build_graph(pubs[15:], graph=incremental)
+        assert sorted(batch_graph.nodes()) == sorted(incremental.nodes())
+        batch_edges = {(min(u, v), max(u, v)): w for u, v, w in batch_graph.edges()}
+        incr_edges = {(min(u, v), max(u, v)): w for u, v, w in incremental.edges()}
+        assert batch_edges == incr_edges
+
+    def test_layout_integration(self):
+        gen = copub.CopublicationGenerator(n_authors=40, n_teams=4, seed=9)
+        graph = copub.build_graph(gen.take(25))
+        layout = LinLogLayout(graph, seed=1)
+        result = layout.run(max_iterations=100)
+        assert len(result.positions) == len(graph)
+
+    def test_connected_authors(self):
+        gen = copub.CopublicationGenerator(n_authors=40, n_teams=4, seed=10)
+        graph = copub.build_graph(gen.take(10))
+        assert copub.connected_authors(graph) <= len(graph)
+        assert copub.connected_authors(graph) > 0

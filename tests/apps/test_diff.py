@@ -1,0 +1,123 @@
+"""Myers diff: correctness, minimality, contribution tracking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.diff import EditOp, annotate_contributions, diff, diff_stats
+
+tokens = st.lists(st.sampled_from("abcde"), max_size=25)
+
+
+def reconstruct(a, b, ops):
+    out = []
+    for op in ops:
+        if op.kind == "equal":
+            out.extend(a[op.old_start : op.old_end])
+        elif op.kind == "insert":
+            out.extend(b[op.new_start : op.new_end])
+    return out
+
+
+class TestBasics:
+    def test_identical(self):
+        ops = diff(list("abc"), list("abc"))
+        assert [op.kind for op in ops] == ["equal"]
+
+    def test_empty_both(self):
+        assert diff([], []) == []
+
+    def test_insert_into_empty(self):
+        ops = diff([], list("ab"))
+        assert ops == [EditOp("insert", 0, 0, 0, 2)]
+
+    def test_delete_all(self):
+        ops = diff(list("ab"), [])
+        assert ops == [EditOp("delete", 0, 2, 0, 0)]
+
+    def test_kitten_sitting(self):
+        equal, inserted, deleted = diff_stats(list("kitten"), list("sitting"))
+        assert equal == 4
+        assert inserted == 3
+        assert deleted == 2
+
+    def test_ops_coalesced(self):
+        ops = diff(list("aaaa"), list("aabbaa"))
+        # Adjacent inserts merge into one op.
+        inserts = [op for op in ops if op.kind == "insert"]
+        assert len(inserts) == 1
+        assert inserts[0].length == 2
+
+
+class TestProperties:
+    @given(tokens, tokens)
+    @settings(max_examples=150, deadline=None)
+    def test_reconstruction(self, a, b):
+        assert reconstruct(a, b, diff(a, b)) == b
+
+    @given(tokens, tokens)
+    @settings(max_examples=150, deadline=None)
+    def test_covers_old_sequence(self, a, b):
+        covered = []
+        for op in diff(a, b):
+            if op.kind in ("equal", "delete"):
+                covered.extend(range(op.old_start, op.old_end))
+        assert covered == list(range(len(a)))
+
+    @given(tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_stats_balance(self, a, b):
+        equal, inserted, deleted = diff_stats(a, b)
+        assert equal + deleted == len(a)
+        assert equal + inserted == len(b)
+
+    @given(tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_self_diff_is_pure_equality(self, a):
+        equal, inserted, deleted = diff_stats(a, a)
+        assert (equal, inserted, deleted) == (len(a), 0, 0)
+
+    @given(tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_minimality_vs_difflib(self, a, b):
+        # Myers produces a minimal script; difflib's is a valid script, so
+        # ours must never be longer.
+        import difflib
+
+        _equal, inserted, deleted = diff_stats(a, b)
+        matcher = difflib.SequenceMatcher(a=a, b=b, autojunk=False)
+        lib_equal = sum(size for _i, _j, size in matcher.get_matching_blocks())
+        assert inserted + deleted <= (len(a) - lib_equal) + (len(b) - lib_equal)
+
+
+class TestContributions:
+    def test_survivors_keep_author(self):
+        old = list("abc")
+        authors = [1, 2, 3]
+        new = list("axbc")
+        out = annotate_contributions(old, authors, new, author=9)
+        assert out == [1, 9, 2, 3]
+
+    def test_full_rewrite(self):
+        out = annotate_contributions(list("ab"), [1, 1], list("xy"), author=2)
+        assert out == [2, 2]
+
+    def test_first_version(self):
+        out = annotate_contributions([], [], list("ab"), author=5)
+        assert out == [5, 5]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            annotate_contributions(list("ab"), [1], list("ab"), 2)
+
+    @given(tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_output_length_matches_new(self, a, b):
+        out = annotate_contributions(a, [0] * len(a), b, author=1)
+        assert len(out) == len(b)
+
+    @given(tokens, tokens)
+    @settings(max_examples=100, deadline=None)
+    def test_authors_only_from_old_or_new(self, a, b):
+        out = annotate_contributions(a, [0] * len(a), b, author=1)
+        assert set(out) <= {0, 1}

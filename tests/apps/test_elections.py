@@ -1,0 +1,172 @@
+"""US-elections application: feed, aggregation, treemap, full process."""
+
+import pytest
+
+from repro.apps import elections
+from repro.db import Database
+from repro.workflow import PropagationManager, WorkflowEngine
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    elections.install_schema(database)
+    return database
+
+
+class TestReturnsFeed:
+    def test_batches_cover_all_states_eventually(self):
+        feed = elections.ReturnsFeed(seed=1)
+        states = set()
+        for batch in feed.batches():
+            states.update(r["state"] for r in batch.rows)
+        assert states == {s for s, _p in elections.STATES}
+
+    def test_vote_rows_well_formed(self):
+        feed = elections.ReturnsFeed(seed=2)
+        batch = next(feed.batches())
+        for row in batch.rows:
+            assert row["party"] in elections.PARTIES
+            assert row["votes"] >= 0
+        ids = [r["id"] for r in batch.rows]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic(self):
+        a = next(elections.ReturnsFeed(seed=3).batches())
+        b = next(elections.ReturnsFeed(seed=3).batches())
+        assert a.rows == b.rows
+
+
+class TestAggregation:
+    def run_aggregate(self, db, rows):
+        proc = elections.AggregateVotes()
+        db.insert_many(elections.T_VOTES, rows)
+
+        class FakeEnv:
+            database = db
+
+        proc._upsert(
+            db,
+            self.totals(rows),
+        )
+        return proc
+
+    @staticmethod
+    def totals(rows):
+        out = {}
+        for row in rows:
+            per = out.setdefault(row["state"], {"DEM": 0, "REP": 0})
+            per[row["party"]] += row["votes"]
+        return out
+
+    def test_margins_computed(self, db):
+        rows = [
+            {"id": 1, "state": "CA", "party": "DEM", "votes": 60},
+            {"id": 2, "state": "CA", "party": "REP", "votes": 40},
+        ]
+        self.run_aggregate(db, rows)
+        agg = db.table(elections.T_AGG).by_key("CA")
+        assert agg["dem"] == 60
+        assert agg["margin"] == pytest.approx(0.2)
+
+    def test_upsert_accumulates(self, db):
+        proc = elections.AggregateVotes()
+        proc._upsert(db, {"TX": {"DEM": 10, "REP": 20}})
+        proc._upsert(db, {"TX": {"DEM": 5, "REP": 0}})
+        agg = db.table(elections.T_AGG).by_key("TX")
+        assert (agg["dem"], agg["rep"]) == (15, 20)
+
+
+class TestTreemap:
+    def test_states_without_data_are_neutral(self, db):
+        items = elections.compute_treemap([], "DEM")
+        assert len(items) == len(elections.STATES)
+        assert all(i.color == "#cccccc" for i in items)
+
+    def test_reported_states_shaded(self, db):
+        agg = [
+            {"state": "CA", "dem": 80, "rep": 20, "margin": 0.6, "population": 39},
+        ]
+        items = {i.obj_id: i for i in elections.compute_treemap(agg, "DEM")}
+        assert items["CA"].color != "#cccccc"
+        assert "80%" in items["CA"].label
+
+    def test_area_tracks_population(self, db):
+        items = {i.obj_id: i for i in elections.compute_treemap([], "DEM")}
+        ca = items["CA"]
+        wy = items["WY"]
+        assert ca.width * ca.height > wy.width * wy.height
+
+
+class TestNestedTreemap:
+    def test_regions_partition_states(self):
+        all_states = [s for states in elections.REGIONS.values() for s in states]
+        assert sorted(all_states) == sorted(s for s, _p in elections.STATES)
+
+    def test_nested_items_structure(self):
+        items = elections.compute_nested_treemap([], "DEM")
+        regions = [i for i in items if str(i.obj_id).startswith("region:")]
+        leaves = [i for i in items if not str(i.obj_id).startswith("region:")]
+        assert len(regions) == 4
+        assert len(leaves) == len(elections.STATES)
+
+    def test_leaves_inside_their_region(self):
+        items = elections.compute_nested_treemap([], "DEM", padding=2.0)
+        by_id = {i.obj_id: i for i in items}
+        for region, states in elections.REGIONS.items():
+            frame = by_id[f"region:{region}"]
+            for state in states:
+                leaf = by_id[state]
+                assert leaf.x >= frame.x - 1e-6
+                assert leaf.y >= frame.y - 1e-6
+                assert leaf.x + leaf.width <= frame.x + frame.width + 1e-6
+                assert leaf.y + leaf.height <= frame.y + frame.height + 1e-6
+
+    def test_reported_state_shaded(self):
+        agg = [{"state": "CA", "dem": 70, "rep": 30, "margin": 0.4, "population": 39}]
+        items = {i.obj_id: i for i in elections.compute_nested_treemap(agg, "DEM")}
+        assert items["CA"].color not in ("#cccccc", "#eeeeee")
+        assert items["TX"].color == "#cccccc"
+
+
+class TestFullProcess:
+    def test_election_night(self, db):
+        engine = WorkflowEngine(db)
+        propagation = PropagationManager(engine)
+        engine.procedures.register(elections.AggregateVotes())
+        engine.procedures.register(elections.TreemapVotes())
+        definition = elections.build_process()
+        engine.deploy(definition)
+
+        feed = elections.ReturnsFeed(seed=4, total_minutes=10)
+        batches = list(feed.batches())
+        # Early returns arrive before the process starts.
+        db.insert_many(elections.T_VOTES, batches[0].rows)
+        execution = engine.run("us-elections")
+        assert execution.instance.is_running()  # visualization is detached
+        agg_after_start = {
+            r["state"]: r["dem"] + r["rep"]
+            for r in db.query(f"SELECT * FROM {elections.T_AGG}")
+        }
+        assert agg_after_start  # first batch aggregated
+
+        # Election night continues: more returns arrive, the running
+        # process reacts through its delta handlers.
+        for batch in batches[1:4]:
+            db.insert_many(elections.T_VOTES, batch.rows)
+        total_votes = db.query(
+            f"SELECT SUM(votes) AS s FROM {elections.T_VOTES}"
+        )[0]["s"]
+        agg_total = db.query(
+            f"SELECT SUM(dem) AS d, SUM(rep) AS r FROM {elections.T_AGG}"
+        )[0]
+        assert agg_total["d"] + agg_total["r"] == total_votes
+
+        # The visualization refreshed on each delta batch.
+        vis_proc = engine.procedures.instantiate("treemap_votes")
+        reported = [i for i in vis_proc.last_items if i.color != "#cccccc"]
+        assert reported
+
+        scopes = {entry.scope for entry in propagation.log}
+        assert "ra" in scopes
+        engine.close(execution)

@@ -1,0 +1,175 @@
+"""INRIA activity reports: generation, parsing, ingestion, statistics."""
+
+import pytest
+
+from repro.apps import reports
+from repro.db import Database
+from repro.errors import SpecificationError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    reports.install_schema(database)
+    return database
+
+
+@pytest.fixture
+def generator():
+    return reports.ReportGenerator(n_teams=4, seed=7)
+
+
+class TestGenerator:
+    def test_one_report_per_team_year(self, generator):
+        all_reports = list(generator.reports(2005, 2007))
+        assert len(all_reports) == 4 * 3
+        keys = {(r.team, r.year) for r in all_reports}
+        assert len(keys) == len(all_reports)
+
+    def test_members_sampled_from_roster(self, generator):
+        report = next(generator.reports(2005, 2005))
+        assert 3 <= len(report.members) <= 12
+        for member in report.members:
+            assert member.name
+            assert 1950 <= member.birth_year <= 1990
+
+    def test_names_are_noisy_across_years(self, generator):
+        names = set()
+        for report in generator.reports(2005, 2008):
+            names.update(m.name for m in report.members)
+        # Noise styles produce variants: more surface forms than people.
+        people = sum(len(r) for r in generator._rosters.values())
+        assert len(names) > people / 2
+
+    def test_deterministic(self):
+        a = list(reports.ReportGenerator(n_teams=2, seed=3).reports(2005, 2006))
+        b = list(reports.ReportGenerator(n_teams=2, seed=3).reports(2005, 2006))
+        assert [(r.team, r.year, r.publications) for r in a] == [
+            (r.team, r.year, r.publications) for r in b
+        ]
+
+
+class TestXmlRoundTrip:
+    def test_to_xml_parse_round_trip(self, generator):
+        report = next(generator.reports(2005, 2005))
+        xml = generator.to_xml(report)
+        parsed = reports.parse_report(xml)
+        assert parsed.team == report.team
+        assert parsed.year == report.year
+        assert parsed.publications == report.publications
+        assert [m.name for m in parsed.members] == [m.name for m in report.members]
+        assert [m.birth_year for m in parsed.members] == [
+            m.birth_year for m in report.members
+        ]
+
+    def test_parse_errors(self):
+        with pytest.raises(SpecificationError, match="invalid report XML"):
+            reports.parse_report("<raweb")
+        with pytest.raises(SpecificationError, match="expected <raweb>"):
+            reports.parse_report("<other/>")
+        with pytest.raises(SpecificationError, match="team and year"):
+            reports.parse_report("<raweb team='x'/>")
+        with pytest.raises(SpecificationError, match="member"):
+            reports.parse_report(
+                "<raweb team='x' year='2005'><members><member/></members></raweb>"
+            )
+
+
+class TestIngestion:
+    def test_ingest_creates_rows(self, db, generator):
+        ingestor = reports.ReportIngestor(db)
+        report = next(generator.reports(2005, 2005))
+        report_id = ingestor.ingest(report)
+        assert db.table(reports.T_REPORT).by_key(report_id) is not None
+        assert len(db.table(reports.T_TEAM)) == 1
+        assert len(db.table(reports.T_MEMBERSHIP)) == len(report.members)
+
+    def test_ingest_xml(self, db, generator):
+        ingestor = reports.ReportIngestor(db)
+        report = next(generator.reports(2005, 2005))
+        ingestor.ingest_xml(generator.to_xml(report))
+        assert ingestor.reports_ingested == 1
+
+    def test_entity_resolution_dedups_members(self, db, generator):
+        """The headline property: across years, the same person under
+        noisy name variants resolves to one member row."""
+        ingestor = reports.ReportIngestor(db)
+        for report in generator.reports(2005, 2008):
+            ingestor.ingest(report)
+        stored = len(db.table(reports.T_MEMBER))
+        surface_forms = set()
+        for report in reports.ReportGenerator(n_teams=4, seed=7).reports(2005, 2008):
+            surface_forms.update(m.name for m in report.members)
+        roster_size = sum(len(r) for r in generator._rosters.values())
+        assert stored < len(surface_forms)  # merged variants
+        # Close to the true roster (collisions across teams may merge
+        # genuinely distinct same-named people; tolerate some slack).
+        assert stored <= roster_size
+        assert stored >= roster_size * 0.5
+
+    def test_teams_reused_across_years(self, db, generator):
+        ingestor = reports.ReportIngestor(db)
+        for report in generator.reports(2005, 2006):
+            ingestor.ingest(report)
+        assert len(db.table(reports.T_TEAM)) == 4
+
+
+class TestStatistics:
+    @pytest.fixture
+    def loaded(self, db, generator):
+        ingestor = reports.ReportIngestor(db)
+        for report in generator.reports(2005, 2007):
+            ingestor.ingest(report)
+        return db
+
+    def test_reports_by_center(self, loaded):
+        stats = reports.compute_statistics(loaded)
+        total = sum(stats["reports_by_center"].values())
+        assert total == 4 * 3
+
+    def test_publications_by_team_positive(self, loaded):
+        stats = reports.compute_statistics(loaded)
+        assert len(stats["publications_by_team"]) == 4
+        assert all(v > 0 for v in stats["publications_by_team"].values())
+
+    def test_age_distribution_buckets(self, loaded):
+        stats = reports.compute_statistics(loaded, as_of_year=2010)
+        assert stats["age_distribution"]
+        for bucket in stats["age_distribution"]:
+            assert bucket.endswith("s")
+
+    def test_members_by_team(self, loaded):
+        stats = reports.compute_statistics(loaded)
+        assert len(stats["members_by_team"]) == 4
+        assert all(v >= 3 for v in stats["members_by_team"].values())
+
+    def test_stats_materialized(self, loaded):
+        reports.compute_statistics(loaded)
+        rows = loaded.query(f"SELECT * FROM {reports.T_STATS}")
+        assert rows
+        kinds = {r["stat"] for r in rows}
+        assert "reports_by_center" in kinds
+        assert "age_distribution" in kinds
+
+    def test_recompute_replaces(self, loaded):
+        reports.compute_statistics(loaded)
+        first = len(loaded.query(f"SELECT * FROM {reports.T_STATS}"))
+        reports.compute_statistics(loaded)
+        second = len(loaded.query(f"SELECT * FROM {reports.T_STATS}"))
+        assert first == second  # idempotent, not accumulating
+
+    def test_incremental_year_arrival(self, db, generator):
+        """New report files arrive -> re-ingest + recompute reflects them
+        (the 'self-maintained application' loop)."""
+        ingestor = reports.ReportIngestor(db)
+        for report in generator.reports(2005, 2006):
+            ingestor.ingest(report)
+        before = reports.compute_statistics(db)
+        for report in generator.reports(2007, 2007):
+            ingestor.ingest(report)
+        after = reports.compute_statistics(db)
+        assert sum(after["reports_by_center"].values()) == (
+            sum(before["reports_by_center"].values()) + 4
+        )
+        for team, pubs in before["publications_by_team"].items():
+            assert after["publications_by_team"][team] >= pubs

@@ -1,0 +1,144 @@
+"""String similarity and the person matcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.similarity import (
+    PersonMatcher,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    person_similarity,
+)
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("flaw", "lawn") == 2
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("same", "same") == 0
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(words, words)
+    @settings(max_examples=60, deadline=None)
+    def test_similarity_normalized(self, a, b):
+        s = levenshtein_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert levenshtein_similarity(a, a) == 1.0
+
+
+class TestJaro:
+    def test_known_values(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+        assert jaro("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+        assert jaro("", "abc") == 0.0
+        assert jaro("abc", "abc") == 1.0
+
+    def test_winkler_boosts_prefix(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+        # No common prefix: no boost.
+        assert jaro_winkler("abc", "xbc") == jaro("abc", "xbc")
+
+    def test_winkler_known_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_bad_prefix_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler("a", "b", prefix_scale=0.5)
+
+    @given(words, words)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_and_symmetry(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+        assert jaro_winkler(a, b) >= jaro(a, b) - 1e-12
+
+
+class TestPersonSimilarity:
+    def test_identical(self):
+        assert person_similarity("Jean Martin", "Jean Martin") == 1.0
+
+    def test_case_and_punctuation_insensitive(self):
+        assert person_similarity("JEAN MARTIN", "Jean Martin") == 1.0
+        assert person_similarity("Jean-Martin", "Jean Martin") == 1.0
+
+    def test_inverted_order(self):
+        assert person_similarity("Martin, Jean", "Jean Martin") > 0.9
+
+    def test_initials(self):
+        assert person_similarity("J. Martin", "Jean Martin") > 0.85
+
+    def test_different_people(self):
+        assert person_similarity("Jean Martin", "Sophie Dubois") < 0.6
+
+    def test_same_family_different_given(self):
+        similar = person_similarity("Jean Martin", "Jean Martin")
+        different = person_similarity("Jean Martin", "Paul Martin")
+        assert different < similar
+
+    def test_empty(self):
+        assert person_similarity("", "Jean") == 0.0
+
+
+class TestPersonMatcher:
+    def test_exact_reuse(self):
+        matcher = PersonMatcher()
+        a = matcher.resolve("Jean Martin")
+        b = matcher.resolve("Jean Martin")
+        assert a == b
+        assert len(matcher) == 1
+
+    def test_noisy_variants_merge(self):
+        matcher = PersonMatcher()
+        canonical = matcher.resolve("Jean Martin")
+        assert matcher.resolve("J. Martin") == canonical
+        assert matcher.resolve("Martin, Jean") == canonical
+        assert matcher.resolve("JEAN MARTIN") == canonical
+        assert len(matcher) == 1
+        assert matcher.merges >= 2
+
+    def test_distinct_people_kept_apart(self):
+        matcher = PersonMatcher()
+        a = matcher.resolve("Jean Martin")
+        b = matcher.resolve("Sophie Dubois")
+        c = matcher.resolve("Luc Leroy")
+        assert len({a, b, c}) == 3
+
+    def test_display_name_prefers_longest(self):
+        matcher = PersonMatcher()
+        pid = matcher.resolve("J. Martin")
+        matcher.resolve("Jean Martin")
+        assert matcher.name_of(pid) == "Jean Martin"
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PersonMatcher(threshold=0.0)
+
+    def test_known_names_listing(self):
+        matcher = PersonMatcher()
+        matcher.resolve("Ann B")
+        matcher.resolve("Cy D")
+        names = matcher.known_names()
+        assert len(names) == 2
+        assert names[0][0] < names[1][0]

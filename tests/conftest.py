@@ -1,0 +1,24 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.db import Database
+from repro.workflow import PropagationManager, WorkflowEngine
+
+
+@pytest.fixture
+def db():
+    """A fresh empty database."""
+    return Database("test")
+
+
+@pytest.fixture
+def engine(db):
+    """A workflow engine (installs the core schema)."""
+    return WorkflowEngine(db)
+
+
+@pytest.fixture
+def propagation(engine):
+    """A propagation manager attached to the engine."""
+    return PropagationManager(engine)

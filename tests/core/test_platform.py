@@ -1,0 +1,124 @@
+"""The EdiFlow facade: wiring, XML deployment, snapshots."""
+
+import pytest
+
+from repro import EdiFlow
+from repro.workflow import Procedure
+
+
+class Doubler(Procedure):
+    name = "doubler"
+
+    def run(self, env, inputs, read_write):
+        return [[{"v": r["v"] * 2} for r in inputs[0]]]
+
+
+PROCESS_XML = """
+<process name="double">
+  <relation name="src">
+    <column name="v" type="INTEGER"/>
+  </relation>
+  <function name="doubler"/>
+  <body>
+    <sequence>
+      <activity name="c" type="callFunction" procedure="doubler">
+        <input table="src"/>
+        <output table="dst"/>
+      </activity>
+    </sequence>
+  </body>
+</process>
+"""
+
+
+class TestFacade:
+    def test_sql_passthrough(self):
+        platform = EdiFlow()
+        platform.execute("CREATE TABLE t (a INTEGER)")
+        platform.execute("INSERT INTO t (a) VALUES (1), (2)")
+        assert platform.query("SELECT COUNT(*) AS n FROM t")[0]["n"] == 2
+
+    def test_deploy_and_run_xml_process(self):
+        platform = EdiFlow()
+        platform.execute("CREATE TABLE dst (v INTEGER)")
+        platform.procedures.register(Doubler())
+        definition = platform.deploy_xml(PROCESS_XML)
+        assert definition.name == "double"
+        platform.execute("INSERT INTO src (v) VALUES (1), (2), (3)")
+        platform.run("double")
+        values = sorted(r["v"] for r in platform.query("SELECT * FROM dst"))
+        assert values == [2, 4, 6]
+
+    def test_deploy_xml_file(self, tmp_path):
+        path = tmp_path / "proc.xml"
+        path.write_text(PROCESS_XML)
+        platform = EdiFlow()
+        platform.execute("CREATE TABLE dst (v INTEGER)")
+        platform.procedures.register(Doubler())
+        definition = platform.deploy_xml_file(path)
+        assert definition.name == "double"
+
+    def test_views_wiring(self):
+        from repro.vis import VisualItem
+
+        platform = EdiFlow()
+        vis = platform.views.visualizations.create_visualization("v")
+        comp = platform.views.visualizations.create_component(vis, "scatter")
+        platform.views.publish(comp, [VisualItem(obj_id=1, x=0.0, y=0.0)])
+        view = platform.views.add_view("laptop", comp)
+        assert len(view.display) == 1
+        platform.shutdown()
+
+    def test_materialized_views_wiring(self):
+        from repro.db import AggSpec, col
+        from repro.ivm import AggregateView
+
+        platform = EdiFlow()
+        platform.execute("CREATE TABLE votes (state TEXT, n INTEGER)")
+        view = platform.materialized.register(
+            AggregateView(
+                "agg", "votes", ["state"], [AggSpec("SUM", col("n"), "total")]
+            )
+        )
+        platform.execute("INSERT INTO votes (state, n) VALUES ('CA', 5)")
+        assert view.group("CA")["total"] == 5
+
+    def test_save_and_load(self, tmp_path):
+        platform = EdiFlow(name="snap")
+        platform.execute("CREATE TABLE t (a INTEGER)")
+        platform.execute("INSERT INTO t (a) VALUES (7)")
+        path = tmp_path / "state.jsonl"
+        rows = platform.save(path)
+        assert rows > 0  # includes core tables content
+        restored = EdiFlow.load(path)
+        assert restored.query("SELECT a FROM t") == [{"a": 7}]
+
+    def test_run_with_kwargs(self):
+        from repro.workflow import AskUser, ProcessDefinition, Variable, seq
+
+        platform = EdiFlow()
+        definition = ProcessDefinition(
+            "ask",
+            seq(AskUser("q", "name?", "name")),
+            variables=[Variable("name")],
+        )
+        platform.deploy(definition)
+        execution = platform.run("ask", responder=lambda p, v: "zoe")
+        assert execution.variables["name"] == "zoe"
+
+    def test_process_history_survives_snapshot(self, tmp_path):
+        from repro.core import datamodel
+        from repro.workflow import ProcessDefinition, UpdateTable, seq
+
+        platform = EdiFlow()
+        platform.execute("CREATE TABLE t (a INTEGER)")
+        definition = ProcessDefinition("p", seq(UpdateTable("u", "DELETE FROM t")))
+        platform.deploy(definition)
+        platform.run("p")
+        path = tmp_path / "state.jsonl"
+        platform.save(path)
+        restored = EdiFlow.load(path)
+        instances = restored.query(
+            f"SELECT status FROM {datamodel.T_PROCESS_INSTANCE}"
+        )
+        assert instances[0]["status"] == "completed"

@@ -1,0 +1,234 @@
+"""Relational algebra operators against a small database."""
+
+import pytest
+
+from repro.db import AggSpec, Column, Database, col
+from repro.db.algebra import (
+    Aggregate,
+    Difference,
+    Distinct,
+    HashJoin,
+    KeepAll,
+    Limit,
+    MapRows,
+    Product,
+    Project,
+    RowSource,
+    Scan,
+    Select,
+    Sort,
+    Union,
+)
+from repro.db.types import INTEGER, TEXT
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "emp",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", TEXT),
+            Column("dept", TEXT),
+            Column("salary", INTEGER),
+        ],
+        primary_key="id",
+    )
+    database.create_table(
+        "dept",
+        [Column("dept", TEXT, nullable=False), Column("city", TEXT)],
+    )
+    rows = [
+        (1, "ann", "eng", 100),
+        (2, "bob", "eng", 80),
+        (3, "cat", "ops", 70),
+        (4, "dan", "ops", None),
+        (5, "eve", "hr", 90),
+    ]
+    for rid, name, dept, salary in rows:
+        database.insert("emp", {"id": rid, "name": name, "dept": dept, "salary": salary})
+    database.insert("dept", {"dept": "eng", "city": "paris"})
+    database.insert("dept", {"dept": "ops", "city": "lyon"})
+    return database
+
+
+def names(rows):
+    return sorted(r["name"] for r in rows)
+
+
+class TestScanSelectProject:
+    def test_scan(self, db):
+        assert len(Scan("emp").to_list(db)) == 5
+
+    def test_select(self, db):
+        plan = Select(Scan("emp"), col("salary") > 75)
+        assert names(plan.rows(db)) == ["ann", "bob", "eve"]
+
+    def test_select_null_dropped(self, db):
+        plan = Select(Scan("emp"), col("salary") < 1000)
+        assert "dan" not in names(plan.rows(db))  # NULL salary filtered
+
+    def test_project_computed(self, db):
+        plan = Project(Scan("emp"), [("double", col("salary") * 2)])
+        values = sorted(
+            (r["double"] for r in plan.rows(db)),
+            key=lambda v: (v is None, v if v is not None else 0),
+        )
+        assert values == [140, 160, 180, 200, None]
+
+    def test_project_empty_items_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            Project(Scan("emp"), [])
+
+    def test_keepall_strips_hidden(self, db):
+        row = KeepAll(Scan("emp")).to_list(db)[0]
+        assert all(not k.startswith("__") for k in row)
+
+    def test_fluent_builders(self, db):
+        plan = Scan("emp").where(col("dept") == "eng").project("name")
+        assert names(plan.rows(db)) == ["ann", "bob"]
+
+
+class TestJoins:
+    def test_product_size(self, db):
+        assert len(Product(Scan("emp"), Scan("dept")).to_list(db)) == 10
+
+    def test_hash_join_inner(self, db):
+        plan = HashJoin(Scan("emp"), Scan("dept"), "dept", "dept")
+        rows = plan.to_list(db)
+        assert len(rows) == 4  # hr has no dept row
+        assert all("city" in r for r in rows)
+
+    def test_hash_join_left(self, db):
+        plan = HashJoin(Scan("emp"), Scan("dept"), "dept", "dept", how="left")
+        rows = plan.to_list(db)
+        assert len(rows) == 5
+        eve = next(r for r in rows if r["name"] == "eve")
+        assert eve["city"] is None
+
+    def test_join_null_key_never_matches(self, db):
+        db.insert("emp", {"id": 6, "name": "nul", "dept": None, "salary": 1})
+        plan = HashJoin(Scan("emp"), Scan("dept"), "dept", "dept")
+        assert "nul" not in names(plan.rows(db))
+
+    def test_bad_join_type(self, db):
+        with pytest.raises(DatabaseError):
+            HashJoin(Scan("emp"), Scan("dept"), "dept", "dept", how="full")
+
+
+class TestAggregate:
+    def test_group_by_sum_count(self, db):
+        plan = Aggregate(
+            Scan("emp"),
+            ["dept"],
+            [
+                AggSpec("SUM", col("salary"), "total"),
+                AggSpec("COUNT", None, "n"),
+                AggSpec("COUNT", col("salary"), "n_salaried"),
+            ],
+        )
+        by_dept = {r["dept"]: r for r in plan.rows(db)}
+        assert by_dept["eng"]["total"] == 180
+        assert by_dept["ops"]["total"] == 70  # NULL ignored by SUM
+        assert by_dept["ops"]["n"] == 2  # COUNT(*) counts all rows
+        assert by_dept["ops"]["n_salaried"] == 1
+
+    def test_min_max_avg(self, db):
+        plan = Aggregate(
+            Scan("emp"),
+            [],
+            [
+                AggSpec("MIN", col("salary"), "lo"),
+                AggSpec("MAX", col("salary"), "hi"),
+                AggSpec("AVG", col("salary"), "mean"),
+            ],
+        )
+        row = plan.to_list(db)[0]
+        assert row["lo"] == 70
+        assert row["hi"] == 100
+        assert row["mean"] == pytest.approx(85.0)
+
+    def test_global_aggregate_on_empty_input(self, db):
+        plan = Aggregate(
+            Select(Scan("emp"), col("dept") == "nope"),
+            [],
+            [AggSpec("COUNT", None, "n"), AggSpec("SUM", col("salary"), "s")],
+        )
+        row = plan.to_list(db)[0]
+        assert row["n"] == 0
+        assert row["s"] is None
+
+    def test_having(self, db):
+        plan = Aggregate(
+            Scan("emp"),
+            ["dept"],
+            [AggSpec("COUNT", None, "n")],
+            having=col("n") >= 2,
+        )
+        assert sorted(r["dept"] for r in plan.rows(db)) == ["eng", "ops"]
+
+    def test_invalid_spec(self):
+        with pytest.raises(DatabaseError):
+            AggSpec("SUM", None, "x")
+        with pytest.raises(DatabaseError):
+            AggSpec("MEDIAN", col("a"), "x")
+
+
+class TestOrderingAndSlicing:
+    def test_sort_asc_desc(self, db):
+        plan = Sort(Scan("emp"), [("salary", False)])
+        rows = plan.to_list(db)
+        assert rows[0]["name"] == "ann"
+        assert rows[-1]["name"] == "dan"  # NULLs last when descending
+
+    def test_sort_nulls_first_ascending(self, db):
+        rows = Sort(Scan("emp"), [("salary", True)]).to_list(db)
+        assert rows[0]["name"] == "dan"
+
+    def test_multi_key_sort_stable(self, db):
+        rows = Sort(Scan("emp"), [("dept", True), ("salary", False)]).to_list(db)
+        assert [r["name"] for r in rows[:2]] == ["ann", "bob"]
+
+    def test_limit_offset(self, db):
+        plan = Limit(Sort(Scan("emp"), [("id", True)]), 2, offset=1)
+        assert [r["id"] for r in plan.rows(db)] == [2, 3]
+
+    def test_limit_past_end(self, db):
+        assert Limit(Scan("emp"), 100, offset=10).to_list(db) == []
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            Limit(Scan("emp"), -1)
+
+
+class TestSetOperations:
+    def test_distinct(self, db):
+        plan = Distinct(Project(Scan("emp"), [("dept", col("dept"))]))
+        assert sorted(r["dept"] for r in plan.rows(db)) == ["eng", "hr", "ops"]
+
+    def test_union_all_vs_set(self, db):
+        depts = Project(Scan("emp"), [("dept", col("dept"))])
+        assert len(Union(depts, depts, all=True).to_list(db)) == 10
+        assert len(Union(depts, depts, all=False).to_list(db)) == 3
+
+    def test_difference(self, db):
+        all_depts = Project(Scan("emp"), [("dept", col("dept"))])
+        eng = Select(all_depts, col("dept") == "eng")
+        rest = Difference(all_depts, eng)
+        assert sorted(r["dept"] for r in rest.rows(db)) == ["hr", "ops"]
+
+
+class TestMisc:
+    def test_row_source(self, db):
+        plan = Select(RowSource([{"v": 1}, {"v": 5}]), col("v") > 2)
+        assert plan.to_list(db) == [{"v": 5}]
+
+    def test_map_rows(self, db):
+        plan = MapRows(RowSource([{"v": 1}]), lambda r: {"v": r["v"] + 1})
+        assert plan.to_list(db) == [{"v": 2}]
+
+    def test_base_tables(self, db):
+        plan = HashJoin(Scan("emp"), Select(Scan("dept"), col("city") == "x"), "dept", "dept")
+        assert plan.base_tables() == {"emp", "dept"}

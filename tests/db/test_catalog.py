@@ -1,0 +1,70 @@
+"""System catalog views."""
+
+import pytest
+
+from repro.db import Column, Database, ForeignKey
+from repro.db.catalog import (
+    catalog_columns,
+    catalog_foreign_keys,
+    catalog_tables,
+    catalog_triggers,
+)
+from repro.db.types import INTEGER, TEXT
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "person",
+        [Column("id", INTEGER, nullable=False), Column("name", TEXT, default="?")],
+        primary_key="id",
+    )
+    database.create_table(
+        "pet",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("owner", INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("owner", "person", "id")],
+    )
+    database.insert("person", {"id": 1, "name": "ann"})
+    return database
+
+
+def test_catalog_tables(db):
+    rows = {r["table_name"]: r for r in catalog_tables(db)}
+    assert rows["person"]["row_count"] == 1
+    assert rows["person"]["primary_key"] == "id"
+    assert rows["pet"]["column_count"] == 2
+
+
+def test_catalog_columns(db):
+    rows = [r for r in catalog_columns(db) if r["table_name"] == "person"]
+    assert [(r["column_name"], r["type"]) for r in rows] == [
+        ("id", "INTEGER"),
+        ("name", "TEXT"),
+    ]
+    assert rows[0]["nullable"] is False
+    assert rows[1]["default"] == "?"
+
+
+def test_catalog_foreign_keys(db):
+    rows = catalog_foreign_keys(db)
+    assert rows == [
+        {
+            "table_name": "pet",
+            "column_name": "owner",
+            "ref_table": "person",
+            "ref_column": "id",
+        }
+    ]
+
+
+def test_catalog_triggers(db):
+    db.on("person", ("insert", "delete"), lambda ch: None, name="audit")
+    rows = catalog_triggers(db)
+    assert rows[0]["trigger_name"] == "audit"
+    assert rows[0]["events"] == "insert,delete"
+    assert rows[0]["enabled"] is True

@@ -1,0 +1,57 @@
+"""EXPLAIN output: plan trees render every operator."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept TEXT, salary INTEGER)"
+    )
+    database.execute("CREATE TABLE d (dept TEXT, city TEXT)")
+    return database
+
+
+class TestExplain:
+    def test_point_lookup_shows_index_scan(self, db):
+        text = db.explain("SELECT * FROM emp WHERE id = 5")
+        assert "IndexScan emp.id = 5" in text
+
+    def test_full_pipeline(self, db):
+        text = db.explain(
+            "SELECT dept, COUNT(*) AS n FROM emp WHERE salary > 10 "
+            "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 3"
+        )
+        for operator in ("Limit", "Sort", "Project", "Aggregate", "Select", "Scan"):
+            assert operator in text
+        assert "COUNT(...) AS n" in text
+
+    def test_join_plan(self, db):
+        text = db.explain(
+            "SELECT e.id, d.city FROM emp e JOIN d ON e.dept = d.dept"
+        )
+        assert "HashJoin e.dept = d.dept (inner)" in text
+        assert "Scan emp AS e" in text
+
+    def test_union_plan(self, db):
+        text = db.explain("SELECT dept FROM emp UNION ALL SELECT dept FROM d")
+        assert "Union ALL" in text
+
+    def test_distinct_aggregate_marked(self, db):
+        text = db.explain("SELECT COUNT(DISTINCT dept) AS n FROM emp")
+        assert "COUNT(DISTINCT ...) AS n" in text
+
+    def test_indentation_reflects_tree(self, db):
+        text = db.explain("SELECT * FROM emp WHERE salary > 1")
+        lines = text.splitlines()
+        assert lines[0].startswith("KeepAll")
+        assert lines[1].startswith("  Select")
+        assert lines[2].startswith("    Scan")
+
+    def test_explain_rejects_mutations(self, db):
+        with pytest.raises(DatabaseError):
+            db.explain("DELETE FROM emp")

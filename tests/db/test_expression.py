@@ -1,0 +1,163 @@
+"""Expression evaluation, including SQL three-valued logic."""
+
+import pytest
+
+from repro.db.expression import (
+    And,
+    Arithmetic,
+    Comparison,
+    FunctionCall,
+    InList,
+    InSet,
+    IsNull,
+    Lambda,
+    Literal,
+    Negate,
+    Not,
+    Or,
+    col,
+    evaluate_predicate,
+    wrap,
+)
+from repro.errors import UnknownColumnError
+
+ROW = {"a": 5, "b": None, "s": "Hello", "t.q": 9}
+
+
+class TestBasics:
+    def test_literal(self):
+        assert Literal(7).eval({}) == 7
+
+    def test_column(self):
+        assert col("a").eval(ROW) == 5
+
+    def test_qualified_column_fallback(self):
+        # 't.q' resolves directly; 'x.a' falls back to plain 'a'.
+        assert col("t.q").eval(ROW) == 9
+        assert col("x.a").eval(ROW) == 5
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            col("zz").eval(ROW)
+
+    def test_wrap_idempotent(self):
+        expr = col("a")
+        assert wrap(expr) is expr
+        assert wrap(3).eval({}) == 3
+
+    def test_columns_tracking(self):
+        expr = (col("a") + col("b")) > col("c")
+        assert expr.columns() == {"a", "b", "c"}
+
+
+class TestComparisons:
+    def test_operators(self):
+        assert (col("a") == 5).eval(ROW) is True
+        assert (col("a") != 5).eval(ROW) is False
+        assert (col("a") < 6).eval(ROW) is True
+        assert (col("a") >= 5).eval(ROW) is True
+
+    def test_null_propagates(self):
+        assert (col("b") == 5).eval(ROW) is None
+        assert (col("b") != 5).eval(ROW) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("~~", Literal(1), Literal(2))
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        t, f, n = Literal(True), Literal(False), Literal(None)
+        # NULL handling follows SQL: F AND NULL = F, T AND NULL = NULL.
+        assert And(f, n).eval({}) is False
+        assert And(n, f).eval({}) is False
+        assert And(t, n).eval({}) is None
+        assert And(t, t).eval({}) is True
+
+    def test_or_truth_table(self):
+        t, f, n = Literal(True), Literal(False), Literal(None)
+        assert Or(t, n).eval({}) is True
+        assert Or(n, t).eval({}) is True
+        assert Or(f, n).eval({}) is None
+        assert Or(f, f).eval({}) is False
+
+    def test_not(self):
+        assert Not(Literal(True)).eval({}) is False
+        assert Not(Literal(None)).eval({}) is None
+
+    def test_predicate_keeps_only_true(self):
+        assert evaluate_predicate(Literal(None), {}) is False
+        assert evaluate_predicate(Literal(True), {}) is True
+        assert evaluate_predicate(None, {}) is True  # no predicate
+
+
+class TestArithmetic:
+    def test_ops(self):
+        assert (col("a") + 1).eval(ROW) == 6
+        assert (col("a") - 1).eval(ROW) == 4
+        assert (col("a") * 2).eval(ROW) == 10
+        assert (col("a") / 2).eval(ROW) == 2.5
+        assert Arithmetic("%", col("a"), Literal(3)).eval(ROW) == 2
+
+    def test_null_propagates(self):
+        assert (col("b") + 1).eval(ROW) is None
+
+    def test_division_by_zero_is_null(self):
+        assert (col("a") / 0).eval(ROW) is None
+        assert Arithmetic("%", col("a"), Literal(0)).eval(ROW) is None
+
+    def test_negate(self):
+        assert Negate(col("a")).eval(ROW) == -5
+        assert Negate(col("b")).eval(ROW) is None
+
+
+class TestMembership:
+    def test_in_list(self):
+        assert InList(col("a"), [1, 5, 9]).eval(ROW) is True
+        assert InList(col("a"), [1, 2], negate=True).eval(ROW) is True
+        assert InList(col("b"), [1]).eval(ROW) is None
+
+    def test_in_list_unhashable_values(self):
+        expr = InList(Literal([1]), [[1], [2]])
+        assert expr.eval({}) is True
+
+    def test_in_set(self):
+        assert InSet(col("a"), {5}).eval(ROW) is True
+        assert InSet(col("a"), {6}, negate=True).eval(ROW) is True
+        assert InSet(col("b"), {1}).eval(ROW) is None
+
+    def test_is_null(self):
+        assert IsNull(col("b")).eval(ROW) is True
+        assert IsNull(col("a")).eval(ROW) is False
+        assert IsNull(col("b"), negate=True).eval(ROW) is False
+
+    def test_builders(self):
+        assert col("a").is_in([5]).eval(ROW) is True
+        assert col("b").is_null().eval(ROW) is True
+        assert col("a").is_not_null().eval(ROW) is True
+
+
+class TestFunctions:
+    def test_scalar_functions(self):
+        assert FunctionCall("ABS", [Literal(-3)]).eval({}) == 3
+        assert FunctionCall("LOWER", [col("s")]).eval(ROW) == "hello"
+        assert FunctionCall("UPPER", [col("s")]).eval(ROW) == "HELLO"
+        assert FunctionCall("LENGTH", [col("s")]).eval(ROW) == 5
+        assert FunctionCall("ROUND", [Literal(2.7)]).eval({}) == 3
+
+    def test_coalesce(self):
+        expr = FunctionCall("COALESCE", [col("b"), Literal(9)])
+        assert expr.eval(ROW) == 9
+
+    def test_null_in_plain_function(self):
+        assert FunctionCall("ABS", [col("b")]).eval(ROW) is None
+
+    def test_unknown_function(self):
+        with pytest.raises(ValueError):
+            FunctionCall("NOPE", [])
+
+    def test_lambda(self):
+        expr = Lambda(lambda row: row["a"] * 10, columns=["a"])
+        assert expr.eval(ROW) == 50
+        assert expr.columns() == {"a"}

@@ -1,0 +1,93 @@
+"""Hash and sorted index behavior."""
+
+import pytest
+
+from repro.db.index import HashIndex, SortedIndex
+from repro.errors import ConstraintViolation
+
+
+class TestHashIndex:
+    def test_add_lookup_remove(self):
+        idx = HashIndex("t", ("k",))
+        idx.add(1, {"k": "a"})
+        idx.add(2, {"k": "a"})
+        assert idx.lookup("a") == {1, 2}
+        idx.remove(1, {"k": "a"})
+        assert idx.lookup("a") == {2}
+
+    def test_lookup_missing_is_empty(self):
+        idx = HashIndex("t", ("k",))
+        assert idx.lookup("nope") == frozenset()
+
+    def test_unique_rejects_duplicates(self):
+        idx = HashIndex("t", ("k",), unique=True)
+        idx.add(1, {"k": "a"})
+        with pytest.raises(ConstraintViolation):
+            idx.add(2, {"k": "a"})
+
+    def test_unique_allows_nulls(self):
+        idx = HashIndex("t", ("k",), unique=True)
+        idx.add(1, {"k": None})
+        idx.add(2, {"k": None})  # NULLs never collide
+        assert len(idx) == 2
+
+    def test_composite_keys(self):
+        idx = HashIndex("t", ("a", "b"))
+        idx.add(1, {"a": 1, "b": 2})
+        assert idx.lookup_tuple((1, 2)) == {1}
+        assert idx.lookup_tuple((2, 1)) == frozenset()
+
+    def test_composite_unique_null_component(self):
+        idx = HashIndex("t", ("a", "b"), unique=True)
+        idx.add(1, {"a": 1, "b": None})
+        idx.add(2, {"a": 1, "b": None})  # NULL component disables check
+        assert len(idx) == 2
+
+    def test_single_column_lookup_on_composite_raises(self):
+        idx = HashIndex("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            idx.lookup(1)
+
+    def test_check_insert_does_not_add(self):
+        idx = HashIndex("t", ("k",), unique=True)
+        idx.check_insert({"k": "a"})
+        assert len(idx) == 0
+
+
+class TestSortedIndex:
+    def make(self):
+        idx = SortedIndex("t", "ts")
+        for tid, ts in [(1, 10), (2, 30), (3, 20), (4, 20)]:
+            idx.add(tid, {"ts": ts})
+        return idx
+
+    def test_full_range(self):
+        assert sorted(self.make().range()) == [1, 2, 3, 4]
+
+    def test_bounded_range(self):
+        idx = self.make()
+        assert set(idx.range(15, 25)) == {3, 4}
+
+    def test_exclusive_bounds(self):
+        idx = self.make()
+        assert set(idx.range(20, 30, include_low=False)) == {2}
+        assert set(idx.range(10, 20, include_high=False)) == {1}
+
+    def test_remove(self):
+        idx = self.make()
+        idx.remove(3, {"ts": 20})
+        assert set(idx.range(20, 20)) == {4}
+
+    def test_nulls_not_indexed(self):
+        idx = SortedIndex("t", "ts")
+        idx.add(1, {"ts": None})
+        assert len(idx) == 0
+        idx.remove(1, {"ts": None})  # no-op, no error
+
+    def test_min_max(self):
+        idx = self.make()
+        assert idx.min_key() == 10
+        assert idx.max_key() == 30
+        empty = SortedIndex("t", "ts")
+        assert empty.min_key() is None
+        assert empty.max_key() is None

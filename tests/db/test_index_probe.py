@@ -1,0 +1,162 @@
+"""The point-lookup optimization: IndexScan selection and correctness."""
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.algebra import IndexScan, Scan
+from repro.db.sql.parser import parse
+from repro.db.sql.planner import plan_select
+from repro.db.types import INTEGER, TEXT
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "emp",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("badge", TEXT),
+            Column("dept", TEXT),
+        ],
+        primary_key="id",
+        unique=["badge"],
+    )
+    for i in range(200):
+        database.insert(
+            "emp", {"id": i, "badge": f"b{i}", "dept": f"d{i % 5}"}
+        )
+    return database
+
+
+def scan_nodes(plan):
+    """All leaf scan nodes of a plan."""
+    out = []
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (IndexScan, Scan)):
+            out.append(node)
+        stack.extend(node.children())
+    return out
+
+
+def plan_for(db, sql):
+    stmt = parse(sql)
+    return plan_select(stmt, db, ())
+
+
+class TestProbeSelection:
+    def test_pk_equality_uses_index(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE id = 7")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, IndexScan)
+        assert leaf.column == "id"
+        assert leaf.value == 7
+
+    def test_unique_column_uses_index(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE badge = 'b3'")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, IndexScan)
+        assert leaf.column == "badge"
+
+    def test_literal_on_left_side(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE 7 = id")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, IndexScan)
+
+    def test_conjunct_extraction(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE dept = 'd1' AND id = 9")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, IndexScan)
+        assert leaf.column == "id"
+
+    def test_aliased_table(self, db):
+        plan = plan_for(db, "SELECT * FROM emp e WHERE e.id = 3")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, IndexScan)
+
+    def test_unindexed_column_scans(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE dept = 'd1'")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, Scan)
+
+    def test_disjunction_not_probed(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE id = 1 OR id = 2")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, Scan)
+
+    def test_null_literal_not_probed(self, db):
+        plan = plan_for(db, "SELECT * FROM emp WHERE badge = NULL")
+        (leaf,) = scan_nodes(plan)
+        assert isinstance(leaf, Scan)
+
+    def test_joins_not_probed(self, db):
+        db.execute("CREATE TABLE d (dept TEXT)")
+        plan = plan_for(
+            db, "SELECT * FROM emp JOIN d ON emp.dept = d.dept WHERE emp.id = 1"
+        )
+        leaves = scan_nodes(plan)
+        assert all(isinstance(leaf, Scan) for leaf in leaves)
+
+
+class TestProbeCorrectness:
+    def test_results_match_scan(self, db):
+        probed = db.query("SELECT * FROM emp WHERE id = 7 AND dept = 'd2'")
+        # Same predicate through a plain (unprobeable) shape.
+        scanned = db.query("SELECT * FROM emp WHERE id + 0 = 7 AND dept = 'd2'")
+        assert probed == scanned
+
+    def test_probe_honors_remaining_predicate(self, db):
+        rows = db.query("SELECT * FROM emp WHERE id = 7 AND dept = 'd0'")
+        assert rows == []  # id 7 is in dept d2
+
+    def test_miss_returns_empty(self, db):
+        assert db.query("SELECT * FROM emp WHERE id = 99999") == []
+
+    def test_fallback_without_index_support(self, db):
+        # IndexScan degrades to a filtered scan over plain row sources.
+        class BareTable:
+            def __init__(self, rows):
+                self._rows = rows
+
+            def rows(self):
+                return iter(self._rows)
+
+        class BareSource:
+            def __init__(self, rows):
+                self._table = BareTable(rows)
+
+            def table(self, name):
+                return self._table
+
+        probe = IndexScan("t", "k", 2)
+        source = BareSource([{"k": 1}, {"k": 2}, {"k": 2}])
+        assert list(probe.rows(source)) == [{"k": 2}, {"k": 2}]
+
+    def test_isolation_layer_not_probed(self, db):
+        """Queries through the isolation adapter must respect snapshots:
+        the probe degrades to the filtered path there."""
+        from repro.workflow import WorkflowEngine
+        from repro.workflow.isolation import IsolationContext
+
+        engine = WorkflowEngine(db)
+        engine.isolation.manage("emp")
+        snapshot = db.now()
+        ctx = IsolationContext(1, snapshot, snapshot)
+        db.insert("emp", {"id": 999, "badge": "new", "dept": "d0"})
+        rows = engine.isolation.query("SELECT * FROM emp WHERE id = 999", (), ctx)
+        assert rows == []  # invisible under the snapshot
+
+    def test_probe_faster_than_scan(self, db):
+        import time
+
+        start = time.perf_counter()
+        for _ in range(300):
+            db.query("SELECT * FROM emp WHERE id = 7")
+        probed = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(300):
+            db.query("SELECT * FROM emp WHERE id + 0 = 7")
+        scanned = time.perf_counter() - start
+        assert probed < scanned

@@ -1,0 +1,123 @@
+"""Property-based tests: the engine against Python reference semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, col
+from repro.db.types import INTEGER, TEXT
+
+# Small value pools keep collisions (and therefore interesting cases) common.
+values = st.one_of(st.integers(min_value=-5, max_value=5), st.none())
+names = st.sampled_from(["a", "b", "c"])
+
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries({"k": st.integers(0, 20), "v": values, "tag": names}),
+    max_size=30,
+)
+
+
+def fresh_db(rows):
+    db = Database()
+    db.create_table(
+        "t",
+        [Column("k", INTEGER), Column("v", INTEGER), Column("tag", TEXT)],
+    )
+    if rows:
+        db.insert_many("t", rows)
+    return db
+
+
+@given(rows_strategy, st.integers(-5, 5))
+@settings(max_examples=60, deadline=None)
+def test_selection_matches_python_filter(rows, threshold):
+    db = fresh_db(rows)
+    got = db.query("SELECT * FROM t WHERE v > ?", [threshold])
+    expected = [r for r in rows if r["v"] is not None and r["v"] > threshold]
+    assert sorted((r["k"], r["v"], r["tag"]) for r in got) == sorted(
+        (r["k"], r["v"], r["tag"]) for r in expected
+    )
+
+
+@given(rows_strategy)
+@settings(max_examples=60, deadline=None)
+def test_group_by_matches_python_aggregation(rows):
+    db = fresh_db(rows)
+    got = {
+        r["tag"]: (r["n"], r["total"])
+        for r in db.query("SELECT tag, COUNT(*) AS n, SUM(v) AS total FROM t GROUP BY tag")
+    }
+    expected = {}
+    for row in rows:
+        n, total, any_value = expected.get(row["tag"], (0, 0, False))
+        if row["v"] is not None:
+            total += row["v"]
+            any_value = True
+        expected[row["tag"]] = (n + 1, total, any_value)
+    assert set(got) == set(expected)
+    for tag, (n, total, any_value) in expected.items():
+        assert got[tag][0] == n
+        assert got[tag][1] == (total if any_value else None)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_order_by_is_sorted_and_stable_under_content(rows):
+    db = fresh_db(rows)
+    got = db.query("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v")
+    sequence = [r["v"] for r in got]
+    assert sequence == sorted(sequence)
+
+
+@given(rows_strategy, st.integers(-5, 5))
+@settings(max_examples=40, deadline=None)
+def test_delete_then_count_consistent(rows, threshold):
+    db = fresh_db(rows)
+    deleted = db.execute("DELETE FROM t WHERE v = ?", [threshold]).rowcount
+    remaining = db.query("SELECT COUNT(*) AS n FROM t")[0]["n"]
+    assert deleted + remaining == len(rows)
+    assert all(r["v"] != threshold for r in db.query("SELECT * FROM t"))
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_update_preserves_row_count_and_tids(rows):
+    from repro.db import TID
+
+    db = fresh_db(rows)
+    before = set(r[TID] for r in db.table("t").rows())
+    db.execute("UPDATE t SET v = 0 WHERE v IS NOT NULL")
+    after = set(r[TID] for r in db.table("t").rows())
+    assert before == after
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_distinct_union_self_is_identity(rows):
+    db = fresh_db(rows)
+    base = db.query("SELECT DISTINCT k FROM t")
+    union = db.query("SELECT k FROM t UNION SELECT k FROM t")
+    assert sorted(r["k"] for r in base) == sorted(r["k"] for r in union)
+
+
+@given(rows_strategy)
+@settings(max_examples=30, deadline=None)
+def test_snapshot_round_trip_preserves_contents(rows):
+    import tempfile
+    from pathlib import Path
+
+    from repro.db import load_snapshot, save_snapshot
+
+    db = fresh_db(rows)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "s.jsonl"
+        save_snapshot(db, path)
+        restored = load_snapshot(path)
+    def key(r):
+        return (r["k"], r["v"] is None, r["v"] or 0, r["tag"])
+
+    original = sorted(db.query("SELECT * FROM t"), key=key)
+    loaded = sorted(restored.query("SELECT * FROM t"), key=key)
+    assert original == loaded
+
+

@@ -1,0 +1,251 @@
+"""End-to-end SQL execution (parser + planner + executor)."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    ConstraintViolation,
+    DatabaseError,
+    SQLSyntaxError,
+    UnknownTableError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+        "dept TEXT, salary INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO emp (id, name, dept, salary) VALUES "
+        "(1, 'ann', 'eng', 100), (2, 'bob', 'eng', 80), "
+        "(3, 'cat', 'ops', 70), (4, 'dan', 'ops', NULL), (5, 'eve', 'hr', 90)"
+    )
+    database.execute("CREATE TABLE dept (dept TEXT, city TEXT)")
+    database.execute(
+        "INSERT INTO dept (dept, city) VALUES ('eng', 'paris'), ('ops', 'lyon')"
+    )
+    return database
+
+
+class TestSelect:
+    def test_star(self, db):
+        rows = db.query("SELECT * FROM emp")
+        assert len(rows) == 5
+        assert set(rows[0]) == {"id", "name", "dept", "salary"}
+
+    def test_where_params(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary > ?", [75])
+        assert sorted(r["name"] for r in rows) == ["ann", "bob", "eve"]
+
+    def test_missing_param_errors(self, db):
+        with pytest.raises(DatabaseError, match="parameter"):
+            db.query("SELECT * FROM emp WHERE id = ?")
+
+    def test_expression_projection(self, db):
+        rows = db.query("SELECT name, salary / 10 AS dec FROM emp WHERE id = 1")
+        assert rows[0]["dec"] == 10
+
+    def test_order_by_projected_alias(self, db):
+        rows = db.query("SELECT name, salary AS s FROM emp WHERE salary IS NOT NULL ORDER BY s DESC")
+        assert rows[0]["name"] == "ann"
+
+    def test_order_by_unprojected_column(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY salary")
+        assert rows[0]["name"] == "cat"
+
+    def test_group_by_having(self, db):
+        rows = db.query(
+            "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp "
+            "GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY dept"
+        )
+        assert [(r["dept"], r["n"], r["total"]) for r in rows] == [
+            ("eng", 2, 180),
+            ("ops", 2, 70),
+        ]
+
+    def test_aggregate_without_group(self, db):
+        row = db.query("SELECT COUNT(*) AS n, AVG(salary) AS mean FROM emp")[0]
+        assert row["n"] == 5
+        assert row["mean"] == pytest.approx(85.0)
+
+    def test_join(self, db):
+        rows = db.query(
+            "SELECT emp.name, dept.city FROM emp JOIN dept ON emp.dept = dept.dept "
+            "ORDER BY name"
+        )
+        assert [(r["name"], r["city"]) for r in rows] == [
+            ("ann", "paris"),
+            ("bob", "paris"),
+            ("cat", "lyon"),
+            ("dan", "lyon"),
+        ]
+
+    def test_left_join(self, db):
+        rows = db.query(
+            "SELECT e.name, d.city FROM emp e LEFT JOIN dept d ON e.dept = d.dept "
+            "WHERE d.city IS NULL"
+        )
+        assert [r["name"] for r in rows] == ["eve"]
+
+    def test_in_subquery(self, db):
+        rows = db.query(
+            "SELECT name FROM emp WHERE dept IN (SELECT dept FROM dept WHERE city = 'paris')"
+        )
+        assert sorted(r["name"] for r in rows) == ["ann", "bob"]
+
+    def test_not_in_subquery(self, db):
+        rows = db.query(
+            "SELECT name FROM emp WHERE dept NOT IN (SELECT dept FROM dept)"
+        )
+        assert [r["name"] for r in rows] == ["eve"]
+
+    def test_between_and_like(self, db):
+        rows = db.query("SELECT name FROM emp WHERE salary BETWEEN 80 AND 95")
+        assert sorted(r["name"] for r in rows) == ["bob", "eve"]
+        rows = db.query("SELECT name FROM emp WHERE name LIKE 'a%'")
+        assert [r["name"] for r in rows] == ["ann"]
+        rows = db.query("SELECT name FROM emp WHERE name LIKE '_a_'")
+        assert sorted(r["name"] for r in rows) == ["cat", "dan"]
+
+    def test_union_and_except(self, db):
+        rows = db.query(
+            "SELECT dept FROM emp UNION SELECT dept FROM dept ORDER BY dept"
+        )
+        assert [r["dept"] for r in rows] == ["eng", "hr", "ops"]
+        rows = db.query("SELECT dept FROM emp EXCEPT SELECT dept FROM dept")
+        assert [r["dept"] for r in rows] == ["hr"]
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT dept FROM emp")
+        assert len(rows) == 3
+
+    def test_limit_offset(self, db):
+        rows = db.query("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+        assert [r["id"] for r in rows] == [3, 4]
+
+    def test_scalar_functions(self, db):
+        row = db.query("SELECT UPPER(name) AS u, LENGTH(name) AS l FROM emp WHERE id = 1")[0]
+        assert row == {"u": "ANN", "l": 3}
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 2 + 3 AS v") == [{"v": 5}]
+
+    def test_table_alias_qualified(self, db):
+        rows = db.query(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dept WHERE d.city = 'lyon'"
+        )
+        assert sorted(r["name"] for r in rows) == ["cat", "dan"]
+
+    def test_count_distinct(self, db):
+        row = db.query(
+            "SELECT COUNT(DISTINCT dept) AS d, COUNT(dept) AS c FROM emp"
+        )[0]
+        assert row == {"d": 3, "c": 5}
+
+    def test_sum_distinct(self, db):
+        db.execute("INSERT INTO emp (id, name, dept, salary) VALUES (6, 'fred', 'eng', 100)")
+        row = db.query("SELECT SUM(DISTINCT salary) AS s FROM emp WHERE dept = 'eng'")[0]
+        assert row["s"] == 180  # 100 counted once, plus 80
+
+    def test_count_distinct_grouped(self, db):
+        rows = db.query(
+            "SELECT dept, COUNT(DISTINCT salary) AS n FROM emp "
+            "WHERE salary IS NOT NULL GROUP BY dept ORDER BY dept"
+        )
+        assert [(r["dept"], r["n"]) for r in rows] == [("eng", 2), ("hr", 1), ("ops", 1)]
+
+    def test_order_by_qualified_grouped_column_with_alias(self, db):
+        rows = db.query(
+            "SELECT e.dept AS d, SUM(e.salary) AS total FROM emp e "
+            "GROUP BY e.dept ORDER BY e.dept"
+        )
+        assert [r["d"] for r in rows] == ["eng", "hr", "ops"]
+
+    def test_group_by_expression_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT salary + 1 FROM emp GROUP BY salary + 1")
+
+    def test_bare_column_with_aggregate_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT name, COUNT(*) FROM emp")
+
+
+class TestMutations:
+    def test_insert_result_rowcount(self, db):
+        result = db.execute("INSERT INTO emp (id, name) VALUES (10, 'zed'), (11, 'yan')")
+        assert result.rowcount == 2
+
+    def test_insert_column_mismatch(self, db):
+        with pytest.raises(DatabaseError):
+            db.execute("INSERT INTO emp (id, name) VALUES (1)")
+
+    def test_insert_pk_violation_is_atomic(self, db):
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO emp (id, name) VALUES (20, 'ok'), (1, 'dup')")
+        assert db.query("SELECT COUNT(*) AS n FROM emp WHERE id = 20")[0]["n"] == 0
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE rich (id INTEGER, name TEXT)")
+        db.execute(
+            "INSERT INTO rich (id, name) SELECT id, name FROM emp WHERE salary >= 90"
+        )
+        assert sorted(r["name"] for r in db.query("SELECT * FROM rich")) == [
+            "ann",
+            "eve",
+        ]
+
+    def test_update_self_referential(self, db):
+        count = db.execute("UPDATE emp SET salary = salary + 5 WHERE dept = 'eng'").rowcount
+        assert count == 2
+        assert db.query("SELECT salary FROM emp WHERE id = 1")[0]["salary"] == 105
+
+    def test_update_null_where_matches_nothing(self, db):
+        count = db.execute("UPDATE emp SET salary = 1 WHERE salary > 1000").rowcount
+        assert count == 0
+
+    def test_delete(self, db):
+        count = db.execute("DELETE FROM emp WHERE salary IS NULL").rowcount
+        assert count == 1
+        assert len(db.query("SELECT * FROM emp")) == 4
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM emp")
+        assert db.query("SELECT COUNT(*) AS n FROM emp")[0]["n"] == 0
+
+
+class TestDDL:
+    def test_create_and_drop(self, db):
+        db.execute("CREATE TABLE temp1 (a INTEGER)")
+        assert db.has_table("temp1")
+        db.execute("DROP TABLE temp1")
+        assert not db.has_table("temp1")
+
+    def test_create_duplicate(self, db):
+        with pytest.raises(Exception):
+            db.execute("CREATE TABLE emp (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS emp (a INTEGER)")  # no error
+
+    def test_drop_missing(self, db):
+        with pytest.raises(UnknownTableError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")  # no error
+
+    def test_unique_constraint_from_ddl(self, db):
+        db.execute("CREATE TABLE u (a INTEGER UNIQUE)")
+        db.execute("INSERT INTO u (a) VALUES (1)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO u (a) VALUES (1)")
+
+    def test_not_null_from_ddl(self, db):
+        db.execute("CREATE TABLE nn (a INTEGER NOT NULL)")
+        with pytest.raises(ConstraintViolation):
+            db.execute("INSERT INTO nn (a) VALUES (NULL)")
+
+    def test_result_helpers(self, db):
+        result = db.execute("SELECT COUNT(*) AS n FROM emp")
+        assert result.scalar() == 5
+        assert result.column("n") == [5]
+        assert len(result) == 1

@@ -1,0 +1,83 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.db.sql.lexer import Token, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokenKinds:
+    def test_keywords_uppercased(self):
+        assert kinds("select from") == [("KEYWORD", "SELECT"), ("KEYWORD", "FROM")]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("MyTable") == [("IDENT", "MyTable")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+            ("NUMBER", "1"),
+            ("NUMBER", "2.5"),
+            ("NUMBER", ".5"),
+            ("NUMBER", "1e3"),
+            ("NUMBER", "2.5E-2"),
+        ]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0] == Token("IDENT", "weird name", 0)
+
+    def test_operators_longest_match(self):
+        assert kinds("<= >= != <> =") == [
+            ("OP", "<="),
+            ("OP", ">="),
+            ("OP", "!="),
+            ("OP", "<>"),
+            ("OP", "="),
+        ]
+
+    def test_params_and_punct(self):
+        assert kinds("(?, ?)") == [
+            ("PUNCT", "("),
+            ("PUNCT", "?"),
+            ("PUNCT", ","),
+            ("PUNCT", "?"),
+            ("PUNCT", ")"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("select -- a comment\n 1") == [
+            ("KEYWORD", "SELECT"),
+            ("NUMBER", "1"),
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a  b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_ident(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+    def test_garbage_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @x")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == "EOF"

@@ -1,0 +1,188 @@
+"""SQL parser: statement structure (no execution)."""
+
+import pytest
+
+from repro.db.sql.ast import (
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    InsertStmt,
+    SelectStmt,
+    SqlBinary,
+    SqlCall,
+    SqlColumn,
+    SqlIn,
+    SqlLiteral,
+    SqlParam,
+    UpdateStmt,
+)
+from repro.db.sql.parser import parse, parse_select
+from repro.errors import SQLSyntaxError
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.items[0].star
+        assert stmt.table.name == "t"
+
+    def test_items_with_aliases(self):
+        stmt = parse("SELECT a, b AS bee, a + 1 plus FROM t")
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "plus"
+
+    def test_where_precedence(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR.
+        assert isinstance(stmt.where, SqlBinary)
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z")
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].kind == "inner"
+        assert stmt.joins[1].kind == "left"
+        assert stmt.joins[0].left == SqlColumn("x", "a")
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM a JOIN b ON a.x < b.y")
+
+    def test_group_having_order_limit(self):
+        stmt = parse(
+            "SELECT dept, COUNT(*) n FROM emp GROUP BY dept HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC, dept LIMIT 5 OFFSET 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == SqlLiteral(5)
+        assert stmt.offset == SqlLiteral(2)
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT * FROM t WHERE id NOT IN (SELECT id FROM s)")
+        in_expr = stmt.where
+        assert isinstance(in_expr, SqlIn)
+        assert in_expr.negate
+        assert isinstance(in_expr.subquery, SelectStmt)
+
+    def test_in_value_list(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert len(stmt.where.values) == 3
+
+    def test_between_like_is_null(self):
+        stmt = parse(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' AND c IS NOT NULL"
+        )
+        assert stmt.where is not None
+
+    def test_union_except(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM s")
+        assert stmt.compound[0] == "UNION ALL"
+        stmt = parse("SELECT a FROM t EXCEPT SELECT a FROM s")
+        assert stmt.compound[0] == "EXCEPT"
+
+    def test_select_without_from(self):
+        stmt = parse("SELECT 1 + 1 AS two")
+        assert stmt.table is None
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, SqlCall)
+        assert call.star
+
+    def test_params_numbered(self):
+        stmt = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        left = stmt.where.left.right
+        right = stmt.where.right.right
+        assert left == SqlParam(0)
+        assert right == SqlParam(1)
+
+    def test_table_star(self):
+        stmt = parse("SELECT t.* FROM t JOIN s ON t.a = s.a")
+        assert stmt.items[0].star
+        assert stmt.items[0].star_table == "t"
+
+    def test_aggregate_keyword_as_column(self):
+        stmt = parse("SELECT count FROM t WHERE count > 1")
+        assert stmt.items[0].expr == SqlColumn("count")
+
+
+class TestMutations:
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT * FROM s")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+        assert isinstance(stmt, UpdateStmt)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a IS NULL")
+        assert isinstance(stmt, DeleteStmt)
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT NOT NULL, "
+            "tag TEXT UNIQUE, ref INTEGER REFERENCES other(id))"
+        )
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].unique
+        assert stmt.columns[3].references == ("other", "id")
+
+    def test_create_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a INTEGER)").if_not_exists
+
+    def test_drop(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, DropTableStmt)
+        assert stmt.if_exists
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t garbage extra tokens ,")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("GRANT ALL TO bob")
+
+    def test_parse_select_rejects_mutations(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("DELETE FROM t")
+
+    def test_missing_expression(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT FROM t")
+
+    def test_semicolon_allowed(self):
+        parse("SELECT 1;")

@@ -1,0 +1,173 @@
+"""Row storage: tids, timestamps, indexes, constraint enforcement."""
+
+import pytest
+
+from repro.db import Column, TableSchema
+from repro.db.schema import CREATED_AT, TID, UPDATED_AT
+from repro.db.table import Table
+from repro.db.types import INTEGER, TEXT
+from repro.errors import ConstraintViolation, DatabaseError, SchemaError
+
+
+@pytest.fixture
+def clock():
+    state = {"t": 0}
+
+    def tick():
+        state["t"] += 1
+        return state["t"]
+
+    return tick
+
+
+@pytest.fixture
+def table(clock):
+    schema = TableSchema(
+        "items",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", TEXT),
+            Column("qty", INTEGER, default=1),
+        ],
+        primary_key="id",
+    )
+    return Table(schema, clock)
+
+
+class TestInsert:
+    def test_assigns_tid_and_timestamps(self, table):
+        row = table.insert({"id": 1, "name": "a"})
+        assert row[TID] == 1
+        assert row[CREATED_AT] == row[UPDATED_AT] > 0
+
+    def test_tids_are_dense_and_increasing(self, table):
+        first = table.insert({"id": 1})
+        second = table.insert({"id": 2})
+        assert second[TID] == first[TID] + 1
+
+    def test_timestamps_totally_ordered(self, table):
+        a = table.insert({"id": 1})
+        b = table.insert({"id": 2})
+        assert b[CREATED_AT] > a[CREATED_AT]
+
+    def test_primary_key_enforced(self, table):
+        table.insert({"id": 1})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"id": 1})
+
+    def test_pk_check_leaves_no_trace(self, table):
+        table.insert({"id": 1})
+        try:
+            table.insert({"id": 1})
+        except ConstraintViolation:
+            pass
+        assert len(table) == 1
+
+
+class TestUpdate:
+    def test_update_returns_before_after(self, table):
+        row = table.insert({"id": 1, "qty": 5})
+        before, after = table.update_row(row[TID], {"qty": 6})
+        assert before["qty"] == 5
+        assert after["qty"] == 6
+
+    def test_update_bumps_updated_ts(self, table):
+        row = table.insert({"id": 1})
+        created = row[CREATED_AT]
+        _before, after = table.update_row(row[TID], {"qty": 9})
+        assert after[UPDATED_AT] > created
+        assert after[CREATED_AT] == created
+
+    def test_update_unknown_tid(self, table):
+        with pytest.raises(DatabaseError):
+            table.update_row(999, {"qty": 1})
+
+    def test_update_violating_pk_rolls_back(self, table):
+        table.insert({"id": 1})
+        row2 = table.insert({"id": 2, "qty": 7})
+        with pytest.raises(ConstraintViolation):
+            table.update_row(row2[TID], {"id": 1})
+        # Row unchanged and still findable via index.
+        assert table.by_key(2)["qty"] == 7
+
+
+class TestDelete:
+    def test_delete_returns_image(self, table):
+        row = table.insert({"id": 1, "name": "x"})
+        image = table.delete_row(row[TID])
+        assert image["name"] == "x"
+        assert len(table) == 0
+
+    def test_delete_removes_from_index(self, table):
+        row = table.insert({"id": 1})
+        table.delete_row(row[TID])
+        assert table.by_key(1) is None
+        table.insert({"id": 1})  # pk free again
+
+    def test_restore_row(self, table):
+        row = table.insert({"id": 1, "name": "x"})
+        image = table.delete_row(row[TID])
+        table.restore_row(image)
+        assert table.by_key(1)["name"] == "x"
+        assert table.by_key(1)[TID] == row[TID]
+
+    def test_restore_duplicate_tid_rejected(self, table):
+        row = table.insert({"id": 1})
+        with pytest.raises(DatabaseError):
+            table.restore_row(dict(row))
+
+
+class TestScans:
+    def test_rows_in_tid_order(self, table):
+        for i in (3, 1, 2):
+            table.insert({"id": i})
+        ids = [r["id"] for r in table.rows()]
+        assert ids == [3, 1, 2]  # insertion order == tid order
+
+    def test_created_between(self, table):
+        a = table.insert({"id": 1})
+        b = table.insert({"id": 2})
+        c = table.insert({"id": 3})
+        middle = [r["id"] for r in table.created_between(b[CREATED_AT], b[CREATED_AT])]
+        assert middle == [2]
+        up_to_b = [r["id"] for r in table.created_between(None, b[CREATED_AT])]
+        assert sorted(up_to_b) == [1, 2]
+
+    def test_clear(self, table):
+        table.insert({"id": 1})
+        table.insert({"id": 2})
+        removed = table.clear()
+        assert len(removed) == 2
+        assert len(table) == 0
+
+
+class TestSecondaryIndexes:
+    def test_create_index_backfills(self, table):
+        table.insert({"id": 1, "name": "a"})
+        table.insert({"id": 2, "name": "a"})
+        table.create_index("by_name", ("name",))
+        idx = table.index("by_name")
+        assert len(idx.lookup("a")) == 2
+
+    def test_unique_index_on_existing_violation(self, table):
+        table.insert({"id": 1, "name": "a"})
+        table.insert({"id": 2, "name": "a"})
+        with pytest.raises(ConstraintViolation):
+            table.create_index("uq_name", ("name",), unique=True)
+
+    def test_duplicate_index_name(self, table):
+        table.create_index("x", ("name",))
+        with pytest.raises(SchemaError):
+            table.create_index("x", ("name",))
+
+    def test_index_maintained_on_update(self, table):
+        row = table.insert({"id": 1, "name": "a"})
+        table.create_index("by_name", ("name",))
+        table.update_row(row[TID], {"name": "b"})
+        idx = table.index("by_name")
+        assert not idx.lookup("a")
+        assert len(idx.lookup("b")) == 1
+
+    def test_find_hash_index(self, table):
+        assert table.find_hash_index("id") is not None
+        assert table.find_hash_index("name") is None

@@ -1,0 +1,120 @@
+"""Transactions: atomicity, rollback, deferred triggers."""
+
+import pytest
+
+from repro.db import Database, col
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+    return database
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, db):
+        with db.transaction():
+            db.insert("t", {"id": 3, "v": 30})
+            db.update("t", {"v": 11}, col("id") == 1)
+        assert db.query("SELECT v FROM t WHERE id = 1")[0]["v"] == 11
+        assert len(db.query("SELECT * FROM t")) == 3
+
+    def test_triggers_deferred_to_commit(self, db):
+        fired = []
+        db.on("t", "insert", lambda ch: fired.append(len(ch.inserted)))
+        with db.transaction():
+            db.insert("t", {"id": 3, "v": 0})
+            assert fired == []  # not yet
+        assert fired == [1]
+
+
+class TestRollback:
+    def test_insert_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 3, "v": 30})
+                raise RuntimeError("boom")
+        assert len(db.query("SELECT * FROM t")) == 2
+
+    def test_update_rolled_back(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("t", {"v": 999}, col("id") == 1)
+                raise RuntimeError("boom")
+        assert db.query("SELECT v FROM t WHERE id = 1")[0]["v"] == 10
+
+    def test_delete_rolled_back_preserves_tid(self, db):
+        from repro.db import TID
+
+        original = db.table("t").by_key(2)[TID]
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete("t", col("id") == 2)
+                raise RuntimeError("boom")
+        assert db.table("t").by_key(2)[TID] == original
+
+    def test_rollback_restores_indexes(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("t", {"id": 100}, col("id") == 1)
+                raise RuntimeError("boom")
+        assert db.table("t").by_key(1) is not None
+        assert db.table("t").by_key(100) is None
+        # PK 100 usable afterwards.
+        db.insert("t", {"id": 100, "v": 0})
+
+    def test_no_triggers_after_rollback(self, db):
+        fired = []
+        db.on("t", ("insert", "update", "delete"), lambda ch: fired.append(1))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 3, "v": 0})
+                db.delete("t", col("id") == 1)
+                raise RuntimeError("boom")
+        assert fired == []
+
+    def test_mixed_operations_rolled_back_in_order(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 3, "v": 30})
+                db.update("t", {"v": 31}, col("id") == 3)
+                db.delete("t", col("id") == 3)
+                raise RuntimeError("boom")
+        assert db.table("t").by_key(3) is None
+        assert len(db.query("SELECT * FROM t")) == 2
+
+
+class TestNesting:
+    def test_inner_block_joins_outer(self, db):
+        with db.transaction():
+            db.insert("t", {"id": 3, "v": 0})
+            with db.transaction():
+                db.insert("t", {"id": 4, "v": 0})
+        assert len(db.query("SELECT * FROM t")) == 4
+
+    def test_inner_failure_rolls_back_everything(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 3, "v": 0})
+                with db.transaction():
+                    db.insert("t", {"id": 4, "v": 0})
+                    raise RuntimeError("boom")
+        assert len(db.query("SELECT * FROM t")) == 2
+
+    def test_in_transaction_flag(self, db):
+        assert not db.in_transaction()
+        with db.transaction():
+            assert db.in_transaction()
+        assert not db.in_transaction()
+
+    def test_sql_statements_inside_transaction(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.execute("INSERT INTO t (id, v) VALUES (9, 9)")
+                db.execute("UPDATE t SET v = 0")
+                db.execute("DELETE FROM t WHERE id = 1")
+                raise RuntimeError("boom")
+        rows = {r["id"]: r["v"] for r in db.query("SELECT * FROM t")}
+        assert rows == {1: 10, 2: 20}

@@ -1,0 +1,126 @@
+"""Statement-level triggers."""
+
+import pytest
+
+from repro.db import Database, col
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    return database
+
+
+class TestFiring:
+    def test_insert_trigger_fires_once_per_statement(self, db):
+        calls = []
+        db.on("t", "insert", lambda ch: calls.append(len(ch.inserted)))
+        db.insert_many("t", [{"id": i, "v": i} for i in range(5)])
+        assert calls == [5]  # one statement, one firing
+
+    def test_single_insert(self, db):
+        calls = []
+        db.on("t", "insert", lambda ch: calls.append(ch.inserted[0]["id"]))
+        db.insert("t", {"id": 1, "v": 0})
+        assert calls == [1]
+
+    def test_update_trigger_sees_before_after(self, db):
+        db.insert("t", {"id": 1, "v": 10})
+        seen = []
+        db.on("t", "update", lambda ch: seen.extend(ch.updated))
+        db.update("t", {"v": 20}, col("id") == 1)
+        (before, after), = seen
+        assert before["v"] == 10
+        assert after["v"] == 20
+
+    def test_delete_trigger_sees_images(self, db):
+        db.insert("t", {"id": 1, "v": 10})
+        seen = []
+        db.on("t", "delete", lambda ch: seen.extend(ch.deleted))
+        db.delete("t", col("id") == 1)
+        assert seen[0]["v"] == 10
+
+    def test_event_filtering(self, db):
+        calls = []
+        db.on("t", "delete", lambda ch: calls.append("delete"))
+        db.insert("t", {"id": 1, "v": 0})
+        assert calls == []
+        db.delete("t", col("id") == 1)
+        assert calls == ["delete"]
+
+    def test_multi_event_subscription(self, db):
+        calls = []
+        db.on("t", ("insert", "delete"), lambda ch: calls.append(ch.operations))
+        db.insert("t", {"id": 1, "v": 0})
+        db.delete("t")
+        assert calls == [["insert"], ["delete"]]
+
+    def test_empty_statement_does_not_fire(self, db):
+        calls = []
+        db.on("t", ("insert", "update", "delete"), lambda ch: calls.append(1))
+        db.delete("t", col("id") == 999)
+        db.insert_many("t", [])
+        assert calls == []
+
+    def test_trigger_on_other_table_silent(self, db):
+        db.execute("CREATE TABLE other (a INTEGER)")
+        calls = []
+        db.on("other", "insert", lambda ch: calls.append(1))
+        db.insert("t", {"id": 1, "v": 0})
+        assert calls == []
+
+
+class TestManagement:
+    def test_named_trigger_and_drop(self, db):
+        calls = []
+        name = db.on("t", "insert", lambda ch: calls.append(1), name="mytrig")
+        assert name == "mytrig"
+        db.drop_trigger("mytrig")
+        db.insert("t", {"id": 1, "v": 0})
+        assert calls == []
+
+    def test_duplicate_name_rejected(self, db):
+        db.on("t", "insert", lambda ch: None, name="x")
+        with pytest.raises(DatabaseError):
+            db.on("t", "insert", lambda ch: None, name="x")
+
+    def test_drop_unknown(self, db):
+        with pytest.raises(DatabaseError):
+            db.drop_trigger("nope")
+
+    def test_unknown_event_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.on("t", "truncate", lambda ch: None)
+
+    def test_trigger_on_unknown_table(self, db):
+        with pytest.raises(DatabaseError):
+            db.on("missing", "insert", lambda ch: None)
+
+    def test_drop_table_removes_triggers(self, db):
+        db.on("t", "insert", lambda ch: None, name="goner")
+        db.drop_table("t")
+        assert "goner" not in db.trigger_names()
+
+
+class TestCascades:
+    def test_trigger_writing_another_table(self, db):
+        db.execute("CREATE TABLE audit (tid INTEGER)")
+        db.on(
+            "t",
+            "insert",
+            lambda ch: db.insert_many(
+                "audit", [{"tid": r["id"]} for r in ch.inserted]
+            ),
+        )
+        db.insert_many("t", [{"id": 1, "v": 0}, {"id": 2, "v": 0}])
+        assert len(db.query("SELECT * FROM audit")) == 2
+
+    def test_infinite_cascade_detected(self, db):
+        def recurse(change):
+            db.insert("t", {"id": change.inserted[0]["id"] + 1000, "v": 0})
+
+        db.on("t", "insert", recurse)
+        with pytest.raises(DatabaseError, match="cascade"):
+            db.insert("t", {"id": 1, "v": 0})

@@ -1,0 +1,124 @@
+"""Column type validation and coercion."""
+
+import pytest
+
+from repro.db.types import (
+    ANY,
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    TIMESTAMP,
+    infer_type,
+    type_from_name,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestInteger:
+    def test_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_accepts_integral_float(self):
+        assert INTEGER.validate(3.0) == 3
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(3.5)
+
+    def test_accepts_numeric_string(self):
+        assert INTEGER.validate("17") == 17
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)
+
+    def test_rejects_garbage_string(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate("abc")
+
+    def test_null_passes(self):
+        assert INTEGER.validate(None) is None
+
+
+class TestFloat:
+    def test_accepts_float(self):
+        assert FLOAT.validate(2.5) == 2.5
+
+    def test_coerces_int(self):
+        value = FLOAT.validate(2)
+        assert value == 2.0
+        assert isinstance(value, float)
+
+    def test_accepts_numeric_string(self):
+        assert FLOAT.validate("2.5") == 2.5
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.validate(False)
+
+
+class TestText:
+    def test_accepts_string(self):
+        assert TEXT.validate("hello") == "hello"
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(42)
+
+
+class TestBoolean:
+    def test_accepts_bool(self):
+        assert BOOLEAN.validate(True) is True
+
+    def test_coerces_zero_one(self):
+        assert BOOLEAN.validate(1) is True
+        assert BOOLEAN.validate(0) is False
+
+    def test_rejects_other_ints(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(2)
+
+
+class TestTimestamp:
+    def test_accepts_non_negative_int(self):
+        assert TIMESTAMP.validate(0) == 0
+        assert TIMESTAMP.validate(100) == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.validate(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.validate(True)
+
+
+class TestAny:
+    def test_accepts_anything(self):
+        marker = object()
+        assert ANY.validate(marker) is marker
+        assert ANY.validate([1, 2]) == [1, 2]
+
+
+class TestResolution:
+    def test_from_name_aliases(self):
+        assert type_from_name("int") is INTEGER
+        assert type_from_name("VARCHAR") is TEXT
+        assert type_from_name("double") is FLOAT
+        assert type_from_name("bool") is BOOLEAN
+
+    def test_from_name_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("BLOB")
+
+    def test_infer(self):
+        assert infer_type(True) is BOOLEAN
+        assert infer_type(1) is INTEGER
+        assert infer_type(1.5) is FLOAT
+        assert infer_type("x") is TEXT
+        assert infer_type(object()) is ANY
+
+    def test_equality_by_class(self):
+        assert INTEGER == type_from_name("bigint")
+        assert INTEGER != FLOAT

@@ -1,0 +1,132 @@
+"""Property-based: incremental maintenance == full recomputation.
+
+The core IVM invariant, checked under random interleavings of inserts,
+deletes, and updates.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import AggSpec, Column, Database, col
+from repro.db.types import INTEGER, TEXT
+from repro.ivm import AggregateView, JoinView, SelectProjectView, ViewRegistry
+
+# An operation is (kind, payload).
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.fixed_dictionaries(
+                {
+                    "g": st.sampled_from(["x", "y", "z"]),
+                    "v": st.one_of(st.integers(-3, 3), st.none()),
+                }
+            ),
+        ),
+        st.tuples(st.just("delete_v"), st.integers(-3, 3)),
+        st.tuples(st.just("update_v"), st.tuples(st.integers(-3, 3), st.integers(-3, 3))),
+    ),
+    max_size=25,
+)
+
+
+def run_ops(db, ops):
+    for kind, payload in ops:
+        if kind == "insert":
+            db.insert("base", payload)
+        elif kind == "delete_v":
+            db.delete("base", col("v") == payload)
+        else:
+            old, new = payload
+            db.update("base", {"v": new}, col("v") == old)
+
+
+def fresh(views):
+    db = Database()
+    db.create_table("base", [Column("g", TEXT), Column("v", INTEGER)])
+    registry = ViewRegistry(db)
+    out = [registry.register(v) for v in views]
+    return db, registry, out
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_select_project_view_equals_recompute(ops):
+    db, _registry, (view,) = fresh(
+        [SelectProjectView("v", "base", where=col("v") >= 0)]
+    )
+    run_ops(db, ops)
+    incremental = sorted(
+        (r["g"], r["v"]) for r in view.rows()
+    )
+    view.recompute(db)
+    assert incremental == sorted((r["g"], r["v"]) for r in view.rows())
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_aggregate_view_equals_recompute(ops):
+    view_def = AggregateView(
+        "agg",
+        "base",
+        group_by=["g"],
+        aggregates=[
+            AggSpec("COUNT", None, "n"),
+            AggSpec("SUM", col("v"), "s"),
+            AggSpec("MIN", col("v"), "lo"),
+            AggSpec("MAX", col("v"), "hi"),
+        ],
+    )
+    db, _registry, (view,) = fresh([view_def])
+    run_ops(db, ops)
+
+    def canon(rows):
+        return sorted((r["g"], r["n"], r["s"], r["lo"], r["hi"]) for r in rows)
+
+    incremental = canon(view.rows())
+    view.recompute(db)
+    assert incremental == canon(view.rows())
+
+
+join_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("left"),
+            st.fixed_dictionaries({"k": st.integers(0, 3), "a": st.integers(0, 5)}),
+        ),
+        st.tuples(
+            st.just("right"),
+            st.fixed_dictionaries({"k": st.integers(0, 3), "b": st.integers(0, 5)}),
+        ),
+        st.tuples(st.just("del_left"), st.integers(0, 3)),
+        st.tuples(st.just("del_right"), st.integers(0, 3)),
+    ),
+    max_size=20,
+)
+
+
+@given(join_ops)
+@settings(max_examples=60, deadline=None)
+def test_join_view_equals_recompute(ops):
+    db = Database()
+    db.create_table("l", [Column("k", INTEGER), Column("a", INTEGER)])
+    db.create_table("r", [Column("k", INTEGER), Column("b", INTEGER)])
+    registry = ViewRegistry(db)
+    view = registry.register(JoinView("j", "l", "r", "k", "k"))
+    for kind, payload in ops:
+        if kind == "left":
+            db.insert("l", payload)
+        elif kind == "right":
+            db.insert("r", payload)
+        elif kind == "del_left":
+            db.delete("l", col("k") == payload)
+        else:
+            db.delete("r", col("k") == payload)
+
+    def canon(rows):
+        return sorted((r["k"], r["a"], r["b"]) for r in rows)
+
+    incremental = canon(view.rows())
+    view.recompute(db)
+    assert incremental == canon(view.rows())

@@ -1,0 +1,180 @@
+"""Full synchronization protocol, in-process and over real sockets."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.errors import SyncError
+from repro.sync import NotificationCenter, SyncClient, SyncServer
+
+
+@pytest.fixture
+def points_db(db):
+    db.execute("CREATE TABLE pts (id INTEGER PRIMARY KEY, x FLOAT, y FLOAT)")
+    db.execute("INSERT INTO pts (id, x, y) VALUES (1, 0.0, 0.0), (2, 1.0, 1.0)")
+    return db
+
+
+@pytest.fixture(params=["inprocess", "sockets"])
+def stack(request, points_db):
+    center = NotificationCenter(points_db)
+    server = SyncServer(points_db, center, use_sockets=request.param == "sockets")
+    client = SyncClient(server)
+    yield points_db, server, client
+    client.close()
+    server.close()
+
+
+def settle(client, table):
+    """In socket mode, wait for the NOTIFY before pulling."""
+    if client.server.use_sockets:
+        assert client.wait_dirty(table, timeout=5.0)
+
+
+class TestMirrorLifecycle:
+    def test_initial_fill(self, stack):
+        db, server, client = stack
+        rm = client.mirror("pts")
+        assert len(rm) == 2
+        assert db.query(
+            f"SELECT COUNT(*) AS n FROM {datamodel.T_CONNECTED_USER}"
+        )[0]["n"] == 1
+
+    def test_duplicate_mirror_rejected(self, stack):
+        _db, _server, client = stack
+        client.mirror("pts")
+        with pytest.raises(SyncError):
+            client.mirror("pts")
+
+    def test_close_removes_connected_user(self, stack):
+        db, server, client = stack
+        client.mirror("pts")
+        client.close()
+        assert db.query(f"SELECT * FROM {datamodel.T_CONNECTED_USER}") == []
+
+
+class TestChangeFlow:
+    def test_insert_flows_to_mirror(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        db.execute("INSERT INTO pts (id, x, y) VALUES (3, 2.0, 2.0)")
+        settle(client, "pts")
+        stats = client.refresh("pts")
+        assert stats["upserts"] == 1
+        assert rm.get(rm.tids()[-1])["id"] == 3
+
+    def test_update_flows_to_mirror(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        db.execute("UPDATE pts SET x = 9.0 WHERE id = 1")
+        settle(client, "pts")
+        client.refresh("pts")
+        values = {r["id"]: r["x"] for r in rm.all_rows()}
+        assert values[1] == 9.0
+
+    def test_delete_flows_to_mirror(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        db.execute("DELETE FROM pts WHERE id = 2")
+        settle(client, "pts")
+        stats = client.refresh("pts")
+        assert stats["deletes"] == 1
+        assert sorted(r["id"] for r in rm.all_rows()) == [1]
+
+    def test_batched_changes_in_one_refresh(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        db.execute("INSERT INTO pts (id, x, y) VALUES (3, 0.0, 0.0)")
+        db.execute("UPDATE pts SET x = 5.0 WHERE id = 1")
+        db.execute("DELETE FROM pts WHERE id = 2")
+        settle(client, "pts")
+        stats = client.refresh("pts")
+        assert stats["upserts"] == 2
+        assert stats["deletes"] == 1
+        assert len(rm) == 2
+
+    def test_refresh_without_changes_is_noop(self, stack):
+        _db, _server, client = stack
+        client.mirror("pts")
+        stats = client.refresh("pts")
+        assert stats == {"upserts": 0, "deletes": 0}
+
+    def test_consumption_tracked_for_purge(self, stack):
+        db, server, client = stack
+        client.mirror("pts")
+        db.execute("INSERT INTO pts (id, x, y) VALUES (3, 0.0, 0.0)")
+        settle(client, "pts")
+        client.refresh("pts")
+        assert server.purge_notifications() >= 1
+        leftovers = db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}")
+        assert leftovers == []
+
+
+class TestWriteBack:
+    def test_write_back_updates_database(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        tid = rm.tids()[0]
+        client.write_back("pts", tid, "x", 123.0)
+        assert db.query("SELECT x FROM pts WHERE id = 1")[0]["x"] == 123.0
+
+    def test_echo_processed_smartly(self, stack):
+        db, _server, client = stack
+        rm = client.mirror("pts")
+        tid = rm.tids()[0]
+        client.write_back("pts", tid, "x", 123.0)
+        settle(client, "pts")
+        client.refresh("pts")
+        assert rm.skipped_self_updates == 1
+        assert rm.applied_updates == 0
+
+
+class TestMultipleClients:
+    def test_two_clients_same_table(self, stack):
+        db, server, client = stack
+        client2 = SyncClient(server)
+        try:
+            rm1 = client.mirror("pts")
+            rm2 = client2.mirror("pts")
+            db.execute("INSERT INTO pts (id, x, y) VALUES (3, 0.0, 0.0)")
+            settle(client, "pts")
+            settle(client2, "pts")
+            client.refresh("pts")
+            client2.refresh("pts")
+            assert len(rm1) == len(rm2) == 3
+        finally:
+            client2.close()
+
+    def test_one_client_two_tables(self, stack):
+        db, _server, client = stack
+        db.execute("CREATE TABLE labels (id INTEGER PRIMARY KEY, txt TEXT)")
+        rm_points = client.mirror("pts")
+        rm_labels = client.mirror("labels")
+        db.execute("INSERT INTO labels (id, txt) VALUES (1, 'hi')")
+        settle(client, "labels")
+        client.refresh("labels")
+        assert len(rm_labels) == 1
+        assert len(rm_points) == 2
+
+    def test_partial_mirror_client(self, stack):
+        db, server, client = stack
+        client2 = SyncClient(server)
+        try:
+            full = client.mirror("pts")
+            half = client2.mirror("pts", fraction=0.5)
+            assert len(half) <= len(full)
+        finally:
+            client2.close()
+
+
+class TestServerBookkeeping:
+    def test_client_count(self, stack):
+        _db, server, client = stack
+        assert server.client_count() == 0
+        client.mirror("pts")
+        assert server.client_count() == 1
+
+    def test_register_after_close_rejected(self, stack):
+        _db, server, _client = stack
+        server.close()
+        with pytest.raises(SyncError):
+            server.register_client("pts", "127.0.0.1", 1)

@@ -1,0 +1,163 @@
+"""Notification table, tombstones, listeners, purge (Section VI-C)."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.db import col
+from repro.errors import SyncError
+from repro.sync import NotificationCenter, T_CHANGED_ROWS
+
+
+@pytest.fixture
+def setup(db):
+    db.execute("CREATE TABLE pts (id INTEGER PRIMARY KEY, x FLOAT)")
+    center = NotificationCenter(db)
+    center.watch("pts")
+    return db, center
+
+
+class TestNotificationRows:
+    def test_insert_produces_compact_notification(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.5), (2, 1.5)")
+        rows = db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}")
+        assert len(rows) == 1  # statement-level: one per statement
+        row = rows[0]
+        assert row["table_name"] == "pts"
+        assert row["op"] == "insert"
+        assert row["seq_no"] == 1
+        assert set(rows[0]) == {"seq_no", "ts", "table_name", "op"}  # compact
+
+    def test_seq_nos_increase(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        db.execute("UPDATE pts SET x = 1.0")
+        db.execute("DELETE FROM pts")
+        seqs = [r["seq_no"] for r in db.query(
+            f"SELECT seq_no FROM {datamodel.T_NOTIFICATION} ORDER BY seq_no"
+        )]
+        assert seqs == [1, 2, 3]
+        ops = [r["op"] for r in db.query(
+            f"SELECT op FROM {datamodel.T_NOTIFICATION} ORDER BY seq_no"
+        )]
+        assert ops == ["insert", "update", "delete"]
+
+    def test_tombstones_record_tids(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0), (2, 0.0)")
+        changed = db.query(f"SELECT * FROM {T_CHANGED_ROWS}")
+        assert len(changed) == 2
+        assert all(c["seq_no"] == 1 for c in changed)
+
+    def test_unwatched_table_silent(self, setup):
+        db, center = setup
+        db.execute("CREATE TABLE other (a INTEGER)")
+        db.execute("INSERT INTO other (a) VALUES (1)")
+        assert db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}") == []
+
+    def test_unwatch(self, setup):
+        db, center = setup
+        center.unwatch("pts")
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        assert db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}") == []
+
+    def test_watch_idempotent(self, setup):
+        db, center = setup
+        center.watch("pts")
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        assert len(db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}")) == 1
+
+    def test_cannot_watch_machinery_tables(self, setup):
+        db, center = setup
+        with pytest.raises(SyncError):
+            center.watch(datamodel.T_NOTIFICATION)
+        with pytest.raises(SyncError):
+            center.watch(T_CHANGED_ROWS)
+
+    def test_seq_resumes_after_existing_rows(self, db):
+        db.execute("CREATE TABLE pts (id INTEGER)")
+        datamodel.install_core_schema(db)
+        db.insert(
+            datamodel.T_NOTIFICATION,
+            {"seq_no": 10, "ts": 1, "table_name": "pts", "op": "insert"},
+        )
+        center = NotificationCenter(db)  # seeds its counter past 10
+        center.watch("pts")
+        db.execute("INSERT INTO pts (id) VALUES (1)")
+        seqs = [
+            r["seq_no"]
+            for r in db.query(f"SELECT seq_no FROM {datamodel.T_NOTIFICATION}")
+        ]
+        assert max(seqs) == 11
+
+
+class TestListeners:
+    def test_listener_callbacks(self, setup):
+        db, center = setup
+        events = []
+        center.add_listener(lambda table, op, seq: events.append((table, op, seq)))
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        db.execute("DELETE FROM pts")
+        assert events == [("pts", "insert", 1), ("pts", "delete", 2)]
+
+    def test_remove_listener(self, setup):
+        db, center = setup
+        events = []
+        listener = lambda *a: events.append(a)  # noqa: E731
+        center.add_listener(listener)
+        center.remove_listener(listener)
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        assert events == []
+
+
+class TestChangesSince:
+    def test_replay_order(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        db.execute("UPDATE pts SET x = 2.0 WHERE id = 1")
+        newest, changes = center.changes_since("pts", 0)
+        assert newest == 2
+        assert [op for _tid, op in changes] == ["insert", "update"]
+
+    def test_since_filters_consumed(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        newest, _ = center.changes_since("pts", 0)
+        db.execute("INSERT INTO pts (id, x) VALUES (2, 0.0)")
+        newest2, changes = center.changes_since("pts", newest)
+        assert len(changes) == 1
+        assert newest2 == newest + 1
+
+    def test_empty(self, setup):
+        db, center = setup
+        newest, changes = center.changes_since("pts", 0)
+        assert newest == 0
+        assert changes == []
+
+
+class TestPurge:
+    def test_purge_respects_slowest_client(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        db.execute("INSERT INTO pts (id, x) VALUES (2, 0.0)")
+        # Two connected clients at different consumption points.
+        db.insert(
+            datamodel.T_CONNECTED_USER,
+            {"id": 1, "host": "h", "port": 1, "table_name": "pts", "last_seq_no": 2},
+        )
+        db.insert(
+            datamodel.T_CONNECTED_USER,
+            {"id": 2, "host": "h", "port": 2, "table_name": "pts", "last_seq_no": 1},
+        )
+        removed = center.purge()
+        assert removed == 1  # only seq 1: the slowest client consumed it
+        db.update(datamodel.T_CONNECTED_USER, {"last_seq_no": 3}, col("id") == 2)
+        removed = center.purge()
+        assert removed == 1  # seq 2 now consumed by everyone
+        assert db.query(f"SELECT * FROM {datamodel.T_NOTIFICATION}") == []
+
+    def test_purge_without_clients_drops_all(self, setup):
+        db, center = setup
+        db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0)")
+        assert center.purge() == 1
+        assert db.query(f"SELECT * FROM {T_CHANGED_ROWS}") == []

@@ -1,0 +1,119 @@
+"""Wire protocol framing and handshake."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sync import protocol
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = protocol.notify("t", 7, "insert")
+        assert protocol.decode(protocol.encode(message).strip()) == message
+
+    def test_decode_garbage(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"\xff\xfe")
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1, 2]")
+        with pytest.raises(ProtocolError):
+            protocol.decode(b'{"no_type": 1}')
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            protocol.encode({"type": "X", "data": "a" * protocol.MAX_MESSAGE_BYTES})
+
+    def test_message_constructors(self):
+        assert protocol.hello()["type"] == protocol.HELLO
+        assert protocol.reply()["magic"] == protocol.MAGIC
+        notify = protocol.notify("tbl", 3, "delete")
+        assert (notify["table"], notify["seq_no"], notify["op"]) == ("tbl", 3, "delete")
+        assert protocol.disconnect()["type"] == protocol.DISCONNECT
+
+
+def socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+    client = socket.create_connection(("127.0.0.1", port))
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+class TestMessageStream:
+    def test_send_receive(self):
+        a, b = socket_pair()
+        stream_a = protocol.MessageStream(a)
+        stream_b = protocol.MessageStream(b)
+        stream_a.send(protocol.notify("t", 1, "insert"))
+        stream_a.send(protocol.notify("t", 2, "insert"))
+        first = stream_b.receive(timeout=2)
+        second = stream_b.receive(timeout=2)
+        assert first["seq_no"] == 1
+        assert second["seq_no"] == 2
+        stream_a.close()
+        stream_b.close()
+
+    def test_receive_after_close_raises(self):
+        a, b = socket_pair()
+        stream_a = protocol.MessageStream(a)
+        stream_b = protocol.MessageStream(b)
+        stream_a.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            stream_b.receive(timeout=2)
+        stream_b.close()
+
+    def test_timeout(self):
+        a, b = socket_pair()
+        stream_b = protocol.MessageStream(b)
+        with pytest.raises(ProtocolError, match="timed out"):
+            stream_b.receive(timeout=0.05)
+        a.close()
+        stream_b.close()
+
+
+class TestHandshake:
+    def test_successful_handshake(self):
+        a, b = socket_pair()
+        stream_client = protocol.MessageStream(a)  # visualization host
+        stream_server = protocol.MessageStream(b)  # DBMS side
+        errors = []
+
+        def server_side():
+            try:
+                protocol.server_handshake(stream_server, timeout=2)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=server_side)
+        thread.start()
+        protocol.client_handshake(stream_client, timeout=2)
+        thread.join()
+        assert not errors
+        stream_client.close()
+        stream_server.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket_pair()
+        stream_a = protocol.MessageStream(a)
+        stream_b = protocol.MessageStream(b)
+        stream_a.send({"type": protocol.HELLO, "magic": "wrong"})
+        with pytest.raises(ProtocolError, match="bad handshake"):
+            protocol.server_handshake(stream_b, timeout=2)
+        stream_a.close()
+        stream_b.close()
+
+    def test_wrong_message_type_rejected(self):
+        a, b = socket_pair()
+        stream_a = protocol.MessageStream(a)
+        stream_b = protocol.MessageStream(b)
+        stream_a.send(protocol.notify("t", 1, "insert"))
+        with pytest.raises(ProtocolError, match="bad handshake"):
+            protocol.server_handshake(stream_b, timeout=2)
+        stream_a.close()
+        stream_b.close()

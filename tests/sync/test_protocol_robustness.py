@@ -1,0 +1,128 @@
+"""Hostile-peer robustness: garbage on the wire must fail loudly and
+locally, never corrupt state or hang."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.types import INTEGER
+from repro.errors import ProtocolError, SyncError
+from repro.sync import NotificationCenter, SyncClient, SyncServer, protocol
+
+
+class TestMalformedTraffic:
+    def test_garbage_line_mid_stream(self):
+        a = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        a.bind(("127.0.0.1", 0))
+        a.listen(1)
+        port = a.getsockname()[1]
+        sender = socket.create_connection(("127.0.0.1", port))
+        receiver, _ = a.accept()
+        a.close()
+        stream = protocol.MessageStream(receiver)
+        sender.sendall(protocol.encode(protocol.notify("t", 1, "insert")))
+        sender.sendall(b"\xff\xfe garbage \xff\n")
+        first = stream.receive(timeout=2)
+        assert first["seq_no"] == 1
+        with pytest.raises(ProtocolError):
+            stream.receive(timeout=2)
+        sender.close()
+        stream.close()
+
+    def test_overlong_unterminated_line(self):
+        a = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        a.bind(("127.0.0.1", 0))
+        a.listen(1)
+        port = a.getsockname()[1]
+        sender = socket.create_connection(("127.0.0.1", port))
+        receiver, _ = a.accept()
+        a.close()
+        stream = protocol.MessageStream(receiver)
+
+        def flood():
+            try:
+                chunk = b"x" * 4096
+                for _ in range(64):
+                    sender.sendall(chunk)
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=flood, daemon=True)
+        thread.start()
+        with pytest.raises(ProtocolError, match="over-long"):
+            stream.receive(timeout=5)
+        sender.close()
+        stream.close()
+        thread.join(timeout=2)
+
+    def test_server_refuses_client_that_never_handshakes(self):
+        db = Database()
+        db.create_table("t", [Column("v", INTEGER)])
+        server = SyncServer(db, NotificationCenter(db), use_sockets=True)
+        # A listener that accepts but never sends HELLO.
+        mute = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(1)
+        port = mute.getsockname()[1]
+        accepted = []
+
+        def accept_and_stall():
+            try:
+                conn, _ = mute.accept()
+                accepted.append(conn)
+                time.sleep(10)
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_and_stall, daemon=True)
+        thread.start()
+        with pytest.raises(SyncError):
+            server.register_client("t", "127.0.0.1", port)
+        # Failed registration leaves no ConnectedUser row behind.
+        from repro.core import datamodel
+
+        assert db.query(f"SELECT * FROM {datamodel.T_CONNECTED_USER}") == []
+        for conn in accepted:
+            conn.close()
+        mute.close()
+        server.close()
+
+    def test_connect_back_to_dead_port_fails_cleanly(self):
+        db = Database()
+        db.create_table("t", [Column("v", INTEGER)])
+        server = SyncServer(db, NotificationCenter(db), use_sockets=True)
+        # Find a port with nothing listening.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(SyncError, match="cannot connect"):
+            server.register_client("t", "127.0.0.1", dead_port)
+        server.close()
+
+    def test_client_death_detected_on_notify(self):
+        db = Database()
+        db.create_table("pts", [Column("id", INTEGER, nullable=False)],
+                        primary_key="id")
+        server = SyncServer(db, NotificationCenter(db), use_sockets=True)
+        client = SyncClient(server)
+        client.mirror("pts")
+        assert server.client_count() == 1
+        # Kill the client socket abruptly; subsequent notifies must prune it.
+        client._stream.close()
+        client._listener.close()
+        deadline = time.monotonic() + 5
+        pruned = False
+        i = 0
+        while time.monotonic() < deadline:
+            db.insert("pts", {"id": i})
+            i += 1
+            if server.client_count() == 0:
+                pruned = True
+                break
+            time.sleep(0.01)
+        assert pruned, "dead client never unregistered"
+        server.close()

@@ -1,0 +1,108 @@
+"""The rate-limited automatic refresh driver."""
+
+import time
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.types import INTEGER
+from repro.errors import SyncError
+from repro.sync import NotificationCenter, RefreshDriver, SyncClient, SyncServer
+
+
+@pytest.fixture(params=["inprocess", "sockets"])
+def stack(request, db):
+    db.create_table(
+        "pts", [Column("id", INTEGER, nullable=False), Column("x", INTEGER)],
+        primary_key="id",
+    )
+    server = SyncServer(
+        db, NotificationCenter(db), use_sockets=request.param == "sockets"
+    )
+    client = SyncClient(server)
+    mirror = client.mirror("pts")
+    yield db, server, client, mirror
+    client.close()
+    server.close()
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestDriver:
+    def test_auto_refresh_applies_changes(self, stack):
+        db, _server, client, mirror = stack
+        with RefreshDriver(client, max_rate=100.0) as driver:
+            db.insert("pts", {"id": 1, "x": 10})
+            assert wait_until(lambda: len(mirror) == 1)
+            assert driver.refreshes >= 1
+
+    def test_burst_coalesces_under_rate_limit(self, stack):
+        db, _server, client, mirror = stack
+        with RefreshDriver(client, max_rate=5.0) as driver:
+            # 30 statements in a burst far above the 5 Hz budget.
+            for i in range(30):
+                db.insert("pts", {"id": i + 1, "x": i})
+            assert wait_until(lambda: len(mirror) == 30)
+            # Many notifications, few refreshes.
+            assert driver.refreshes < 10
+            assert client.notify_received >= 30 or not client.server.use_sockets
+
+    def test_idle_tables_cost_nothing(self, stack):
+        _db, _server, client, _mirror = stack
+        with RefreshDriver(client, max_rate=100.0) as driver:
+            time.sleep(0.05)
+            assert driver.refreshes == 0
+
+    def test_flush_bypasses_rate_limit(self, stack):
+        db, _server, client, mirror = stack
+        driver = RefreshDriver(client, max_rate=0.1)  # one per 10s
+        db.insert("pts", {"id": 1, "x": 1})
+        if client.server.use_sockets:
+            assert client.wait_dirty("pts")
+        stats = driver.flush("pts")
+        assert stats["upserts"] == 1
+        assert len(mirror) == 1
+
+    def test_start_stop_idempotent(self, stack):
+        _db, _server, client, _mirror = stack
+        driver = RefreshDriver(client)
+        driver.start()
+        driver.start()  # no second thread
+        assert driver.running()
+        driver.stop()
+        assert not driver.running()
+        driver.stop()  # harmless
+
+    def test_listener_callbacks(self, stack):
+        db, _server, client, mirror = stack
+        events = []
+        with RefreshDriver(client, max_rate=100.0) as driver:
+            driver.on_refresh(lambda table, stats: events.append((table, stats)))
+            db.insert("pts", {"id": 1, "x": 1})
+            assert wait_until(lambda: events)
+        table, stats = events[0]
+        assert table == "pts"
+        assert stats["upserts"] >= 1
+
+    def test_invalid_rate(self, stack):
+        _db, _server, client, _mirror = stack
+        with pytest.raises(SyncError):
+            RefreshDriver(client, max_rate=0)
+
+    def test_driver_survives_client_close(self, stack):
+        db, _server, client, _mirror = stack
+        driver = RefreshDriver(client, max_rate=100.0)
+        driver.start()
+        db.insert("pts", {"id": 1, "x": 1})
+        wait_until(lambda: driver.refreshes >= 1)
+        client.close()
+        db.insert("pts", {"id": 2, "x": 2})
+        time.sleep(0.05)
+        driver.stop()  # must not hang or raise

@@ -1,0 +1,100 @@
+"""Property-based synchronization tests.
+
+Invariant: after any sequence of inserts/updates/deletes on R_D followed
+by one refresh, the full mirror R_M equals R_D exactly -- refreshes may
+happen at arbitrary points in the sequence without affecting the end
+state (the protocol is oblivious to refresh timing).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Column, Database, col
+from repro.db.schema import TID
+from repro.db.types import INTEGER
+from repro.sync import NotificationCenter, SyncClient, SyncServer
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 30), st.integers(0, 5)),
+        st.tuples(st.just("update"), st.integers(0, 30), st.integers(0, 5)),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.integers(0, 5)),
+        st.tuples(st.just("refresh"), st.just(0), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def build_stack():
+    db = Database()
+    db.create_table(
+        "t",
+        [Column("k", INTEGER, nullable=False), Column("v", INTEGER)],
+        primary_key="k",
+    )
+    server = SyncServer(db, NotificationCenter(db), use_sockets=False)
+    client = SyncClient(server)
+    mirror = client.mirror("t")
+    return db, server, client, mirror
+
+
+def apply(db, op, key, value):
+    kind = op
+    if kind == "insert":
+        if db.table("t").by_key(key) is None:
+            db.insert("t", {"k": key, "v": value})
+    elif kind == "update":
+        db.update("t", {"v": value}, col("k") == key)
+    elif kind == "delete":
+        db.delete("t", col("k") == key)
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_mirror_equals_base_after_final_refresh(ops):
+    db, server, client, mirror = build_stack()
+    for kind, key, value in ops:
+        if kind == "refresh":
+            client.refresh("t")
+        else:
+            apply(db, kind, key, value)
+    client.refresh("t")
+    base = {row["k"]: row["v"] for row in db.table("t").rows()}
+    mirrored = {row["k"]: row["v"] for row in mirror.all_rows()}
+    assert mirrored == base
+    client.close()
+    server.close()
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_mirror_tids_match_base(ops):
+    db, server, client, mirror = build_stack()
+    for kind, key, value in ops:
+        if kind == "refresh":
+            client.refresh("t")
+        else:
+            apply(db, kind, key, value)
+    client.refresh("t")
+    base_tids = {row[TID] for row in db.table("t").rows()}
+    assert set(mirror.tids()) == base_tids
+    client.close()
+    server.close()
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_purge_never_breaks_future_refreshes(ops):
+    db, server, client, mirror = build_stack()
+    for i, (kind, key, value) in enumerate(ops):
+        if kind == "refresh":
+            client.refresh("t")
+            server.purge_notifications()
+        else:
+            apply(db, kind, key, value)
+    client.refresh("t")
+    base = {row["k"]: row["v"] for row in db.table("t").rows()}
+    mirrored = {row["k"]: row["v"] for row in mirror.all_rows()}
+    assert mirrored == base
+    client.close()
+    server.close()

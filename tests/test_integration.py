@@ -1,0 +1,222 @@
+"""End-to-end scenarios exercising the whole platform together."""
+
+import pytest
+
+from repro import EdiFlow
+from repro.apps import copub, elections, wikipedia
+from repro.core import datamodel
+from repro.sync import SyncClient
+from repro.vis import LinLogLayout, VisualItem
+from repro.workflow import (
+    CallProcedure,
+    ProcessDefinition,
+    Procedure,
+    RelationDecl,
+    UpdatePropagation,
+    seq,
+)
+
+
+class TestElectionNightEndToEnd:
+    """The US-elections walkthrough of Section III-a, on the full stack:
+    process + propagation + notification + multi-view displays."""
+
+    def test_full_night(self):
+        platform = EdiFlow()
+        elections.install_schema(platform.database)
+        platform.procedures.register(elections.AggregateVotes())
+        treemap = elections.TreemapVotes()
+        platform.procedures.register(treemap)
+        platform.deploy(elections.build_process())
+
+        # Two displays share the visual attributes (Figure 6).
+        vis = platform.views.visualizations.create_visualization("night")
+        comp = platform.views.visualizations.create_component(vis, "treemap")
+        wall = platform.views.add_view("wall", comp)
+        phone = platform.views.add_view("phone", comp, fraction=0.3)
+
+        feed = elections.ReturnsFeed(seed=2008, total_minutes=12)
+        batches = list(feed.batches())
+        platform.database.insert_many(elections.T_VOTES, batches[0].rows)
+        execution = platform.run("us-elections")
+
+        for batch in batches[1:5]:
+            platform.database.insert_many(elections.T_VOTES, batch.rows)
+            platform.views.publish(comp, treemap.last_items)
+            platform.views.refresh_all()
+
+        assert len(wall.display) == len(elections.STATES)
+        assert len(phone.display) < len(wall.display)
+        # Aggregates consistent with raw votes.
+        raw = platform.query(
+            f"SELECT SUM(votes) AS s FROM {elections.T_VOTES}"
+        )[0]["s"]
+        agg = platform.query(
+            f"SELECT SUM(dem) AS d, SUM(rep) AS r FROM {elections.T_AGG}"
+        )[0]
+        assert agg["d"] + agg["r"] == raw
+        platform.close_execution(execution)
+        platform.shutdown()
+
+
+class TestWikipediaEndToEnd:
+    """Section III-b: revision stream -> incremental metrics, with the
+    analysis wrapped as an EdiFlow procedure reacting to new revisions."""
+
+    def test_streaming_metrics_process(self):
+        platform = EdiFlow()
+        wikipedia.install_schema(platform.database)
+        analyzer = wikipedia.WikipediaAnalyzer(platform.database)
+
+        class AnalyzeRevisions(Procedure):
+            name = "analyze_revisions"
+
+            def run(self, env, inputs, read_write):
+                for row in inputs[0]:
+                    analyzer.process(
+                        wikipedia.Revision(
+                            revision_id=row["id"],
+                            article_id=row["article_id"],
+                            user_id=row["user_id"],
+                            version=row["version"],
+                            text=row["text"],
+                        ),
+                        store_revision=False,
+                    )
+                analyzer.flush_user_metrics()
+                return []
+
+            def on_delta_running(self, env, delta):
+                for row in delta.inserted:
+                    analyzer.process(
+                        wikipedia.Revision(
+                            revision_id=row["id"],
+                            article_id=row["article_id"],
+                            user_id=row["user_id"],
+                            version=row["version"],
+                            text=row["text"],
+                        ),
+                        store_revision=False,
+                    )
+                analyzer.flush_user_metrics()
+                return None
+
+        platform.procedures.register(AnalyzeRevisions())
+        definition = ProcessDefinition(
+            "wiki-metrics",
+            seq(
+                CallProcedure(
+                    "analyze",
+                    "analyze_revisions",
+                    inputs=[wikipedia.T_REVISION],
+                    detached=True,
+                )
+            ),
+            relations=[RelationDecl(wikipedia.T_REVISION)],
+            procedures=["analyze_revisions"],
+            propagations=[
+                UpdatePropagation(wikipedia.T_REVISION, "analyze", "ra")
+            ],
+        )
+        platform.deploy(definition)
+
+        stream = wikipedia.RevisionStream(n_articles=4, n_users=3, seed=13)
+        warmup = stream.take(10)
+        for rev in warmup:
+            platform.database.insert(
+                wikipedia.T_REVISION,
+                {
+                    "id": rev.revision_id,
+                    "article_id": rev.article_id,
+                    "user_id": rev.user_id,
+                    "version": rev.version,
+                    "text": rev.text,
+                },
+            )
+        execution = platform.run("wiki-metrics")
+        processed_at_start = analyzer.revisions_processed
+        assert processed_at_start == 10
+
+        # Live edits arrive; the running activity reacts per statement.
+        for rev in stream.take(5):
+            platform.database.insert(
+                wikipedia.T_REVISION,
+                {
+                    "id": rev.revision_id,
+                    "article_id": rev.article_id,
+                    "user_id": rev.user_id,
+                    "version": rev.version,
+                    "text": rev.text,
+                },
+            )
+        assert analyzer.revisions_processed == 15
+        metrics = analyzer.article_metrics()
+        assert sum(m["versions"] for m in metrics) == 15
+        platform.close_execution(execution)
+        platform.shutdown()
+
+
+class TestCopublicationsEndToEnd:
+    """Section VII deployment: layout machine + display machine over
+    sockets, with incremental relayout on new publications."""
+
+    def test_layout_pipeline_with_delta(self):
+        platform = EdiFlow(use_sockets=False)
+        generator = copub.CopublicationGenerator(n_authors=80, n_teams=8, seed=17)
+        publications = copub.load_into_database(
+            platform.database, generator, n_publications=60
+        )
+        graph = copub.build_graph(publications)
+        layout = LinLogLayout(graph, seed=3)
+        initial = layout.run(max_iterations=400)
+        assert initial.converged
+
+        vis = platform.views.visualizations.create_visualization("copub")
+        comp = platform.views.visualizations.create_component(vis, "node-link")
+        platform.views.publish_positions(comp, initial.positions)
+        screen = platform.views.add_view("screen", comp)
+        assert len(screen.display) == len(initial.positions)
+
+        # New publications arrive: incremental relayout + display refresh.
+        fresh = generator.take(5)
+        before_nodes = set(graph.nodes())
+        copub.build_graph(fresh, graph=graph)
+        added = [n for n in graph.nodes() if n not in before_nodes]
+        incremental = layout.update(added_nodes=added, max_iterations=400)
+        assert incremental.iterations <= initial.iterations
+        platform.views.publish_positions(comp, incremental.positions)
+        platform.views.refresh_all()
+        assert len(screen.display) == len(incremental.positions)
+        platform.shutdown()
+
+
+class TestSocketDeploymentEndToEnd:
+    """Real loopback sockets between the DBMS and two 'machines'."""
+
+    def test_two_machine_pipeline(self):
+        platform = EdiFlow(use_sockets=True)
+        platform.execute(
+            "CREATE TABLE authors (id INTEGER PRIMARY KEY, name TEXT)"
+        )
+        machine1 = SyncClient(platform.server)
+        machine2 = SyncClient(platform.server)
+        try:
+            nodes = machine1.mirror("authors")
+            attrs = machine2.mirror(datamodel.T_VISUAL_ATTRIBUTES)
+            platform.execute(
+                "INSERT INTO authors (id, name) VALUES (1, 'a'), (2, 'b')"
+            )
+            assert machine1.wait_dirty("authors")
+            machine1.refresh("authors")
+            assert len(nodes) == 2
+            # Machine 1 computes attributes; machine 2 sees them.
+            platform.views.attributes.write(
+                1, [VisualItem(obj_id=r["id"], x=1.0, y=2.0) for r in nodes]
+            )
+            assert machine2.wait_dirty(datamodel.T_VISUAL_ATTRIBUTES)
+            machine2.refresh(datamodel.T_VISUAL_ATTRIBUTES)
+            assert len(attrs) == 2
+        finally:
+            machine1.close()
+            machine2.close()
+            platform.shutdown()

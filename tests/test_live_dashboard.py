@@ -1,0 +1,116 @@
+"""Live-dashboard integration: auto-refreshed views over a reactive process.
+
+The complete interactive story: a detached aggregation process reacts to
+streaming data; a RefreshDriver keeps a display mirror current at a
+bounded frame rate; the monitor reports the running instance -- all
+without a single manual refresh call.
+"""
+
+import time
+
+import pytest
+
+from repro import EdiFlow
+from repro.core import datamodel
+from repro.db import AggSpec, col
+from repro.ivm import AggregateView
+from repro.sync import RefreshDriver, SyncClient
+from repro.workflow import (
+    CallProcedure,
+    ProcessDefinition,
+    Procedure,
+    RelationDecl,
+    UpdatePropagation,
+    seq,
+)
+
+
+class WriteSummary(Procedure):
+    """Keeps a one-row summary table fresh through delta handlers."""
+
+    name = "write_summary"
+
+    def run(self, env, inputs, read_write):
+        total = sum(r["amount"] for r in inputs[0])
+        env.execute("DELETE FROM summary")
+        env.execute("INSERT INTO summary (total) VALUES (?)", [total])
+        return []
+
+    def on_delta_running(self, env, delta):
+        change = sum(r["amount"] for r in delta.inserted) - sum(
+            r["amount"] for r in delta.deleted
+        )
+        env.database.execute(
+            "UPDATE summary SET total = total + ?", [change]
+        )
+        return None
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+@pytest.mark.parametrize("use_sockets", [False, True], ids=["inprocess", "sockets"])
+def test_live_dashboard(use_sockets):
+    platform = EdiFlow(use_sockets=use_sockets)
+    platform.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, amount INTEGER)"
+    )
+    platform.execute("CREATE TABLE summary (total INTEGER)")
+    platform.procedures.register(WriteSummary())
+    platform.deploy(
+        ProcessDefinition(
+            "dashboard",
+            seq(
+                CallProcedure(
+                    "summarize", "write_summary", inputs=["orders"], detached=True
+                )
+            ),
+            relations=[RelationDecl("orders"), RelationDecl("summary")],
+            procedures=["write_summary"],
+            propagations=[UpdatePropagation("orders", "summarize", "ra")],
+        )
+    )
+    execution = platform.run("dashboard")
+
+    # The dashboard client mirrors the summary table, auto-refreshed.
+    client = SyncClient(platform.server)
+    mirror = client.mirror("summary")
+    driver = RefreshDriver(client, max_rate=200.0)
+    driver.start()
+    try:
+        # Stream orders; the process handler and the dashboard mirror
+        # must both converge without manual refreshes.
+        total = 0
+        for i in range(20):
+            amount = (i * 7) % 23 + 1
+            total += amount
+            platform.execute(
+                "INSERT INTO orders (id, amount) VALUES (?, ?)", [i, amount]
+            )
+        expected = total
+
+        def mirror_current():
+            rows = mirror.all_rows()
+            return bool(rows) and rows[0]["total"] == expected
+
+        assert wait_until(mirror_current), (
+            f"dashboard never converged: mirror={mirror.all_rows()}, "
+            f"expected total {expected}"
+        )
+        # The monitor sees the detached activity still running.
+        running = platform.monitor.running()
+        assert [t.process_name for t in running] == ["dashboard"]
+        trace = platform.monitor.trace(execution.id)
+        assert trace.activities[0].status == datamodel.RUNNING
+    finally:
+        driver.stop()
+        client.close()
+        platform.close_execution(execution)
+        platform.shutdown()
+    assert platform.monitor.running() == []

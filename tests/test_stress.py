@@ -1,0 +1,166 @@
+"""Soak test: sustained mixed load across every subsystem at once.
+
+One platform runs a reactive process, a materialized view, a notification
+mirror, and a multi-view visualization simultaneously while a random (but
+seeded) workload of inserts/updates/deletes streams in.  After every
+round, cross-subsystem invariants must hold exactly.
+"""
+
+import random
+
+import pytest
+
+from repro import EdiFlow
+from repro.core import datamodel
+from repro.db import AggSpec, col
+from repro.ivm import AggregateView
+from repro.sync import SyncClient
+from repro.vis import VisualItem
+from repro.workflow import (
+    CallProcedure,
+    ProcessDefinition,
+    Procedure,
+    RelationDecl,
+    UpdatePropagation,
+    seq,
+)
+
+ROUNDS = 30
+OPS_PER_ROUND = 15
+
+
+class RunningTotal(Procedure):
+    """Maintains a Python-side total via delta handlers (checked against
+    SQL and the IVM view every round)."""
+
+    name = "running_total"
+
+    def __init__(self):
+        self.total = 0
+
+    def run(self, env, inputs, read_write):
+        self.total = sum(row["amount"] for row in inputs[0])
+        return []
+
+    def on_delta_running(self, env, delta):
+        self.total += sum(r["amount"] for r in delta.inserted)
+        self.total -= sum(r["amount"] for r in delta.deleted)
+        return None
+
+
+@pytest.fixture
+def stack():
+    platform = EdiFlow(use_sockets=False)
+    platform.execute(
+        "CREATE TABLE events (id INTEGER PRIMARY KEY, kind TEXT, amount INTEGER)"
+    )
+    proc = RunningTotal()
+    platform.procedures.register(proc)
+    platform.deploy(
+        ProcessDefinition(
+            "tracker",
+            seq(CallProcedure("track", "running_total", inputs=["events"],
+                              detached=True)),
+            relations=[RelationDecl("events")],
+            procedures=["running_total"],
+            propagations=[UpdatePropagation("events", "track", "ra")],
+        )
+    )
+    view = platform.materialized.register(
+        AggregateView(
+            "by_kind",
+            "events",
+            group_by=["kind"],
+            aggregates=[
+                AggSpec("SUM", col("amount"), "total"),
+                AggSpec("COUNT", None, "n"),
+            ],
+        )
+    )
+    client = SyncClient(platform.server)
+    mirror = client.mirror("events")
+    vis = platform.views.visualizations.create_visualization("soak")
+    comp = platform.views.visualizations.create_component(vis, "bars")
+    screen = platform.views.add_view("screen", comp)
+    execution = platform.run("tracker")
+    yield platform, proc, view, client, mirror, comp, screen, execution
+    platform.close_execution(execution)
+    client.close()
+    platform.shutdown()
+
+
+def test_soak(stack):
+    platform, proc, view, client, mirror, comp, screen, execution = stack
+    rng = random.Random(99)
+    next_id = 1
+    live_ids: list[int] = []
+    for round_no in range(ROUNDS):
+        # -- mixed workload ------------------------------------------------
+        batch = []
+        for _ in range(OPS_PER_ROUND):
+            action = rng.random()
+            if action < 0.6 or not live_ids:
+                batch.append(
+                    {
+                        "id": next_id,
+                        "kind": rng.choice("abc"),
+                        "amount": rng.randint(1, 100),
+                    }
+                )
+                live_ids.append(next_id)
+                next_id += 1
+            elif action < 0.8:
+                victim = rng.choice(live_ids)
+                platform.database.update(
+                    "events", {"amount": rng.randint(1, 100)}, col("id") == victim
+                )
+            else:
+                victim = live_ids.pop(rng.randrange(len(live_ids)))
+                platform.database.delete("events", col("id") == victim)
+        if batch:
+            platform.database.insert_many("events", batch)
+
+        # -- cross-subsystem invariants -------------------------------------
+        sql_total = platform.query(
+            "SELECT SUM(amount) AS s, COUNT(*) AS n FROM events"
+        )[0]
+        sql_sum = sql_total["s"] or 0
+        # 1. Delta-handler total == SQL total.
+        assert proc.total == sql_sum, f"round {round_no}: handler drifted"
+        # 2. IVM view == SQL group-by.
+        grouped = {
+            r["kind"]: (r["total"], r["n"])
+            for r in platform.query(
+                "SELECT kind, SUM(amount) AS total, COUNT(*) AS n "
+                "FROM events GROUP BY kind"
+            )
+        }
+        view_state = {r["kind"]: (r["total"], r["n"]) for r in view.rows()}
+        assert view_state == grouped, f"round {round_no}: IVM drifted"
+        # 3. Mirror == base table after refresh.
+        client.refresh("events")
+        assert len(mirror) == sql_total["n"]
+        mirror_sum = sum(r["amount"] for r in mirror.all_rows())
+        assert mirror_sum == sql_sum, f"round {round_no}: mirror drifted"
+        # 4. Visualization fan-out consistent with the view.
+        items = [
+            VisualItem(obj_id=kind, x=float(i), y=float(total), label=kind)
+            for i, (kind, (total, _n)) in enumerate(sorted(view_state.items()))
+        ]
+        platform.views.publish(comp, items)
+        platform.views.refresh_all()
+        shown = {i.obj_id: i.y for i in screen.display.items.values()}
+        assert shown == {k: float(t) for k, (t, _n) in view_state.items()}
+        # 5. Periodic purge never breaks anything.
+        if round_no % 7 == 6:
+            platform.server.purge_notifications()
+
+    # Final: instance bookkeeping still sane.
+    statuses = platform.query(
+        f"SELECT status FROM {datamodel.T_PROCESS_INSTANCE}"
+    )
+    assert statuses[0]["status"] == datamodel.RUNNING
+    history_ok = platform.query(
+        f"SELECT COUNT(*) AS n FROM {datamodel.T_ACTIVITY_INSTANCE}"
+    )[0]["n"]
+    assert history_ok == 1

@@ -1,0 +1,240 @@
+"""VisualAttributes store, components, displays, scatter, multi-view."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.db import Database
+from repro.errors import VisError
+from repro.vis import (
+    Display,
+    ScatterPlot,
+    ViewManager,
+    VisualAttributesStore,
+    VisualItem,
+    VisualizationManager,
+)
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+@pytest.fixture
+def store(db):
+    return VisualAttributesStore(db)
+
+
+class TestVisualAttributesStore:
+    def test_write_inserts_then_updates(self, db, store):
+        items = [VisualItem(obj_id="a", x=1.0, y=2.0, color="#111111")]
+        store.write(1, items)
+        rows = db.query(f"SELECT * FROM {datamodel.T_VISUAL_ATTRIBUTES}")
+        assert len(rows) == 1
+        assert rows[0]["x"] == 1.0
+        store.write(1, [VisualItem(obj_id="a", x=9.0, y=2.0)])
+        rows = db.query(f"SELECT * FROM {datamodel.T_VISUAL_ATTRIBUTES}")
+        assert len(rows) == 1  # updated, not duplicated
+        assert rows[0]["x"] == 9.0
+
+    def test_batch_insert_is_one_statement(self, db, store):
+        fired = []
+        db.on(
+            datamodel.T_VISUAL_ATTRIBUTES,
+            "insert",
+            lambda ch: fired.append(len(ch.inserted)),
+        )
+        store.write(1, [VisualItem(obj_id=i, x=0.0, y=0.0) for i in range(10)])
+        assert fired == [10]
+
+    def test_components_isolated(self, db, store):
+        store.write(1, [VisualItem(obj_id="a", x=1.0)])
+        store.write(2, [VisualItem(obj_id="a", x=2.0)])
+        assert store.get(1, "a").x == 1.0
+        assert store.get(2, "a").x == 2.0
+        assert store.get(3, "a") is None
+
+    def test_write_positions_fast_path(self, db, store):
+        store.write(1, [VisualItem(obj_id="a", x=0.0, y=0.0, color="#abcdef")])
+        store.write_positions(1, {"a": (5.0, 6.0), "b": (7.0, 8.0)})
+        a = store.get(1, "a")
+        assert (a.x, a.y) == (5.0, 6.0)
+        assert a.color == "#abcdef"  # untouched by the fast path
+        assert store.get(1, "b") is not None
+
+    def test_selection_flip(self, db, store):
+        store.write(1, [VisualItem(obj_id=i) for i in range(3)])
+        assert store.select(1, [0, 2]) == 2
+        selected = [i.obj_id for i in store.read(1) if i.selected]
+        assert sorted(selected) == [0, 2]
+        store.select(1, [0], selected=False)
+        selected = [i.obj_id for i in store.read(1) if i.selected]
+        assert selected == [2]
+
+    def test_remove_and_clear(self, db, store):
+        store.write(1, [VisualItem(obj_id=i) for i in range(4)])
+        assert store.remove(1, [0, 1]) == 2
+        assert len(store.read(1)) == 2
+        assert store.clear(1) == 2
+        assert store.read(1) == []
+
+    def test_empty_write(self, store):
+        assert store.write(1, []) == 0
+
+
+class TestVisualizationManager:
+    def test_create_and_lookup(self, db):
+        manager = VisualizationManager(db)
+        vis = manager.create_visualization("history")
+        comp = manager.create_component(vis, "scatter", label="by year")
+        components = manager.components_of(vis)
+        assert components[0]["id"] == comp
+        assert components[0]["type"] == "scatter"
+        assert manager.visualization_named("history") == vis
+        assert manager.visualization_named("ghost") is None
+
+    def test_component_needs_visualization(self, db):
+        manager = VisualizationManager(db)
+        with pytest.raises(VisError):
+            manager.create_component(999, "scatter")
+
+    def test_selected_objects_query(self, db):
+        manager = VisualizationManager(db)
+        vis = manager.create_visualization("v")
+        comp = manager.create_component(vis, "scatter")
+        manager.write_items(comp, [VisualItem(obj_id="a"), VisualItem(obj_id="b")])
+        manager.attributes.select(comp, ["b"])
+        assert manager.selected_objects(comp) == ["b"]
+
+
+class TestDisplay:
+    def test_apply_rows_counts(self):
+        display = Display()
+        rows = [
+            {"obj_id": 1, "x": 0.0, "y": 0.0, "width": None, "height": None,
+             "color": None, "label": None, "selected": False},
+        ]
+        display.apply_rows(rows)
+        assert display.inserted == 1
+        display.apply_rows(rows)
+        assert display.updated == 1
+        assert len(display) == 1
+
+    def test_remove(self):
+        display = Display()
+        display.apply_items([VisualItem(obj_id=1), VisualItem(obj_id=2)])
+        assert display.remove_objects([1, 99]) == 1
+        assert display.removed == 1
+
+    def test_refresh_counter(self):
+        display = Display()
+        assert display.refresh() == 1
+        assert display.refresh() == 2
+
+    def test_bounds(self):
+        display = Display()
+        display.apply_items(
+            [VisualItem(obj_id=1, x=-5.0, y=2.0), VisualItem(obj_id=2, x=5.0, y=8.0)]
+        )
+        assert display.bounds() == (-5.0, 2.0, 5.0, 8.0)
+        assert Display().bounds() == (0.0, 0.0, 1.0, 1.0)
+
+    def test_render_svg(self):
+        display = Display(width=100, height=100)
+        display.apply_items(
+            [
+                VisualItem(obj_id=1, x=0.0, y=0.0, color="#ff0000", label="<a&b>"),
+                VisualItem(obj_id=2, x=1.0, y=1.0, width=10.0, height=5.0),
+            ]
+        )
+        svg = display.render_svg()
+        assert svg.startswith("<svg")
+        assert "circle" in svg
+        assert "rect" in svg
+        assert "&lt;a&amp;b&gt;" in svg  # escaped
+
+
+class TestScatterPlot:
+    ROWS = [
+        {"id": 1, "year": 2005, "pubs": 3, "team": "a"},
+        {"id": 2, "year": 2010, "pubs": 9, "team": "b"},
+        {"id": 3, "year": 2007, "pubs": None, "team": "a"},
+    ]
+
+    def test_positions_follow_scales(self):
+        plot = ScatterPlot(x="year", y="pubs", key="id", width=100, height=100)
+        items = {i.obj_id: i for i in plot.compute(self.ROWS)}
+        assert items[1].x == 0.0  # min year at left
+        assert items[2].x == 100.0
+        # Higher pubs -> smaller y (screen coordinates).
+        assert items[2].y < items[1].y
+        assert 3 not in items  # null y dropped
+
+    def test_categorical_colors(self):
+        plot = ScatterPlot(x="year", y="pubs", key="id", color_by="team")
+        items = plot.compute(self.ROWS)
+        colors = {i.obj_id: i.color for i in items}
+        assert colors[1] != colors[2]
+
+    def test_sequential_colors(self):
+        plot = ScatterPlot(
+            x="year", y="pubs", key="id", color_by="pubs", color_scale="sequential"
+        )
+        items = plot.compute(self.ROWS[:2])
+        assert all(i.color.startswith("#") for i in items)
+
+    def test_size_scale(self):
+        plot = ScatterPlot(x="year", y="pubs", key="id", size="pubs")
+        items = {i.obj_id: i for i in plot.compute(self.ROWS[:2])}
+        assert items[2].width > items[1].width
+
+    def test_empty_rows(self):
+        plot = ScatterPlot(x="year", y="pubs", key="id")
+        assert plot.compute([]) == []
+
+    def test_bad_color_scale(self):
+        with pytest.raises(VisError):
+            ScatterPlot(x="a", y="b", key="id", color_scale="rainbow")
+
+
+class TestViewManager:
+    def test_compute_once_fan_out(self, db):
+        manager = ViewManager(db)
+        vis = manager.visualizations.create_visualization("shared")
+        comp = manager.visualizations.create_component(vis, "scatter")
+        manager.publish(comp, [VisualItem(obj_id=i, x=float(i), y=0.0) for i in range(10)])
+        wall = manager.add_view("wall", comp)
+        phone = manager.add_view("phone", comp, fraction=0.4)
+        assert len(wall.display) == 10
+        assert len(phone.display) < 10
+
+    def test_update_propagates_to_all_views(self, db):
+        manager = ViewManager(db)
+        vis = manager.visualizations.create_visualization("shared")
+        comp = manager.visualizations.create_component(vis, "scatter")
+        manager.publish(comp, [VisualItem(obj_id=1, x=0.0, y=0.0)])
+        view_a = manager.add_view("a", comp)
+        view_b = manager.add_view("b", comp)
+        manager.publish_positions(comp, {1: (9.0, 9.0), 2: (1.0, 1.0)})
+        applied = manager.refresh_all()
+        assert applied == {"a": 2, "b": 2}
+        assert view_a.display.items[1].x == 9.0
+        assert view_b.display.items[2].x == 1.0
+
+    def test_views_filtered_by_component(self, db):
+        manager = ViewManager(db)
+        vis = manager.visualizations.create_visualization("shared")
+        comp1 = manager.visualizations.create_component(vis, "scatter")
+        comp2 = manager.visualizations.create_component(vis, "map")
+        manager.publish(comp1, [VisualItem(obj_id=1)])
+        manager.publish(comp2, [VisualItem(obj_id=2)])
+        view = manager.add_view("only1", comp1)
+        assert list(view.display.items) == [1]
+
+    def test_close(self, db):
+        manager = ViewManager(db)
+        vis = manager.visualizations.create_visualization("shared")
+        comp = manager.visualizations.create_component(vis, "scatter")
+        manager.add_view("v", comp)
+        manager.close()
+        assert manager.views == []

@@ -1,0 +1,88 @@
+"""Color parsing, interpolation, and scales."""
+
+import pytest
+
+from repro.errors import VisError
+from repro.vis import (
+    CATEGORICAL_10,
+    DivergingScale,
+    SequentialScale,
+    categorical,
+    darken,
+    lerp,
+    lighten,
+)
+from repro.vis.color import parse_hex, to_hex
+
+
+class TestParsing:
+    def test_six_digit(self):
+        assert parse_hex("#ff0080") == (255, 0, 128)
+
+    def test_three_digit(self):
+        assert parse_hex("#f08") == (255, 0, 136)
+
+    def test_round_trip(self):
+        assert to_hex(parse_hex("#123456")) == "#123456"
+
+    def test_clamping(self):
+        assert to_hex((300, -5, 128.6)) == "#ff0081"
+
+    def test_errors(self):
+        for bad in ("123456", "#12", "#12345g"):
+            with pytest.raises(VisError):
+                parse_hex(bad)
+
+
+class TestInterpolation:
+    def test_endpoints(self):
+        assert lerp("#000000", "#ffffff", 0.0) == "#000000"
+        assert lerp("#000000", "#ffffff", 1.0) == "#ffffff"
+
+    def test_midpoint(self):
+        assert lerp("#000000", "#ffffff", 0.5) == "#808080"
+
+    def test_t_clamped(self):
+        assert lerp("#000000", "#ffffff", 2.0) == "#ffffff"
+        assert lerp("#000000", "#ffffff", -1.0) == "#000000"
+
+    def test_darken_lighten(self):
+        assert darken("#808080", 1.0) == "#000000"
+        assert lighten("#808080", 1.0) == "#ffffff"
+        assert darken("#808080", 0.0) == "#808080"
+
+
+class TestScales:
+    def test_sequential_shades(self):
+        scale = SequentialScale((0, 100), low="#ffffff", high="#000000")
+        assert scale(0) == "#ffffff"
+        assert scale(100) == "#000000"
+        assert scale(50) == "#808080"
+
+    def test_sequential_degenerate_domain(self):
+        scale = SequentialScale((5, 5), low="#ffffff", high="#000000")
+        assert scale(5) == "#808080"
+
+    def test_diverging(self):
+        scale = DivergingScale((-1, 0, 1), low="#ff0000", mid="#ffffff", high="#0000ff")
+        assert scale(-1) == "#ff0000"
+        assert scale(0) == "#ffffff"
+        assert scale(1) == "#0000ff"
+
+    def test_diverging_unordered_domain(self):
+        with pytest.raises(VisError):
+            DivergingScale((1, 0, -1))
+
+    def test_diverging_degenerate_halves(self):
+        scale = DivergingScale((0, 0, 1))
+        assert scale(0) == scale.mid or scale(0) == "#f7f7f7"
+
+
+class TestCategorical:
+    def test_cycles(self):
+        assert categorical(0) == CATEGORICAL_10[0]
+        assert categorical(10) == CATEGORICAL_10[0]
+        assert categorical(3) == CATEGORICAL_10[3]
+
+    def test_custom_palette(self):
+        assert categorical(1, ["#111111", "#222222"]) == "#222222"

@@ -1,0 +1,93 @@
+"""Graph structure used by the layout algorithms."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.vis import Graph
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert 1 in g and 2 in g
+        assert len(g) == 2
+        assert g.edge_count == 1
+
+    def test_weights(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=3.5)
+        assert g.neighbors(1) == {2: 3.5}
+        assert g.weighted_degree(1) == 3.5
+
+    def test_reinsert_edge_updates_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(1, 2, weight=2.0)
+        assert g.edge_count == 1
+        assert g.neighbors(2)[1] == 2.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(LayoutError):
+            Graph().add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(LayoutError):
+            Graph().add_edge(1, 2, weight=0)
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert len(g) == 3
+        assert g.edge_count == 2
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert g.edge_count == 1
+        assert g.degree(1) == 0
+        g.remove_edge(1, 2)  # idempotent
+
+    def test_remove_node_cleans_adjacency(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.edge_count == 1
+        assert g.neighbors(1) == {3: 1.0}
+        g.remove_node(99)  # unknown: no error
+
+
+class TestQueries:
+    def test_edges_iterated_once(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 2
+        pairs = {frozenset((u, v)) for u, v, _w in edges}
+        assert pairs == {frozenset((1, 2)), frozenset((2, 3))}
+
+    def test_degree(self):
+        g = Graph.from_edges([(1, 2), (1, 3)])
+        assert g.degree(1) == 2
+        assert g.degree(99) == 0
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(LayoutError):
+            Graph().neighbors(1)
+
+    def test_copy_independent(self):
+        g = Graph.from_edges([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.edge_count == 1
+        assert clone.edge_count == 2
+
+    def test_connected_components(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (10, 11)])
+        g.add_node(99)
+        components = sorted(g.connected_components(), key=len, reverse=True)
+        assert {frozenset(c) for c in components} == {
+            frozenset({1, 2, 3}),
+            frozenset({10, 11}),
+            frozenset({99}),
+        }

@@ -1,0 +1,187 @@
+"""LinLog and Fruchterman-Reingold layouts: convergence, incrementality."""
+
+import math
+
+import pytest
+
+from repro.vis import FruchtermanReingold, Graph, LinLogLayout
+
+
+def two_cliques(k=6, bridge=True):
+    """Two k-cliques joined by one bridge edge -- the canonical cluster
+    separation test for LinLog."""
+    g = Graph()
+    for i in range(k):
+        for j in range(i + 1, k):
+            g.add_edge(i, j)
+            g.add_edge(100 + i, 100 + j)
+    if bridge:
+        g.add_edge(0, 100)
+    return g
+
+
+def centroid(positions, nodes):
+    xs = [positions[n][0] for n in nodes]
+    ys = [positions[n][1] for n in nodes]
+    return (sum(xs) / len(xs), sum(ys) / len(ys))
+
+
+def dist(a, b):
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+class TestLinLogInitial:
+    def test_converges(self):
+        layout = LinLogLayout(two_cliques(), seed=1)
+        result = layout.run(max_iterations=500)
+        assert result.converged
+        assert result.iterations < 500
+        assert len(result.positions) == 12
+
+    def test_energy_decreases(self):
+        layout = LinLogLayout(two_cliques(), seed=1)
+        result = layout.run(max_iterations=300)
+        trace = result.energy_trace
+        assert trace[-1] < trace[0]
+
+    def test_separates_clusters(self):
+        g = two_cliques()
+        layout = LinLogLayout(g, seed=2)
+        result = layout.run(max_iterations=500)
+        a = centroid(result.positions, range(6))
+        b = centroid(result.positions, range(100, 106))
+        inter = dist(a, b)
+        # Intra-cluster spread is much smaller than the separation.
+        intra = max(
+            dist(result.positions[i], a) for i in range(6)
+        )
+        assert inter > 1.5 * intra
+
+    def test_deterministic_given_seed(self):
+        r1 = LinLogLayout(two_cliques(), seed=7).run(max_iterations=50)
+        r2 = LinLogLayout(two_cliques(), seed=7).run(max_iterations=50)
+        assert r1.positions == r2.positions
+
+    def test_empty_graph(self):
+        result = LinLogLayout(Graph()).run()
+        assert result.positions == {}
+        assert result.converged
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("solo")
+        result = LinLogLayout(g).run(max_iterations=10)
+        assert "solo" in result.positions
+
+    def test_iteration_callback_streams_positions(self):
+        snapshots = []
+        layout = LinLogLayout(two_cliques(), seed=3)
+        layout.run(
+            max_iterations=20,
+            on_iteration=lambda it, pos, energy: snapshots.append((it, len(pos))),
+        )
+        assert len(snapshots) == layout.total_iterations
+        assert all(count == 12 for _it, count in snapshots)
+        assert [it for it, _ in snapshots] == list(range(1, len(snapshots) + 1))
+
+
+class TestLinLogIncremental:
+    def test_incremental_much_faster_than_initial(self):
+        g = two_cliques(k=8)
+        layout = LinLogLayout(g, seed=4)
+        initial = layout.run(max_iterations=1000)
+        assert initial.converged
+        # Add a handful of new nodes attached to existing ones.
+        for new, anchor in ((200, 0), (201, 1), (202, 100)):
+            g.add_edge(new, anchor)
+        incremental = layout.update(
+            added_nodes=[200, 201, 202], max_iterations=1000
+        )
+        assert incremental.converged
+        assert incremental.iterations < initial.iterations / 2
+
+    def test_new_nodes_placed_near_neighbors(self):
+        g = two_cliques()
+        layout = LinLogLayout(g, seed=5)
+        layout.run(max_iterations=300)
+        anchor_pos = layout.positions[0]
+        g.add_edge(300, 0)
+        layout.place_near_neighbors([300])
+        assert dist(layout.positions[300], anchor_pos) < 0.2
+
+    def test_disconnected_new_node_gets_random_position(self):
+        g = two_cliques()
+        layout = LinLogLayout(g, seed=6)
+        layout.run(max_iterations=100)
+        g.add_node(999)
+        layout.place_near_neighbors([999])
+        assert 999 in layout.positions
+
+    def test_removed_nodes_dropped(self):
+        g = two_cliques()
+        layout = LinLogLayout(g, seed=6)
+        layout.run(max_iterations=100)
+        g.remove_node(0)
+        result = layout.update(removed_nodes=[0], max_iterations=100)
+        assert 0 not in result.positions
+        assert len(result.positions) == 11
+
+    def test_old_layout_shape_mostly_stable(self):
+        # Absolute positions may undergo a rigid motion (the energy is
+        # rotation/translation invariant), so stability is judged on the
+        # *shape*: pairwise distances between old nodes barely change.
+        import itertools
+
+        g = two_cliques(k=8)
+        layout = LinLogLayout(g, seed=8)
+        initial = layout.run(max_iterations=1000)
+        before = dict(initial.positions)
+        g.add_edge(500, 0)
+        result = layout.update(added_nodes=[500], max_iterations=200)
+        changes = []
+        for a, b in itertools.combinations(before, 2):
+            old = dist(before[a], before[b])
+            new = dist(result.positions[a], result.positions[b])
+            changes.append(abs(new - old) / max(old, 1e-9))
+        changes.sort()
+        assert changes[len(changes) // 2] < 0.15  # median relative change
+
+    def test_energy_method_matches_run(self):
+        layout = LinLogLayout(two_cliques(), seed=9)
+        result = layout.run(max_iterations=100)
+        assert layout.energy() == pytest.approx(result.energy, rel=0.1)
+
+
+class TestFruchtermanReingold:
+    def test_runs_and_places_all_nodes(self):
+        fr = FruchtermanReingold(two_cliques(), seed=1)
+        result = fr.run(max_iterations=80)
+        assert len(result.positions) == 12
+        assert result.iterations <= 80
+
+    def test_connected_nodes_closer_than_average(self):
+        g = two_cliques()
+        fr = FruchtermanReingold(g, seed=2)
+        result = fr.run(max_iterations=150)
+        positions = result.positions
+        edge_dists = [
+            dist(positions[u], positions[v]) for u, v, _w in g.edges()
+            if (u, v) != (0, 100) and (v, u) != (0, 100)
+        ]
+        nodes = list(positions)
+        import itertools
+
+        all_dists = [
+            dist(positions[a], positions[b])
+            for a, b in itertools.combinations(nodes, 2)
+        ]
+        assert sum(edge_dists) / len(edge_dists) < sum(all_dists) / len(all_dists)
+
+    def test_empty_graph(self):
+        result = FruchtermanReingold(Graph()).run()
+        assert result.positions == {}
+
+    def test_deterministic(self):
+        r1 = FruchtermanReingold(two_cliques(), seed=3).run(max_iterations=30)
+        r2 = FruchtermanReingold(two_cliques(), seed=3).run(max_iterations=30)
+        assert r1.positions == r2.positions

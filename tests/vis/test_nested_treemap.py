@@ -1,0 +1,129 @@
+"""Hierarchical treemap: nesting, containment, padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.vis import squarify_nested
+
+TREE = {
+    "west": {"CA": 39.0, "WA": 8.0, "OR": 4.0},
+    "south": {"TX": 30.0, "FL": 22.0},
+    "northeast": {"NY": 19.0},
+}
+
+
+class TestStructure:
+    def test_every_node_gets_a_cell(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        paths = {c.path for c in cells}
+        assert ("west",) in paths
+        assert ("west", "CA") in paths
+        assert ("northeast", "NY") in paths
+        assert len(cells) == 3 + 6  # 3 groups + 6 leaves
+
+    def test_depths_and_leaf_flags(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        by_path = {c.path: c for c in cells}
+        assert by_path[("west",)].depth == 0
+        assert not by_path[("west",)].is_leaf
+        assert by_path[("west", "CA")].depth == 1
+        assert by_path[("west", "CA")].is_leaf
+
+    def test_parents_before_children(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        seen = set()
+        for cell in cells:
+            if len(cell.path) > 1:
+                assert cell.path[:-1] in seen
+            seen.add(cell.path)
+
+    def test_group_value_is_subtree_total(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        west = next(c for c in cells if c.path == ("west",))
+        assert west.value == pytest.approx(51.0)
+
+    def test_key_property(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        leaf = next(c for c in cells if c.path == ("west", "CA"))
+        assert leaf.key == "CA"
+
+
+class TestGeometry:
+    def test_children_inside_parent(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        by_path = {c.path: c for c in cells}
+        for cell in cells:
+            if len(cell.path) <= 1:
+                continue
+            parent = by_path[cell.path[:-1]]
+            eps = 1e-6
+            assert cell.x >= parent.x - eps
+            assert cell.y >= parent.y - eps
+            assert cell.x + cell.width <= parent.x + parent.width + eps
+            assert cell.y + cell.height <= parent.y + parent.height + eps
+
+    def test_padding_insets_children(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60, padding=2.0)
+        by_path = {c.path: c for c in cells}
+        west = by_path[("west",)]
+        ca = by_path[("west", "CA")]
+        assert ca.x >= west.x + 2.0 - 1e-9
+        assert ca.y >= west.y + 2.0 - 1e-9
+
+    def test_leaf_areas_proportional_within_group(self):
+        cells = squarify_nested(TREE, 0, 0, 100, 60)
+        by_path = {c.path: c for c in cells}
+        ca = by_path[("west", "CA")]
+        wa = by_path[("west", "WA")]
+        assert ca.area / wa.area == pytest.approx(39.0 / 8.0, rel=1e-6)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(LayoutError):
+            squarify_nested(TREE, 0, 0, 10, 10, padding=-1)
+
+    def test_negative_leaf_rejected(self):
+        with pytest.raises(LayoutError):
+            squarify_nested({"a": {"b": -1}}, 0, 0, 10, 10)
+
+    def test_tiny_parent_skips_children(self):
+        # Parent smaller than 2*padding: children are dropped, no crash.
+        tree = {"big": {"x": 100.0}, "tiny": {"y": 0.0001}}
+        cells = squarify_nested(tree, 0, 0, 10, 10, padding=3.0)
+        paths = {c.path for c in cells}
+        assert ("tiny",) in paths
+        assert ("tiny", "y") not in paths
+
+
+leaf_trees = st.dictionaries(
+    st.text(alphabet="abc", min_size=1, max_size=2),
+    st.dictionaries(
+        st.text(alphabet="xyz", min_size=1, max_size=2),
+        st.floats(min_value=0.1, max_value=50),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(leaf_trees)
+@settings(max_examples=50, deadline=None)
+def test_group_cells_tile_whole_rectangle(tree):
+    cells = squarify_nested(tree, 0, 0, 20, 12)
+    groups = [c for c in cells if c.depth == 0]
+    assert sum(c.area for c in groups) == pytest.approx(240.0, rel=1e-6)
+
+
+@given(leaf_trees)
+@settings(max_examples=50, deadline=None)
+def test_leaves_tile_their_groups_without_padding(tree):
+    cells = squarify_nested(tree, 0, 0, 20, 12)
+    by_path = {c.path: c for c in cells}
+    for group in (c for c in cells if not c.is_leaf):
+        leaf_area = sum(
+            c.area for c in cells if len(c.path) == 2 and c.path[0] == group.key
+        )
+        assert leaf_area == pytest.approx(group.area, rel=1e-6)

@@ -1,0 +1,104 @@
+"""Scales: linear, band, ordinal, sqrt."""
+
+import pytest
+
+from repro.errors import VisError
+from repro.vis import BandScale, LinearScale, OrdinalScale, SqrtScale
+
+
+class TestLinearScale:
+    def test_maps_endpoints(self):
+        scale = LinearScale((0, 10), (0, 100))
+        assert scale(0) == 0
+        assert scale(10) == 100
+        assert scale(5) == 50
+
+    def test_extrapolates_without_clamp(self):
+        scale = LinearScale((0, 10), (0, 100))
+        assert scale(20) == 200
+
+    def test_clamp(self):
+        scale = LinearScale((0, 10), (0, 100), clamp=True)
+        assert scale(20) == 100
+        assert scale(-5) == 0
+
+    def test_degenerate_domain(self):
+        scale = LinearScale((5, 5), (0, 100))
+        assert scale(5) == 50
+
+    def test_inverted_range(self):
+        scale = LinearScale((0, 10), (100, 0))
+        assert scale(0) == 100
+        assert scale(10) == 0
+
+    def test_invert(self):
+        scale = LinearScale((0, 10), (0, 100))
+        assert scale.invert(50) == 5
+        degenerate = LinearScale((0, 10), (7, 7))
+        assert degenerate.invert(7) == 5
+
+    def test_fit(self):
+        scale = LinearScale.fit([3, None, 9, 6], (0, 1))
+        assert scale.domain == (3, 9)
+        empty = LinearScale.fit([], (0, 1))
+        assert empty.domain == (0.0, 1.0)
+
+
+class TestBandScale:
+    def test_bands_cover_range(self):
+        scale = BandScale(["a", "b", "c"], (0, 300), padding=0.0)
+        assert scale("a") == 0
+        assert scale("b") == 100
+        assert scale.bandwidth == 100
+
+    def test_padding_shrinks_bands(self):
+        scale = BandScale(["a", "b"], (0, 100), padding=0.5)
+        assert scale.bandwidth == 25
+        assert scale.center("a") == pytest.approx(25.0)
+
+    def test_unknown_category(self):
+        scale = BandScale(["a"], (0, 1))
+        with pytest.raises(VisError):
+            scale("zzz")
+
+    def test_validation(self):
+        with pytest.raises(VisError):
+            BandScale([], (0, 1))
+        with pytest.raises(VisError):
+            BandScale(["a", "a"], (0, 1))
+        with pytest.raises(VisError):
+            BandScale(["a"], (0, 1), padding=1.5)
+
+
+class TestOrdinalScale:
+    def test_assignment_cycles(self):
+        scale = OrdinalScale(["red", "green"])
+        assert scale("x") == "red"
+        assert scale("y") == "green"
+        assert scale("z") == "red"  # cycles
+        assert scale("x") == "red"  # stable
+
+    def test_known_categories(self):
+        scale = OrdinalScale(["a"])
+        scale("one")
+        scale("two")
+        assert scale.known_categories() == ["one", "two"]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(VisError):
+            OrdinalScale([])
+
+
+class TestSqrtScale:
+    def test_area_scaling(self):
+        scale = SqrtScale((0, 100), (0, 10))
+        assert scale(0) == 0
+        assert scale(100) == 10
+        assert scale(25) == 5  # sqrt(25)/sqrt(100) * 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(VisError):
+            SqrtScale((-1, 100), (0, 10))
+        scale = SqrtScale((0, 100), (0, 10))
+        with pytest.raises(VisError):
+            scale(-4)

@@ -1,0 +1,102 @@
+"""Squarified treemap: area preservation, tiling, aspect quality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.vis import squarify, treemap_rows
+
+
+class TestBasics:
+    def test_single_item_fills_rect(self):
+        (cell,) = squarify([("a", 5.0)], 0, 0, 10, 4)
+        assert (cell.x, cell.y, cell.width, cell.height) == (0, 0, 10, 4)
+
+    def test_areas_proportional_to_values(self):
+        cells = squarify([("a", 3.0), ("b", 1.0)], 0, 0, 8, 4)
+        by_key = {c.key: c for c in cells}
+        assert by_key["a"].area == pytest.approx(24.0)
+        assert by_key["b"].area == pytest.approx(8.0)
+
+    def test_total_area_preserved(self):
+        items = [(k, float(v)) for k, v in zip("abcdefg", (6, 6, 4, 3, 2, 2, 1))]
+        cells = squarify(items, 0, 0, 6, 4)
+        assert sum(c.area for c in cells) == pytest.approx(24.0)
+
+    def test_classic_example_aspect_quality(self):
+        # Bruls et al.'s worked example: aspect ratios stay small.
+        items = [(k, float(v)) for k, v in zip("abcdefg", (6, 6, 4, 3, 2, 2, 1))]
+        cells = squarify(items, 0, 0, 6, 4)
+        assert max(c.aspect for c in cells) < 4.0
+
+    def test_zero_values_get_empty_cells(self):
+        cells = squarify([("a", 1.0), ("z", 0.0)], 0, 0, 4, 4)
+        zero = next(c for c in cells if c.key == "z")
+        assert zero.area == 0.0
+
+    def test_all_zero(self):
+        cells = squarify([("a", 0.0), ("b", 0.0)], 0, 0, 4, 4)
+        assert all(c.area == 0 for c in cells)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(LayoutError):
+            squarify([("a", -1.0)], 0, 0, 4, 4)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(LayoutError):
+            squarify([("a", 1.0)], 0, 0, -4, 4)
+
+    def test_offset_origin(self):
+        (cell,) = squarify([("a", 1.0)], 10, 20, 4, 4)
+        assert (cell.x, cell.y) == (10, 20)
+
+
+def rects_overlap(a, b):
+    eps = 1e-9
+    return not (
+        a.x + a.width <= b.x + eps
+        or b.x + b.width <= a.x + eps
+        or a.y + a.height <= b.y + eps
+        or b.y + b.height <= a.y + eps
+    )
+
+
+class TestTiling:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=15)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_overlaps_and_inside_bounds(self, values):
+        items = [(i, v) for i, v in enumerate(values)]
+        cells = squarify(items, 0, 0, 10, 7)
+        positive = [c for c in cells if c.area > 0]
+        for cell in positive:
+            assert cell.x >= -1e-9 and cell.y >= -1e-9
+            assert cell.x + cell.width <= 10 + 1e-6
+            assert cell.y + cell.height <= 7 + 1e-6
+        for i, a in enumerate(positive):
+            for b in positive[i + 1 :]:
+                assert not rects_overlap(a, b), (a, b)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=15)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_area_sums_to_rectangle(self, values):
+        items = [(i, v) for i, v in enumerate(values)]
+        cells = squarify(items, 0, 0, 10, 7)
+        assert sum(c.area for c in cells) == pytest.approx(70.0, rel=1e-6)
+
+
+class TestRowHelper:
+    def test_treemap_rows(self):
+        rows = [
+            {"state": "CA", "pop": 39},
+            {"state": "WY", "pop": 1},
+            {"state": "NONE", "pop": None},
+        ]
+        cells = treemap_rows(rows, key="state", value="pop", width=10, height=4)
+        by_key = {c.key: c for c in cells}
+        assert by_key["CA"].area > by_key["WY"].area
+        assert by_key["NONE"].area == 0.0

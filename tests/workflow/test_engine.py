@@ -1,0 +1,463 @@
+"""Enactment: instance lifecycle, every activity type, control flow."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.errors import EnactmentError, SpecificationError, WorkflowError
+from repro.workflow import (
+    AskUser,
+    Assign,
+    CallProcedure,
+    OrSplitJoin,
+    ProcessDefinition,
+    Procedure,
+    QueryExpr,
+    RelationDecl,
+    RunQuery,
+    UpdateTable,
+    Variable,
+    alt,
+    par,
+    seq,
+    when,
+)
+
+
+@pytest.fixture
+def votes(db):
+    db.execute("CREATE TABLE votes (id INTEGER PRIMARY KEY, state TEXT, n INTEGER)")
+    db.execute(
+        "INSERT INTO votes (id, state, n) VALUES (1, 'CA', 10), (2, 'TX', 5)"
+    )
+    return db
+
+
+class Echo(Procedure):
+    """Returns its first input unchanged (one output table)."""
+
+    name = "echo"
+
+    def run(self, env, inputs, read_write):
+        return [list(inputs[0])]
+
+
+class TestLifecycle:
+    def test_instances_recorded_in_core_tables(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(RunQuery("read", "SELECT * FROM votes", into_variable="rows")),
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        process_rows = votes.query(
+            "SELECT status, start, end FROM ediflow_process_instance"
+        )
+        assert process_rows[0]["status"] == datamodel.COMPLETED
+        assert process_rows[0]["start"] < process_rows[0]["end"]
+        activity_rows = votes.query("SELECT status FROM ediflow_activity_instance")
+        assert [r["status"] for r in activity_rows] == [datamodel.COMPLETED]
+        assert len(execution.variables["rows"]) == 2
+
+    def test_deploy_writes_definition_rows(self, votes, engine):
+        definition = ProcessDefinition(
+            "p", seq(UpdateTable("u", "DELETE FROM votes"))
+        )
+        engine.deploy(definition)
+        assert votes.query("SELECT name FROM ediflow_process")[0]["name"] == "p"
+        assert votes.query("SELECT name FROM ediflow_activity")[0]["name"] == "u"
+
+    def test_duplicate_deploy_rejected(self, votes, engine):
+        definition = ProcessDefinition("p", seq(UpdateTable("u", "DELETE FROM votes")))
+        engine.deploy(definition)
+        with pytest.raises(SpecificationError):
+            engine.deploy(definition)
+
+    def test_deploy_requires_registered_procedures(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("c", "missing_proc")),
+            procedures=["missing_proc"],
+        )
+        with pytest.raises(SpecificationError, match="missing_proc"):
+            engine.deploy(definition)
+
+    def test_run_unknown_process(self, engine):
+        with pytest.raises(WorkflowError):
+            engine.run("ghost")
+
+    def test_failed_activity_leaves_completed_trace(self, votes, engine):
+        definition = ProcessDefinition(
+            "p", seq(UpdateTable("boom", "DELETE FROM missing_table"))
+        )
+        engine.deploy(definition)
+        with pytest.raises(Exception):
+            engine.run("p")
+        # The process instance is closed, not left dangling.
+        statuses = votes.query("SELECT status FROM ediflow_process_instance")
+        assert statuses[0]["status"] == datamodel.COMPLETED
+
+
+class TestActivityTypes:
+    def test_assign_literal_and_expression(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                Assign("set_k", "k", 7),
+                Assign("set_rows", "rows", QueryExpr("SELECT * FROM votes WHERE n > $k")),
+            ),
+            variables=[Variable("k", "INTEGER"), Variable("rows")],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        assert execution.variables["k"] == 7
+        assert [r["state"] for r in execution.variables["rows"]] == ["CA"]
+
+    def test_update_with_variable_params(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(UpdateTable("bump", "UPDATE votes SET n = n + ? WHERE state = ?",
+                            params=["$delta", "CA"])),
+            variables=[Variable("delta", "INTEGER", initial=5)],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert votes.query("SELECT n FROM votes WHERE state = 'CA'")[0]["n"] == 15
+
+    def test_run_query_into_table(self, votes, engine):
+        votes.execute("CREATE TABLE top (id INTEGER, state TEXT, n INTEGER)")
+        definition = ProcessDefinition(
+            "p",
+            seq(RunQuery("copy", "SELECT id, state, n FROM votes WHERE n >= 10",
+                         into_table="top")),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert votes.query("SELECT state FROM top") == [{"state": "CA"}]
+
+    def test_run_query_without_destination_rejected(self, votes, engine):
+        definition = ProcessDefinition(
+            "p", seq(RunQuery("bad", "SELECT * FROM votes"))
+        )
+        engine.deploy(definition)
+        with pytest.raises(SpecificationError, match="destination"):
+            engine.run("p")
+
+    def test_ask_user_via_responder(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(AskUser("ask", "Which state?", "state")),
+            variables=[Variable("state")],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p", responder=lambda prompt, var: "CA")
+        assert execution.variables["state"] == "CA"
+
+    def test_ask_user_without_responder_fails(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(AskUser("ask", "Which state?", "state")),
+            variables=[Variable("state")],
+        )
+        engine.deploy(definition)
+        with pytest.raises(EnactmentError, match="responder"):
+            engine.run("p")
+
+    def test_call_procedure_outputs_written_with_provenance(self, votes, engine):
+        votes.execute("CREATE TABLE copy (id INTEGER, state TEXT, n INTEGER)")
+        engine.procedures.register(Echo())
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("c", "echo", inputs=["votes"], outputs=["copy"])),
+            procedures=["echo"],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert len(votes.query("SELECT * FROM copy")) == 2
+        prov = votes.query("SELECT * FROM ediflow_provenance")
+        assert len(prov) == 2
+        assert all(p["entity_table"] == "copy" for p in prov)
+
+    def test_call_procedure_too_few_outputs(self, votes, engine):
+        class NoOutput(Procedure):
+            name = "noout"
+
+            def run(self, env, inputs, read_write):
+                return []
+
+        engine.procedures.register(NoOutput())
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("c", "noout", outputs=["t1"])),
+            procedures=["noout"],
+        )
+        engine.deploy(definition)
+        with pytest.raises(WorkflowError, match="output"):
+            engine.run("p")
+
+
+class TestControlFlow:
+    def test_sequence_order(self, votes, engine):
+        order = []
+
+        class Tracker(Procedure):
+            def __init__(self, name):
+                self.name = name
+
+            def run(self, env, inputs, read_write):
+                order.append(self.name)
+                return []
+
+        for n in ("t1", "t2", "t3"):
+            engine.procedures.register(Tracker(n))
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                CallProcedure("a", "t1"),
+                CallProcedure("b", "t2"),
+                CallProcedure("c", "t3"),
+            ),
+            procedures=["t1", "t2", "t3"],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert order == ["t1", "t2", "t3"]
+
+    def test_and_split_runs_all_branches(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                par(
+                    UpdateTable("left", "UPDATE votes SET n = n + 1 WHERE state = 'CA'"),
+                    UpdateTable("right", "UPDATE votes SET n = n + 1 WHERE state = 'TX'"),
+                )
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        rows = {r["state"]: r["n"] for r in votes.query("SELECT * FROM votes")}
+        assert rows == {"CA": 11, "TX": 6}
+
+    def test_and_split_parallel_threads(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                par(
+                    UpdateTable("left", "UPDATE votes SET n = n + 1 WHERE state = 'CA'"),
+                    UpdateTable("right", "UPDATE votes SET n = n + 1 WHERE state = 'TX'"),
+                    parallel=True,
+                )
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        rows = {r["state"]: r["n"] for r in votes.query("SELECT * FROM votes")}
+        assert rows == {"CA": 11, "TX": 6}
+
+    def test_or_split_takes_first_eligible_branch(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                alt(
+                    ("SELECT COUNT(*) FROM votes WHERE n > 100",
+                     UpdateTable("never", "DELETE FROM votes")),
+                    ("SELECT COUNT(*) FROM votes WHERE n > 1",
+                     UpdateTable("bump", "UPDATE votes SET n = 0 WHERE state = 'CA'")),
+                    (None, UpdateTable("fallback", "DELETE FROM votes")),
+                )
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        # Only 'bump' ran: rows survive, CA zeroed.
+        rows = {r["state"]: r["n"] for r in votes.query("SELECT * FROM votes")}
+        assert rows == {"CA": 0, "TX": 5}
+
+    def test_or_split_no_branch_eligible(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                alt(
+                    ("SELECT COUNT(*) FROM votes WHERE n > 100",
+                     UpdateTable("never", "DELETE FROM votes")),
+                )
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")  # no error; nothing ran
+        assert len(votes.query("SELECT * FROM votes")) == 2
+
+    def test_conditional_true_and_false(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                when("SELECT COUNT(*) FROM votes",
+                     UpdateTable("yes", "UPDATE votes SET n = n + 1 WHERE state = 'CA'")),
+                when("SELECT COUNT(*) FROM votes WHERE n > 99",
+                     UpdateTable("no", "DELETE FROM votes")),
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        rows = {r["state"]: r["n"] for r in votes.query("SELECT * FROM votes")}
+        assert rows == {"CA": 11, "TX": 5}
+
+    def test_python_callable_condition(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                when(lambda env: env.lookup("go"),
+                     UpdateTable("maybe", "DELETE FROM votes")),
+            ),
+            variables=[Variable("go", "BOOLEAN", initial=False)],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert len(votes.query("SELECT * FROM votes")) == 2
+
+
+class TestDetachedActivities:
+    def test_detached_keeps_running_until_closed(self, votes, engine):
+        engine.procedures.register(Echo())
+        votes.execute("CREATE TABLE sink (id INTEGER, state TEXT, n INTEGER)")
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                CallProcedure(
+                    "vis", "echo", inputs=["votes"], outputs=["sink"], detached=True
+                )
+            ),
+            procedures=["echo"],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        assert execution.instance.is_running()
+        statuses = votes.query("SELECT status FROM ediflow_activity_instance")
+        assert statuses[0]["status"] == datamodel.RUNNING
+        engine.close(execution)
+        assert execution.instance.is_completed()
+        statuses = votes.query("SELECT status FROM ediflow_activity_instance")
+        assert statuses[0]["status"] == datamodel.COMPLETED
+
+    def test_finish_activity_explicitly(self, votes, engine):
+        engine.procedures.register(Echo())
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("vis", "echo", inputs=["votes"], detached=True)),
+            procedures=["echo"],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        live_id = execution.detached_running[0].instance.id
+        engine.finish_activity(live_id)
+        assert not execution.detached_running
+        with pytest.raises(EnactmentError):
+            engine.finish_activity(live_id)
+
+
+class TestTemporaryRelations:
+    def test_created_and_dropped(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                UpdateTable("fill", "INSERT INTO scratch (v) VALUES (1)"),
+                RunQuery("read", "SELECT * FROM scratch", into_variable="out"),
+            ),
+            relations=[
+                RelationDecl("scratch", columns=(("v", "INTEGER"),), temporary=True)
+            ],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        assert execution.variables["out"] == [{"v": 1}]
+        assert not votes.has_table("scratch")
+
+    def test_temp_collision_detected(self, votes, engine):
+        votes.execute("CREATE TABLE scratch (v INTEGER)")
+        definition = ProcessDefinition(
+            "p",
+            seq(RunQuery("read", "SELECT * FROM scratch", into_variable="out")),
+            relations=[
+                RelationDecl("scratch", columns=(("v", "INTEGER"),), temporary=True)
+            ],
+        )
+        engine.deploy(definition)
+        with pytest.raises(EnactmentError, match="already exists"):
+            engine.run("p")
+
+    def test_temp_data_copied_to_persistent_table(self, votes, engine):
+        """Section IV-B: "if temporary relation data are to persist, they
+        can be explicitly copied into persistent DBMS tables"."""
+        votes.execute("CREATE TABLE keeper (v INTEGER)")
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                UpdateTable("fill", "INSERT INTO scratch (v) VALUES (1), (2)"),
+                UpdateTable("copy", "INSERT INTO keeper SELECT v FROM scratch"),
+            ),
+            relations=[
+                RelationDecl("scratch", columns=(("v", "INTEGER"),), temporary=True)
+            ],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert not votes.has_table("scratch")  # temp gone
+        assert len(votes.query("SELECT * FROM keeper")) == 2  # data persisted
+
+    def test_persistent_relation_created_from_declaration(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(UpdateTable("fill", "INSERT INTO fresh (v) VALUES (1)")),
+            relations=[RelationDecl("fresh", columns=(("v", "INTEGER"),))],
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert votes.has_table("fresh")  # persists after the run
+        assert len(votes.query("SELECT * FROM fresh")) == 1
+
+
+class TestDetachedInsideParallel:
+    def test_detached_in_and_split(self, votes, engine):
+        engine.procedures.register(Echo())
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                par(
+                    CallProcedure("vis1", "echo", inputs=["votes"], detached=True),
+                    CallProcedure("vis2", "echo", inputs=["votes"], detached=True),
+                )
+            ),
+            procedures=["echo"],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        assert len(execution.detached_running) == 2
+        assert execution.instance.is_running()
+        engine.close(execution)
+        assert execution.detached_running == []
+        statuses = votes.query("SELECT status FROM ediflow_activity_instance")
+        assert all(s["status"] == "completed" for s in statuses)
+
+
+class TestRoles:
+    def test_group_enforced(self, votes, engine):
+        engine.roles.ensure_group("analysts")
+        definition = ProcessDefinition(
+            "p",
+            seq(UpdateTable("a", "DELETE FROM votes", group="analysts")),
+        )
+        engine.deploy(definition)
+        with pytest.raises(WorkflowError, match="not a member"):
+            engine.run("p", user="mallory")
+        # Put alice in the group: works.
+        alice = engine.roles.ensure_user("alice")
+        engine.roles.add_to_group(alice, engine.roles.group_id("analysts"))
+        engine.run("p", user="alice")
+
+    def test_group_without_user_rejected(self, votes, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(UpdateTable("a", "DELETE FROM votes", group="analysts")),
+        )
+        engine.deploy(definition)
+        with pytest.raises(WorkflowError, match="no user"):
+            engine.run("p")

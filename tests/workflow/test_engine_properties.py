@@ -1,0 +1,143 @@
+"""Property-based enactment tests: random process structures.
+
+Invariants checked over randomly generated process trees:
+* every created activity instance ends ``completed``;
+* the process instance itself ends ``completed``;
+* exactly the activities on the taken control-flow path execute;
+* deterministic structures produce deterministic effect counts.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import datamodel
+from repro.db import Column, Database
+from repro.db.types import INTEGER, TEXT
+from repro.workflow import (
+    ActivityNode,
+    AndSplitJoin,
+    ConditionalNode,
+    OrBranch,
+    OrSplitJoin,
+    ProcessDefinition,
+    SequenceNode,
+    UpdateTable,
+    WorkflowEngine,
+)
+
+_counter = itertools.count()
+
+
+def marker_activity():
+    """An activity that logs its execution into the marks table."""
+    name = f"a{next(_counter)}"
+    return ActivityNode(
+        UpdateTable(name, f"INSERT INTO marks (who) VALUES ('{name}')")
+    )
+
+
+# Recursive strategy over process structures.
+def node_strategy():
+    leaf = st.builds(marker_activity)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda steps: SequenceNode(list(steps)),
+                      st.lists(children, min_size=1, max_size=3)),
+            st.builds(lambda branches: AndSplitJoin(list(branches)),
+                      st.lists(children, min_size=1, max_size=3)),
+            st.builds(
+                lambda body, flag: ConditionalNode(
+                    "SELECT 1" if flag else "SELECT 0", body
+                ),
+                children,
+                st.booleans(),
+            ),
+            st.builds(
+                lambda first, second, which: OrSplitJoin(
+                    [
+                        OrBranch("SELECT 1" if which == 0 else "SELECT 0", first),
+                        OrBranch("SELECT 1" if which == 1 else "SELECT 0", second),
+                    ]
+                ),
+                children,
+                children,
+                st.integers(0, 2),  # 2 = no branch eligible
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+def expected_marks(node):
+    """Which marker activities should run, given the guards we generated."""
+    if isinstance(node, ActivityNode):
+        return [node.activity.name]
+    if isinstance(node, SequenceNode):
+        out = []
+        for step in node.steps:
+            out.extend(expected_marks(step))
+        return out
+    if isinstance(node, AndSplitJoin):
+        out = []
+        for branch in node.branches:
+            out.extend(expected_marks(branch))
+        return out
+    if isinstance(node, ConditionalNode):
+        if node.condition == "SELECT 1":
+            return expected_marks(node.body)
+        return []
+    if isinstance(node, OrSplitJoin):
+        for branch in node.branches:
+            if branch.condition == "SELECT 1":
+                return expected_marks(branch.body)
+        return []
+    raise AssertionError(f"unexpected node {node!r}")
+
+
+@given(node_strategy())
+@settings(max_examples=50, deadline=None)
+def test_execution_follows_control_flow(node):
+    db = Database()
+    db.create_table("marks", [Column("who", TEXT)])
+    engine = WorkflowEngine(db)
+    definition = ProcessDefinition("p", SequenceNode([node]))
+    engine.deploy(definition)
+    engine.run("p")
+    executed = sorted(r["who"] for r in db.table("marks").rows())
+    assert executed == sorted(expected_marks(node))
+
+
+@given(node_strategy())
+@settings(max_examples=40, deadline=None)
+def test_all_instances_complete(node):
+    db = Database()
+    db.create_table("marks", [Column("who", TEXT)])
+    engine = WorkflowEngine(db)
+    definition = ProcessDefinition("p", SequenceNode([node]))
+    engine.deploy(definition)
+    engine.run("p")
+    process_rows = list(db.table(datamodel.T_PROCESS_INSTANCE).rows())
+    assert all(r["status"] == datamodel.COMPLETED for r in process_rows)
+    activity_rows = list(db.table(datamodel.T_ACTIVITY_INSTANCE).rows())
+    assert all(r["status"] == datamodel.COMPLETED for r in activity_rows)
+    # One instance per executed activity.
+    assert len(activity_rows) == len(list(db.table("marks").rows()))
+
+
+@given(node_strategy(), st.integers(2, 4))
+@settings(max_examples=20, deadline=None)
+def test_repeated_runs_are_deterministic(node, runs):
+    db = Database()
+    db.create_table("marks", [Column("who", TEXT)])
+    engine = WorkflowEngine(db)
+    definition = ProcessDefinition("p", SequenceNode([node]))
+    engine.deploy(definition)
+    counts = []
+    for _ in range(runs):
+        before = len(db.table("marks"))
+        engine.run("p")
+        counts.append(len(db.table("marks")) - before)
+    assert len(set(counts)) == 1  # same path every time

@@ -1,0 +1,233 @@
+"""Failure injection: the engine must degrade cleanly, never corrupt.
+
+Scenarios: procedures that throw mid-run, handlers that throw during
+propagation, triggers that fail inside statements, broken responders,
+and queries over dropped tables -- in each case the database state stays
+consistent and queryable, and instance rows record the history.
+"""
+
+import pytest
+
+from repro.core import datamodel
+from repro.db import Column, Database, col
+from repro.db.types import INTEGER
+from repro.errors import ProcedureError, WorkflowError
+from repro.workflow import (
+    CallProcedure,
+    ProcessDefinition,
+    Procedure,
+    PropagationManager,
+    RelationDecl,
+    RunQuery,
+    UpdatePropagation,
+    UpdateTable,
+    WorkflowEngine,
+    seq,
+)
+
+
+class ExplodingProcedure(Procedure):
+    name = "exploder"
+
+    def __init__(self, explode_in="run"):
+        self.explode_in = explode_in
+        self.runs = 0
+
+    def run(self, env, inputs, read_write):
+        self.runs += 1
+        if self.explode_in == "run":
+            raise RuntimeError("boom in run")
+        return []
+
+    def on_delta_running(self, env, delta):
+        if self.explode_in == "handler":
+            raise RuntimeError("boom in handler")
+        return None
+
+
+@pytest.fixture
+def src(db):
+    db.execute("CREATE TABLE src (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO src (id, v) VALUES (1, 1)")
+    return db
+
+
+class TestProcedureFailures:
+    def test_run_failure_closes_instances(self, src, engine):
+        proc = ExplodingProcedure("run")
+        engine.procedures.register(proc)
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("work", "exploder", inputs=["src"])),
+            procedures=["exploder"],
+        )
+        engine.deploy(definition)
+        with pytest.raises(RuntimeError, match="boom in run"):
+            engine.run("p")
+        # No dangling live activity; statuses closed.
+        assert engine.live_activities == {}
+        statuses = src.query(
+            f"SELECT status FROM {datamodel.T_ACTIVITY_INSTANCE}"
+        )
+        assert all(s["status"] == datamodel.COMPLETED for s in statuses)
+        # The engine remains usable for other processes.
+        definition2 = ProcessDefinition(
+            "q", seq(RunQuery("read", "SELECT * FROM src", into_variable="rows"))
+        )
+        engine.deploy(definition2)
+        execution = engine.run("q")
+        assert execution.variables["rows"]
+
+    def test_failure_in_second_activity_keeps_first_effects(self, src, engine):
+        proc = ExplodingProcedure("run")
+        engine.procedures.register(proc)
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                UpdateTable("first", "UPDATE src SET v = 99 WHERE id = 1"),
+                CallProcedure("work", "exploder", inputs=["src"]),
+            ),
+            procedures=["exploder"],
+        )
+        engine.deploy(definition)
+        with pytest.raises(RuntimeError):
+            engine.run("p")
+        # Activities are not a transaction: the first one's effect stands
+        # (the paper's model has no cross-activity rollback).
+        assert src.query("SELECT v FROM src WHERE id = 1")[0]["v"] == 99
+
+    def test_handler_failure_propagates_to_writer(self, src, engine, propagation):
+        proc = ExplodingProcedure("handler")
+        engine.procedures.register(proc)
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("work", "exploder", inputs=["src"], detached=True)),
+            relations=[RelationDecl("src")],
+            procedures=["exploder"],
+            propagations=[UpdatePropagation("src", "work", "ra")],
+        )
+        engine.deploy(definition)
+        execution = engine.run("p")
+        # The writer's statement triggers the handler; the failure surfaces
+        # at the write site (statement-level trigger semantics)...
+        with pytest.raises(RuntimeError, match="boom in handler"):
+            src.execute("INSERT INTO src (id, v) VALUES (2, 2)")
+        # ...but the row itself was inserted (AFTER-trigger semantics).
+        assert len(src.query("SELECT * FROM src")) == 2
+        engine.close(execution)
+
+    def test_unregistered_procedure_is_deploy_time_error(self, src, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(CallProcedure("work", "ghost_proc")),
+        )
+        engine.deploy(definition)  # no procedures=[] declaration: allowed
+        with pytest.raises(ProcedureError, match="ghost_proc"):
+            engine.run("p")
+
+
+class TestTriggerFailures:
+    def test_trigger_exception_inside_transaction_rolls_back(self, src):
+        db = src
+
+        def bad_trigger(change):
+            raise RuntimeError("trigger boom")
+
+        db.on("src", "insert", bad_trigger)
+        with pytest.raises(RuntimeError, match="trigger boom"):
+            with db.transaction():
+                db.insert("src", {"id": 5, "v": 5})
+        # Trigger fired at commit; the transaction had already applied.
+        # The insert survives because commit-time trigger errors are not
+        # undoable -- but the engine must remain consistent:
+        assert db.table("src").by_key(5) is not None
+        db.drop_trigger(db.trigger_names()[0])
+        db.insert("src", {"id": 6, "v": 6})  # still usable
+
+    def test_trigger_exception_outside_transaction(self, src):
+        db = src
+        calls = []
+
+        def bad_trigger(change):
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        name = db.on("src", "insert", bad_trigger)
+        with pytest.raises(RuntimeError):
+            db.insert("src", {"id": 7, "v": 7})
+        assert db.table("src").by_key(7) is not None  # AFTER semantics
+        db.drop_trigger(name)
+
+
+class TestResponderAndQueries:
+    def test_broken_responder_surfaces(self, src, engine):
+        from repro.workflow import AskUser, Variable
+
+        definition = ProcessDefinition(
+            "p",
+            seq(AskUser("ask", "?", "answer")),
+            variables=[Variable("answer")],
+        )
+        engine.deploy(definition)
+
+        def responder(prompt, var):
+            raise ValueError("user walked away")
+
+        with pytest.raises(ValueError, match="walked away"):
+            engine.run("p", responder=responder)
+
+    def test_query_over_dropped_table(self, src, engine):
+        definition = ProcessDefinition(
+            "p",
+            seq(RunQuery("read", "SELECT * FROM vanishing", into_variable="x")),
+        )
+        engine.deploy(definition)
+        src.execute("CREATE TABLE vanishing (a INTEGER)")
+        src.execute("DROP TABLE vanishing")
+        with pytest.raises(Exception):
+            engine.run("p")
+        # Process instance closed despite the failure.
+        statuses = src.query(f"SELECT status FROM {datamodel.T_PROCESS_INSTANCE}")
+        assert statuses[-1]["status"] == datamodel.COMPLETED
+
+
+class TestConcurrentExecutions:
+    def test_parallel_branches_share_variables_safely(self, db):
+        db.execute("CREATE TABLE t (v INTEGER)")
+        engine = WorkflowEngine(db)
+        from repro.workflow import par
+
+        definition = ProcessDefinition(
+            "p",
+            seq(
+                par(
+                    *[
+                        UpdateTable(f"w{i}", "INSERT INTO t (v) VALUES (?)", params=[i])
+                        for i in range(8)
+                    ],
+                    parallel=True,
+                )
+            ),
+        )
+        engine.deploy(definition)
+        engine.run("p")
+        assert len(db.query("SELECT * FROM t")) == 8
+
+    def test_two_instances_of_same_process(self, db):
+        db.execute("CREATE TABLE t (v INTEGER)")
+        engine = WorkflowEngine(db)
+        definition = ProcessDefinition(
+            "p",
+            seq(UpdateTable("w", "INSERT INTO t (v) VALUES (1)")),
+            relations=[RelationDecl("t")],
+        )
+        engine.deploy(definition)
+        first = engine.start("p")
+        second = engine.start("p")
+        engine.execute_node(first.definition.body, first)
+        engine.execute_node(second.definition.body, second)
+        engine.close(first)
+        engine.close(second)
+        assert len(db.query("SELECT * FROM t")) == 2
+        statuses = db.query(f"SELECT status FROM {datamodel.T_PROCESS_INSTANCE}")
+        assert all(s["status"] == datamodel.COMPLETED for s in statuses)

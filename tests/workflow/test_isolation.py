@@ -1,0 +1,222 @@
+"""Isolation: snapshots, deletion tables, query rewriting, GC (Section VI-A)."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.db import TID, col
+from repro.errors import IsolationError
+from repro.workflow import (
+    ProcessDefinition,
+    RelationDecl,
+    RunQuery,
+    UpdateTable,
+    seq,
+)
+from repro.workflow.isolation import IsolationContext
+
+
+@pytest.fixture
+def items(db):
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO items (id, v) VALUES (1, 1), (2, 2), (3, 3)")
+    return db
+
+
+def deploy_reader(engine, name="reader"):
+    definition = ProcessDefinition(
+        name,
+        seq(RunQuery("read", "SELECT * FROM items ORDER BY id", into_variable="rows")),
+        relations=[RelationDecl("items")],
+    )
+    engine.deploy(definition)
+    return definition
+
+
+class TestTimeBasedIsolation:
+    def test_snapshot_excludes_later_external_inserts(self, items, engine):
+        deploy_reader(engine)
+        execution = engine.start("reader")
+        # External insert lands after the process started.
+        items.execute("INSERT INTO items (id, v) VALUES (4, 4)")
+        engine.execute_node(execution.definition.body, execution)
+        engine.close(execution)
+        assert [r["id"] for r in execution.variables["rows"]] == [1, 2, 3]
+
+    def test_own_writes_visible(self, items, engine):
+        definition = ProcessDefinition(
+            "writer",
+            seq(
+                UpdateTable("add", "INSERT INTO items (id, v) VALUES (10, 10)"),
+                RunQuery("read", "SELECT * FROM items ORDER BY id", into_variable="rows"),
+            ),
+            relations=[RelationDecl("items")],
+        )
+        engine.deploy(definition)
+        execution = engine.run("writer")
+        assert [r["id"] for r in execution.variables["rows"]] == [1, 2, 3, 10]
+
+    def test_fresh_snapshot_activity_sees_new_data(self, items, engine):
+        definition = ProcessDefinition(
+            "fresh",
+            seq(
+                RunQuery("stale", "SELECT COUNT(*) AS n FROM items", into_variable="before"),
+                RunQuery(
+                    "fresh_read",
+                    "SELECT COUNT(*) AS n FROM items",
+                    into_variable="after",
+                    fresh_snapshot=True,
+                ),
+            ),
+            relations=[RelationDecl("items")],
+        )
+        engine.deploy(definition)
+        execution = engine.start("fresh")
+        items.execute("INSERT INTO items (id, v) VALUES (4, 4)")
+        engine.execute_node(execution.definition.body, execution)
+        engine.close(execution)
+        assert execution.variables["before"][0]["n"] == 3
+        assert execution.variables["after"][0]["n"] == 4
+
+    def test_later_process_sees_everything(self, items, engine):
+        deploy_reader(engine)
+        first = engine.run("reader")
+        items.execute("INSERT INTO items (id, v) VALUES (4, 4)")
+        second = engine.run("reader")
+        assert len(first.variables["rows"]) == 3
+        assert len(second.variables["rows"]) == 4
+
+
+class TestDeletionTables:
+    def test_logical_delete_hides_from_deleter_only(self, items, engine):
+        engine.isolation.manage("items")
+        ctx_deleter = IsolationContext(100, engine.database.now(), None)
+        ctx_other = IsolationContext(200, engine.database.now(), None)
+        engine.isolation.process_started(100, ctx_deleter.start_time)
+        engine.isolation.process_started(200, ctx_other.start_time)
+        count = engine.isolation.logical_delete("items", col("id") == 2, ctx_deleter)
+        assert count == 1
+        # Physical row still present.
+        assert len(items.query("SELECT * FROM items")) == 3
+        # Deleter no longer sees it; the concurrent process still does.
+        assert [r["id"] for r in engine.isolation.visible_rows("items", ctx_deleter)] == [1, 3]
+        assert [r["id"] for r in engine.isolation.visible_rows("items", ctx_other)] == [1, 2, 3]
+
+    def test_deletion_table_row_shape(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(100, engine.database.now(), None)
+        engine.isolation.process_started(100, ctx.start_time)
+        engine.isolation.logical_delete("items", col("id") == 1, ctx)
+        deletion = items.query(f"SELECT * FROM {datamodel.deletion_table_name('items')}")
+        assert deletion[0]["pid"] == 100
+        assert deletion[0]["process_end"] is None
+        assert deletion[0]["t_del"] > 0
+
+    def test_process_started_after_deleter_end_does_not_see_deleted(self, items, engine):
+        definition = ProcessDefinition(
+            "deleter",
+            seq(UpdateTable("del", "DELETE FROM items WHERE id = 2")),
+            relations=[RelationDecl("items")],
+        )
+        engine.deploy(definition)
+        deploy_reader(engine)
+        # Reader A starts before the deleter finishes -> still sees id 2.
+        reader_a = engine.start("reader")
+        engine.run("deleter")
+        engine.execute_node(reader_a.definition.body, reader_a)
+        engine.close(reader_a)
+        assert [r["id"] for r in reader_a.variables["rows"]] == [1, 2, 3]
+        # Reader B starts after the deleter ended -> does not see id 2.
+        reader_b = engine.run("reader")
+        assert [r["id"] for r in reader_b.variables["rows"]] == [1, 3]
+
+    def test_double_delete_is_idempotent(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(100, engine.database.now(), None)
+        engine.isolation.process_started(100, ctx.start_time)
+        assert engine.isolation.logical_delete("items", col("id") == 2, ctx) == 1
+        assert engine.isolation.logical_delete("items", col("id") == 2, ctx) == 0
+
+    def test_unmanaged_table_rejected(self, items, engine):
+        ctx = IsolationContext(1, 0, None)
+        with pytest.raises(IsolationError):
+            engine.isolation.logical_delete("items", None, ctx)
+
+
+class TestQueryRewriting:
+    def test_rewrite_for_deleting_process(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(42, engine.database.now(), None)
+        engine.isolation.process_started(42, ctx.start_time)
+        engine.isolation.logical_delete("items", col("id") == 1, ctx)
+        sql = engine.isolation.rewrite_select_star("items", ctx)
+        assert "pid = 42" in sql
+        assert "NOT IN" in sql
+
+    def test_rewrite_for_later_process(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(43, engine.database.now(), None)
+        sql = engine.isolation.rewrite_select_star("items", ctx)
+        assert f"process_end < {ctx.start_time}" in sql
+
+    def test_rewritten_sql_is_executable(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(42, engine.database.now(), None)
+        engine.isolation.process_started(42, ctx.start_time)
+        engine.isolation.logical_delete("items", col("id") == 1, ctx)
+        sql = engine.isolation.rewrite_select_star("items", ctx)
+        rows = items.query(sql)
+        assert sorted(r["id"] for r in rows) == [2, 3]
+
+
+class TestGarbageCollection:
+    def test_physical_delete_after_all_witnesses_gone(self, items, engine):
+        definition = ProcessDefinition(
+            "deleter",
+            seq(UpdateTable("del", "DELETE FROM items WHERE id = 2")),
+            relations=[RelationDecl("items")],
+        )
+        engine.deploy(definition)
+        deploy_reader(engine)
+        witness = engine.start("reader")  # started before deleter ends
+        engine.run("deleter")
+        # Witness still running: the tuple must not be physically removed.
+        assert len(items.table("items")) == 3
+        engine.execute_node(witness.definition.body, witness)
+        engine.close(witness)
+        # Last witness finished: now it may be collected.
+        engine.isolation.collect_garbage("items")
+        assert len(items.table("items")) == 2
+        deletion_table = datamodel.deletion_table_name("items")
+        assert len(items.table(deletion_table)) == 0
+
+    def test_gc_noop_for_pending_deletes(self, items, engine):
+        engine.isolation.manage("items")
+        ctx = IsolationContext(100, engine.database.now(), None)
+        engine.isolation.process_started(100, ctx.start_time)
+        engine.isolation.logical_delete("items", col("id") == 2, ctx)
+        # Deleting process still running: nothing collectible.
+        assert engine.isolation.collect_garbage("items") == 0
+        assert len(items.table("items")) == 3
+
+    def test_gc_on_unmanaged_table(self, items, engine):
+        assert engine.isolation.collect_garbage("items") == 0
+
+
+class TestProcessBasedIsolation:
+    def test_own_rows_via_provenance(self, items, engine):
+        items.execute("CREATE TABLE results (v INTEGER)")
+        definition = ProcessDefinition(
+            "producer",
+            seq(RunQuery("make", "SELECT v FROM items WHERE id = 1", into_table="results")),
+            relations=[RelationDecl("items"), RelationDecl("results")],
+        )
+        engine.deploy(definition)
+        first = engine.run("producer")
+        second = engine.run("producer")
+        all_rows = items.query("SELECT * FROM results")
+        assert len(all_rows) == 2
+        own_first = engine.isolation.own_rows("results", first.id)
+        own_second = engine.isolation.own_rows("results", second.id)
+        assert len(own_first) == 1
+        assert len(own_second) == 1
+        assert own_first[0][TID] != own_second[0][TID]

@@ -1,0 +1,168 @@
+"""Process model construction and validation."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workflow import (
+    AndSplitJoin,
+    AskUser,
+    Assign,
+    CallProcedure,
+    Constant,
+    OrSplitJoin,
+    ProcessDefinition,
+    RelationDecl,
+    RunQuery,
+    UpdatePropagation,
+    UpdateTable,
+    Variable,
+    alt,
+    par,
+    propagate_to_future,
+    seq,
+    when,
+)
+
+
+def simple_body():
+    return seq(
+        UpdateTable("a1", "DELETE FROM t"),
+        RunQuery("a2", "SELECT * FROM t", into_variable="x"),
+    )
+
+
+class TestDefinition:
+    def test_activity_lookup(self):
+        definition = ProcessDefinition("p", simple_body())
+        assert definition.activity("a1").name == "a1"
+        assert definition.activity_names() == ["a1", "a2"]
+
+    def test_unknown_activity_lookup(self):
+        definition = ProcessDefinition("p", simple_body())
+        with pytest.raises(SpecificationError):
+            definition.activity("nope")
+
+    def test_duplicate_activity_names_rejected(self):
+        body = seq(
+            UpdateTable("dup", "DELETE FROM t"),
+            UpdateTable("dup", "DELETE FROM t"),
+        )
+        with pytest.raises(SpecificationError, match="duplicate"):
+            ProcessDefinition("p", body)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            ProcessDefinition("", simple_body())
+
+    def test_up_on_unknown_activity_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown activity"):
+            ProcessDefinition(
+                "p",
+                simple_body(),
+                propagations=[UpdatePropagation("t", "ghost", "ra")],
+            )
+
+    def test_up_on_undeclared_relation_rejected(self):
+        with pytest.raises(SpecificationError, match="undeclared relation"):
+            ProcessDefinition(
+                "p",
+                simple_body(),
+                relations=[RelationDecl("t")],
+                propagations=[UpdatePropagation("other", "a1", "ra")],
+            )
+
+    def test_bad_up_scope(self):
+        with pytest.raises(SpecificationError, match="scope"):
+            UpdatePropagation("t", "a1", "everything")
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(SpecificationError):
+            ProcessDefinition(
+                "p", simple_body(), variables=[Variable("v"), Variable("v")]
+            )
+
+    def test_constant_variable_clash_rejected(self):
+        with pytest.raises(SpecificationError):
+            ProcessDefinition(
+                "p",
+                simple_body(),
+                variables=[Variable("v")],
+                constants=[Constant("v", 1)],
+            )
+
+    def test_propagations_for(self):
+        definition = ProcessDefinition(
+            "p",
+            simple_body(),
+            relations=[RelationDecl("t")],
+            propagations=[
+                UpdatePropagation("t", "a1", "ra"),
+                UpdatePropagation("t", "a1", "fa-rp"),
+            ],
+        )
+        assert len(definition.propagations_for("t")) == 2
+        assert definition.propagations_for("other") == []
+
+
+class TestStructure:
+    def test_sequence_activities_in_order(self):
+        body = seq(
+            UpdateTable("first", "DELETE FROM t"),
+            par(
+                UpdateTable("left", "DELETE FROM t"),
+                UpdateTable("right", "DELETE FROM t"),
+            ),
+            when("SELECT 1", UpdateTable("maybe", "DELETE FROM t")),
+        )
+        assert [a.name for a in body.activities()] == [
+            "first",
+            "left",
+            "right",
+            "maybe",
+        ]
+
+    def test_or_split_collects_all_branches(self):
+        body = alt(
+            ("SELECT 1", UpdateTable("yes", "DELETE FROM t")),
+            (None, UpdateTable("no", "DELETE FROM t")),
+        )
+        assert [a.name for a in body.activities()] == ["yes", "no"]
+
+    def test_lift_rejects_junk(self):
+        with pytest.raises(SpecificationError):
+            seq("not an activity")
+
+    def test_propagate_to_future_macro(self):
+        activities = [
+            UpdateTable("a", "DELETE FROM t"),
+            UpdateTable("b", "DELETE FROM t"),
+        ]
+        ups = propagate_to_future("t", activities)
+        assert [(u.activity, u.scope) for u in ups] == [
+            ("a", "fa-rp"),
+            ("b", "fa-rp"),
+        ]
+
+
+class TestActivities:
+    def test_activity_requires_name(self):
+        with pytest.raises(SpecificationError):
+            UpdateTable("", "DELETE FROM t")
+
+    def test_flags(self):
+        activity = CallProcedure(
+            "vis", "layout", detached=True, fresh_snapshot=True, group="analysts"
+        )
+        assert activity.detached
+        assert activity.fresh_snapshot
+        assert activity.group == "analysts"
+
+    def test_ask_user_fields(self):
+        activity = AskUser("ask", "Which party?", "party")
+        assert activity.prompt == "Which party?"
+        assert activity.variable == "party"
+
+    def test_assign_fields(self):
+        activity = Assign("set", "threshold", 0.5)
+        assert activity.variable == "threshold"
+        assert activity.expression == 0.5

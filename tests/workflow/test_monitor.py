@@ -1,0 +1,124 @@
+"""Process monitoring over the core instance tables."""
+
+import pytest
+
+from repro.core import datamodel
+from repro.workflow import (
+    CallProcedure,
+    ProcessDefinition,
+    Procedure,
+    RunQuery,
+    UpdateTable,
+    seq,
+)
+from repro.workflow.monitor import ProcessMonitor
+
+
+class Sleepy(Procedure):
+    name = "sleepy"
+
+    def run(self, env, inputs, read_write):
+        return []
+
+
+@pytest.fixture
+def deployed(db, engine):
+    db.execute("CREATE TABLE t (v INTEGER)")
+    engine.procedures.register(Sleepy())
+    definition = ProcessDefinition(
+        "p",
+        seq(
+            UpdateTable("write", "INSERT INTO t (v) VALUES (1)"),
+            RunQuery("read", "SELECT * FROM t", into_variable="rows"),
+            CallProcedure("vis", "sleepy", detached=True),
+        ),
+        procedures=["sleepy"],
+    )
+    engine.deploy(definition)
+    return engine
+
+
+class TestTrace:
+    def test_full_timeline(self, db, deployed):
+        execution = deployed.run("p", user="alice")
+        monitor = ProcessMonitor(db)
+        trace = monitor.trace(execution.id)
+        assert trace.process_name == "p"
+        assert trace.status == datamodel.RUNNING  # detached vis still open
+        names = [a.activity_name for a in trace.activities]
+        assert names == ["write", "read", "vis"]
+        statuses = {a.activity_name: a.status for a in trace.activities}
+        assert statuses["write"] == datamodel.COMPLETED
+        assert statuses["vis"] == datamodel.RUNNING
+        assert all(a.user == "alice" for a in trace.activities)
+        deployed.close(execution)
+        trace = monitor.trace(execution.id)
+        assert trace.status == datamodel.COMPLETED
+        assert trace.duration is not None and trace.duration > 0
+
+    def test_activities_ordered_by_start(self, db, deployed):
+        execution = deployed.run("p")
+        deployed.close(execution)
+        trace = ProcessMonitor(db).trace(execution.id)
+        starts = [a.start for a in trace.activities]
+        assert starts == sorted(starts)
+
+    def test_unknown_instance(self, db, deployed):
+        with pytest.raises(KeyError):
+            ProcessMonitor(db).trace(999)
+
+    def test_durations(self, db, deployed):
+        execution = deployed.run("p")
+        deployed.close(execution)
+        trace = ProcessMonitor(db).trace(execution.id)
+        for activity in trace.activities:
+            assert activity.duration is not None
+            assert activity.duration >= 0
+
+
+class TestHistory:
+    def test_history_and_running(self, db, deployed):
+        first = deployed.run("p")
+        deployed.close(first)
+        second = deployed.run("p")  # stays running (detached vis)
+        monitor = ProcessMonitor(db)
+        history = monitor.history()
+        assert [t.process_instance_id for t in history] == [first.id, second.id]
+        running = monitor.running()
+        assert [t.process_instance_id for t in running] == [second.id]
+        deployed.close(second)
+        assert monitor.running() == []
+
+    def test_history_filtered_by_name(self, db, deployed):
+        definition = ProcessDefinition(
+            "other", seq(UpdateTable("w", "INSERT INTO t (v) VALUES (2)"))
+        )
+        deployed.deploy(definition)
+        execution = deployed.run("p")
+        deployed.close(execution)
+        deployed.run("other")
+        monitor = ProcessMonitor(db)
+        assert len(monitor.history("p")) == 1
+        assert len(monitor.history("other")) == 1
+        assert len(monitor.history()) == 2
+
+
+class TestStatistics:
+    def test_activity_statistics(self, db, deployed):
+        for _ in range(3):
+            execution = deployed.run("p")
+            deployed.close(execution)
+        stats = ProcessMonitor(db).activity_statistics()
+        assert stats["write"]["instances"] == 3
+        assert stats["write"]["completed"] == 3
+        assert stats["write"]["mean_duration"] is not None
+        assert stats["vis"]["instances"] == 3
+
+    def test_format_trace(self, db, deployed):
+        execution = deployed.run("p", user="bob")
+        deployed.close(execution)
+        text = ProcessMonitor(db).format_trace(execution.id)
+        assert "process 'p'" in text
+        assert "write" in text and "read" in text and "vis" in text
+        assert "by bob" in text
+        assert "completed" in text

@@ -1,0 +1,233 @@
+"""Procedure registry, functions, delta-handler detection, ProcessEnv."""
+
+import pytest
+
+from repro.errors import ProcedureError, WorkflowError
+from repro.ivm.delta import Delta
+from repro.workflow import (
+    FunctionProcedure,
+    ProcCallExpr,
+    ProcessDefinition,
+    Procedure,
+    ProcedureRegistry,
+    QueryExpr,
+    RunQuery,
+    TableExpr,
+    ValueExpr,
+    seq,
+)
+from repro.workflow.expressions import PythonExpr, evaluate_condition
+
+
+class TestRegistry:
+    def test_register_instance_singleton(self):
+        registry = ProcedureRegistry()
+
+        class P(Procedure):
+            name = "p"
+
+            def run(self, env, inputs, read_write):
+                return []
+
+        instance = P()
+        registry.register(instance)
+        assert registry.instantiate("p") is instance
+        assert "p" in registry
+        assert registry.names() == ["p"]
+
+    def test_register_factory_non_singleton(self):
+        registry = ProcedureRegistry()
+
+        class P(Procedure):
+            name = "p"
+
+            def run(self, env, inputs, read_write):
+                return []
+
+        registry.register(P, name="p", singleton=False)
+        a = registry.instantiate("p")
+        b = registry.instantiate("p")
+        assert a is not b
+
+    def test_factory_requires_name(self):
+        registry = ProcedureRegistry()
+        with pytest.raises(ProcedureError):
+            registry.register(lambda: None)  # type: ignore[arg-type]
+
+    def test_unknown_procedure(self):
+        with pytest.raises(ProcedureError):
+            ProcedureRegistry().instantiate("ghost")
+
+    def test_register_function(self):
+        registry = ProcedureRegistry()
+        registry.register_function("double", lambda rows: [
+            {"v": r["v"] * 2} for r in rows
+        ])
+        proc = registry.instantiate("double")
+        out = proc.run(None, [[{"v": 2}]], [])
+        assert out == [[{"v": 4}]]
+
+
+class TestFunctionProcedure:
+    def test_single_table_result(self):
+        fn = FunctionProcedure("f", lambda rows: list(rows))
+        assert fn.run(None, [[{"a": 1}]], []) == [[{"a": 1}]]
+
+    def test_multi_table_result(self):
+        fn = FunctionProcedure("f", lambda rows: [list(rows), []])
+        out = fn.run(None, [[{"a": 1}]], [])
+        assert len(out) == 2
+
+    def test_none_result(self):
+        fn = FunctionProcedure("f", lambda rows: None)
+        assert fn.run(None, [[]], []) == []
+
+    def test_empty_list_is_one_empty_table(self):
+        fn = FunctionProcedure("f", lambda rows: [])
+        assert fn.run(None, [[]], []) == [[]]
+
+    def test_read_write_tables_rejected(self):
+        fn = FunctionProcedure("f", lambda rows: None)
+        with pytest.raises(ProcedureError):
+            fn.run(None, [[]], ["tw"])
+
+
+class TestHandlerDetection:
+    def test_plain_procedure_has_no_handlers(self):
+        class Plain(Procedure):
+            def run(self, env, inputs, read_write):
+                return []
+
+        assert not Plain().has_running_handler()
+        assert not Plain().has_finished_handler()
+
+    def test_overridden_handlers_detected(self):
+        class WithRunning(Procedure):
+            def run(self, env, inputs, read_write):
+                return []
+
+            def on_delta_running(self, env, delta):
+                return None
+
+        assert WithRunning().has_running_handler()
+        assert not WithRunning().has_finished_handler()
+
+    def test_distributive_counts_as_both(self):
+        class Dist(Procedure):
+            distributive = True
+
+            def run(self, env, inputs, read_write):
+                return [list(inputs[0])]
+
+        proc = Dist()
+        assert proc.has_running_handler()
+        assert proc.has_finished_handler()
+        out = proc.on_delta_running(None, Delta.insertions("t", [{"a": 1}]))
+        assert out == [[{"a": 1}]]
+
+    def test_get_name_default(self):
+        class Anon(Procedure):
+            def run(self, env, inputs, read_write):
+                return []
+
+        assert Anon().get_name() == "Anon"
+
+
+class TestProcessEnv:
+    @pytest.fixture
+    def env(self, db, engine):
+        db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+        db.execute("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+        definition = ProcessDefinition(
+            "p",
+            seq(RunQuery("noop", "SELECT 1 AS one", into_variable="x")),
+            variables=[],
+        )
+        engine.deploy(definition)
+        execution = engine.start("p")
+        env = engine._make_env(execution, None, None)
+        env.variables["k"] = 15
+        env.constants["c"] = 2
+        return env
+
+    def test_lookup_variable_and_constant(self, env):
+        assert env.lookup("k") == 15
+        assert env.lookup("c") == 2
+        with pytest.raises(WorkflowError):
+            env.lookup("ghost")
+
+    def test_assign_to_constant_rejected(self, env):
+        with pytest.raises(WorkflowError):
+            env.assign("c", 3)
+
+    def test_query_with_dollar_params(self, env):
+        rows = env.query("SELECT id FROM t WHERE v > $k")
+        assert [r["id"] for r in rows] == [2]
+
+    def test_resolve_sql_skips_string_literals(self, env):
+        sql, params = env.resolve_sql("SELECT * FROM t WHERE v = '$k'", ())
+        assert sql == "SELECT * FROM t WHERE v = '$k'"
+        assert params == []
+
+    def test_resolve_sql_dangling_dollar(self, env):
+        with pytest.raises(WorkflowError):
+            env.resolve_sql("SELECT $ FROM t", ())
+
+    def test_read_table(self, env):
+        rows = env.read_table("t")
+        assert len(rows) == 2
+
+    def test_write_rows_strips_hidden_fields(self, env):
+        env.database.execute("CREATE TABLE sink (id INTEGER, v INTEGER)")
+        source_rows = list(env.database.table("t").rows())
+        env.write_rows("sink", source_rows)
+        assert len(env.database.query("SELECT * FROM sink")) == 2
+
+
+class TestWorkflowExpressions:
+    @pytest.fixture
+    def env(self, db, engine):
+        db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+        db.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        definition = ProcessDefinition(
+            "p", seq(RunQuery("noop", "SELECT 1 AS one", into_variable="x"))
+        )
+        engine.deploy(definition)
+        execution = engine.start("p")
+        return engine._make_env(execution, None, None)
+
+    def test_query_expr(self, env):
+        assert QueryExpr("SELECT id FROM t").evaluate(env) == [{"id": 1}]
+
+    def test_table_expr(self, env):
+        rows = TableExpr("t").evaluate(env)
+        assert rows[0]["v"] == 10
+
+    def test_value_expr_literal_and_variable(self, env):
+        assert ValueExpr(5).evaluate(env) == 5
+        env.variables["name"] = "x"
+        assert ValueExpr("$name").evaluate(env) == "x"
+
+    def test_python_expr(self, env):
+        assert PythonExpr(lambda e: 42).evaluate(env) == 42
+
+    def test_proc_call_expr(self, env):
+        env.engine.procedures.register_function(
+            "double", lambda rows: [{"v": r["v"] * 2} for r in rows]
+        )
+        expr = ProcCallExpr("double", [TableExpr("t")])
+        assert expr.evaluate(env) == [{"v": 20}]
+
+    def test_proc_call_expr_bad_output_index(self, env):
+        env.engine.procedures.register_function("nothing", lambda: None)
+        expr = ProcCallExpr("nothing", [], output_index=3)
+        with pytest.raises(WorkflowError, match="output"):
+            expr.evaluate(env)
+
+    def test_evaluate_condition_forms(self, env):
+        assert evaluate_condition(None, env) is True
+        assert evaluate_condition("SELECT COUNT(*) FROM t", env) is True
+        assert evaluate_condition("SELECT COUNT(*) FROM t WHERE v > 99", env) is False
+        assert evaluate_condition(lambda e: False, env) is False
+        assert evaluate_condition(QueryExpr("SELECT id FROM t"), env) is True
+        assert evaluate_condition(1, env) is True

@@ -1,0 +1,271 @@
+"""XML process specifications: parsing, round-trips, errors."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.workflow import (
+    AndSplitJoin,
+    AskUser,
+    CallProcedure,
+    ConditionalNode,
+    OrSplitJoin,
+    Procedure,
+    ProcedureRegistry,
+    RunQuery,
+    SequenceNode,
+    UpdateTable,
+    parse_process,
+    serialize_process,
+)
+from repro.workflow.spec import load_procedures
+
+FULL_XML = """
+<process name="elections">
+  <configuration driver="embedded" uri="memory://" user="analyst"/>
+  <constant name="min_votes" type="INTEGER" value="100"/>
+  <constant name="label" type="TEXT" value="night"/>
+  <variable name="party" type="TEXT" initial="DEM"/>
+  <variable name="ratio" type="FLOAT"/>
+  <relation name="votes" primaryKey="id">
+    <column name="id" type="INTEGER"/>
+    <column name="state" type="TEXT"/>
+    <column name="count" type="INTEGER"/>
+  </relation>
+  <relation name="scratch" temporary="true">
+    <column name="v" type="INTEGER"/>
+  </relation>
+  <function name="aggregate"/>
+  <body>
+    <sequence>
+      <activity name="ask" type="askUser" prompt="Party?" variable="party"/>
+      <activity name="agg" type="callFunction" procedure="aggregate" detached="true" freshSnapshot="true">
+        <input table="votes"/>
+        <output table="votes_agg"/>
+      </activity>
+      <and-split-join parallel="true">
+        <activity name="left" type="update" sql="DELETE FROM votes"/>
+        <activity name="right" type="runQuery" sql="SELECT * FROM votes" intoVariable="rows"/>
+      </and-split-join>
+      <or-split-join>
+        <branch condition="SELECT 1">
+          <activity name="yes" type="update" sql="DELETE FROM votes"/>
+        </branch>
+        <branch>
+          <activity name="no" type="update" sql="DELETE FROM votes"/>
+        </branch>
+      </or-split-join>
+      <if condition="SELECT COUNT(*) FROM votes">
+        <activity name="maybe" type="assign" variable="ratio" value="0.5" valueType="FLOAT"/>
+      </if>
+    </sequence>
+  </body>
+  <propagation relation="votes" activity="agg" scope="ra"/>
+  <propagation relation="votes" activity="agg" scope="fa-rp"/>
+</process>
+"""
+
+
+class TestParsing:
+    def test_full_document(self):
+        definition = parse_process(FULL_XML)
+        assert definition.name == "elections"
+        assert definition.configuration.user == "analyst"
+        assert {c.name: c.value for c in definition.constants} == {
+            "min_votes": 100,
+            "label": "night",
+        }
+        variables = {v.name: v for v in definition.variables}
+        assert variables["party"].initial == "DEM"
+        assert variables["ratio"].type_name == "FLOAT"
+        relations = {r.name: r for r in definition.relations}
+        assert relations["votes"].primary_key == "id"
+        assert relations["votes"].columns == (
+            ("id", "INTEGER"),
+            ("state", "TEXT"),
+            ("count", "INTEGER"),
+        )
+        assert relations["scratch"].temporary
+        assert definition.procedures == ("aggregate",)
+        assert len(definition.propagations) == 2
+
+    def test_body_structure(self):
+        definition = parse_process(FULL_XML)
+        body = definition.body
+        assert isinstance(body, SequenceNode)
+        kinds = [type(step).__name__ for step in body.steps]
+        assert kinds == [
+            "ActivityNode",
+            "ActivityNode",
+            "AndSplitJoin",
+            "OrSplitJoin",
+            "ConditionalNode",
+        ]
+        and_node = body.steps[2]
+        assert and_node.parallel
+        or_node = body.steps[3]
+        assert or_node.branches[0].condition == "SELECT 1"
+        assert or_node.branches[1].condition is None
+
+    def test_activity_attributes(self):
+        definition = parse_process(FULL_XML)
+        agg = definition.activity("agg")
+        assert isinstance(agg, CallProcedure)
+        assert agg.detached
+        assert agg.fresh_snapshot
+        assert agg.inputs == ("votes",)
+        assert agg.outputs == ("votes_agg",)
+        ask = definition.activity("ask")
+        assert isinstance(ask, AskUser)
+        assert ask.prompt == "Party?"
+        maybe = definition.activity("maybe")
+        assert maybe.expression == 0.5
+
+    def test_sql_in_element_text(self):
+        xml = """
+        <process name="p"><body><sequence>
+          <activity name="u" type="update">DELETE FROM t</activity>
+        </sequence></body></process>
+        """
+        definition = parse_process(xml)
+        assert definition.activity("u").sql == "DELETE FROM t"
+
+
+class TestParseErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(SpecificationError, match="invalid process XML"):
+            parse_process("<process")
+
+    def test_wrong_root(self):
+        with pytest.raises(SpecificationError, match="expected <process>"):
+            parse_process("<workflow name='x'/>")
+
+    def test_missing_name(self):
+        with pytest.raises(SpecificationError, match="name"):
+            parse_process("<process><body><sequence/></body></process>")
+
+    def test_missing_body(self):
+        with pytest.raises(SpecificationError, match="body"):
+            parse_process("<process name='p'/>")
+
+    def test_unknown_activity_type(self):
+        xml = """
+        <process name="p"><body><sequence>
+          <activity name="x" type="teleport"/>
+        </sequence></body></process>
+        """
+        with pytest.raises(SpecificationError, match="unknown activity type"):
+            parse_process(xml)
+
+    def test_unknown_node(self):
+        xml = "<process name='p'><body><loop/></body></process>"
+        with pytest.raises(SpecificationError, match="unknown process node"):
+            parse_process(xml)
+
+    def test_bad_propagation(self):
+        xml = """
+        <process name="p"><body><sequence>
+          <activity name="u" type="update" sql="DELETE FROM t"/>
+        </sequence></body>
+        <propagation relation="t" activity="u"/>
+        </process>
+        """
+        with pytest.raises(SpecificationError, match="propagation"):
+            parse_process(xml)
+
+    def test_askuser_needs_variable(self):
+        xml = """
+        <process name="p"><body><sequence>
+          <activity name="a" type="askUser" prompt="?"/>
+        </sequence></body></process>
+        """
+        with pytest.raises(SpecificationError, match="variable"):
+            parse_process(xml)
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse_preserves_structure(self):
+        original = parse_process(FULL_XML)
+        xml = serialize_process(original)
+        reparsed = parse_process(xml)
+        assert reparsed.name == original.name
+        assert reparsed.activity_names() == original.activity_names()
+        assert [
+            (u.relation, u.activity, u.scope) for u in reparsed.propagations
+        ] == [(u.relation, u.activity, u.scope) for u in original.propagations]
+        assert {c.name: c.value for c in reparsed.constants} == {
+            c.name: c.value for c in original.constants
+        }
+        assert {r.name: r.columns for r in reparsed.relations} == {
+            r.name: r.columns for r in original.relations
+        }
+        agg = reparsed.activity("agg")
+        assert agg.detached and agg.fresh_snapshot
+
+
+class TestClasspathLoading:
+    def test_load_procedures_from_classpath(self):
+        xml = """
+        <process name="p">
+          <function name="myproc" classpath="tests.workflow.test_spec:SampleProcedure"/>
+          <body><sequence>
+            <activity name="c" type="callFunction" procedure="myproc"/>
+          </sequence></body>
+        </process>
+        """
+        definition = parse_process(xml)
+        registry = ProcedureRegistry()
+        registered = load_procedures(definition, registry)
+        assert registered == ["myproc"]
+        assert "myproc" in registry
+
+    def test_bad_classpath_module(self):
+        xml = """
+        <process name="p">
+          <function name="f" classpath="no.such.module:X"/>
+          <body><sequence>
+            <activity name="c" type="callFunction" procedure="f"/>
+          </sequence></body>
+        </process>
+        """
+        definition = parse_process(xml)
+        with pytest.raises(SpecificationError, match="cannot import"):
+            load_procedures(definition, ProcedureRegistry())
+
+    def test_bad_classpath_format(self):
+        xml = """
+        <process name="p">
+          <function name="f" classpath="just_a_module"/>
+          <body><sequence>
+            <activity name="c" type="callFunction" procedure="f"/>
+          </sequence></body>
+        </process>
+        """
+        definition = parse_process(xml)
+        with pytest.raises(SpecificationError, match="module:ClassName"):
+            load_procedures(definition, ProcedureRegistry())
+
+    def test_not_a_procedure_class(self):
+        xml = """
+        <process name="p">
+          <function name="f" classpath="tests.workflow.test_spec:NotAProcedure"/>
+          <body><sequence>
+            <activity name="c" type="callFunction" procedure="f"/>
+          </sequence></body>
+        </process>
+        """
+        definition = parse_process(xml)
+        with pytest.raises(SpecificationError, match="not a Procedure"):
+            load_procedures(definition, ProcedureRegistry())
+
+
+class SampleProcedure(Procedure):
+    """Used by the classpath-loading tests above."""
+
+    name = "myproc"
+
+    def run(self, env, inputs, read_write):
+        return []
+
+
+class NotAProcedure:
+    """Deliberately not a Procedure subclass."""
