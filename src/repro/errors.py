@@ -77,12 +77,20 @@ class IsolationError(WorkflowError):
     """Violation of the isolation protocol (e.g. unknown deletion epoch)."""
 
 
+class RetryError(ReproError):
+    """A retry policy was misconfigured (not: the retried call failed)."""
+
+
 class SyncError(ReproError):
     """Errors in the DBMS <-> client synchronization protocol."""
 
 
 class ProtocolError(SyncError):
     """A peer sent a message that violates the wire protocol."""
+
+
+class ConnectionLostError(SyncError):
+    """The notification transport died and could not (yet) be restored."""
 
 
 class VisError(ReproError):

@@ -1,0 +1,217 @@
+"""Retry policies: bounded attempts, exponential backoff, jitter.
+
+Fault tolerance in this reproduction is policy-driven: a
+:class:`RetryPolicy` names *how often* to try again, *how long* to wait
+between tries, and *which* failures are worth retrying.  The same object
+serves every layer that talks to something unreliable:
+
+- :class:`repro.sync.client.SyncClient` uses one to pace reconnection
+  attempts after the notification socket dies;
+- :class:`repro.workflow` ``CallProcedure`` activities may declare one
+  (``options={"retry": {...}}``) so transient black-box procedure
+  failures are re-run instead of failing the process instance.
+
+Backoff follows the classic exponential-with-jitter scheme: attempt
+``k`` (1-based) sleeps ``min(max_delay, base_delay * multiplier**(k-1))``
+scaled down by a random jitter factor so synchronized clients do not
+stampede.  Both the random source and the sleep function are injectable,
+which keeps tests deterministic and instant.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
+
+from .errors import RetryError
+
+#: Predicate deciding whether an exception is worth another attempt.
+RetryPredicate = Callable[[BaseException], bool]
+
+#: Observer invoked as (attempt_number, exception, upcoming_delay).
+RetryObserver = Callable[[int, BaseException, float], None]
+
+
+class Attempt:
+    """One iteration handed out by :meth:`RetryPolicy.attempts`."""
+
+    __slots__ = ("number", "delay")
+
+    def __init__(self, number: int, delay: float) -> None:
+        #: 1-based attempt number.
+        self.number = number
+        #: Seconds slept *before* this attempt (0.0 for the first).
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Attempt(number={self.number}, delay={self.delay:.3f})"
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seedable jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (>= 1).
+    base_delay:
+        Sleep before the second attempt, in seconds.
+    multiplier:
+        Backoff growth factor per attempt.
+    max_delay:
+        Upper bound on any single sleep.
+    jitter:
+        Fraction of each delay randomized away: the actual sleep is
+        uniform in ``[delay * (1 - jitter), delay]``.  0 disables jitter.
+    retryable:
+        Predicate, or a tuple of exception types, selecting failures
+        that deserve another attempt.  Non-retryable exceptions
+        propagate immediately.  Default: any :class:`Exception`.
+    sleep:
+        Injectable sleep function (tests pass a recorder).
+    seed:
+        Seed for the jitter RNG; policies with the same seed produce
+        identical delay sequences.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        multiplier: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.5,
+        retryable: Union[RetryPredicate, Sequence[type], None] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise RetryError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_delay < 0 or max_delay < 0:
+            raise RetryError("delays must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise RetryError(f"jitter must be in [0, 1], got {jitter}")
+        if multiplier < 1.0:
+            raise RetryError(f"multiplier must be >= 1, got {multiplier}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        if retryable is None:
+            self._retryable: RetryPredicate = lambda exc: isinstance(exc, Exception)
+        elif callable(retryable):
+            self._retryable = retryable
+        else:
+            types = tuple(retryable)
+            self._retryable = lambda exc: isinstance(exc, types)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_options(
+        cls, options: Union["RetryPolicy", dict, None], **overrides: Any
+    ) -> Optional["RetryPolicy"]:
+        """Build a policy from an options mapping (or pass one through).
+
+        Accepts both snake_case and the XML spec's camelCase keys, e.g.
+        ``{"max_attempts": 4}`` or ``{"maxAttempts": 4, "baseDelay": 0.1}``.
+        Returns ``None`` for ``None`` input (no retry requested).
+        """
+        if options is None:
+            return None
+        if isinstance(options, RetryPolicy):
+            return options
+        if not isinstance(options, dict):
+            raise RetryError(f"bad retry options: {options!r}")
+        aliases = {
+            "maxAttempts": "max_attempts",
+            "baseDelay": "base_delay",
+            "maxDelay": "max_delay",
+        }
+        kwargs: dict[str, Any] = {}
+        for key, value in options.items():
+            name = aliases.get(key, key)
+            if name in ("max_attempts",):
+                value = int(value)
+            elif name in ("base_delay", "multiplier", "max_delay", "jitter"):
+                value = float(value)
+            elif name not in ("retryable", "sleep", "seed"):
+                raise RetryError(f"unknown retry option {key!r}")
+            kwargs[name] = value
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, exc: BaseException) -> bool:
+        return self._retryable(exc)
+
+    def delay_for(self, attempt: int) -> float:
+        """Nominal (un-jittered) sleep before attempt ``attempt`` (1-based)."""
+        if attempt <= 1:
+            return 0.0
+        return min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 2))
+
+    def jittered_delay(self, attempt: int) -> float:
+        delay = self.delay_for(attempt)
+        if delay <= 0 or self.jitter <= 0:
+            return delay
+        return delay * (1.0 - self.jitter * self._rng.random())
+
+    # ------------------------------------------------------------------
+    def attempts(self) -> Iterator[Attempt]:
+        """Yield :class:`Attempt` objects, sleeping the backoff between them.
+
+        The caller decides what an attempt *is*; typical shape::
+
+            for attempt in policy.attempts():
+                try:
+                    connect()
+                    break
+                except OSError:
+                    if attempt.number == policy.max_attempts:
+                        raise
+        """
+        for number in range(1, self.max_attempts + 1):
+            delay = self.jittered_delay(number)
+            if delay > 0:
+                self._sleep(delay)
+            yield Attempt(number, delay)
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        on_retry: Optional[RetryObserver] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``fn`` under this policy; return its result.
+
+        Retries on retryable exceptions up to ``max_attempts`` total
+        tries, then re-raises the last failure unchanged so callers keep
+        their domain-specific except clauses.  ``on_retry`` observes each
+        failure that will be retried.
+        """
+        last_exc: Optional[BaseException] = None
+        for number in range(1, self.max_attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:
+                last_exc = exc
+                if number == self.max_attempts or not self.is_retryable(exc):
+                    raise
+                delay = self.jittered_delay(number + 1)
+                if on_retry is not None:
+                    on_retry(number, exc, delay)
+                if delay > 0:
+                    self._sleep(delay)
+        raise last_exc  # pragma: no cover - loop always returns or raises
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_delay={self.base_delay}, multiplier={self.multiplier}, "
+            f"max_delay={self.max_delay}, jitter={self.jitter})"
+        )

@@ -12,6 +12,7 @@ Typical socket-mode use::
 """
 
 from .client import SyncClient
+from .faults import FaultPlan, FaultyTransport
 from .memtable import MemoryTable
 from .notification import NotificationCenter, T_CHANGED_ROWS
 from .refresher import RefreshDriver
@@ -19,6 +20,8 @@ from .protocol import (
     DISCONNECT,
     HELLO,
     NOTIFY,
+    PING,
+    PONG,
     REPLY,
     MessageStream,
     decode,
@@ -28,11 +31,15 @@ from .server import SyncServer
 
 __all__ = [
     "DISCONNECT",
+    "FaultPlan",
+    "FaultyTransport",
     "HELLO",
     "MemoryTable",
     "MessageStream",
     "NOTIFY",
     "NotificationCenter",
+    "PING",
+    "PONG",
     "REPLY",
     "RefreshDriver",
     "SyncClient",

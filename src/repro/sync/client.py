@@ -12,17 +12,37 @@ The client talks to the database through direct method calls (standing in
 for JDBC): in the paper's deployment the client host holds a DB
 connection too; here both ends share the process, while the *notification
 path* still crosses a real TCP socket when ``use_sockets=True``.
+
+Fault tolerance (beyond the paper): the client watches the callback
+connection's liveness -- any inbound message (NOTIFY or the server's
+PING, which it answers with PONG) refreshes a deadline; when the stream
+errors out or falls silent past ``heartbeat_timeout``, the client
+
+1. marks every mirror dirty and flips ``status`` to ``"reconnecting"``
+   (satellite of the paper's step 8: a frozen link must never look like
+   a quiet one);
+2. re-attaches via :meth:`SyncServer.reconnect_client` under an
+   exponential-backoff :class:`~repro.retry.RetryPolicy`, then *replays*
+   every notification it missed from the server-side Notification table
+   (``seq_no > last_seq_no`` -- the same invariant that protects those
+   rows from purging);
+3. failing that, **degrades to polling**: it subscribes to the
+   :class:`NotificationCenter` in-process (the ``use_sockets=False``
+   path) so dirty flags and :meth:`refresh` keep working, and flags the
+   condition via ``status == "degraded"``.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from ..db.database import Database
 from ..db.schema import TID
 from ..errors import SyncError
+from ..retry import RetryPolicy
 from . import protocol
 from .memtable import MemoryTable, RowPredicate
 from .notification import NotificationCenter
@@ -33,6 +53,29 @@ Row = dict[str, Any]
 #: Callback invoked (table, op, seq_no) whenever a NOTIFY arrives.
 NotifyHook = Callable[[str, str, int], None]
 
+#: Callback invoked (status, reason) on every connection-state change.
+StatusHook = Callable[[str, str], None]
+
+# Connection states (the ``status`` property).
+IDLE = "idle"  # socket mode, nothing mirrored yet
+CONNECTED = "connected"  # live callback connection
+RECONNECTING = "reconnecting"  # transport lost, backoff in progress
+DEGRADED = "degraded"  # gave up on sockets; polling the center
+POLLING = "polling"  # in-process mode by construction
+CLOSED = "closed"
+
+
+def default_reconnect_policy() -> RetryPolicy:
+    """Backoff used when none is supplied: 6 tries over ~1.5 s."""
+    return RetryPolicy(
+        max_attempts=6,
+        base_delay=0.05,
+        multiplier=2.0,
+        max_delay=0.5,
+        jitter=0.5,
+        retryable=(OSError, SyncError),
+    )
+
 
 class SyncClient:
     """A visualization host's connection manager plus its R_M tables."""
@@ -42,28 +85,50 @@ class SyncClient:
         server: SyncServer,
         host: str = "127.0.0.1",
         user_id: Optional[int] = None,
+        reconnect: Optional[RetryPolicy] = None,
+        auto_reconnect: bool = True,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         self.server = server
         self.database: Database = server.database
         self.center: NotificationCenter = server.center
         self.host = host
         self.user_id = user_id
+        self.auto_reconnect = auto_reconnect
+        self.reconnect_policy = reconnect or default_reconnect_policy()
+        if heartbeat_timeout is None and server.heartbeat_interval is not None:
+            # Give the server's pinger generous slack before declaring death.
+            heartbeat_timeout = server.heartbeat_interval * 8
+        self.heartbeat_timeout = heartbeat_timeout
         self._tables: dict[str, MemoryTable] = {}
         self._cu_ids: dict[str, int] = {}
         self._dirty: set[str] = set()
         self._dirty_lock = threading.Lock()
         self.notify_received = 0
         self._hooks: list[NotifyHook] = []
+        self._status_hooks: list[StatusHook] = []
         self._listener: Optional[socket.socket] = None
         self._reader: Optional[threading.Thread] = None
         self._stream: Optional[protocol.MessageStream] = None
         self.port = 0
         self._closed = False
+        self._state_lock = threading.Lock()
+        self._last_rx = time.monotonic()
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
+        self._reconnector: Optional[threading.Thread] = None
+        self.connection_lost_reason: Optional[str] = None
+        # Counters (tests and dashboards read these).
+        self.reconnects = 0
+        self.replayed_notifications = 0
+        self.pongs_sent = 0
         if server.use_sockets:
+            self.status = IDLE
             self._open_listener()
         else:
             # In-process transport: dirty flags come straight from the
             # notification center instead of a socket reader thread.
+            self.status = POLLING
             self.center.add_listener(self._on_local_notify)
 
     def _on_local_notify(self, table: str, op: str, seq_no: int) -> None:
@@ -76,6 +141,26 @@ class SyncClient:
             hook(table, op, seq_no)
 
     # ------------------------------------------------------------------
+    # Status surface
+    @property
+    def connection_lost(self) -> bool:
+        """True while the socket path is down (reconnecting or degraded)."""
+        return self.status in (RECONNECTING, DEGRADED)
+
+    def on_notify(self, hook: NotifyHook) -> None:
+        """Register a callback fired on every incoming NOTIFY."""
+        self._hooks.append(hook)
+
+    def on_status(self, hook: StatusHook) -> None:
+        """Register a callback fired on every connection-state change."""
+        self._status_hooks.append(hook)
+
+    def _set_status(self, status: str, reason: str) -> None:
+        self.status = status
+        for hook in list(self._status_hooks):
+            hook(status, reason)
+
+    # ------------------------------------------------------------------
     def _open_listener(self) -> None:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -84,40 +169,180 @@ class SyncClient:
         self._listener = listener
         self.port = listener.getsockname()[1]
 
-    def _accept_callback_connection(self) -> None:
+    def _accept_callback_connection(self, timeout: float = 5.0) -> None:
         """Accept the DBMS's call-back connection and handshake (step 6)."""
         assert self._listener is not None
-        self._listener.settimeout(5.0)
+        self._listener.settimeout(timeout)
         try:
             sock, _addr = self._listener.accept()
         except socket.timeout:
             raise SyncError("DBMS never connected back") from None
+        except OSError as exc:
+            raise SyncError(f"listener unusable: {exc}") from None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._stream = protocol.MessageStream(sock)
-        protocol.client_handshake(self._stream)
-        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        stream = protocol.MessageStream(sock)
+        protocol.client_handshake(stream)
+        self._stream = stream
+        self._last_rx = time.monotonic()
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(stream,), daemon=True
+        )
         self._reader.start()
+        self._ensure_monitor()
 
-    def _read_loop(self) -> None:
-        assert self._stream is not None
+    def _read_loop(self, stream: protocol.MessageStream) -> None:
         while not self._closed:
             try:
-                message = self._stream.receive(timeout=None)
-            except Exception:
-                return  # connection closed
-            if message["type"] == protocol.NOTIFY:
+                message = stream.receive(timeout=None)
+            except Exception as exc:
+                # Never swallow a transport death silently: unless this
+                # client is closing (or the loop belongs to a superseded
+                # stream), hand off to connection-loss recovery.
+                if not self._closed and stream is self._stream:
+                    self._connection_lost(f"read failed: {exc}")
+                return
+            self._last_rx = time.monotonic()
+            kind = message["type"]
+            if kind == protocol.NOTIFY:
                 table = message["table"]
                 self.notify_received += 1
                 with self._dirty_lock:
                     self._dirty.add(table)
                 for hook in list(self._hooks):
                     hook(table, message.get("op", ""), message.get("seq_no", 0))
-            elif message["type"] == protocol.DISCONNECT:
+            elif kind == protocol.PING:
+                try:
+                    stream.send(protocol.pong(message.get("seq", 0)))
+                    self.pongs_sent += 1
+                except OSError as exc:
+                    if not self._closed and stream is self._stream:
+                        self._connection_lost(f"pong send failed: {exc}")
+                    return
+            elif kind == protocol.DISCONNECT:
+                if not self._closed and stream is self._stream:
+                    self._connection_lost("server sent DISCONNECT")
                 return
 
-    def on_notify(self, hook: NotifyHook) -> None:
-        """Register a callback fired on every incoming NOTIFY."""
-        self._hooks.append(hook)
+    # ------------------------------------------------------------------
+    # Liveness monitor
+    def _ensure_monitor(self) -> None:
+        if self.heartbeat_timeout is None or self._monitor is not None:
+            return
+        self._monitor = threading.Thread(target=self._monitor_loop, daemon=True)
+        self._monitor.start()
+
+    def _monitor_loop(self) -> None:
+        assert self.heartbeat_timeout is not None
+        interval = max(self.heartbeat_timeout / 4.0, 0.01)
+        while not self._monitor_stop.wait(interval):
+            if self._closed:
+                return
+            if self.status != CONNECTED:
+                continue
+            if time.monotonic() - self._last_rx > self.heartbeat_timeout:
+                self._connection_lost("heartbeat timeout")
+
+    # ------------------------------------------------------------------
+    # Connection-loss recovery
+    def _connection_lost(self, reason: str) -> None:
+        """Idempotent entry point for every detected transport death."""
+        with self._state_lock:
+            if self._closed or self.status not in (CONNECTED, IDLE):
+                return
+            stale = self._stream
+            self._stream = None
+            self.connection_lost_reason = reason
+            self.status = RECONNECTING
+        if stale is not None:
+            stale.close()
+        # A dead link means *unknown* staleness: flag every mirror so
+        # dirty_tables()/RefreshDriver consumers pull rather than trust.
+        with self._dirty_lock:
+            self._dirty.update(self._tables)
+        self._set_status(RECONNECTING, reason)
+        if self.auto_reconnect:
+            self._reconnector = threading.Thread(
+                target=self._reconnect_loop, daemon=True
+            )
+            self._reconnector.start()
+        else:
+            self._degrade(f"auto_reconnect disabled ({reason})")
+
+    def _reconnect_loop(self) -> None:
+        policy = self.reconnect_policy
+        last_error: Optional[BaseException] = None
+        for attempt in policy.attempts():
+            if self._closed:
+                return
+            try:
+                self._reattach()
+            except Exception as exc:
+                last_error = exc
+                continue
+            with self._state_lock:
+                if self._closed:
+                    return
+                self.status = CONNECTED
+                self.reconnects += 1
+            self._replay_missed()
+            self._set_status(CONNECTED, f"reconnected on attempt {attempt.number}")
+            return
+        self._degrade(
+            f"reconnect failed after {policy.max_attempts} attempts: {last_error}"
+        )
+
+    def _reattach(self) -> None:
+        """One reconnection attempt: rendezvous accept() with the server's
+        connect-back, exactly like the initial registration."""
+        result: dict[str, Any] = {}
+
+        def kick() -> None:
+            try:
+                result["ok"] = self.server.reconnect_client(self.host, self.port)
+            except Exception as exc:
+                result["error"] = exc
+
+        thread = threading.Thread(target=kick, daemon=True)
+        thread.start()
+        try:
+            self._accept_callback_connection(timeout=2.0)
+        except SyncError:
+            thread.join(timeout=1.0)
+            raise result.get("error", SyncError("reconnect rendezvous failed"))
+        thread.join(timeout=5.0)
+        if "error" in result:
+            raise result["error"]
+
+    def _replay_missed(self) -> None:
+        """Seq-no catch-up: re-deliver every notification that fired while
+        the transport was down (the paper's "purge only below every
+        client's last_seq_no" invariant guarantees they still exist)."""
+        for table, memtable in list(self._tables.items()):
+            missed = self.center.notifications_since(table, memtable.last_seq_no)
+            if not missed:
+                continue
+            with self._dirty_lock:
+                self._dirty.add(table)
+            for seq_no, op in missed:
+                self.notify_received += 1
+                self.replayed_notifications += 1
+                for hook in list(self._hooks):
+                    hook(table, op, seq_no)
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to polling the NotificationCenter in-process.
+
+        Views keep refreshing -- dirty flags now come from the center's
+        listener fan-out and :meth:`refresh` never needed the socket --
+        but the condition is flagged (``status == "degraded"``) so
+        operators know the push path is gone."""
+        with self._state_lock:
+            if self._closed or self.status == DEGRADED:
+                return
+            self.status = DEGRADED
+        self.center.add_listener(self._on_local_notify)
+        self._replay_missed()
+        self._set_status(DEGRADED, reason)
 
     # ------------------------------------------------------------------
     def mirror(
@@ -132,7 +357,9 @@ class SyncClient:
             raise SyncError(f"table {table!r} is already mirrored")
         memtable = MemoryTable(table, fraction=fraction, predicate=predicate)
         self._tables[table] = memtable
-        first_socket_table = self.server.use_sockets and self._stream is None
+        first_socket_table = (
+            self.server.use_sockets and self._stream is None and self.status == IDLE
+        )
         if first_socket_table:
             # Register, then accept the call-back connection the server
             # opens during register_client.  Registration happens in a
@@ -149,11 +376,21 @@ class SyncClient:
 
             thread = threading.Thread(target=register, daemon=True)
             thread.start()
-            self._accept_callback_connection()
+            try:
+                self._accept_callback_connection()
+            except Exception:
+                # Let the server finish rolling back the registration
+                # before surfacing the failure, so no ConnectedUser row
+                # outlives a mirror() that raised.
+                thread.join(timeout=5.0)
+                del self._tables[table]
+                raise
             thread.join(timeout=5.0)
             if "error" in result:
+                del self._tables[table]
                 raise result["error"]
             self._cu_ids[table] = result["cu_id"]
+            self.status = CONNECTED
         else:
             self._cu_ids[table] = self.server.register_client(
                 table, self.host, self.port, self.user_id
@@ -170,14 +407,15 @@ class SyncClient:
 
     # ------------------------------------------------------------------
     def dirty_tables(self) -> set[str]:
-        """Tables with NOTIFYs not yet refreshed (socket mode)."""
+        """Tables with NOTIFYs not yet refreshed (socket mode).
+
+        While the connection is lost every mirrored table reports dirty:
+        without a transport the client cannot rule out missed changes."""
         with self._dirty_lock:
             return set(self._dirty)
 
     def wait_dirty(self, table: str, timeout: float = 5.0) -> bool:
         """Poll until ``table`` is flagged dirty (testing convenience)."""
-        import time
-
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._dirty_lock:
@@ -186,11 +424,25 @@ class SyncClient:
             time.sleep(0.001)
         return False
 
+    def wait_status(self, status: str, timeout: float = 5.0) -> bool:
+        """Poll until the client reaches ``status`` (testing convenience)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.status == status:
+                return True
+            time.sleep(0.001)
+        return False
+
     def refresh(self, table: str, full: bool = False) -> dict[str, int]:
         """Step 8: pull changed rows from R_D and fold them into R_M.
 
         Returns counters: pulled inserts/updates/deletes.  With
         ``full=True``, the entire table is pulled (initial fill).
+
+        This path never touches the notification socket -- it reads the
+        database directly -- so it keeps working while the client is
+        reconnecting or degraded (stale-but-consistent views, then
+        convergence, rather than a frozen display).
         """
         memtable = self.table(table)
         base = self.database.table(table)
@@ -238,10 +490,14 @@ class SyncClient:
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Step 10: disconnect and remove ConnectedUser entries."""
-        if self._closed:
-            return
-        self._closed = True
-        if not self.server.use_sockets:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            was_polling = self.status in (POLLING, DEGRADED)
+            self.status = CLOSED
+        self._monitor_stop.set()
+        if was_polling:
             self.center.remove_listener(self._on_local_notify)
         for table, cu_id in self._cu_ids.items():
             self.server.unregister_client(cu_id)

@@ -1,0 +1,165 @@
+"""Deterministic fault injection for the synchronization transport.
+
+Real deployments of the Section VI-C protocol cross real networks, and
+real networks drop, delay, duplicate, truncate and sever connections.
+This module makes those failures *reproducible*: a :class:`FaultyTransport`
+wraps a :class:`~repro.sync.protocol.MessageStream` and perturbs its
+message flow according to a :class:`FaultPlan` -- either at exact message
+indices (``drop={3}``, ``disconnect_at=7``) or probabilistically from a
+seeded RNG (``drop_rate=0.05, seed=42``), so every test and benchmark
+run sees the identical failure schedule.
+
+Injection point: :class:`~repro.sync.server.SyncServer` accepts a
+``transport_factory`` callable applied to every callback stream it opens,
+so the full register -> NOTIFY -> refresh cycle can run over a faulty
+wire without touching any production code path::
+
+    plan = FaultPlan(disconnect_at=5)
+    server = SyncServer(db, center, use_sockets=True,
+                        transport_factory=lambda s: FaultyTransport(s, plan))
+
+Message indices are 0-based and count *sent* messages on this transport,
+including the handshake REPLY -- the first NOTIFY on a fresh callback
+connection is index 1.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .protocol import MessageStream, encode
+
+
+@dataclass
+class FaultPlan:
+    """Declarative schedule of transport faults.
+
+    Indexed rules fire at exact 0-based send indices; rate rules fire
+    with the given probability per message, drawn from the transport's
+    seeded RNG.  Multiple rules may hit the same message; they apply in
+    the order: disconnect, truncate, drop, delay, duplicate, hold.
+    """
+
+    #: Send indices whose message is silently discarded.
+    drop: frozenset = field(default_factory=frozenset)
+    #: Send indices whose message is sent twice back-to-back.
+    duplicate: frozenset = field(default_factory=frozenset)
+    #: index -> seconds: sleep before sending this message.
+    delay: dict = field(default_factory=dict)
+    #: index -> release_after_index: buffer this message and emit it only
+    #: after the later index has been sent (deterministic reordering).
+    hold: dict = field(default_factory=dict)
+    #: Send half the bytes of this message, then kill the socket.
+    truncate_at: Optional[int] = None
+    #: Kill the socket instead of sending this message.
+    disconnect_at: Optional[int] = None
+    #: Probability [0, 1] of dropping any given message.
+    drop_rate: float = 0.0
+    #: Probability [0, 1] of duplicating any given message.
+    duplicate_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.drop = frozenset(self.drop)
+        self.duplicate = frozenset(self.duplicate)
+
+
+class FaultyTransport:
+    """A :class:`MessageStream` wrapper that misbehaves on schedule.
+
+    Only the *send* side is perturbed -- in the sync stack the server
+    owns the sending end of every callback connection, so wrapping its
+    streams covers lost/duplicated/reordered NOTIFYs, dead connections
+    and truncated frames as seen by a client.  ``receive``/``close``
+    delegate unchanged (so handshakes and PONG consumption still work).
+
+    All randomness comes from a private ``random.Random(seed)``;
+    identical (plan, seed) pairs yield identical fault schedules.
+    """
+
+    def __init__(
+        self,
+        stream: MessageStream,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        clock: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._stream = stream
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._held: list[tuple[int, bytes]] = []
+        # Counters (tests and benchmarks read these).
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.truncated = 0
+        self.disconnected = 0
+
+    # ------------------------------------------------------------------
+    def _kill_socket(self) -> None:
+        self._stream.close()
+
+    def _emit(self, data: bytes) -> None:
+        self._stream._sock.sendall(data)
+
+    def _release_held(self, just_sent: int) -> None:
+        due = [(i, d) for i, d in self._held if self.plan.hold[i] <= just_sent]
+        if not due:
+            return
+        self._held = [(i, d) for i, d in self._held if self.plan.hold[i] > just_sent]
+        for index, data in sorted(due):
+            self._emit(data)
+            self.reordered += 1
+
+    def send(self, message: dict[str, Any]) -> None:
+        plan = self.plan
+        index = self.sent
+        self.sent += 1
+        data = encode(message)
+        if plan.disconnect_at is not None and index >= plan.disconnect_at:
+            self.disconnected += 1
+            self._kill_socket()
+            raise BrokenPipeError(f"fault injection: disconnected at message {index}")
+        if plan.truncate_at is not None and index == plan.truncate_at:
+            self.truncated += 1
+            self._emit(data[: max(1, len(data) // 2)])
+            self._kill_socket()
+            raise BrokenPipeError(f"fault injection: truncated at message {index}")
+        if index in plan.drop or (
+            plan.drop_rate > 0 and self._rng.random() < plan.drop_rate
+        ):
+            self.dropped += 1
+            self._release_held(index)
+            return
+        if index in plan.delay:
+            self.delayed += 1
+            self._clock(plan.delay[index])
+        if index in plan.hold:
+            self._held.append((index, data))
+            return
+        self._emit(data)
+        if index in plan.duplicate or (
+            plan.duplicate_rate > 0 and self._rng.random() < plan.duplicate_rate
+        ):
+            self.duplicated += 1
+            self._emit(data)
+        self._release_held(index)
+
+    # ------------------------------------------------------------------
+    def receive(self, timeout: Optional[float] = None) -> dict[str, Any]:
+        return self._stream.receive(timeout)
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultyTransport(sent={self.sent}, dropped={self.dropped}, "
+            f"duplicated={self.duplicated}, reordered={self.reordered}, "
+            f"disconnected={self.disconnected})"
+        )

@@ -159,6 +159,21 @@ class NotificationCenter:
         entries.sort()
         return newest, [(tid, op) for _, tid, op in entries]
 
+    def notifications_since(self, table: str, last_seq_no: int) -> list[tuple[int, str]]:
+        """All ``(seq_no, op)`` notifications on ``table`` after ``last_seq_no``.
+
+        Used by reconnecting clients to *replay* what they missed while
+        their transport was down: the purge horizon (step 11) keeps every
+        notification above any connected client's ``last_seq_no``, so the
+        replay is lossless.
+        """
+        entries: list[tuple[int, str]] = []
+        for row in self.database.table(datamodel.T_NOTIFICATION).scan():
+            if row["table_name"] == table and row["seq_no"] > last_seq_no:
+                entries.append((row["seq_no"], row["op"]))
+        entries.sort()
+        return entries
+
     def purge(self) -> int:
         """Drop notifications every connected client has already consumed.
 

@@ -30,6 +30,11 @@ HELLO = "HELLO"
 REPLY = "REPLY"
 NOTIFY = "NOTIFY"
 DISCONNECT = "DISCONNECT"
+# Liveness extension (not in the paper): the DBMS pings each callback
+# connection; the client answers.  Either side treats prolonged silence
+# as a dead transport and starts recovery.
+PING = "PING"
+PONG = "PONG"
 
 #: Protocol magic exchanged during the handshake (steps 5-6).
 MAGIC = "ediflow-sync-1"
@@ -73,6 +78,14 @@ def disconnect() -> dict[str, Any]:
     return {"type": DISCONNECT}
 
 
+def ping(seq: int) -> dict[str, Any]:
+    return {"type": PING, "seq": seq}
+
+
+def pong(seq: int) -> dict[str, Any]:
+    return {"type": PONG, "seq": seq}
+
+
 class MessageStream:
     """Line-framed message I/O over a connected socket."""
 
@@ -87,8 +100,6 @@ class MessageStream:
         """Block until one full message arrives (or raise on EOF/timeout)."""
         self._sock.settimeout(timeout)
         while b"\n" not in self._buffer:
-            if len(self._buffer) > MAX_MESSAGE_BYTES:
-                raise ProtocolError("peer sent an over-long unterminated line")
             try:
                 chunk = self._sock.recv(4096)
             except socket.timeout:
@@ -96,7 +107,14 @@ class MessageStream:
             if not chunk:
                 raise ProtocolError("connection closed by peer")
             self._buffer += chunk
+            # Bound check *after* appending: a single oversized chunk must
+            # not slip past the guard just because the buffer was short
+            # before the recv.
+            if b"\n" not in self._buffer and len(self._buffer) > MAX_MESSAGE_BYTES:
+                raise ProtocolError("peer sent an over-long unterminated line")
         line, self._buffer = self._buffer.split(b"\n", 1)
+        if len(line) > MAX_MESSAGE_BYTES:
+            raise ProtocolError(f"peer sent an over-long message ({len(line)} bytes)")
         return decode(line)
 
     def close(self) -> None:

@@ -5,34 +5,73 @@ register a ``(db, R_D, ip, port)`` quadruplet in the ConnectedUser table;
 the DBMS connects back to each client's listening socket, handshakes, and
 thereafter pushes one compact NOTIFY message per statement-level change
 to a watched table.
+
+Fault tolerance (beyond the paper, which assumes a reliable LAN): each
+callback connection is a *detachable endpoint*.  The server pings it
+every ``heartbeat_interval`` seconds and runs a reader thread consuming
+the client's PONGs; a send failure, read EOF, or prolonged PONG silence
+**detaches** the endpoint -- the ConnectedUser rows and their
+``last_seq_no`` survive, so notifications keep accumulating on the
+server and the purge horizon (step 11) protects everything the client
+has not consumed.  A detached client later calls
+:meth:`reconnect_client` to attach a fresh stream and replays what it
+missed from ``NotificationCenter.changes_since(last_seq_no)``.  Links
+are dropped permanently only by explicit :meth:`unregister_client` /
+:meth:`close` (or an operator calling :meth:`evict_detached`).
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..core import datamodel
 from ..db.database import Database
 from ..db.expression import col
-from ..errors import SyncError
+from ..errors import ProtocolError, SyncError
 from . import protocol
 from .notification import NotificationCenter
+
+#: Optional wrapper applied to every callback stream the server opens --
+#: the fault-injection hook (see :mod:`repro.sync.faults`).
+TransportFactory = Callable[[protocol.MessageStream], Any]
+
+
+@dataclass
+class _Endpoint:
+    """One callback connection to a client process (possibly shared by
+    several table registrations of that process)."""
+
+    host: str
+    port: int
+    #: Live transport, or ``None`` while detached.
+    stream: Optional[Any]
+    #: Serializes writes (NOTIFY vs PING race on the same socket).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: ``time.monotonic()`` of the last inbound message (PONG).
+    last_rx: float = 0.0
+    ping_seq: int = 0
+    #: When the endpoint detached (for :meth:`SyncServer.evict_detached`).
+    detached_at: Optional[float] = None
 
 
 @dataclass
 class _ClientLink:
-    """One registered client connection."""
+    """One registered (client, table) pair."""
 
     connected_user_id: int
     table: str
     host: str
     port: int
-    stream: Optional[protocol.MessageStream]
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    endpoint: Optional[_Endpoint]
+    #: NOTIFYs successfully delivered (in-process: dispatched).
     notify_count: int = 0
+    #: NOTIFYs that could not be pushed because the endpoint was down;
+    #: the client recovers them from ``changes_since`` on reconnect.
+    missed_count: int = 0
 
 
 class SyncServer:
@@ -42,6 +81,10 @@ class SyncServer:
     TCP connections -- clients then poll :class:`NotificationCenter`
     directly.  Benchmarks use real sockets (loopback); most unit tests use
     the in-process mode.
+
+    ``heartbeat_interval=None`` disables the liveness machinery (no ping
+    thread, no reader threads); dead links are then only detected on the
+    next failed NOTIFY send.
     """
 
     def __init__(
@@ -49,18 +92,131 @@ class SyncServer:
         database: Database,
         center: Optional[NotificationCenter] = None,
         use_sockets: bool = True,
+        heartbeat_interval: Optional[float] = 0.5,
+        heartbeat_timeout: Optional[float] = None,
+        transport_factory: Optional[TransportFactory] = None,
     ) -> None:
         self.database = database
         self.center = center or NotificationCenter(database)
         self.use_sockets = use_sockets
+        self.heartbeat_interval = heartbeat_interval
+        if heartbeat_timeout is None and heartbeat_interval is not None:
+            heartbeat_timeout = heartbeat_interval * 6
+        self.heartbeat_timeout = heartbeat_timeout
+        self.transport_factory = transport_factory
         self._links: dict[int, _ClientLink] = {}
-        #: (host, port) -> shared call-back connection; one per client
+        #: (host, port) -> shared callback endpoint; one per client
         #: process even when it mirrors several tables.
-        self._streams: dict[tuple[str, int], protocol.MessageStream] = {}
+        self._endpoints: dict[tuple[str, int], _Endpoint] = {}
         self._lock = threading.RLock()
         self._allocator = datamodel.IdAllocator(database)
         self.center.add_listener(self._on_notification)
         self._closed = False
+        self._stop = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+        # Counters (tests and dashboards read these).
+        self.detaches = 0
+        self.reattaches = 0
+        self.pings_sent = 0
+        self.pongs_received = 0
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    def _open_callback(self, host: str, port: int) -> Any:
+        """Connect back to a client listener and handshake (steps 5-6)."""
+        transport: Optional[Any] = None
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            transport = protocol.MessageStream(sock)
+            if self.transport_factory is not None:
+                transport = self.transport_factory(transport)
+            # Step 5/6: the DBMS expects HELLO and answers REPLY.
+            protocol.server_handshake(transport, timeout=5.0)
+        except (OSError, SyncError) as exc:
+            if transport is not None:
+                transport.close()
+            raise SyncError(
+                f"cannot connect back to client at {host}:{port}: {exc}"
+            ) from None
+        return transport
+
+    def _attach(self, endpoint: _Endpoint, transport: Any) -> None:
+        """Install a live transport on an endpoint and start its reader."""
+        endpoint.stream = transport
+        endpoint.last_rx = time.monotonic()
+        endpoint.detached_at = None
+        if self.heartbeat_interval is not None:
+            reader = threading.Thread(
+                target=self._reader_loop, args=(endpoint, transport), daemon=True
+            )
+            reader.start()
+            self._ensure_heartbeat_thread()
+
+    def _ensure_heartbeat_thread(self) -> None:
+        with self._lock:
+            if self._heartbeat_thread is not None or self._closed:
+                return
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, daemon=True
+            )
+            self._heartbeat_thread.start()
+
+    def _detach_endpoint(self, endpoint: _Endpoint) -> None:
+        """Idempotently take a (suspected dead) transport out of service.
+
+        The registration -- ConnectedUser rows, ``last_seq_no`` horizon,
+        link bookkeeping -- survives; only the socket goes away.
+        """
+        with self._lock:
+            transport = endpoint.stream
+            if transport is None:
+                return
+            endpoint.stream = None
+            endpoint.detached_at = time.monotonic()
+            self.detaches += 1
+        transport.close()
+
+    # ------------------------------------------------------------------
+    # Liveness: reader (consumes PONGs) + heartbeat (sends PINGs)
+    def _reader_loop(self, endpoint: _Endpoint, transport: Any) -> None:
+        while True:
+            try:
+                message = transport.receive(timeout=None)
+            except (OSError, ProtocolError, SyncError):
+                break
+            endpoint.last_rx = time.monotonic()
+            kind = message.get("type")
+            if kind == protocol.PONG:
+                self.pongs_received += 1
+            elif kind == protocol.DISCONNECT:
+                break
+        if not self._closed and endpoint.stream is transport:
+            self._detach_endpoint(endpoint)
+
+    def _heartbeat_loop(self) -> None:
+        assert self.heartbeat_interval is not None
+        while not self._stop.wait(self.heartbeat_interval):
+            now = time.monotonic()
+            with self._lock:
+                endpoints = list(self._endpoints.values())
+            for endpoint in endpoints:
+                transport = endpoint.stream
+                if transport is None:
+                    continue
+                if (
+                    self.heartbeat_timeout is not None
+                    and now - endpoint.last_rx > self.heartbeat_timeout
+                ):
+                    self._detach_endpoint(endpoint)
+                    continue
+                endpoint.ping_seq += 1
+                try:
+                    with endpoint.lock:
+                        transport.send(protocol.ping(endpoint.ping_seq))
+                    self.pings_sent += 1
+                except (OSError, ProtocolError):
+                    self._detach_endpoint(endpoint)
 
     # ------------------------------------------------------------------
     def register_client(
@@ -87,51 +243,94 @@ class SyncServer:
                 "last_seq_no": 0,
             },
         )
-        stream: Optional[protocol.MessageStream] = None
+        endpoint: Optional[_Endpoint] = None
         if self.use_sockets:
             with self._lock:
-                stream = self._streams.get((host, port))
-            if stream is None:
-                stream = None
+                endpoint = self._endpoints.get((host, port))
+            if endpoint is None:
                 try:
-                    sock = socket.create_connection((host, port), timeout=5.0)
-                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                    stream = protocol.MessageStream(sock)
-                    # Step 5/6: the DBMS expects HELLO and answers REPLY.
-                    protocol.server_handshake(stream, timeout=5.0)
-                except (OSError, SyncError) as exc:
+                    transport = self._open_callback(host, port)
+                except SyncError:
                     # Failed connection or handshake: no trace left behind.
-                    if stream is not None:
-                        stream.close()
                     self.database.delete(
                         datamodel.T_CONNECTED_USER, col("id") == cu_id
                     )
-                    raise SyncError(
-                        f"cannot connect back to client at {host}:{port}: {exc}"
-                    ) from None
+                    raise
+                endpoint = _Endpoint(host, port, None)
+                self._attach(endpoint, transport)
                 with self._lock:
-                    self._streams[(host, port)] = stream
+                    self._endpoints[(host, port)] = endpoint
         with self._lock:
-            self._links[cu_id] = _ClientLink(cu_id, table, host, port, stream)
+            self._links[cu_id] = _ClientLink(cu_id, table, host, port, endpoint)
         return cu_id
 
-    def unregister_client(self, connected_user_id: int) -> None:
-        """Protocol step 10: drop the link and the ConnectedUser row."""
+    def reconnect_client(self, host: str, port: int) -> bool:
+        """Re-attach a fresh callback connection to a detached client.
+
+        The client keeps its ConnectedUser rows (and thus its
+        ``last_seq_no`` purge protection) across the outage; this call
+        only restores the push path.  Raises :class:`SyncError` when no
+        registration exists for ``(host, port)`` or the connect-back
+        fails; the client's retry policy decides what happens next.
+        """
+        if self._closed:
+            raise SyncError("server is closed")
+        if not self.use_sockets:
+            raise SyncError("reconnect_client requires socket mode")
+        with self._lock:
+            endpoint = self._endpoints.get((host, port))
+        if endpoint is None:
+            raise SyncError(f"no registered client at {host}:{port}")
+        transport = self._open_callback(host, port)
+        with self._lock:
+            stale = endpoint.stream
+            endpoint.stream = None
+        if stale is not None:
+            stale.close()
+        self._attach(endpoint, transport)
+        self.reattaches += 1
+        return True
+
+    def unregister_client(self, connected_user_id: int) -> bool:
+        """Protocol step 10: drop the link and the ConnectedUser row.
+
+        Idempotent: concurrent callers (e.g. two notification threads
+        observing the same dead client) race benignly -- exactly one
+        performs the teardown, the rest return ``False``.
+        """
         with self._lock:
             link = self._links.pop(connected_user_id, None)
-            close_stream = False
-            if link is not None and link.stream is not None:
-                still_used = any(
-                    other.stream is link.stream for other in self._links.values()
-                )
-                if not still_used:
-                    self._streams.pop((link.host, link.port), None)
-                    close_stream = True
-        if link is not None and close_stream and link.stream is not None:
-            link.stream.close()
+            if link is None:
+                return False
+            endpoint = link.endpoint
+            drop_endpoint = endpoint is not None and not any(
+                other.endpoint is endpoint for other in self._links.values()
+            )
+            if drop_endpoint:
+                self._endpoints.pop((link.host, link.port), None)
+        if drop_endpoint and endpoint is not None:
+            self._detach_endpoint(endpoint)
         self.database.delete(
             datamodel.T_CONNECTED_USER, col("id") == connected_user_id
         )
+        return True
+
+    def evict_detached(self, max_age: float) -> int:
+        """Permanently unregister clients detached longer than ``max_age``
+        seconds.  Returns the number of links dropped.  This is the
+        operator-facing escape hatch that re-enables notification purging
+        when a client is never coming back."""
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                link.connected_user_id
+                for link in self._links.values()
+                if link.endpoint is not None
+                and link.endpoint.stream is None
+                and link.endpoint.detached_at is not None
+                and now - link.endpoint.detached_at >= max_age
+            ]
+        return sum(1 for cu_id in stale if self.unregister_client(cu_id))
 
     def update_client_seq(self, connected_user_id: int, seq_no: int) -> None:
         """Record how far a client has consumed (enables purging)."""
@@ -145,23 +344,58 @@ class SyncServer:
         with self._lock:
             return len(self._links)
 
+    def connected_count(self) -> int:
+        """Links whose callback connection is currently live."""
+        with self._lock:
+            return sum(
+                1
+                for link in self._links.values()
+                if link.endpoint is not None and link.endpoint.stream is not None
+            )
+
+    def detached_count(self) -> int:
+        """Links registered but currently without a live callback."""
+        with self._lock:
+            return sum(
+                1
+                for link in self._links.values()
+                if link.endpoint is not None and link.endpoint.stream is None
+            )
+
     # ------------------------------------------------------------------
     def _on_notification(self, table: str, op: str, seq_no: int) -> None:
-        """Step 7: push NOTIFY to every client registered on ``table``."""
+        """Step 7: push NOTIFY to every client registered on ``table``.
+
+        A send failure detaches the endpoint (keeping the registration)
+        instead of unregistering the client; ``notify_count`` counts only
+        *successful* deliveries, ``missed_count`` the ones the client
+        will replay from ``changes_since`` after reconnecting.
+        """
         with self._lock:
             links = [link for link in self._links.values() if link.table == table]
-        dead: list[int] = []
+        failed: list[_Endpoint] = []
         for link in links:
-            link.notify_count += 1
-            if link.stream is None:
+            endpoint = link.endpoint
+            if endpoint is None:
+                # In-process mode: delivery happens via the center's own
+                # listener fan-out; count the dispatch.
+                link.notify_count += 1
                 continue
-            with link.lock:
-                try:
-                    link.stream.send(protocol.notify(table, seq_no, op))
-                except OSError:
-                    dead.append(link.connected_user_id)
-        for cu_id in dead:
-            self.unregister_client(cu_id)
+            transport = endpoint.stream
+            if transport is None:
+                link.missed_count += 1
+                continue
+            try:
+                with endpoint.lock:
+                    transport.send(protocol.notify(table, seq_no, op))
+            except (OSError, ProtocolError):
+                link.missed_count += 1
+                if endpoint not in failed:
+                    failed.append(endpoint)
+                continue
+            link.notify_count += 1
+        for endpoint in failed:
+            self._detach_endpoint(endpoint)
 
     # ------------------------------------------------------------------
     def purge_notifications(self) -> int:
@@ -170,17 +404,27 @@ class SyncServer:
 
     def close(self) -> None:
         self._closed = True
+        self._stop.set()
         with self._lock:
             links = list(self._links.values())
+            endpoints = list(self._endpoints.values())
             self._links.clear()
-        for link in links:
-            if link.stream is not None:
+            self._endpoints.clear()
+        for endpoint in endpoints:
+            transport = endpoint.stream
+            endpoint.stream = None
+            if transport is not None:
                 try:
-                    link.stream.send(protocol.disconnect())
-                except OSError:
+                    with endpoint.lock:
+                        transport.send(protocol.disconnect())
+                except (OSError, ProtocolError):
                     pass
-                link.stream.close()
+                transport.close()
+        for link in links:
             self.database.delete(
                 datamodel.T_CONNECTED_USER, col("id") == link.connected_user_id
             )
         self.center.remove_listener(self._on_notification)
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=2.0)
+            self._heartbeat_thread = None

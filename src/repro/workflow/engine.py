@@ -45,6 +45,7 @@ from .model import (
     SequenceNode,
     UpdateTable,
 )
+from ..retry import RetryPolicy
 from .procedures import ProcessEnv, Procedure, ProcedureRegistry
 from .roles import RoleManager
 
@@ -492,8 +493,18 @@ class WorkflowEngine:
         live = LiveActivity(execution, activity, instance, procedure, env)
         with self._lock:
             self.live_activities[instance.id] = live
+        # Retry-on-failure semantics: the activity's declaration wins,
+        # falling back to a policy the procedure class itself carries.
+        retry_policy = RetryPolicy.from_options(activity.options.get("retry"))
+        if retry_policy is None:
+            retry_policy = getattr(procedure, "retry_policy", None)
         try:
-            outputs = procedure.run(env, inputs, list(activity.read_write))
+            if retry_policy is not None:
+                outputs = retry_policy.call(
+                    procedure.run, env, inputs, list(activity.read_write)
+                )
+            else:
+                outputs = procedure.run(env, inputs, list(activity.read_write))
         except Exception:
             with self._lock:
                 self.live_activities.pop(instance.id, None)

@@ -171,6 +171,7 @@ class CallProcedure(Activity):
         read_write: Sequence[str] = (),
         outputs: Sequence[str] = (),
         options: Optional[dict[str, Any]] = None,
+        retry: Optional[Any] = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(name, **kwargs)
@@ -179,6 +180,12 @@ class CallProcedure(Activity):
         self.read_write = tuple(read_write)
         self.outputs = tuple(outputs)
         self.options = dict(options or {})
+        # Retry-on-failure semantics for this black-box call: a
+        # RetryPolicy, or an options dict for RetryPolicy.from_options.
+        # Declaring it is the spec author's assertion that re-running the
+        # procedure after a transient failure is safe.
+        if retry is not None:
+            self.options["retry"] = retry
 
 
 class AskUser(Activity):

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 from ..db.database import Database
 from ..errors import ProcedureError, WorkflowError
 from ..ivm.delta import Delta
+from ..retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import WorkflowEngine
@@ -147,6 +148,10 @@ class ProcessEnv:
         """Nested procedure invocation (used by ProcCallExpr)."""
         procedure = self.engine.procedures.instantiate(name)
         procedure.initialize(self)
+        if procedure.retry_policy is not None:
+            return procedure.retry_policy.call(
+                procedure.run, self, inputs, list(read_write)
+            )
         return procedure.run(self, inputs, list(read_write))
 
 
@@ -165,6 +170,11 @@ class Procedure:
     name: str = ""
     #: True if p(R u dR) = p(R) u p(dR); enables automatic delta handling.
     distributive: bool = False
+    #: Optional :class:`repro.retry.RetryPolicy` re-running transient
+    #: failures of :meth:`run`.  Setting it asserts the procedure is safe
+    #: to re-execute (idempotent or side-effect free); a CallProcedure
+    #: activity's own ``options["retry"]`` takes precedence.
+    retry_policy: Optional["RetryPolicy"] = None
 
     def initialize(self, env: ProcessEnv) -> None:
         """One-time setup before :meth:`run` (paper: ``initialize()``)."""

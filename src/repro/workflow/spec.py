@@ -36,7 +36,8 @@ import importlib
 from typing import Any, Optional
 from xml.etree import ElementTree as ET
 
-from ..errors import SpecificationError
+from ..errors import RetryError, SpecificationError
+from ..retry import RetryPolicy
 from .model import (
     Activity,
     ActivityNode,
@@ -274,12 +275,25 @@ def _parse_activity(element: ET.Element) -> Activity:
         read_write = tuple(
             rw.get("table", "") for rw in element.findall("readWrite")
         )
+        retry_el = element.find("retry")
+        retry = None
+        if retry_el is not None:
+            try:
+                # Validate eagerly so a bad spec fails at parse time, but
+                # store the plain mapping (round-trippable to XML).
+                retry = dict(retry_el.attrib)
+                RetryPolicy.from_options(retry)
+            except RetryError as exc:
+                raise SpecificationError(
+                    f"bad retry declaration on activity {name!r}: {exc}"
+                ) from None
         return CallProcedure(
             name,
             procedure,
             inputs=inputs,
             read_write=read_write,
             outputs=outputs,
+            retry=retry,
             **common,
         )
     raise SpecificationError(f"unknown activity type {kind!r} for {name!r}")
@@ -419,6 +433,23 @@ def _serialize_activity(activity: Activity) -> ET.Element:
             ET.SubElement(el, "readWrite", {"table": table})
         for table in activity.outputs:
             ET.SubElement(el, "output", {"table": table})
+        retry = activity.options.get("retry")
+        if isinstance(retry, dict):
+            ET.SubElement(
+                el, "retry", {key: str(value) for key, value in retry.items()}
+            )
+        elif isinstance(retry, RetryPolicy):
+            ET.SubElement(
+                el,
+                "retry",
+                {
+                    "maxAttempts": str(retry.max_attempts),
+                    "baseDelay": str(retry.base_delay),
+                    "multiplier": str(retry.multiplier),
+                    "maxDelay": str(retry.max_delay),
+                    "jitter": str(retry.jitter),
+                },
+            )
     else:
         raise SpecificationError(f"cannot serialize activity {activity!r}")
     return el

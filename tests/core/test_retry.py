@@ -1,0 +1,167 @@
+"""RetryPolicy: deterministic backoff, predicates, option parsing."""
+
+import pytest
+
+from repro.errors import RetryError, SyncError
+from repro.retry import RetryPolicy
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.calls = []
+
+    def __call__(self, seconds):
+        self.calls.append(seconds)
+
+
+class TestBackoffSchedule:
+    def test_first_attempt_is_immediate(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.delay_for(1) == 0.0
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=100.0)
+        assert policy.delay_for(2) == pytest.approx(0.1)
+        assert policy.delay_for(3) == pytest.approx(0.2)
+        assert policy.delay_for(4) == pytest.approx(0.4)
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0)
+        assert policy.delay_for(5) == 3.0
+
+    def test_jitter_only_shrinks_and_is_seeded(self):
+        a = RetryPolicy(base_delay=1.0, jitter=0.5, seed=7)
+        b = RetryPolicy(base_delay=1.0, jitter=0.5, seed=7)
+        delays_a = [a.jittered_delay(k) for k in range(2, 8)]
+        delays_b = [b.jittered_delay(k) for k in range(2, 8)]
+        assert delays_a == delays_b  # same seed, same schedule
+        for k, jittered in zip(range(2, 8), delays_a):
+            nominal = a.delay_for(k)
+            assert nominal * 0.5 <= jittered <= nominal
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.25, jitter=0.0)
+        assert policy.jittered_delay(2) == 0.25
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self):
+        sleeps = SleepRecorder()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0, sleep=sleeps)
+        outcomes = iter([OSError("a"), OSError("b"), "ok"])
+
+        def flaky():
+            item = next(outcomes)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        assert policy.call(flaky) == "ok"
+        assert sleeps.calls == pytest.approx([0.1, 0.2])
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, sleep=lambda s: None)
+        attempts = []
+
+        def always_fails():
+            attempts.append(1)
+            raise OSError("down")
+
+        with pytest.raises(OSError, match="down"):
+            policy.call(always_fails)
+        assert len(attempts) == 3
+
+    def test_non_retryable_raises_immediately(self):
+        policy = RetryPolicy(
+            max_attempts=5, retryable=(OSError,), sleep=lambda s: None
+        )
+        attempts = []
+
+        def fails_differently():
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(fails_differently)
+        assert len(attempts) == 1
+
+    def test_predicate_retryable(self):
+        policy = RetryPolicy(
+            max_attempts=3,
+            retryable=lambda exc: "again" in str(exc),
+            sleep=lambda s: None,
+        )
+        attempts = []
+
+        def fails():
+            attempts.append(1)
+            raise SyncError("try again")
+
+        with pytest.raises(SyncError):
+            policy.call(fails)
+        assert len(attempts) == 3
+
+    def test_on_retry_observer(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda s: None)
+
+        def fails():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            policy.call(fails, on_retry=lambda n, exc, d: seen.append((n, str(exc))))
+        assert seen == [(1, "x")]
+
+
+class TestAttemptsIterator:
+    def test_yields_max_attempts_with_sleeps_between(self):
+        sleeps = SleepRecorder()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0, sleep=sleeps)
+        numbers = [attempt.number for attempt in policy.attempts()]
+        assert numbers == [1, 2, 3]
+        assert sleeps.calls == pytest.approx([0.5, 1.0])
+
+    def test_break_stops_sleeping(self):
+        sleeps = SleepRecorder()
+        policy = RetryPolicy(max_attempts=5, base_delay=1.0, jitter=0.0, sleep=sleeps)
+        for attempt in policy.attempts():
+            break
+        assert sleeps.calls == []
+
+
+class TestFromOptions:
+    def test_none_passthrough(self):
+        assert RetryPolicy.from_options(None) is None
+
+    def test_policy_passthrough(self):
+        policy = RetryPolicy()
+        assert RetryPolicy.from_options(policy) is policy
+
+    def test_snake_and_camel_case(self):
+        policy = RetryPolicy.from_options(
+            {"maxAttempts": "4", "baseDelay": "0.1", "jitter": "0.25"}
+        )
+        assert policy.max_attempts == 4
+        assert policy.base_delay == pytest.approx(0.1)
+        assert policy.jitter == pytest.approx(0.25)
+        same = RetryPolicy.from_options({"max_attempts": 4, "base_delay": 0.1})
+        assert same.max_attempts == 4
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(RetryError):
+            RetryPolicy.from_options({"backoff": 2})
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"jitter": 1.5},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(RetryError):
+            RetryPolicy(**kwargs)

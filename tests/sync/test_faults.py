@@ -1,0 +1,264 @@
+"""FaultyTransport and protocol edge cases: the wire misbehaving on
+schedule must never corrupt mirrors or hang the stack."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.types import FLOAT, INTEGER
+from repro.errors import ProtocolError, SyncError
+from repro.sync import (
+    FaultPlan,
+    FaultyTransport,
+    NotificationCenter,
+    SyncClient,
+    SyncServer,
+    protocol,
+)
+
+
+def stream_pair():
+    """A connected (sender_stream, receiver_stream) over loopback TCP."""
+    acceptor = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    acceptor.bind(("127.0.0.1", 0))
+    acceptor.listen(1)
+    port = acceptor.getsockname()[1]
+    out_sock = socket.create_connection(("127.0.0.1", port))
+    in_sock, _ = acceptor.accept()
+    acceptor.close()
+    return protocol.MessageStream(out_sock), protocol.MessageStream(in_sock)
+
+
+class TestFaultyTransportUnit:
+    def test_drop_at_index(self):
+        sender, receiver = stream_pair()
+        faulty = FaultyTransport(sender, FaultPlan(drop=frozenset({1})))
+        for seq in range(3):
+            faulty.send(protocol.notify("t", seq, "insert"))
+        got = [receiver.receive(timeout=2)["seq_no"] for _ in range(2)]
+        assert got == [0, 2]
+        assert faulty.dropped == 1
+        sender.close()
+        receiver.close()
+
+    def test_duplicate_at_index(self):
+        sender, receiver = stream_pair()
+        faulty = FaultyTransport(sender, FaultPlan(duplicate=frozenset({0})))
+        faulty.send(protocol.notify("t", 7, "insert"))
+        assert receiver.receive(timeout=2)["seq_no"] == 7
+        assert receiver.receive(timeout=2)["seq_no"] == 7
+        assert faulty.duplicated == 1
+        sender.close()
+        receiver.close()
+
+    def test_hold_reorders_deterministically(self):
+        sender, receiver = stream_pair()
+        # Message 0 is held until message 1 has been sent: arrival order 1, 0.
+        faulty = FaultyTransport(sender, FaultPlan(hold={0: 1}))
+        faulty.send(protocol.notify("t", 0, "insert"))
+        faulty.send(protocol.notify("t", 1, "insert"))
+        got = [receiver.receive(timeout=2)["seq_no"] for _ in range(2)]
+        assert got == [1, 0]
+        assert faulty.reordered == 1
+        sender.close()
+        receiver.close()
+
+    def test_disconnect_at_kills_socket(self):
+        sender, receiver = stream_pair()
+        faulty = FaultyTransport(sender, FaultPlan(disconnect_at=1))
+        faulty.send(protocol.notify("t", 0, "insert"))
+        with pytest.raises(OSError):
+            faulty.send(protocol.notify("t", 1, "insert"))
+        assert receiver.receive(timeout=2)["seq_no"] == 0
+        with pytest.raises(ProtocolError, match="closed"):
+            receiver.receive(timeout=2)
+        receiver.close()
+
+    def test_truncate_leaves_partial_line_then_eof(self):
+        sender, receiver = stream_pair()
+        faulty = FaultyTransport(sender, FaultPlan(truncate_at=0))
+        with pytest.raises(OSError):
+            faulty.send(protocol.notify("t", 0, "insert"))
+        # The peer sees a half message and then EOF -- a loud protocol
+        # error, never a silently-parsed partial frame.
+        with pytest.raises(ProtocolError):
+            receiver.receive(timeout=2)
+        receiver.close()
+
+    def test_probabilistic_drops_are_seeded(self):
+        def run(seed):
+            sender, receiver = stream_pair()
+            faulty = FaultyTransport(
+                sender, FaultPlan(drop_rate=0.5), seed=seed
+            )
+            for seq in range(20):
+                faulty.send(protocol.notify("t", seq, "insert"))
+            received = []
+            try:
+                while len(received) < 20 - faulty.dropped:
+                    received.append(receiver.receive(timeout=2)["seq_no"])
+            finally:
+                sender.close()
+                receiver.close()
+            return received
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+
+class TestProtocolEdgeCases:
+    def test_wrong_magic_handshake_rejected(self):
+        sender, receiver = stream_pair()
+        sender.send({"type": protocol.HELLO, "magic": "not-ediflow"})
+        with pytest.raises(ProtocolError, match="bad handshake"):
+            protocol.server_handshake(receiver, timeout=2)
+        sender.close()
+        receiver.close()
+
+    def test_wrong_magic_reply_rejected(self):
+        sender, receiver = stream_pair()
+        receiver.send({"type": protocol.REPLY, "magic": "evil"})
+
+        def absorb_hello():
+            try:
+                receiver.receive(timeout=2)
+            except ProtocolError:
+                pass
+
+        thread = threading.Thread(target=absorb_hello, daemon=True)
+        thread.start()
+        with pytest.raises(ProtocolError, match="bad handshake"):
+            protocol.client_handshake(sender, timeout=2)
+        thread.join(timeout=2)
+        sender.close()
+        receiver.close()
+
+    def test_truncated_json_line_is_protocol_error(self):
+        sender, receiver = stream_pair()
+        sender._sock.sendall(b'{"type": "NOTIFY", "table"\n')
+        with pytest.raises(ProtocolError, match="undecodable"):
+            receiver.receive(timeout=2)
+        sender.close()
+        receiver.close()
+
+    def test_oversized_outgoing_message_rejected(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            protocol.encode({"type": "NOTIFY", "pad": "x" * (1 << 17)})
+
+    def test_oversized_terminated_line_rejected(self):
+        # A peer ignoring our encoder can still ship a huge *terminated*
+        # line; the receiver must bound it, not decode it.
+        sender, receiver = stream_pair()
+        payload = b'{"type": "NOTIFY", "pad": "' + b"x" * (1 << 17) + b'"}\n'
+        thread = threading.Thread(
+            target=lambda: sender._sock.sendall(payload), daemon=True
+        )
+        thread.start()
+        with pytest.raises(ProtocolError, match="over-long"):
+            receiver.receive(timeout=5)
+        thread.join(timeout=2)
+        sender.close()
+        receiver.close()
+
+    def test_disconnect_during_handshake(self):
+        sender, receiver = stream_pair()
+        sender.close()  # peer vanishes before HELLO
+        with pytest.raises(ProtocolError, match="closed"):
+            protocol.server_handshake(receiver, timeout=2)
+        receiver.close()
+
+
+def fault_stack(plans, heartbeat_interval=None, **client_kwargs):
+    """A socket-mode stack whose Nth callback connection gets plans[N]
+    (subsequent connections run clean)."""
+    db = Database()
+    db.create_table(
+        "pts",
+        [Column("id", INTEGER, nullable=False), Column("x", FLOAT)],
+        primary_key="id",
+    )
+    center = NotificationCenter(db)
+    queue = list(plans)
+    transports = []
+
+    def factory(stream):
+        plan = queue.pop(0) if queue else None
+        transport = FaultyTransport(stream, plan)
+        transports.append(transport)
+        return transport
+
+    server = SyncServer(
+        db,
+        center,
+        use_sockets=True,
+        heartbeat_interval=heartbeat_interval,
+        transport_factory=factory,
+    )
+    client = SyncClient(server, **client_kwargs)
+    return db, server, client, transports
+
+
+def mirrored_ids(client):
+    return sorted(r["id"] for r in client.table("pts").all_rows())
+
+
+class TestFaultyFullCycle:
+    """register -> NOTIFY -> refresh with a misbehaving wire."""
+
+    def test_dropped_notifies_do_not_lose_data(self):
+        # Messages: 0 = handshake REPLY, 1.. = NOTIFYs (heartbeats off).
+        db, server, client, transports = fault_stack(
+            [FaultPlan(drop=frozenset({1, 3}))]
+        )
+        try:
+            client.mirror("pts")
+            for i in range(4):
+                db.insert("pts", {"id": i, "x": float(i)})
+            # NOTIFYs 2 and 4 arrive; 1 and 3 were dropped.
+            assert client.wait_dirty("pts", timeout=5.0)
+            client.refresh("pts")
+            # The pull path reads changes_since(last_seq_no), so dropped
+            # notifications cost latency, never data.
+            assert mirrored_ids(client) == [0, 1, 2, 3]
+            assert transports[0].dropped == 2
+        finally:
+            client.close()
+            server.close()
+
+    def test_duplicated_and_reordered_notifies_converge(self):
+        db, server, client, transports = fault_stack(
+            [FaultPlan(duplicate=frozenset({1}), hold={2: 3})]
+        )
+        try:
+            client.mirror("pts")
+            for i in range(4):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert client.wait_dirty("pts", timeout=5.0)
+            deadline_ids = [0, 1, 2, 3]
+            client.refresh("pts")
+            assert mirrored_ids(client) == deadline_ids
+            assert transports[0].duplicated == 1
+            assert transports[0].reordered == 1
+            # Refreshing again changes nothing: duplicate NOTIFYs coalesce
+            # into dirty flags, they are never applied twice.
+            stats = client.refresh("pts")
+            assert stats == {"upserts": 0, "deletes": 0}
+            assert mirrored_ids(client) == deadline_ids
+        finally:
+            client.close()
+            server.close()
+
+    def test_mid_handshake_truncation_fails_registration_cleanly(self):
+        db, server, client, _transports = fault_stack([FaultPlan(truncate_at=0)])
+        try:
+            with pytest.raises(SyncError):
+                client.mirror("pts")
+            # No ConnectedUser row survives the failed registration.
+            from repro.core import datamodel
+
+            assert db.query(f"SELECT * FROM {datamodel.T_CONNECTED_USER}") == []
+        finally:
+            client.close()
+            server.close()

@@ -107,22 +107,33 @@ class TestMalformedTraffic:
         db = Database()
         db.create_table("pts", [Column("id", INTEGER, nullable=False)],
                         primary_key="id")
-        server = SyncServer(db, NotificationCenter(db), use_sockets=True)
-        client = SyncClient(server)
+        # heartbeat_interval=None isolates the send-failure detection path.
+        server = SyncServer(
+            db, NotificationCenter(db), use_sockets=True, heartbeat_interval=None
+        )
+        client = SyncClient(server, auto_reconnect=False)
         client.mirror("pts")
         assert server.client_count() == 1
-        # Kill the client socket abruptly; subsequent notifies must prune it.
+        assert server.connected_count() == 1
+        # Kill the client socket abruptly; subsequent notifies must detach
+        # the endpoint -- but the registration (and its last_seq_no purge
+        # protection) survives so the client can reconnect and catch up.
         client._stream.close()
         client._listener.close()
         deadline = time.monotonic() + 5
-        pruned = False
+        detached = False
         i = 0
         while time.monotonic() < deadline:
             db.insert("pts", {"id": i})
             i += 1
-            if server.client_count() == 0:
-                pruned = True
+            if server.connected_count() == 0:
+                detached = True
                 break
             time.sleep(0.01)
-        assert pruned, "dead client never unregistered"
+        assert detached, "dead client never detached"
+        assert server.client_count() == 1
+        assert server.detached_count() == 1
+        from repro.core import datamodel
+
+        assert len(db.query(f"SELECT * FROM {datamodel.T_CONNECTED_USER}")) == 1
         server.close()

@@ -1,0 +1,173 @@
+"""Retry-on-failure semantics for black-box CallProcedure activities."""
+
+import pytest
+
+from repro.errors import ProcedureError, SpecificationError
+from repro.retry import RetryPolicy
+from repro.workflow import CallProcedure, ProcessDefinition, Procedure, seq
+from repro.workflow.spec import parse_process, serialize_process
+
+
+class FlakyProcedure(Procedure):
+    """Fails the first ``failures`` runs, then echoes its input."""
+
+    name = "flaky"
+
+    def __init__(self, failures=2, exc=OSError):
+        self.failures = failures
+        self.exc = exc
+        self.runs = 0
+
+    def run(self, env, inputs, read_write):
+        self.runs += 1
+        if self.runs <= self.failures:
+            raise self.exc(f"transient failure #{self.runs}")
+        return [list(inputs[0]) if inputs else []]
+
+
+@pytest.fixture
+def pts(db):
+    db.execute("CREATE TABLE src (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("INSERT INTO src (id, v) VALUES (1, 10)")
+    return db
+
+
+def deploy_and_run(engine, flaky, retry=None, options=None):
+    engine.procedures.register(flaky)
+    activity = CallProcedure(
+        "call",
+        "flaky",
+        inputs=("src",),
+        outputs=(),
+        retry=retry,
+        options=options,
+    )
+    definition = ProcessDefinition("p", seq(activity))
+    engine.deploy(definition)
+    return engine.run("p")
+
+
+class TestActivityRetry:
+    def test_transient_failures_are_retried(self, pts, engine):
+        flaky = FlakyProcedure(failures=2)
+        deploy_and_run(
+            engine,
+            flaky,
+            retry={"max_attempts": 3, "base_delay": 0.0, "jitter": 0.0},
+        )
+        assert flaky.runs == 3  # 2 failures + 1 success
+
+    def test_exhaustion_propagates_last_error(self, pts, engine):
+        flaky = FlakyProcedure(failures=10)
+        with pytest.raises(OSError, match="transient failure #2"):
+            deploy_and_run(
+                engine,
+                flaky,
+                retry={"max_attempts": 2, "base_delay": 0.0},
+            )
+        assert flaky.runs == 2
+
+    def test_no_retry_declared_means_one_attempt(self, pts, engine):
+        flaky = FlakyProcedure(failures=1)
+        with pytest.raises(OSError):
+            deploy_and_run(engine, flaky)
+        assert flaky.runs == 1
+
+    def test_retry_policy_object_accepted(self, pts, engine):
+        flaky = FlakyProcedure(failures=1)
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, sleep=lambda s: None)
+        deploy_and_run(engine, flaky, retry=policy)
+        assert flaky.runs == 2
+
+    def test_non_retryable_exception_not_retried(self, pts, engine):
+        flaky = FlakyProcedure(failures=5, exc=ValueError)
+        with pytest.raises(ValueError):
+            deploy_and_run(
+                engine,
+                flaky,
+                retry={"max_attempts": 4, "base_delay": 0.0, "retryable": (OSError,)},
+            )
+        assert flaky.runs == 1
+
+
+class TestProcedureLevelPolicy:
+    def test_procedure_declares_its_own_policy(self, pts, engine):
+        flaky = FlakyProcedure(failures=1)
+        flaky.retry_policy = RetryPolicy(
+            max_attempts=2, base_delay=0.0, sleep=lambda s: None
+        )
+        deploy_and_run(engine, flaky)
+        assert flaky.runs == 2
+
+    def test_activity_declaration_wins_over_procedure(self, pts, engine):
+        flaky = FlakyProcedure(failures=10)
+        flaky.retry_policy = RetryPolicy(
+            max_attempts=5, base_delay=0.0, sleep=lambda s: None
+        )
+        with pytest.raises(OSError):
+            deploy_and_run(
+                engine, flaky, retry={"max_attempts": 2, "base_delay": 0.0}
+            )
+        assert flaky.runs == 2
+
+    def test_nested_call_procedure_honors_policy(self, pts, engine):
+        flaky = FlakyProcedure(failures=1)
+        flaky.retry_policy = RetryPolicy(
+            max_attempts=3, base_delay=0.0, sleep=lambda s: None
+        )
+        engine.procedures.register(flaky)
+        from repro.workflow.procedures import ProcessEnv
+
+        # The procedure under test never touches the isolation context.
+        env = ProcessEnv(
+            engine=engine,
+            process_instance_id=0,
+            activity_instance_id=None,
+            isolation=None,
+            variables={},
+            constants={},
+        )
+        out = env.call_procedure("flaky", [[{"id": 1}]])
+        assert out == [[{"id": 1}]]
+        assert flaky.runs == 2
+
+
+RETRY_XML = """
+<process name="p">
+  <relations/>
+  <body>
+    <sequence>
+      <activity name="call" type="callFunction" procedure="flaky">
+        <input table="src"/>
+        <retry maxAttempts="3" baseDelay="0.0" jitter="0.0"/>
+      </activity>
+    </sequence>
+  </body>
+</process>
+"""
+
+
+class TestSpecIntegration:
+    def test_xml_retry_declaration_drives_retries(self, pts, engine):
+        flaky = FlakyProcedure(failures=2)
+        engine.procedures.register(flaky)
+        definition = parse_process(RETRY_XML)
+        engine.deploy(definition)
+        engine.run("p")
+        assert flaky.runs == 3
+
+    def test_retry_round_trips_through_xml(self):
+        definition = parse_process(RETRY_XML)
+        xml = serialize_process(definition)
+        assert "retry" in xml
+        again = parse_process(xml)
+        (activity,) = [
+            a for a in again.body.activities() if isinstance(a, CallProcedure)
+        ]
+        policy = RetryPolicy.from_options(activity.options["retry"])
+        assert policy.max_attempts == 3
+
+    def test_bad_retry_spec_rejected_at_parse_time(self):
+        bad = RETRY_XML.replace('maxAttempts="3"', 'maxAttempts="0"')
+        with pytest.raises(SpecificationError, match="bad retry"):
+            parse_process(bad)
