@@ -14,16 +14,21 @@ Public surface::
 from .algebra import (
     AggSpec,
     format_plan,
+    instrument_plan,
     Aggregate,
+    CompositeIndexScan,
     Difference,
     Distinct,
     HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
     KeepAll,
     Limit,
     MapRows,
     Plan,
     Product,
     Project,
+    RangeIndexScan,
     RowSource,
     Scan,
     Select,
@@ -31,6 +36,8 @@ from .algebra import (
     Union,
 )
 from .database import Database, Result
+from .plancache import LRUCache
+from .routing import matching_tids, optimize_plan
 from .expression import (
     ColumnRef,
     Expression,
@@ -53,6 +60,7 @@ __all__ = [
     "Column",
     "ColumnRef",
     "ColumnType",
+    "CompositeIndexScan",
     "Database",
     "Difference",
     "Distinct",
@@ -61,7 +69,10 @@ __all__ = [
     "ForeignKey",
     "HashJoin",
     "INTEGER",
+    "IndexNestedLoopJoin",
+    "IndexScan",
     "KeepAll",
+    "LRUCache",
     "Lambda",
     "Limit",
     "Literal",
@@ -69,6 +80,7 @@ __all__ = [
     "Plan",
     "Product",
     "Project",
+    "RangeIndexScan",
     "Result",
     "RowSource",
     "Scan",
@@ -83,6 +95,9 @@ __all__ = [
     "Union",
     "col",
     "format_plan",
+    "instrument_plan",
     "load_snapshot",
+    "matching_tids",
+    "optimize_plan",
     "save_snapshot",
 ]

@@ -13,6 +13,7 @@ result rows as dicts.  A plan executes against any object exposing
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
 
@@ -70,6 +71,38 @@ class Plan:
     def children(self) -> tuple["Plan", ...]:
         return ()
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        """Column names this plan's rows carry, or None when unknown.
+
+        Used by the planner's selection pushdown (to decide which side of
+        a join a conjunct belongs to) and by LEFT JOIN null padding over
+        derived right-hand plans.
+        """
+        return None
+
+
+def _scan_columns(
+    source: TableProvider, table_name: str, alias: str | None
+) -> set[str] | None:
+    """Catalog columns of a stored-table leaf, plus alias-qualified names."""
+    try:
+        schema = source.table(table_name).schema
+    except Exception:
+        return None
+    columns = set(schema.column_names)
+    if alias:
+        columns |= {f"{alias}.{c}" for c in schema.column_names}
+    return columns
+
+
+def _qualify_row(row: Row, alias: str) -> Row:
+    """Copy ``row`` adding ``alias.col`` keys (the Scan alias behavior)."""
+    qualified = dict(row)
+    for key, value in row.items():
+        if not key.startswith("__"):
+            qualified[f"{alias}.{key}"] = value
+    return qualified
+
 
 def _normalize_items(
     items: Sequence[str | tuple[str, Expression]],
@@ -103,14 +136,13 @@ class Scan(Plan):
             return
         prefix = self.alias
         for row in table.rows():
-            qualified = dict(row)
-            for key, value in row.items():
-                if not key.startswith("__"):
-                    qualified[f"{prefix}.{key}"] = value
-            yield qualified
+            yield _qualify_row(row, prefix)
 
     def base_tables(self) -> set[str]:
         return {self.table_name}
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return _scan_columns(source, self.table_name, self.alias)
 
     def __repr__(self) -> str:
         return f"Scan({self.table_name!r})"
@@ -124,10 +156,13 @@ class IndexScan(Plan):
     -- the result is identical either way, only the cost differs.
     """
 
-    def __init__(self, table: str, column: str, value: Any) -> None:
+    def __init__(
+        self, table: str, column: str, value: Any, alias: str | None = None
+    ) -> None:
         self.table_name = table
         self.column = column
         self.value = value
+        self.alias = alias
 
     def rows(self, source: TableProvider) -> Iterator[Row]:
         table = source.table(self.table_name)
@@ -137,19 +172,159 @@ class IndexScan(Plan):
             # Fallback: filtered scan (correctness over speed).
             for row in table.rows():
                 if row.get(self.column) == self.value:
-                    yield row
+                    yield row if self.alias is None else _qualify_row(row, self.alias)
             return
         get = table.get
-        for tid in index.lookup(self.value):
+        # Sorted tids keep output in tid order, byte-identical to a full scan.
+        for tid in sorted(index.lookup(self.value)):
             row = get(tid)
             if row is not None:
-                yield row
+                yield row if self.alias is None else _qualify_row(row, self.alias)
 
     def base_tables(self) -> set[str]:
         return {self.table_name}
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return _scan_columns(source, self.table_name, self.alias)
+
     def __repr__(self) -> str:
         return f"IndexScan({self.table_name}.{self.column} = {self.value!r})"
+
+
+class CompositeIndexScan(Plan):
+    """Composite-key equality probe through a multi-column hash index.
+
+    ``WHERE a = x AND b = y`` with a hash index on ``(a, b)`` resolves to
+    one ``lookup_tuple`` probe.  Falls back to a filtered scan when the
+    source cannot serve the index.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        columns: Sequence[str],
+        values: Sequence[Any],
+        alias: str | None = None,
+    ) -> None:
+        if len(columns) != len(values):
+            raise DatabaseError("CompositeIndexScan needs one value per column")
+        self.table_name = table
+        self.columns = tuple(columns)
+        self.values = tuple(values)
+        self.alias = alias
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        table = source.table(self.table_name)
+        index = None
+        for idx in getattr(table, "hash_indexes", lambda: ())():
+            if frozenset(idx.columns) == frozenset(self.columns):
+                index = idx
+                break
+        if index is None:
+            wanted = dict(zip(self.columns, self.values))
+            for row in table.rows():
+                if all(row.get(c) == v for c, v in wanted.items()):
+                    yield row if self.alias is None else _qualify_row(row, self.alias)
+            return
+        by_name = dict(zip(self.columns, self.values))
+        ordered = [by_name[c] for c in index.columns]
+        get = table.get
+        for tid in sorted(index.lookup_tuple(ordered)):
+            row = get(tid)
+            if row is not None:
+                yield row if self.alias is None else _qualify_row(row, self.alias)
+
+    def base_tables(self) -> set[str]:
+        return {self.table_name}
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return _scan_columns(source, self.table_name, self.alias)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{c} = {v!r}" for c, v in zip(self.columns, self.values)
+        )
+        return f"CompositeIndexScan({self.table_name}: {pairs})"
+
+
+class RangeIndexScan(Plan):
+    """Range probe through a sorted index: ``WHERE col >= low AND col <= high``.
+
+    Backs the isolation-predicate scans of Section VI-A (creation-timestamp
+    ranges) and the ``seq_no`` scans of VI-C.  Bounds are optional on
+    either side; inclusivity is tracked per bound.  Falls back to a
+    filtered scan when the source cannot serve the index -- identical
+    result, only the cost differs.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        column: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+        alias: str | None = None,
+    ) -> None:
+        self.table_name = table
+        self.column = column
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.alias = alias
+
+    def _matches(self, value: Any) -> bool:
+        if value is None:
+            return False  # range predicates never match NULL
+        if self.low is not None:
+            if self.include_low:
+                if value < self.low:
+                    return False
+            elif value <= self.low:
+                return False
+        if self.high is not None:
+            if self.include_high:
+                if value > self.high:
+                    return False
+            elif value >= self.high:
+                return False
+        return True
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        table = source.table(self.table_name)
+        find = getattr(table, "find_sorted_index", None)
+        index = find(self.column) if find is not None else None
+        if index is None:
+            for row in table.rows():
+                if self._matches(row.get(self.column)):
+                    yield row if self.alias is None else _qualify_row(row, self.alias)
+            return
+        get = table.get
+        tids = sorted(
+            index.range(self.low, self.high, self.include_low, self.include_high)
+        )
+        for tid in tids:
+            row = get(tid)
+            if row is not None:
+                yield row if self.alias is None else _qualify_row(row, self.alias)
+
+    def base_tables(self) -> set[str]:
+        return {self.table_name}
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return _scan_columns(source, self.table_name, self.alias)
+
+    def bounds_repr(self) -> str:
+        lo = "(-inf" if self.low is None else ("[" if self.include_low else "(") + repr(self.low)
+        hi = "+inf)" if self.high is None else repr(self.high) + ("]" if self.include_high else ")")
+        return f"{lo}, {hi}"
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeIndexScan({self.table_name}.{self.column} in {self.bounds_repr()})"
+        )
 
 
 class RowSource(Plan):
@@ -166,6 +341,15 @@ class RowSource(Plan):
 
     def rows(self, source: TableProvider) -> Iterator[Row]:
         return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        out: set[str] = set()
+        for row in self._rows:
+            out.update(k for k in row if not k.startswith("__"))
+        return out
 
     def __repr__(self) -> str:
         return f"RowSource({self.label}, n={len(self._rows)})"
@@ -187,6 +371,9 @@ class Select(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.child.output_columns(source)
+
     def __repr__(self) -> str:
         return f"Select({self.predicate!r}, {self.child!r})"
 
@@ -207,6 +394,9 @@ class Project(Plan):
 
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return {name for name, _ in self.items}
 
     def __repr__(self) -> str:
         names = [name for name, _ in self.items]
@@ -233,6 +423,12 @@ class KeepAll(Plan):
 
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        below = self.child.output_columns(source)
+        if below is None:
+            return None
+        return {c for c in below if not c.startswith("__") and "." not in c}
 
 
 class Product(Plan):
@@ -282,9 +478,14 @@ class HashJoin(Plan):
                 continue
             buckets.setdefault(key, []).append(rrow)
         if self.how == "left" and not right_cols:
-            # Empty right input: derive padding columns from the schema so
-            # unmatched left rows still carry NULL right-side fields.
-            right_cols = self._schema_columns(source)
+            # Empty right input: derive padding columns from the right
+            # plan's own output shape (works for subqueries/derived plans,
+            # not just stored-table scans), falling back to the catalog.
+            derived = self.right.output_columns(source)
+            if derived:
+                right_cols = {c for c in derived if not c.startswith("__")}
+            else:
+                right_cols = self._schema_columns(source)
         left_key = ColumnRef(self.left_on)
         null_pad = {c: None for c in right_cols}
         for lrow in self.left.rows(source):
@@ -299,7 +500,7 @@ class HashJoin(Plan):
     def _schema_columns(self, source: TableProvider) -> set[str]:
         """Right-side column names (plain + qualified) from the catalog."""
         child = self.right
-        if not isinstance(child, (Scan, IndexScan)):
+        if not isinstance(child, (Scan, IndexScan, CompositeIndexScan, RangeIndexScan)):
             return set()
         try:
             schema = source.table(child.table_name).schema
@@ -314,10 +515,104 @@ class HashJoin(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        left = self.left.output_columns(source)
+        right = self.right.output_columns(source)
+        if left is None or right is None:
+            return None
+        return left | right
+
     def __repr__(self) -> str:
         return (
             f"HashJoin({self.left!r} {self.left_on} = "
             f"{self.right_on} {self.right!r}, how={self.how})"
+        )
+
+
+class IndexNestedLoopJoin(Plan):
+    """Equi-join probing the right table's hash index once per left row.
+
+    Chosen by the planner when the outer (left) side is estimated to be
+    much smaller than the inner table: it avoids materializing a hash
+    table over the whole inner side.  Degrades to a HashJoin when the
+    source cannot serve the index (isolation-filtered tables).
+    """
+
+    def __init__(
+        self,
+        left: Plan,
+        right_table: str,
+        left_on: str,
+        right_on: str,
+        right_column: str,
+        right_alias: str | None = None,
+        how: str = "inner",
+    ) -> None:
+        if how not in ("inner", "left"):
+            raise DatabaseError(f"unsupported join type {how!r}")
+        self.left = left
+        self.right_table = right_table
+        self.left_on = left_on
+        self.right_on = right_on
+        self.right_column = right_column  # unqualified index column
+        self.right_alias = right_alias
+        self.how = how
+
+    def _hash_join(self) -> HashJoin:
+        return HashJoin(
+            self.left,
+            Scan(self.right_table, alias=self.right_alias),
+            self.left_on,
+            self.right_on,
+            how=self.how,
+        )
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        table = source.table(self.right_table)
+        find = getattr(table, "find_hash_index", None)
+        index = find(self.right_column) if find is not None else None
+        if index is None:
+            yield from self._hash_join().rows(source)
+            return
+        left_key = ColumnRef(self.left_on)
+        null_pad: Row = {}
+        if self.how == "left":
+            columns = _scan_columns(source, self.right_table, self.right_alias)
+            null_pad = {c: None for c in (columns or ())}
+        get = table.get
+        alias = self.right_alias
+        for lrow in self.left.rows(source):
+            key = left_key.eval(lrow)
+            matched = False
+            if key is not None:
+                for tid in sorted(index.lookup(key)):
+                    rrow = get(tid)
+                    if rrow is None:
+                        continue
+                    matched = True
+                    if alias is not None:
+                        rrow = _qualify_row(rrow, alias)
+                    yield {**lrow, **rrow}
+            if not matched and self.how == "left":
+                yield {**null_pad, **lrow}
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left,)
+
+    def base_tables(self) -> set[str]:
+        return self.left.base_tables() | {self.right_table}
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        left = self.left.output_columns(source)
+        right = _scan_columns(source, self.right_table, self.right_alias)
+        if left is None or right is None:
+            return None
+        return left | right
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexNestedLoopJoin({self.left!r} {self.left_on} = "
+            f"{self.right_table}.{self.right_column}, how={self.how})"
         )
 
 
@@ -347,7 +642,15 @@ class AggSpec:
 class _AggState:
     """Running state for one aggregate within one group."""
 
-    __slots__ = ("count", "total", "minimum", "maximum", "seen")
+    __slots__ = (
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "seen",
+        "summable",
+        "comparable",
+    )
 
     def __init__(self, distinct: bool = False) -> None:
         self.count = 0
@@ -355,6 +658,8 @@ class _AggState:
         self.minimum: Any = None
         self.maximum: Any = None
         self.seen: set[Any] | None = set() if distinct else None
+        self.summable = True
+        self.comparable = True
 
     def add(self, value: Any) -> None:
         if value is None:
@@ -364,14 +669,26 @@ class _AggState:
                 return
             self.seen.add(value)
         self.count += 1
-        try:
-            self.total += value
-        except TypeError:
-            pass  # non-numeric: SUM/AVG will report None via count check
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        if self.summable:
+            try:
+                self.total += value
+            except TypeError:
+                # Non-numeric input poisons SUM/AVG for the whole group:
+                # both yield NULL instead of a partial (wrong) total.
+                self.summable = False
+                self.total = None
+        if self.comparable:
+            try:
+                if self.minimum is None or value < self.minimum:
+                    self.minimum = value
+                if self.maximum is None or value > self.maximum:
+                    self.maximum = value
+            except TypeError:
+                # Mutually incomparable values (e.g. int vs str): MIN/MAX
+                # have no defined answer for the group, so yield NULL.
+                self.comparable = False
+                self.minimum = None
+                self.maximum = None
 
     def result(self, func: str) -> Any:
         if func == "COUNT":
@@ -379,12 +696,12 @@ class _AggState:
         if self.count == 0:
             return None
         if func == "SUM":
-            return self.total
+            return self.total if self.summable else None
         if func == "AVG":
-            return self.total / self.count
+            return self.total / self.count if self.summable else None
         if func == "MIN":
-            return self.minimum
-        return self.maximum
+            return self.minimum if self.comparable else None
+        return self.maximum if self.comparable else None
 
 
 class Aggregate(Plan):
@@ -436,6 +753,9 @@ class Aggregate(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return set(self.group_by) | {s.name for s in self.aggregates}
+
 
 class Sort(Plan):
     """ORDER BY.  NULLs sort first ascending, last descending."""
@@ -459,6 +779,9 @@ class Sort(Plan):
 
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.child.output_columns(source)
 
 
 class Limit(Plan):
@@ -486,6 +809,9 @@ class Limit(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.child.output_columns(source)
+
 
 def _row_key(row: Row) -> tuple[tuple[str, Any], ...]:
     return tuple(sorted((k, v) for k, v in row.items() if not k.startswith("__")))
@@ -507,6 +833,9 @@ class Distinct(Plan):
 
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.child.output_columns(source)
 
 
 class Union(Plan):
@@ -537,6 +866,9 @@ class Union(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.left.output_columns(source)
+
 
 class Difference(Plan):
     """Set difference (EXCEPT)."""
@@ -557,6 +889,9 @@ class Difference(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
 
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.left.output_columns(source)
+
 
 class MapRows(Plan):
     """Apply an arbitrary row transformation (procedure escape hatch)."""
@@ -575,8 +910,15 @@ class MapRows(Plan):
         return (self.child,)
 
 
-def format_plan(plan: Plan, indent: int = 0) -> str:
-    """Render a plan tree, one operator per line (EXPLAIN output)."""
+def format_plan(
+    plan: Plan, indent: int = 0, counters: dict[int, int] | None = None
+) -> str:
+    """Render a plan tree, one operator per line (EXPLAIN output).
+
+    When ``counters`` (from :func:`instrument_plan`) is given, each line is
+    suffixed with ``(rows=N)`` -- the number of rows the operator produced
+    during execution (EXPLAIN ANALYZE output).
+    """
     pad = "  " * indent
     label = type(plan).__name__
     detail = ""
@@ -584,12 +926,24 @@ def format_plan(plan: Plan, indent: int = 0) -> str:
         detail = f" {plan.table_name}" + (f" AS {plan.alias}" if plan.alias else "")
     elif isinstance(plan, IndexScan):
         detail = f" {plan.table_name}.{plan.column} = {plan.value!r}"
+    elif isinstance(plan, CompositeIndexScan):
+        pairs = ", ".join(
+            f"{c} = {v!r}" for c, v in zip(plan.columns, plan.values)
+        )
+        detail = f" {plan.table_name}: {pairs}"
+    elif isinstance(plan, RangeIndexScan):
+        detail = f" {plan.table_name}.{plan.column} in {plan.bounds_repr()}"
     elif isinstance(plan, Select):
         detail = f" {plan.predicate!r}"
     elif isinstance(plan, Project):
         detail = f" {[name for name, _ in plan.items]}"
     elif isinstance(plan, HashJoin):
         detail = f" {plan.left_on} = {plan.right_on} ({plan.how})"
+    elif isinstance(plan, IndexNestedLoopJoin):
+        detail = (
+            f" {plan.left_on} = {plan.right_table}.{plan.right_column}"
+            f" ({plan.how})"
+        )
     elif isinstance(plan, Aggregate):
         aggs = [f"{s.func}({'DISTINCT ' if s.distinct else ''}...) AS {s.name}"
                 for s in plan.aggregates]
@@ -602,7 +956,58 @@ def format_plan(plan: Plan, indent: int = 0) -> str:
         detail = " ALL" if plan.all else ""
     elif isinstance(plan, RowSource):
         detail = f" {plan.label}"
-    lines = [f"{pad}{label}{detail}"]
+    suffix = ""
+    if counters is not None:
+        suffix = f" (rows={counters.get(id(plan), 0)})"
+    lines = [f"{pad}{label}{detail}{suffix}"]
     for child in plan.children():
-        lines.append(format_plan(child, indent + 1))
+        lines.append(format_plan(child, indent + 1, counters))
     return "\n".join(lines)
+
+
+class _Counted(Plan):
+    """Wrapper that counts the rows an operator yields (EXPLAIN ANALYZE)."""
+
+    def __init__(self, inner: Plan, original_id: int, counters: dict[int, int]) -> None:
+        self.inner = inner
+        self.original_id = original_id
+        self.counters = counters
+
+    def rows(self, source: TableProvider) -> Iterator[Row]:
+        counters = self.counters
+        key = self.original_id
+        for row in self.inner.rows(source):
+            counters[key] = counters.get(key, 0) + 1
+            yield row
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.inner.children()
+
+    def base_tables(self) -> set[str]:
+        return self.inner.base_tables()
+
+    def output_columns(self, source: TableProvider) -> set[str] | None:
+        return self.inner.output_columns(source)
+
+
+def instrument_plan(plan: Plan) -> tuple[Plan, dict[int, int]]:
+    """Wrap every operator of ``plan`` with a row counter.
+
+    Returns ``(instrumented_plan, counters)``.  Executing the instrumented
+    plan fills ``counters`` keyed by ``id(original_node)``, so the counts
+    can be rendered back onto the *original* tree via
+    ``format_plan(plan, counters=counters)``.  The original tree is left
+    untouched (nodes are shallow-copied before their child links are
+    rewritten).
+    """
+    counters: dict[int, int] = {}
+
+    def wrap(node: Plan) -> Plan:
+        clone = copy.copy(node)
+        for attr in ("child", "left", "right"):
+            sub = getattr(clone, attr, None)
+            if isinstance(sub, Plan):
+                setattr(clone, attr, wrap(sub))
+        return _Counted(clone, id(node), counters)
+
+    return wrap(plan), counters

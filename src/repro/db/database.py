@@ -16,13 +16,16 @@ import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import DatabaseError, SchemaError, UnknownTableError
-from .algebra import Plan, format_plan
-from .expression import Expression, evaluate_predicate
+from .algebra import Plan, format_plan, instrument_plan
+from .expression import Expression
+from .plancache import LRUCache, plan_cachable
+from .routing import matching_tids
 from .schema import HIDDEN_FIELDS, TID, Column, ForeignKey, TableSchema
 from .sql.ast import (
     CreateTableStmt,
     DeleteStmt,
     DropTableStmt,
+    ExplainStmt,
     InsertStmt,
     SelectStmt,
     Statement,
@@ -80,6 +83,10 @@ class Database:
         self._lock = threading.RLock()
         self._current_transaction: Transaction | None = None
         self._trigger_counter = 0
+        # SQL fast path: text -> AST (never invalidated) and text -> plan
+        # (evicted on DDL); see repro.db.plancache for the cachability rules.
+        self._statement_cache = LRUCache(capacity=512)
+        self._plan_cache = LRUCache(capacity=256)
 
     # ------------------------------------------------------------------
     # Clock
@@ -129,6 +136,7 @@ class Database:
                 raise SchemaError(f"table {schema.name!r} already exists")
             table = Table(schema, self.tick)
             self._tables[schema.name] = table
+            self._plan_cache.clear()
             return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -139,6 +147,7 @@ class Database:
                 raise UnknownTableError(f"no table named {name!r}")
             del self._tables[name]
             self._triggers.drop_for_table(name)
+            self._plan_cache.clear()
 
     def table(self, name: str) -> Table:
         try:
@@ -244,9 +253,7 @@ class Database:
         """Update all rows matching ``where``; returns the affected count."""
         with self._lock:
             table = self.table(table_name)
-            matching = [
-                row[TID] for row in table.rows() if evaluate_predicate(where, row)
-            ]
+            matching = matching_tids(table, where)
             updated: list[tuple[dict[str, Any], dict[str, Any]]] = []
             for tid in matching:
                 before, after = table.update_row(tid, changes)
@@ -272,9 +279,7 @@ class Database:
         """Delete all rows matching ``where``; returns the affected count."""
         with self._lock:
             table = self.table(table_name)
-            matching = [
-                row[TID] for row in table.rows() if evaluate_predicate(where, row)
-            ]
+            matching = matching_tids(table, where)
             deleted: list[dict[str, Any]] = []
             for tid in matching:
                 row = table.delete_row(tid)
@@ -303,20 +308,43 @@ class Database:
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
         """Parse and run one SQL statement.
 
-        ``?`` placeholders are bound to ``params`` positionally.
+        ``?`` placeholders are bound to ``params`` positionally.  Parsed
+        ASTs are cached on the SQL text, so a hot statement tokenizes
+        once; parameter-free SELECT plans are cached too (see
+        :mod:`repro.db.plancache`).
         """
-        statement = parse(sql)
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            self._statement_cache.put(sql, statement)
+        if isinstance(statement, SelectStmt):
+            with self._lock:
+                plan = self._plan_cache.get(sql)
+                if plan is None:
+                    plan = plan_select(statement, self, params)
+                    if plan_cachable(statement):
+                        self._plan_cache.put(sql, plan)
+                return Result(rows=plan.to_list(self))
         return self.execute_statement(statement, params)
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
         """Shorthand: run a SELECT and return its rows."""
         return self.execute(sql, params).rows
 
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/size counters for the statement and plan caches."""
+        return {
+            "statements": self._statement_cache.info(),
+            "plans": self._plan_cache.info(),
+        }
+
     def execute_statement(self, statement: Statement, params: Sequence[Any] = ()) -> Result:
         with self._lock:
             if isinstance(statement, SelectStmt):
                 plan = plan_select(statement, self, params)
                 return Result(rows=plan.to_list(self))
+            if isinstance(statement, ExplainStmt):
+                return self._execute_explain(statement, params)
             if isinstance(statement, InsertStmt):
                 return self._execute_insert(statement, params)
             if isinstance(statement, UpdateStmt):
@@ -337,9 +365,35 @@ class Database:
             raise DatabaseError("plan() accepts SELECT statements only")
         return plan_select(statement, self, params)
 
-    def explain(self, sql: str, params: Sequence[Any] = ()) -> str:
-        """Human-readable plan tree for a SELECT (EXPLAIN-style)."""
-        return format_plan(self.plan(sql, params))
+    def explain(
+        self, sql: str, params: Sequence[Any] = (), analyze: bool = False
+    ) -> str:
+        """Human-readable plan tree for a SELECT (EXPLAIN-style).
+
+        With ``analyze=True`` the query is actually executed through row
+        counters and each operator line gains a ``(rows=N)`` suffix --
+        the SQL forms ``EXPLAIN SELECT ...`` / ``EXPLAIN ANALYZE SELECT
+        ...`` return the same text one line per row.
+        """
+        plan = self.plan(sql, params)
+        if not analyze:
+            return format_plan(plan)
+        instrumented, counters = instrument_plan(plan)
+        with self._lock:
+            for _ in instrumented.rows(self):
+                pass
+        return format_plan(plan, counters=counters)
+
+    def _execute_explain(self, stmt: ExplainStmt, params: Sequence[Any]) -> Result:
+        plan = plan_select(stmt.select, self, params)
+        if stmt.analyze:
+            instrumented, counters = instrument_plan(plan)
+            for _ in instrumented.rows(self):
+                pass
+            text = format_plan(plan, counters=counters)
+        else:
+            text = format_plan(plan)
+        return Result(rows=[{"plan": line} for line in text.splitlines()])
 
     # -- statement executors --------------------------------------------
     def _execute_insert(self, stmt: InsertStmt, params: Sequence[Any]) -> Result:
@@ -388,9 +442,7 @@ class Database:
         assignment_exprs = [
             (name, lower_expr(expr, scope)) for name, expr in stmt.assignments
         ]
-        matching = [
-            row[TID] for row in table.rows() if evaluate_predicate(where, row)
-        ]
+        matching = matching_tids(table, where)
         updated: list[tuple[dict[str, Any], dict[str, Any]]] = []
         for tid in matching:
             row = table.get(tid)

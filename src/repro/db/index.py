@@ -52,7 +52,13 @@ class HashIndex:
     # ------------------------------------------------------------------
     def add(self, tid: int, row: dict[str, Any]) -> None:
         key = self._key(row)
-        bucket = self._buckets.setdefault(key, set())
+        # Check uniqueness BEFORE creating the bucket: a violation must not
+        # leave an empty bucket behind (retry loops would accumulate garbage
+        # keys otherwise).
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = {tid}
+            return
         if self.unique and bucket and not self._is_null_key(key):
             cols = ",".join(self.columns)
             raise ConstraintViolation(
@@ -91,6 +97,16 @@ class HashIndex:
     def lookup_tuple(self, values: Iterable[Any]) -> frozenset[int]:
         key = tuple(_key_of(v) for v in values)
         return frozenset(self._buckets.get(key, ()))
+
+    def bucket_size(self, values: Iterable[Any]) -> int:
+        """Exact number of tids stored under the key (cheap cost estimate)."""
+        if len(self.columns) == 1:
+            (value,) = tuple(values)
+            key: Hashable = _key_of(value)
+        else:
+            key = tuple(_key_of(v) for v in values)
+        bucket = self._buckets.get(key)
+        return len(bucket) if bucket else 0
 
     def __len__(self) -> int:
         return sum(len(b) for b in self._buckets.values())
@@ -154,6 +170,29 @@ class SortedIndex:
                     break
             yield tid
             i += 1
+
+    def count_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> int:
+        """Exact number of entries in the range, in O(log n) (cost estimate)."""
+        entries = self._entries
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(entries, (low,))
+        else:
+            start = bisect.bisect_right(entries, (low, float("inf")))
+        if high is None:
+            end = len(entries)
+        elif include_high:
+            end = bisect.bisect_right(entries, (high, float("inf")))
+        else:
+            end = bisect.bisect_left(entries, (high,))
+        return max(0, end - start)
 
     def min_key(self) -> Any:
         return self._entries[0][0] if self._entries else None

@@ -1,0 +1,136 @@
+"""Statement and plan caching for the SQL fast path.
+
+``Database.execute`` re-parsed every SQL string on every call; for the hot
+statements of the sync/notification loops (Sections VI-C/VI-D run the same
+handful of queries thousands of times) parsing and planning dominate the
+cost of the actual row work.  Two LRU caches, both keyed on the raw SQL
+text, remove that:
+
+* the **statement cache** maps SQL text -> parsed AST.  ASTs are frozen
+  dataclasses and depend only on the text, so this cache never needs
+  invalidation.
+* the **plan cache** maps SQL text -> optimized algebra plan.  Only
+  *cachable* SELECTs are stored: no ``?`` parameters (bound to literals at
+  plan time) and no ``IN (SELECT ...)`` subqueries (materialized to a data
+  snapshot at plan time).  Plans name tables but resolve them at execution,
+  so the cache is evicted wholesale on CREATE/DROP TABLE; index creation
+  after caching leaves plans stale-but-correct (they keep their full-scan
+  shape until evicted) because every routed leaf falls back gracefully.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from .sql.ast import (
+    SelectStmt,
+    SqlBetween,
+    SqlBinary,
+    SqlCall,
+    SqlExpr,
+    SqlIn,
+    SqlIsNull,
+    SqlLike,
+    SqlParam,
+    SqlUnary,
+)
+
+
+class LRUCache:
+    """Thread-safe least-recently-used cache with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Any | None:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def info(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def _expr_cachable(expr: SqlExpr | None) -> bool:
+    if expr is None:
+        return True
+    if isinstance(expr, SqlParam):
+        return False
+    if isinstance(expr, SqlIn):
+        if expr.subquery is not None:
+            return False
+        return _expr_cachable(expr.operand) and all(
+            _expr_cachable(v) for v in expr.values or ()
+        )
+    if isinstance(expr, SqlUnary):
+        return _expr_cachable(expr.operand)
+    if isinstance(expr, SqlBinary):
+        return _expr_cachable(expr.left) and _expr_cachable(expr.right)
+    if isinstance(expr, SqlIsNull):
+        return _expr_cachable(expr.operand)
+    if isinstance(expr, SqlBetween):
+        return (
+            _expr_cachable(expr.operand)
+            and _expr_cachable(expr.low)
+            and _expr_cachable(expr.high)
+        )
+    if isinstance(expr, SqlLike):
+        return _expr_cachable(expr.operand) and _expr_cachable(expr.pattern)
+    if isinstance(expr, SqlCall):
+        return all(_expr_cachable(a) for a in expr.args)
+    return True  # literals and column refs
+
+
+def plan_cachable(stmt: SelectStmt) -> bool:
+    """True when the compiled plan depends only on the SQL text.
+
+    ``?`` parameters are baked into the plan as literals, and ``IN
+    (SELECT ...)`` subqueries are materialized to a value-set snapshot at
+    plan time -- both make the plan call-specific, so such statements are
+    replanned on every execution.
+    """
+    exprs: list[SqlExpr | None] = [item.expr for item in stmt.items]
+    exprs += [stmt.where, stmt.having, stmt.limit, stmt.offset]
+    exprs += list(stmt.group_by)
+    exprs += [order.expr for order in stmt.order_by]
+    if not all(_expr_cachable(e) for e in exprs):
+        return False
+    if stmt.compound is not None and not plan_cachable(stmt.compound[1]):
+        return False
+    return True

@@ -207,6 +207,16 @@ class DropTableStmt:
     if_exists: bool = False
 
 
+@dataclass(frozen=True)
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] SELECT ...`` -- show (and with ANALYZE, run and
+    instrument) the plan the optimizer picks for a query."""
+
+    select: SelectStmt
+    analyze: bool = False
+
+
 Statement = Union[
-    SelectStmt, InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt, DropTableStmt
+    SelectStmt, InsertStmt, UpdateStmt, DeleteStmt, CreateTableStmt,
+    DropTableStmt, ExplainStmt,
 ]

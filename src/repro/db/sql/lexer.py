@@ -18,7 +18,7 @@ KEYWORDS = {
     "ON", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
     "TABLE", "DROP", "PRIMARY", "KEY", "UNIQUE", "REFERENCES", "COUNT",
     "SUM", "AVG", "MIN", "MAX", "UNION", "ALL", "EXCEPT", "BETWEEN", "LIKE",
-    "IF", "EXISTS",
+    "IF", "EXISTS", "EXPLAIN", "ANALYZE",
 }
 
 OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")

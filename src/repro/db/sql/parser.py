@@ -28,6 +28,7 @@ from .ast import (
     CreateTableStmt,
     DeleteStmt,
     DropTableStmt,
+    ExplainStmt,
     InsertStmt,
     JoinClause,
     OrderItem,
@@ -121,8 +122,17 @@ class _Parser:
 
     # -- statements -----------------------------------------------------
     def parse_statement(self) -> Statement:
-        if self.check_keyword("SELECT"):
-            stmt: Statement = self.parse_select()
+        if self.check_keyword("EXPLAIN"):
+            self.advance()
+            analyze = self.accept_keyword("ANALYZE")
+            if not self.check_keyword("SELECT"):
+                raise SQLSyntaxError(
+                    "EXPLAIN supports SELECT statements only",
+                    self.current.position,
+                )
+            stmt: Statement = ExplainStmt(self.parse_select(), analyze=analyze)
+        elif self.check_keyword("SELECT"):
+            stmt = self.parse_select()
         elif self.check_keyword("INSERT"):
             stmt = self.parse_insert()
         elif self.check_keyword("UPDATE"):

@@ -207,8 +207,21 @@ def _item_name(item: SelectItem, index: int) -> str:
     return f"col{index}"
 
 
-def plan_select(stmt: SelectStmt, database: Any, params: Sequence[Any] = ()) -> Plan:
-    """Build an executable plan for a SELECT statement."""
+def plan_select(
+    stmt: SelectStmt,
+    database: Any,
+    params: Sequence[Any] = (),
+    optimize: bool = True,
+) -> Plan:
+    """Build an executable plan for a SELECT statement.
+
+    With ``optimize`` (the default) the finished tree goes through
+    :func:`repro.db.routing.optimize_plan`: selection pushdown, index-leaf
+    routing (point, composite, and range probes), and index-nested-loop
+    join selection.  Pass ``optimize=False`` to get the naive tree --
+    useful for equivalence testing, since optimization never changes
+    results, only cost.
+    """
     scope = _Scope(database, params)
     plan: Plan
     if stmt.table is None:
@@ -220,16 +233,6 @@ def plan_select(stmt: SelectStmt, database: Any, params: Sequence[Any] = ()) -> 
         alias = scope.add_table(stmt.table.name, stmt.table.alias)
         multi = bool(stmt.joins)
         plan = Scan(stmt.table.name, alias=alias if multi else None)
-        if not multi and stmt.where is not None:
-            # Point-lookup optimization: an equality conjunct on an
-            # indexed column turns the scan into an index probe.  The
-            # full predicate still runs afterwards, so this is purely a
-            # cost transformation.
-            probe = _find_index_probe(
-                stmt.where, stmt.table.name, alias, database
-            )
-            if probe is not None:
-                plan = probe
         for join in stmt.joins:
             jalias = scope.add_table(join.table.name, join.table.alias)
             right: Plan = Scan(join.table.name, alias=jalias)
@@ -309,6 +312,10 @@ def plan_select(stmt: SelectStmt, database: Any, params: Sequence[Any] = ()) -> 
                 else 0
             )
             plan = Limit(plan, int(count), int(offset or 0))
+    if optimize:
+        from ..routing import optimize_plan
+
+        plan = optimize_plan(plan, database)
     return plan
 
 
@@ -459,43 +466,6 @@ def lower_having(expr: SqlExpr, hscope: _HavingScope) -> Expression:
     if isinstance(expr, SqlColumn):
         return ColumnRef(hscope.scope.resolve(expr))
     raise SQLSyntaxError("unsupported expression in HAVING")
-
-
-def _find_index_probe(
-    where: SqlExpr, table: str, alias: str, database: Any
-) -> Any:
-    """Return an :class:`IndexScan` for a top-level ``col = literal``
-    conjunct on a hash-indexed column, or None."""
-    from ..algebra import IndexScan
-
-    real_table = database.table(table)
-    find = getattr(real_table, "find_hash_index", None)
-    if find is None:
-        return None
-
-    def conjuncts(expr: SqlExpr):
-        if isinstance(expr, SqlBinary) and expr.op == "AND":
-            yield from conjuncts(expr.left)
-            yield from conjuncts(expr.right)
-        else:
-            yield expr
-
-    for conjunct in conjuncts(where):
-        if not (isinstance(conjunct, SqlBinary) and conjunct.op == "="):
-            continue
-        left, right = conjunct.left, conjunct.right
-        column, literal = None, None
-        if isinstance(left, SqlColumn) and isinstance(right, SqlLiteral):
-            column, literal = left, right
-        elif isinstance(right, SqlColumn) and isinstance(left, SqlLiteral):
-            column, literal = right, left
-        if column is None or literal is None or literal.value is None:
-            continue
-        if column.table is not None and column.table not in (table, alias):
-            continue
-        if find(column.name) is not None:
-            return IndexScan(table, column.name, literal.value)
-    return None
 
 
 def _order_keys_in_output(stmt: SelectStmt) -> bool:

@@ -133,6 +133,27 @@ class Table:
                 return idx
         return None
 
+    def find_sorted_index(self, column: str) -> SortedIndex | None:
+        """Sorted index on ``column``, if any.
+
+        Every table implicitly carries a sorted index on its creation
+        timestamp (the isolation predicates of Section VI-A scan it), so
+        asking for ``CREATED_AT`` always succeeds.
+        """
+        if column == CREATED_AT:
+            return self._created_index
+        for idx in self._indexes.values():
+            if isinstance(idx, SortedIndex) and idx.column == column:
+                return idx
+        return None
+
+    def hash_indexes(self) -> list[HashIndex]:
+        """All hash indexes (single- and multi-column), for the planner."""
+        return [idx for idx in self._indexes.values() if isinstance(idx, HashIndex)]
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
     # ------------------------------------------------------------------
     # Mutations (called by Database; do not invoke triggers themselves)
     def insert(self, values: Mapping[str, Any]) -> dict[str, Any]:

@@ -47,16 +47,27 @@ class NotificationCenter:
                     Column("op", TEXT, nullable=False),
                 ],
             )
+        # Replay queries (changes_since / notifications_since) are range
+        # scans on seq_no -- keep both tables sorted-indexed so a client
+        # pulling a small tail never pays for the whole log.
+        for name in (datamodel.T_NOTIFICATION, T_CHANGED_ROWS):
+            table = database.table(name)
+            if not table.has_index(f"ix_{name}_seq"):
+                table.create_index(f"ix_{name}_seq", ("seq_no",), sorted=True)
         self._watched: set[str] = set()
         self._listeners: list[Listener] = []
         self._lock = threading.RLock()
         self._next_seq = self._initial_seq()
 
     def _initial_seq(self) -> int:
-        highest = 0
-        for row in self.database.table(datamodel.T_NOTIFICATION).scan():
-            if row["seq_no"] > highest:
-                highest = row["seq_no"]
+        table = self.database.table(datamodel.T_NOTIFICATION)
+        index = table.find_sorted_index("seq_no")
+        highest = index.max_key() if index is not None else None
+        if highest is None:
+            highest = 0
+            for row in table.scan():
+                if row["seq_no"] > highest:
+                    highest = row["seq_no"]
         return highest + 1
 
     # ------------------------------------------------------------------
@@ -151,13 +162,32 @@ class NotificationCenter:
         """
         newest = last_seq_no
         entries: list[tuple[int, int, str]] = []
-        for row in self.database.table(T_CHANGED_ROWS).scan():
-            if row["table_name"] == table and row["seq_no"] > last_seq_no:
+        for row in self._rows_after(T_CHANGED_ROWS, last_seq_no):
+            if row["table_name"] == table:
                 entries.append((row["seq_no"], row["tid"], row["op"]))
                 if row["seq_no"] > newest:
                     newest = row["seq_no"]
         entries.sort()
         return newest, [(tid, op) for _, tid, op in entries]
+
+    def _rows_after(self, table_name: str, last_seq_no: int):
+        """Rows of ``table_name`` with ``seq_no > last_seq_no``.
+
+        Served by the sorted seq_no index when present (the common case:
+        a reconnecting client pulls a short tail of a long log), falling
+        back to a full scan.
+        """
+        table = self.database.table(table_name)
+        index = table.find_sorted_index("seq_no")
+        if index is None:
+            for row in table.scan():
+                if row["seq_no"] > last_seq_no:
+                    yield row
+            return
+        for tid in index.range(last_seq_no, None, include_low=False):
+            row = table.get(tid)
+            if row is not None:
+                yield row
 
     def notifications_since(self, table: str, last_seq_no: int) -> list[tuple[int, str]]:
         """All ``(seq_no, op)`` notifications on ``table`` after ``last_seq_no``.
@@ -168,8 +198,8 @@ class NotificationCenter:
         replay is lossless.
         """
         entries: list[tuple[int, str]] = []
-        for row in self.database.table(datamodel.T_NOTIFICATION).scan():
-            if row["table_name"] == table and row["seq_no"] > last_seq_no:
+        for row in self._rows_after(datamodel.T_NOTIFICATION, last_seq_no):
+            if row["table_name"] == table:
                 entries.append((row["seq_no"], row["op"]))
         entries.sort()
         return entries

@@ -34,7 +34,8 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
 
 from ..core import datamodel
 from ..db.database import Database, Result
-from ..db.expression import Expression, col, evaluate_predicate
+from ..db.expression import Expression, col
+from ..db.routing import matching_tids
 from ..db.schema import CREATED_AT, TID, Column
 from ..db.sql.ast import DeleteStmt, InsertStmt, SelectStmt
 from ..db.sql.parser import parse
@@ -91,14 +92,30 @@ class _IsolatedTable:
         snapshot = self._ctx.snapshot_time
         ctx = self._ctx
         name = self._table.name
+        table = self._table
         if snapshot is None:
-            for row in self._table.rows():
+            for row in table.rows():
                 if row[TID] not in hidden:
                     yield row
             return
         # Snapshot isolation, with the instance's own writes always
         # visible (they necessarily carry timestamps past the snapshot).
-        for row in self._table.rows():
+        # The per-table creation-timestamp index bounds the scan to the
+        # snapshot range instead of filtering every stored row.
+        find = getattr(table, "find_sorted_index", None)
+        created_index = find(CREATED_AT) if find is not None else None
+        if created_index is not None:
+            candidates = set(created_index.range(None, snapshot))
+            own = (ctx.own_tids or {}).get(name, ())
+            candidates.update(tid for tid in own if tid in table)
+            for tid in sorted(candidates):
+                if tid in hidden:
+                    continue
+                row = table.get(tid)
+                if row is not None:
+                    yield row
+            return
+        for row in table.rows():
             tid = row[TID]
             if tid in hidden:
                 continue
@@ -154,6 +171,16 @@ class IsolationManager:
                     Column("process_end", TIMESTAMP),
                 ],
             )
+        # hidden_tids probes by pid (the deleting instance's own entries)
+        # and by process_end range (finished-before-start entries); index
+        # both so visibility checks stay sublinear in the deletion log.
+        deletion_table = self.database.table(deletion)
+        if not deletion_table.has_index(f"ix_{deletion}_pid"):
+            deletion_table.create_index(f"ix_{deletion}_pid", ("pid",))
+        if not deletion_table.has_index(f"ix_{deletion}_end"):
+            deletion_table.create_index(
+                f"ix_{deletion}_end", ("process_end",), sorted=True
+            )
         self._managed.add(table)
 
     def is_managed(self, table: str) -> bool:
@@ -189,8 +216,27 @@ class IsolationManager:
         if table not in self._managed:
             return set()
         deletion = datamodel.deletion_table_name(table)
+        deletion_table = self.database.table(deletion)
+        pid_index = deletion_table.find_hash_index("pid")
+        end_index = deletion_table.find_sorted_index("process_end")
         hidden: set[int] = set()
-        for entry in self.database.table(deletion).scan():
+        if pid_index is not None and end_index is not None:
+            # (a) own deletions: hash probe on pid.  (b) deletions whose
+            # process finished before this instance started: sorted-index
+            # range on process_end (NULL ends are unindexed, matching the
+            # explicit None check of the scan path).
+            for entry_tid in pid_index.lookup(ctx.process_instance_id):
+                entry = deletion_table.get(entry_tid)
+                if entry is not None:
+                    hidden.add(entry["tid"])
+            for entry_tid in end_index.range(
+                None, ctx.start_time, include_high=False
+            ):
+                entry = deletion_table.get(entry_tid)
+                if entry is not None:
+                    hidden.add(entry["tid"])
+            return hidden
+        for entry in deletion_table.scan():
             if entry["pid"] == ctx.process_instance_id:
                 hidden.add(entry["tid"])
             elif (
@@ -279,18 +325,17 @@ class IsolationManager:
         now = self.database.tick()
         deletion = datamodel.deletion_table_name(table)
         entries = []
-        for row in base.rows():
-            if row[TID] in already_hidden:
+        for tid in matching_tids(base, where):
+            if tid in already_hidden:
                 continue
-            if evaluate_predicate(where, row):
-                entries.append(
-                    {
-                        "tid": row[TID],
-                        "t_del": now,
-                        "pid": ctx.process_instance_id,
-                        "process_end": None,
-                    }
-                )
+            entries.append(
+                {
+                    "tid": tid,
+                    "t_del": now,
+                    "pid": ctx.process_instance_id,
+                    "process_end": None,
+                }
+            )
         if entries:
             self.database.insert_many(deletion, entries)
             self._pending_deletes.setdefault(ctx.process_instance_id, set()).add(table)

@@ -91,13 +91,35 @@ class TestProbeSelection:
         (leaf,) = scan_nodes(plan)
         assert isinstance(leaf, Scan)
 
-    def test_joins_not_probed(self, db):
+    def test_join_side_probed_via_pushdown(self, db):
+        # The WHERE conjunct references only the left side, so the planner
+        # pushes it below the join and routes the left leaf to the index.
         db.execute("CREATE TABLE d (dept TEXT)")
         plan = plan_for(
             db, "SELECT * FROM emp JOIN d ON emp.dept = d.dept WHERE emp.id = 1"
         )
         leaves = scan_nodes(plan)
-        assert all(isinstance(leaf, Scan) for leaf in leaves)
+        probes = [leaf for leaf in leaves if isinstance(leaf, IndexScan)]
+        assert len(probes) == 1
+        assert probes[0].table_name == "emp"
+        assert probes[0].column == "id"
+        # The unindexed right side keeps its full scan.
+        assert any(
+            isinstance(leaf, Scan) and leaf.table_name == "d" for leaf in leaves
+        )
+
+    def test_join_pushdown_results_match(self, db):
+        db.execute("CREATE TABLE d (dept TEXT)")
+        for i in range(5):
+            db.execute("INSERT INTO d (dept) VALUES (?)", [f"d{i}"])
+        routed = db.query(
+            "SELECT * FROM emp JOIN d ON emp.dept = d.dept WHERE emp.id = 1"
+        )
+        scanned = db.query(
+            "SELECT * FROM emp JOIN d ON emp.dept = d.dept WHERE emp.id + 0 = 1"
+        )
+        assert routed == scanned
+        assert len(routed) == 1
 
 
 class TestProbeCorrectness:
