@@ -78,7 +78,7 @@ def mirrored(client):
 
 
 @pytest.fixture(scope="module")
-def faults_table(emit):
+def faults_table(emit, emit_json):
     table = SeriesTable(
         "drop_pct", ["insert_ms", "converge_ms", "delivered", "converged"]
     )
@@ -110,6 +110,7 @@ def faults_table(emit):
         f"({N_ROWS} statements, seeded drop rates) =="
     )
     emit(table.format())
+    emit_json("ablation_faults", table)
     return table
 
 

@@ -50,7 +50,7 @@ def build(deleted_fraction):
 
 
 @pytest.fixture(scope="module")
-def isolation_table(emit):
+def isolation_table(emit, emit_json):
     table = SeriesTable(
         "deleted_pct", ["raw_scan_ms", "isolated_scan_ms", "overhead_x"]
     )
@@ -72,6 +72,7 @@ def isolation_table(emit):
         )
     emit(f"\n== Ablation A3: isolated scan vs raw scan ({TABLE_ROWS} rows) ==")
     emit(table.format())
+    emit_json("ablation_isolation", table)
     return table
 
 

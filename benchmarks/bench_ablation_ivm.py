@@ -49,7 +49,7 @@ def build(base_size, seed=3):
 
 
 @pytest.fixture(scope="module")
-def ivm_table(emit):
+def ivm_table(emit, emit_json):
     table = SeriesTable("base_rows", ["ivm_ms", "recompute_ms", "speedup"])
     for size in BASE_SIZES:
         db, view, rng = build(size)
@@ -72,6 +72,7 @@ def ivm_table(emit):
     emit("\n== Ablation A1: IVM delta application vs full recomputation "
          f"(delta = {DELTA_SIZE} rows) ==")
     emit(table.format())
+    emit_json("ablation_ivm", table)
     return table
 
 

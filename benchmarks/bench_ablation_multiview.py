@@ -33,7 +33,7 @@ def make_rows(n):
 
 
 @pytest.fixture(scope="module")
-def multiview_table(emit):
+def multiview_table(emit, emit_json):
     table = SeriesTable(
         "views", ["publish_ms", "refresh_all_ms", "recompute_per_view_ms"]
     )
@@ -69,6 +69,7 @@ def multiview_table(emit):
     emit(f"\n== Ablation A5: k views sharing one VisualAttributes table "
          f"({N_ITEMS} items) ==")
     emit(table.format())
+    emit_json("ablation_multiview", table)
     return table
 
 

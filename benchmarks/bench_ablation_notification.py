@@ -72,7 +72,7 @@ def run_push_full(db, n_statements, start_id, sink):
 
 
 @pytest.fixture(scope="module")
-def notification_table(emit):
+def notification_table(emit, emit_json):
     table = SeriesTable("statements", ["compact_ms", "push_full_ms", "bytes_pushed"])
     for burst in BURSTS:
         db, center, server, client = fresh_stack()
@@ -101,6 +101,7 @@ def notification_table(emit):
     emit("\n== Ablation A2: compact notify-then-pull vs push-full-tuples "
          f"({ROWS_PER_STATEMENT} rows/statement, one refresh per burst) ==")
     emit(table.format())
+    emit_json("ablation_notification", table)
     return table
 
 

@@ -91,7 +91,7 @@ POLICIES = (None, "fa-rp", "ta-rp", "ra")
 
 
 @pytest.fixture(scope="module")
-def propagation_table(emit):
+def propagation_table(emit, emit_json):
     # Warm-up run to take import/alloc cold costs off the first policy.
     warm_db, warm_engine, warm_exec, _warm = build("ra")
     stream(warm_db, 10)
@@ -120,6 +120,7 @@ def propagation_table(emit):
         f"policies by index: {dict(enumerate(names))}"
     )
     emit(table.format(unit="us per statement / rows"))
+    emit_json("ablation_propagation", table, unit="us per statement / rows")
     return table, names
 
 

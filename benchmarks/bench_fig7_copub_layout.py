@@ -51,7 +51,7 @@ def test_fig7_graph_matches_paper_scale(copub_graph, benchmark, emit):
     benchmark(small_layout)
 
 
-def test_fig7_layout_converges_and_clusters(copub_graph, benchmark, emit):
+def test_fig7_layout_converges_and_clusters(copub_graph, benchmark, emit, emit_json):
     generator, _big = copub_graph
     # Layout quality check on a mid-size slice (full 4.5k layout is the
     # separate headline iteration bench below).
@@ -82,6 +82,17 @@ def test_fig7_layout_converges_and_clusters(copub_graph, benchmark, emit):
     emit(
         f"clustering: mean same-team distance {mean_same:.3f} vs "
         f"cross-team {mean_cross:.3f} ({mean_cross / mean_same:.1f}x)"
+    )
+    emit_json(
+        "fig7_copub_layout",
+        {
+            "iterations": result.iterations,
+            "converged": result.converged,
+            "mean_same_team_distance": mean_same,
+            "mean_cross_team_distance": mean_cross,
+            "separation": mean_cross / mean_same,
+        },
+        unit="layout distance (dimensionless)",
     )
     assert mean_same < mean_cross  # teams form visible clusters
 

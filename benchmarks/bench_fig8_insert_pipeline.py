@@ -25,7 +25,7 @@ BATCH_SIZES = (100, 250, 500, 1000, 1500, 2000)
 
 
 @pytest.fixture(scope="module")
-def fig8_table(emit):
+def fig8_table(emit, emit_json):
     """Run the sweep once per session; individual tests check its shape."""
     import gc
 
@@ -50,6 +50,7 @@ def fig8_table(emit):
         pipeline.close()
     emit("\n== Figure 8: time to perform insert operation (two machines, sockets) ==")
     emit(table.format())
+    emit_json("fig8_insert_pipeline", table)
     return table
 
 

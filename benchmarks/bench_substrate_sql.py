@@ -123,7 +123,7 @@ def _ablate(db, routed_sql, scan_sql, reps=REPS):
     return speedup(t_scan.ms, t_probe.ms), t_probe, t_scan, routed_rows, scanned_rows
 
 
-def test_index_probe_ablation(loaded_db, benchmark, emit):
+def test_index_probe_ablation(loaded_db, benchmark, emit, emit_json):
     """IndexScan vs forced full scan on the same point predicate."""
     target = ROWS // 2
     factor, t_probe, t_scan, probed, scanned = _ablate(
@@ -138,6 +138,15 @@ def test_index_probe_ablation(loaded_db, benchmark, emit):
         f"\n== Substrate: point lookup via index vs full scan ({ROWS} rows) ==\n"
         f"index probe: {t_probe.ms / REPS:.3f} ms/query, "
         f"full scan: {t_scan.ms / REPS:.3f} ms/query, speedup {factor:.0f}x"
+    )
+    emit_json(
+        "substrate_point_lookup",
+        {
+            "rows": ROWS,
+            "index_probe_ms": t_probe.ms / REPS,
+            "full_scan_ms": t_scan.ms / REPS,
+            "speedup": factor,
+        },
     )
     assert factor > 5
     benchmark(loaded_db.query, f"SELECT * FROM emp WHERE id = {target}")
@@ -164,7 +173,7 @@ def test_range_scan_ablation(loaded_db, benchmark, emit):
     )
 
 
-def test_plan_cache_ablation(loaded_db, benchmark, emit):
+def test_plan_cache_ablation(loaded_db, benchmark, emit, emit_json):
     """Repeated identical statement: cached plan vs parse+plan each time."""
     sql = "SELECT * FROM emp WHERE id = 4242"
     loaded_db.query(sql)  # warm both caches
@@ -185,6 +194,15 @@ def test_plan_cache_ablation(loaded_db, benchmark, emit):
         f"statement cache: {info['statements']['hits']} hits / "
         f"{info['statements']['misses']} misses; "
         f"plan cache: {info['plans']['hits']} hits / {info['plans']['misses']} misses"
+    )
+    emit_json(
+        "substrate_plan_cache",
+        {
+            "cached_us": t_cached.ms / 500 * 1000,
+            "uncached_us": t_cold.ms / 500 * 1000,
+            "speedup": factor,
+            "cache_info": info,
+        },
     )
     assert factor > 1
     benchmark(loaded_db.query, sql)

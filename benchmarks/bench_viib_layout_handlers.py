@@ -29,7 +29,7 @@ def make_graph(n_authors=800, n_pubs=650, seed=21):
 
 
 @pytest.fixture(scope="module")
-def handler_results(emit):
+def handler_results(emit, emit_json):
     generator, graph = make_graph()
     layout = LinLogLayout(graph, seed=3)
     with Timer() as t_initial:
@@ -52,6 +52,7 @@ def handler_results(emit):
                       "time_ms": ms})
     emit("\n== Section VII-B: initial layout (round 0) vs incremental delta handler ==")
     emit(table.format())
+    emit_json("viib_layout_handlers", table)
     return initial, t_initial.ms, rounds
 
 

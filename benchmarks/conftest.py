@@ -4,13 +4,66 @@
 tables land in the terminal (and in ``bench_output.txt`` when tee'd) even
 without ``-s``.  Every emitted block is also appended to
 ``benchmarks/results.txt`` for later inspection.
+
+``emit_json`` writes machine-readable ``BENCH_<name>.json`` files next to
+this conftest (rows, series, units, git revision) so dashboards and
+regression tooling can consume results without scraping the text tables.
 """
 
+import json
+import subprocess
 from pathlib import Path
+from typing import Any, Optional
 
 import pytest
 
 RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+def _git_rev() -> Optional[str]:
+    """Short git revision of the working tree, or None outside a repo."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except Exception:
+        return None
+    rev = proc.stdout.strip()
+    return rev or None
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    """Write ``benchmarks/BENCH_<name>.json`` for a bench result.
+
+    Accepts a :class:`repro.bench.SeriesTable` (serialized with
+    ``as_json``) or any JSON-ready mapping (stored under ``"data"``).
+    Returns the written path.
+    """
+    rev = _git_rev()
+
+    def _emit_json(
+        name: str,
+        result: Any,
+        unit: str = "ms",
+        extra: Optional[dict[str, Any]] = None,
+    ) -> Path:
+        path = Path(__file__).parent / f"BENCH_{name}.json"
+        payload: dict[str, Any] = {"name": name, "unit": unit, "git_rev": rev}
+        if hasattr(result, "as_json"):
+            payload.update(result.as_json())
+        else:
+            payload["data"] = result
+        if extra:
+            payload.update(extra)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    return _emit_json
 
 
 @pytest.fixture(scope="session")

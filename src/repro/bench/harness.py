@@ -10,9 +10,11 @@ numbers.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +82,41 @@ class SeriesTable:
         if title:
             print(f"\n== {title} ==")
         print(self.format(unit=unit))
+
+    # ------------------------------------------------------------------
+    # Machine-readable output
+    def as_json(self) -> dict[str, Any]:
+        """The table as a JSON-ready dict (rows keep series order)."""
+        return {
+            "x_label": self.x_label,
+            "series": list(self.series_names),
+            "rows": [
+                {"x": x, "values": {n: values[n] for n in self.series_names}}
+                for x, values in self.rows
+            ],
+        }
+
+    def write_json(
+        self,
+        path: str | Path,
+        name: str,
+        unit: str = "ms",
+        extra: Optional[dict[str, Any]] = None,
+    ) -> dict[str, Any]:
+        """Write the table as a ``BENCH_<name>.json``-style payload.
+
+        ``extra`` merges additional metadata (e.g. git revision) into the
+        payload; returns the payload for further use.
+        """
+        payload: dict[str, Any] = {"name": name, "unit": unit}
+        payload.update(self.as_json())
+        if extra:
+            payload.update(extra)
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return payload
 
 
 # ---------------------------------------------------------------------------

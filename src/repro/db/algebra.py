@@ -1011,3 +1011,23 @@ def instrument_plan(plan: Plan) -> tuple[Plan, dict[int, int]]:
         return _Counted(clone, id(node), counters)
 
     return wrap(plan), counters
+
+
+#: Operators that reach rows through an index rather than a table scan.
+_INDEXED_OPERATORS = (IndexScan, CompositeIndexScan, RangeIndexScan, IndexNestedLoopJoin)
+
+
+def plan_access_kind(plan: Plan) -> str:
+    """``"routed"`` when any operator uses an index, else ``"scan"``.
+
+    The observability layer tags every executed SELECT with this, so a
+    metrics snapshot shows at a glance whether hot statements are being
+    served by the router or falling back to full scans.
+    """
+    stack: list[Plan] = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _INDEXED_OPERATORS):
+            return "routed"
+        stack.extend(node.children())
+    return "scan"

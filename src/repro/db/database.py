@@ -16,7 +16,8 @@ import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import DatabaseError, SchemaError, UnknownTableError
-from .algebra import Plan, format_plan, instrument_plan
+from ..obs.runtime import OBS
+from .algebra import Plan, format_plan, instrument_plan, plan_access_kind
 from .expression import Expression
 from .plancache import LRUCache, plan_cachable
 from .routing import matching_tids
@@ -207,8 +208,24 @@ class Database:
 
     # ------------------------------------------------------------------
     # Programmatic mutations
+    def _write_span(self, op: str, table_name: str):
+        """A ``db.write`` span for one mutation statement (obs enabled)."""
+        return OBS.tracer.span("db.write", tags={"table": table_name, "op": op})
+
+    def _record_write(self, op: str, table_name: str, span: Any, rows: int) -> None:
+        span.set_tag("rows", rows)
+        OBS.metrics.counter("db.writes", table=table_name, op=op).inc()
+
     def insert(self, table_name: str, values: Mapping[str, Any]) -> dict[str, Any]:
         """Insert one row; fires insert triggers; returns the stored row."""
+        if OBS.enabled:
+            with self._write_span("insert", table_name) as span:
+                row = self._insert_impl(table_name, values)
+                self._record_write("insert", table_name, span, 1)
+                return row
+        return self._insert_impl(table_name, values)
+
+    def _insert_impl(self, table_name: str, values: Mapping[str, Any]) -> dict[str, Any]:
         with self._lock:
             table = self.table(table_name)
             row = table.insert(values)
@@ -227,6 +244,16 @@ class Database:
         of tuples arrives and a single statement-level trigger notification
         is emitted for the whole batch.
         """
+        if OBS.enabled:
+            with self._write_span("insert", table_name) as span:
+                inserted = self._insert_many_impl(table_name, rows)
+                self._record_write("insert", table_name, span, len(inserted))
+                return inserted
+        return self._insert_many_impl(table_name, rows)
+
+    def _insert_many_impl(
+        self, table_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
         with self._lock:
             table = self.table(table_name)
             inserted: list[dict[str, Any]] = []
@@ -251,6 +278,19 @@ class Database:
         where: Expression | None = None,
     ) -> int:
         """Update all rows matching ``where``; returns the affected count."""
+        if OBS.enabled:
+            with self._write_span("update", table_name) as span:
+                count = self._update_impl(table_name, changes, where)
+                self._record_write("update", table_name, span, count)
+                return count
+        return self._update_impl(table_name, changes, where)
+
+    def _update_impl(
+        self,
+        table_name: str,
+        changes: Mapping[str, Any],
+        where: Expression | None = None,
+    ) -> int:
         with self._lock:
             table = self.table(table_name)
             matching = matching_tids(table, where)
@@ -267,6 +307,16 @@ class Database:
         self, table_name: str, tid: int, changes: Mapping[str, Any]
     ) -> dict[str, Any]:
         """Point update through the tid (used by sync write-back)."""
+        if OBS.enabled:
+            with self._write_span("update", table_name) as span:
+                after = self._update_by_tid_impl(table_name, tid, changes)
+                self._record_write("update", table_name, span, 1)
+                return after
+        return self._update_by_tid_impl(table_name, tid, changes)
+
+    def _update_by_tid_impl(
+        self, table_name: str, tid: int, changes: Mapping[str, Any]
+    ) -> dict[str, Any]:
         with self._lock:
             table = self.table(table_name)
             before, after = table.update_row(tid, changes)
@@ -277,6 +327,14 @@ class Database:
 
     def delete(self, table_name: str, where: Expression | None = None) -> int:
         """Delete all rows matching ``where``; returns the affected count."""
+        if OBS.enabled:
+            with self._write_span("delete", table_name) as span:
+                count = self._delete_impl(table_name, where)
+                self._record_write("delete", table_name, span, count)
+                return count
+        return self._delete_impl(table_name, where)
+
+    def _delete_impl(self, table_name: str, where: Expression | None = None) -> int:
         with self._lock:
             table = self.table(table_name)
             matching = matching_tids(table, where)
@@ -291,6 +349,14 @@ class Database:
 
     def delete_by_tids(self, table_name: str, tids: Iterable[int]) -> int:
         """Delete specific rows by tid (used by deferred physical deletes)."""
+        if OBS.enabled:
+            with self._write_span("delete", table_name) as span:
+                count = self._delete_by_tids_impl(table_name, tids)
+                self._record_write("delete", table_name, span, count)
+                return count
+        return self._delete_by_tids_impl(table_name, tids)
+
+    def _delete_by_tids_impl(self, table_name: str, tids: Iterable[int]) -> int:
         with self._lock:
             table = self.table(table_name)
             deleted: list[dict[str, Any]] = []
@@ -313,6 +379,16 @@ class Database:
         once; parameter-free SELECT plans are cached too (see
         :mod:`repro.db.plancache`).
         """
+        if OBS.enabled:
+            return self._execute_traced(sql, params)
+        return self._execute_impl(sql, params)
+
+    def _execute_impl(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """The uninstrumented fast path (``execute`` minus observability).
+
+        Benchmarks call this directly as the no-obs baseline when
+        asserting the disabled-instrumentation overhead stays negligible.
+        """
         statement = self._statement_cache.get(sql)
         if statement is None:
             statement = parse(sql)
@@ -327,6 +403,38 @@ class Database:
                 return Result(rows=plan.to_list(self))
         return self.execute_statement(statement, params)
 
+    def _execute_traced(self, sql: str, params: Sequence[Any]) -> Result:
+        """``execute`` with per-statement spans and cache-hit counters."""
+        metrics = OBS.metrics
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            metrics.counter("db.statement_cache", result="miss").inc()
+            statement = parse(sql)
+            self._statement_cache.put(sql, statement)
+        else:
+            metrics.counter("db.statement_cache", result="hit").inc()
+        kind = type(statement).__name__.removesuffix("Stmt").lower()
+        with OBS.tracer.span("db.execute", tags={"kind": kind}) as span:
+            if isinstance(statement, SelectStmt):
+                with self._lock:
+                    plan = self._plan_cache.get(sql)
+                    if plan is None:
+                        metrics.counter("db.plan_cache", result="miss").inc()
+                        plan = plan_select(statement, self, params)
+                        if plan_cachable(statement):
+                            self._plan_cache.put(sql, plan)
+                    else:
+                        metrics.counter("db.plan_cache", result="hit").inc()
+                    span.set_tag("access", plan_access_kind(plan))
+                    result = Result(rows=plan.to_list(self))
+                    span.set_tag("rows", len(result.rows))
+            else:
+                result = self.execute_statement(statement, params)
+                span.set_tag("rows", result.rowcount)
+        metrics.counter("db.statements", kind=kind).inc()
+        metrics.histogram("db.execute_ms", kind=kind).observe(span.duration_ms)
+        return result
+
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:
         """Shorthand: run a SELECT and return its rows."""
         return self.execute(sql, params).rows
@@ -337,6 +445,28 @@ class Database:
             "statements": self._statement_cache.info(),
             "plans": self._plan_cache.info(),
         }
+
+    def install_metrics(self, registry: Any = None) -> None:
+        """Expose this database's cache counters as live gauges.
+
+        Folds :meth:`cache_info` into the observability registry (the
+        process-wide one by default) as callable gauges evaluated at
+        snapshot/dump time, labelled by database name.  Idempotent per
+        (registry, db-name) because gauge registration replaces the
+        series.
+        """
+        registry = registry if registry is not None else OBS.metrics
+
+        def reader(section: str, field: str):
+            return lambda: self.cache_info()[section][field]
+
+        for section in ("statements", "plans"):
+            for metric_field in ("hits", "misses", "size"):
+                registry.gauge_fn(
+                    f"db.cache.{section}.{metric_field}",
+                    reader(section, metric_field),
+                    db=self.name,
+                )
 
     def execute_statement(self, statement: Statement, params: Sequence[Any] = ()) -> Result:
         with self._lock:
@@ -433,6 +563,16 @@ class Database:
         return Result(rowcount=len(inserted))
 
     def _execute_update(self, stmt: UpdateStmt, params: Sequence[Any]) -> Result:
+        # SET expressions evaluate per row, so this path cannot delegate
+        # to update(); it gets the same db.write span independently.
+        if OBS.enabled:
+            with self._write_span("update", stmt.table) as span:
+                result = self._execute_update_impl(stmt, params)
+                self._record_write("update", stmt.table, span, result.rowcount)
+                return result
+        return self._execute_update_impl(stmt, params)
+
+    def _execute_update_impl(self, stmt: UpdateStmt, params: Sequence[Any]) -> Result:
         scope = _Scope(self, params)
         scope.add_table(stmt.table, None)
         where = lower_expr(stmt.where, scope) if stmt.where is not None else None

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import DatabaseError
+from ..obs.runtime import OBS
 from .table import ChangeSet
 
 #: Events a trigger can subscribe to.
@@ -105,6 +106,18 @@ class TriggerManager:
         triggers = self._by_table.get(change.table)
         if not triggers:
             return
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "db.trigger", tags={"table": change.table, "triggers": len(triggers)}
+            ) as span:
+                self._fire(change, triggers)
+            OBS.metrics.histogram("db.trigger_ms", table=change.table).observe(
+                span.duration_ms
+            )
+            return
+        self._fire(change, triggers)
+
+    def _fire(self, change: ChangeSet, triggers: list[Trigger]) -> None:
         if self._depth >= self.MAX_DEPTH:
             raise DatabaseError(
                 f"trigger cascade deeper than {self.MAX_DEPTH} on table "

@@ -14,6 +14,7 @@ from typing import Any
 from ..db.database import Database
 from ..db.table import ChangeSet
 from ..errors import ViewError
+from ..obs.runtime import OBS
 from .delta import Delta
 from .maintenance import apply_delta
 from .view import ViewDefinition
@@ -58,12 +59,28 @@ class ViewRegistry:
         return view
 
     def _make_handler(self, view: ViewDefinition):
-        def handler(change: ChangeSet) -> None:
+        def apply(change: ChangeSet) -> int:
             delta = Delta.from_changeset(change)
             applied = apply_delta(view, delta, self._database)
             stats = self._stats[view.name]
             stats.deltas_applied += 1
             stats.delta_rows += applied
+            return applied
+
+        def handler(change: ChangeSet) -> None:
+            if not OBS.enabled:
+                apply(change)
+                return
+            with OBS.tracer.span(
+                "ivm.delta_apply",
+                tags={"view": view.name, "table": change.table},
+            ) as span:
+                applied = apply(change)
+                span.set_tag("rows", applied)
+            OBS.metrics.histogram("ivm.delta_rows", view=view.name).observe(applied)
+            OBS.metrics.histogram("ivm.maintenance_ms", view=view.name).observe(
+                span.duration_ms
+            )
 
         return handler
 

@@ -1,0 +1,292 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer: cheap always-on event counts (reconnects, hook failures) and
+gated hot-path measurements (per-statement latencies, delta sizes).
+``snapshot()`` returns one plain dict for tests and dashboards;
+``prometheus_text()`` renders the standard text exposition format so an
+operator can scrape the system without any new dependency.
+
+Metric names are dotted (``sync.client.reconnects``); labels are
+keyword arguments at lookup time.  Series are identified by
+``(name, sorted(labels))`` -- looking the same series up twice returns
+the same instrument.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Callable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default latency buckets in milliseconds: sub-resolution ticks up to
+#: the one-second pathological tail.
+DEFAULT_BUCKETS = (
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    1000.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down; optionally computed on read."""
+
+    __slots__ = ("name", "labels", "_value", "_fn", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative on export, like Prometheus)."""
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty tuple")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> dict[str, int]:
+        """Cumulative counts keyed by upper bound (incl. ``+Inf``)."""
+        with self._lock:
+            counts = list(self._counts)
+        out: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out[format_bound(bound)] = running
+        out["+Inf"] = running + counts[-1]
+        return out
+
+
+def format_bound(bound: float) -> str:
+    """Render a bucket bound the way Prometheus does (no trailing zeros)."""
+    text = f"{bound:g}"
+    return text
+
+
+def _sanitize(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _label_text(labels: LabelKey, extra: Optional[tuple[tuple[str, str], ...]] = None) -> str:
+    pairs = list(labels) + list(extra or ())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(key, Counter(name, key[1]))
+        return counter
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge(name, key[1]))
+        return gauge
+
+    def gauge_fn(self, name: str, fn: Callable[[], float], **labels: Any) -> Gauge:
+        """A gauge computed by ``fn`` at snapshot/dump time."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            gauge = Gauge(name, key[1], fn=fn)
+            self._gauges[key] = gauge
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    key, Histogram(name, key[1], buckets=buckets)
+                )
+        return histogram
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _series_name(name: str, labels: LabelKey) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={v}" for k, v in labels)
+        return f"{name}{{{inner}}}"
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every series' current value as one plain dict."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        return {
+            "counters": {
+                self._series_name(c.name, c.labels): c.value for c in counters
+            },
+            "gauges": {self._series_name(g.name, g.labels): g.value for g in gauges},
+            "histograms": {
+                self._series_name(h.name, h.labels): {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "buckets": h.bucket_counts(),
+                }
+                for h in histograms
+            },
+        }
+
+    def prometheus_text(self) -> str:
+        """Standard text exposition format (``repro_`` prefix, dots -> _)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for counter in sorted(counters, key=lambda c: (c.name, c.labels)):
+            name = _sanitize(counter.name) + "_total"
+            type_line(name, "counter")
+            lines.append(f"{name}{_label_text(counter.labels)} {counter.value:g}")
+        for gauge in sorted(gauges, key=lambda g: (g.name, g.labels)):
+            name = _sanitize(gauge.name)
+            type_line(name, "gauge")
+            lines.append(f"{name}{_label_text(gauge.labels)} {gauge.value:g}")
+        for histogram in sorted(histograms, key=lambda h: (h.name, h.labels)):
+            name = _sanitize(histogram.name)
+            type_line(name, "histogram")
+            for bound, count in histogram.bucket_counts().items():
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_label_text(histogram.labels, (('le', bound),))} {count}"
+                )
+            lines.append(f"{name}_sum{_label_text(histogram.labels)} {histogram.sum:g}")
+            lines.append(
+                f"{name}_count{_label_text(histogram.labels)} {histogram.count}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every series (tests use this between scenarios)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

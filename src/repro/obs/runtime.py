@@ -1,0 +1,71 @@
+"""The process-wide observability switchboard.
+
+Instrumented modules import the :data:`OBS` singleton once and guard
+every hot path with a single attribute check::
+
+    from ..obs.runtime import OBS
+    ...
+    if OBS.enabled:
+        with OBS.tracer.span("db.execute", tags={...}):
+            ...
+
+Disabled (the default) the cost is one global load plus one attribute
+read -- no allocation, no locking, no time syscalls.  Rare *events*
+(reconnects, degradations, hook failures) are counted unconditionally:
+a metric you only record while someone is watching is not a metric.
+
+``enabled`` is a plain attribute so it can be flipped at runtime; the
+flip is safe under threads (a racing reader either sees the old or the
+new value, both of which are consistent states).
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["OBS", "ObsRuntime", "enable", "disable", "enabled", "reset"]
+
+
+class ObsRuntime:
+    """One tracer + one metrics registry + the master switch."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Clear collected spans and metrics (the switch is untouched)."""
+        self.tracer.reset()
+        self.metrics.reset()
+
+
+#: The process-wide instance every instrumentation site reads.
+OBS = ObsRuntime()
+
+
+def enable() -> None:
+    """Turn tracing + hot-path metrics on, process-wide."""
+    OBS.enable()
+
+
+def disable() -> None:
+    """Return to the near-zero-overhead default."""
+    OBS.disable()
+
+
+def enabled() -> bool:
+    return OBS.enabled
+
+
+def reset() -> None:
+    OBS.reset()

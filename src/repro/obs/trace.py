@@ -1,0 +1,293 @@
+"""Hierarchical spans with thread-local context propagation.
+
+The paper's evaluation is a story about *where time goes*: Figure 8
+decomposes every insert into DB write -> trigger -> NOTIFY -> mirror
+refresh -> delta handler -> layout.  A :class:`Tracer` makes that
+decomposition observable on a *live* system instead of only inside
+hand-written benchmarks: instrumented code opens :class:`Span`\\ s
+(monotonic-clock start/end, parent id, free-form tags), nesting is
+derived from a thread-local context stack, and finished spans land in a
+bounded in-memory ring buffer that exports to JSON.
+
+Two extras support the reactive pipeline's shape:
+
+- :meth:`Tracer.activate` installs an explicit parent context, so work
+  performed on *another thread* (a refresh driver, a trigger cascade
+  replayed later) can join the originating trace;
+- a bounded **link registry** (:meth:`Tracer.link` /
+  :meth:`Tracer.lookup_link`) carries span contexts across the
+  notification protocol, where the only shared key between producer and
+  consumer is ``(table, seq_no)`` -- not a thread, not a call stack.
+
+Everything is zero-dependency and safe under the sync layer's threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Iterator, Optional
+
+__all__ = ["Span", "SpanContext", "Tracer"]
+
+
+class SpanContext:
+    """The portable identity of a span: enough to parent remote work."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One timed operation.  Use as a context manager via Tracer.span()."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "end_ns",
+        "tags",
+        "thread_name",
+        "_explicit_parent",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        tags: Optional[dict[str, Any]] = None,
+        parent: Optional[SpanContext] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.tags: dict[str, Any] = dict(tags) if tags else {}
+        self.trace_id = 0
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start_ns = 0
+        self.end_ns: Optional[int] = None
+        self.thread_name = ""
+        self._explicit_parent = parent
+
+    # ------------------------------------------------------------------
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        self.tags[key] = value
+        return self
+
+    def set_parent(self, context: Optional[SpanContext]) -> "Span":
+        """Re-parent onto a remote context (e.g. a notification link).
+
+        Call before starting child spans: children pick up ``trace_id``
+        from this span at *their* start.
+        """
+        if context is not None:
+            self.parent_id = context.span_id
+            self.trace_id = context.trace_id
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_ns if self.end_ns is not None else time.perf_counter_ns()
+        return (end - self.start_ns) / 1e6
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        parent = self._explicit_parent
+        if parent is None and stack:
+            top = stack[-1]
+            parent = SpanContext(top.trace_id, top.span_id)
+        self.span_id = next(self.tracer._ids)
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        else:
+            self.trace_id = next(self.tracer._ids)
+        self.thread_name = threading.current_thread().name
+        stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.end_ns = time.perf_counter_ns()
+        stack = self.tracer._stack()
+        # Pop our own frame; tolerate (and repair) unbalanced exits.
+        while stack:
+            top = stack.pop()
+            if top is self:
+                break
+        self.tracer._record(self)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ms": self.duration_ms,
+            "thread": self.thread_name,
+            "tags": dict(self.tags),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span {self.name!r} trace={self.trace_id} id={self.span_id} "
+            f"parent={self.parent_id} {self.duration_ms:.3f}ms>"
+        )
+
+
+class _Activation:
+    """Context manager installing an explicit parent context."""
+
+    __slots__ = ("tracer", "context")
+
+    def __init__(self, tracer: "Tracer", context: Optional[SpanContext]) -> None:
+        self.tracer = tracer
+        self.context = context
+
+    def __enter__(self) -> Optional[SpanContext]:
+        if self.context is not None:
+            self.tracer._stack().append(self.context)
+        return self.context
+
+    def __exit__(self, *exc: Any) -> None:
+        if self.context is None:
+            return
+        stack = self.tracer._stack()
+        while stack:
+            top = stack.pop()
+            if top is self.context:
+                break
+
+
+class Tracer:
+    """Produces spans; keeps the last ``capacity`` finished ones.
+
+    Thread model: each thread has its own context stack (``threading.local``),
+    the finished-span ring buffer and the link registry are shared and
+    lock-protected where iteration could race appends.
+    """
+
+    def __init__(self, capacity: int = 8192, link_capacity: int = 2048) -> None:
+        self.capacity = capacity
+        self._buffer: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._links: OrderedDict[Any, tuple[SpanContext, int]] = OrderedDict()
+        self._link_capacity = link_capacity
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Any]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(span)
+
+    # ------------------------------------------------------------------
+    # Span creation / context propagation
+    def span(
+        self,
+        name: str,
+        tags: Optional[dict[str, Any]] = None,
+        parent: Optional[SpanContext] = None,
+    ) -> Span:
+        """Create a span (enter it with ``with``).
+
+        Without an explicit ``parent`` the span nests under the current
+        thread's innermost active span (or activation), if any.
+        """
+        return Span(self, name, tags=tags, parent=parent)
+
+    def current_context(self) -> Optional[SpanContext]:
+        """Context of the innermost active span on this thread."""
+        stack = self._stack()
+        if not stack:
+            return None
+        top = stack[-1]
+        return SpanContext(top.trace_id, top.span_id)
+
+    def activate(self, context: Optional[SpanContext]) -> _Activation:
+        """Install ``context`` as the parent for spans started inside.
+
+        ``None`` is accepted and is a no-op, so callers can write
+        ``with tracer.activate(maybe_ctx):`` unconditionally.
+        """
+        return _Activation(self, context)
+
+    # ------------------------------------------------------------------
+    # Cross-boundary links (the notification protocol has no call stack)
+    def link(self, key: Any, context: SpanContext) -> None:
+        """Register ``context`` under ``key`` (e.g. ``(table, seq_no)``)."""
+        with self._lock:
+            self._links[key] = (context, time.perf_counter_ns())
+            while len(self._links) > self._link_capacity:
+                self._links.popitem(last=False)
+
+    def lookup_link(self, key: Any) -> Optional[tuple[SpanContext, int]]:
+        """Return ``(context, registered_at_ns)`` for ``key`` or None."""
+        with self._lock:
+            return self._links.get(key)
+
+    # ------------------------------------------------------------------
+    # Inspection / export
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.finished_spans() if s.name == name]
+
+    def traces(self) -> dict[int, list[Span]]:
+        """Finished spans grouped by trace id."""
+        out: dict[int, list[Span]] = {}
+        for span in self.finished_spans():
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def export_json(self, indent: Optional[int] = None) -> str:
+        """The ring buffer as a JSON array of span dicts."""
+        return json.dumps(
+            [span.to_dict() for span in self.finished_spans()], indent=indent
+        )
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.finished_spans())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def reset(self) -> None:
+        """Drop finished spans and links (active spans are unaffected)."""
+        with self._lock:
+            self._buffer.clear()
+            self._links.clear()

@@ -42,6 +42,7 @@ from typing import Any, Callable, Optional
 from ..db.database import Database
 from ..db.schema import TID
 from ..errors import SyncError
+from ..obs.runtime import OBS
 from ..retry import RetryPolicy
 from . import protocol
 from .memtable import MemoryTable, RowPredicate
@@ -122,6 +123,13 @@ class SyncClient:
         self.reconnects = 0
         self.replayed_notifications = 0
         self.pongs_sent = 0
+        #: Hook invocations that raised (and were contained); a failing
+        #: observer must never take the read-loop or reconnect thread
+        #: down with it.
+        self.hook_failures = 0
+        #: table -> span context of the last completed refresh, so later
+        #: pipeline stages (layout, display) can join the trace.
+        self._refresh_contexts: dict[str, Any] = {}
         if server.use_sockets:
             self.status = IDLE
             self._open_listener()
@@ -135,10 +143,25 @@ class SyncClient:
         if table not in self._tables:
             return
         self.notify_received += 1
+        if OBS.enabled:
+            OBS.metrics.counter("sync.client.messages", type="notify").inc()
         with self._dirty_lock:
             self._dirty.add(table)
+        self._fire_notify_hooks(table, op, seq_no)
+
+    def _fire_notify_hooks(self, table: str, op: str, seq_no: int) -> None:
+        """Invoke notify hooks, containing their failures.
+
+        Hooks are user code running on liveness-critical threads (the
+        socket read loop, the reconnector); one raising observer must not
+        kill delivery for everyone else.
+        """
         for hook in list(self._hooks):
-            hook(table, op, seq_no)
+            try:
+                hook(table, op, seq_no)
+            except Exception:
+                self.hook_failures += 1
+                OBS.metrics.counter("sync.client.hook_failures", kind="notify").inc()
 
     # ------------------------------------------------------------------
     # Status surface
@@ -158,7 +181,13 @@ class SyncClient:
     def _set_status(self, status: str, reason: str) -> None:
         self.status = status
         for hook in list(self._status_hooks):
-            hook(status, reason)
+            # Status hooks run on the reader/reconnector threads; a hook
+            # that raises must not abort recovery or skip later hooks.
+            try:
+                hook(status, reason)
+            except Exception:
+                self.hook_failures += 1
+                OBS.metrics.counter("sync.client.hook_failures", kind="status").inc()
 
     # ------------------------------------------------------------------
     def _open_listener(self) -> None:
@@ -203,13 +232,17 @@ class SyncClient:
                 return
             self._last_rx = time.monotonic()
             kind = message["type"]
+            if OBS.enabled:
+                # Lowercase so socket and in-process paths share series.
+                OBS.metrics.counter("sync.client.messages", type=kind.lower()).inc()
             if kind == protocol.NOTIFY:
                 table = message["table"]
                 self.notify_received += 1
                 with self._dirty_lock:
                     self._dirty.add(table)
-                for hook in list(self._hooks):
-                    hook(table, message.get("op", ""), message.get("seq_no", 0))
+                self._fire_notify_hooks(
+                    table, message.get("op", ""), message.get("seq_no", 0)
+                )
             elif kind == protocol.PING:
                 try:
                     stream.send(protocol.pong(message.get("seq", 0)))
@@ -253,6 +286,8 @@ class SyncClient:
             self._stream = None
             self.connection_lost_reason = reason
             self.status = RECONNECTING
+        # Rare event: always counted, enabled or not.
+        OBS.metrics.counter("sync.client.connection_lost").inc()
         if stale is not None:
             stale.close()
         # A dead link means *unknown* staleness: flag every mirror so
@@ -284,6 +319,7 @@ class SyncClient:
                     return
                 self.status = CONNECTED
                 self.reconnects += 1
+            OBS.metrics.counter("sync.client.reconnects").inc()
             self._replay_missed()
             self._set_status(CONNECTED, f"reconnected on attempt {attempt.number}")
             return
@@ -326,8 +362,7 @@ class SyncClient:
             for seq_no, op in missed:
                 self.notify_received += 1
                 self.replayed_notifications += 1
-                for hook in list(self._hooks):
-                    hook(table, op, seq_no)
+                self._fire_notify_hooks(table, op, seq_no)
 
     def _degrade(self, reason: str) -> None:
         """Fall back to polling the NotificationCenter in-process.
@@ -340,6 +375,7 @@ class SyncClient:
             if self._closed or self.status == DEGRADED:
                 return
             self.status = DEGRADED
+        OBS.metrics.counter("sync.client.degrades").inc()
         self.center.add_listener(self._on_local_notify)
         self._replay_missed()
         self._set_status(DEGRADED, reason)
@@ -444,6 +480,49 @@ class SyncClient:
         reconnecting or degraded (stale-but-consistent views, then
         convergence, rather than a frozen display).
         """
+        if not OBS.enabled:
+            return self._refresh_impl(table, full)
+        with OBS.tracer.span(
+            "sync.mirror_refresh", tags={"table": table, "full": full}
+        ) as span:
+            stats = self._refresh_impl(table, full, span=span)
+            span.set_tag("upserts", stats["upserts"])
+            span.set_tag("deletes", stats["deletes"])
+        OBS.metrics.histogram("sync.refresh_ms", table=table).observe(
+            span.duration_ms
+        )
+        self._refresh_contexts[table] = span.context()
+        return stats
+
+    def last_refresh_context(self, table: str) -> Optional[Any]:
+        """Span context of the latest traced refresh of ``table``.
+
+        Lets downstream pipeline stages (the refresh driver's listeners:
+        delta handlers, layout, display) join the propagation trace.
+        Returns ``None`` when tracing is off or no refresh ran yet.
+        """
+        return self._refresh_contexts.get(table)
+
+    def _join_notify_trace(self, span: Any, table: str, newest: int) -> None:
+        """Adopt the notify span that produced ``newest`` as our parent.
+
+        The notification protocol shares no thread or call stack with the
+        refresh; the link registry keyed ``(table, seq_no)`` is the only
+        bridge.  Its registration timestamp also yields the
+        NOTIFY -> mirror-applied latency.
+        """
+        linked = OBS.tracer.lookup_link(("notify", table, newest))
+        if linked is None:
+            return
+        context, registered_at_ns = linked
+        span.set_parent(context)
+        OBS.metrics.histogram("sync.notify_to_applied_ms", table=table).observe(
+            (time.perf_counter_ns() - registered_at_ns) / 1e6
+        )
+
+    def _refresh_impl(
+        self, table: str, full: bool = False, span: Optional[Any] = None
+    ) -> dict[str, int]:
         memtable = self.table(table)
         base = self.database.table(table)
         stats = {"upserts": 0, "deletes": 0}
@@ -470,6 +549,8 @@ class SyncClient:
                         memtable.apply_upsert(row)
                         stats["upserts"] += 1
             memtable.last_seq_no = newest
+        if span is not None:
+            self._join_notify_trace(span, table, newest)
         with self._dirty_lock:
             self._dirty.discard(table)
         self.server.update_client_seq(self._cu_ids[table], memtable.last_seq_no)

@@ -24,6 +24,7 @@ from ..db.schema import TID, Column
 from ..db.table import ChangeSet
 from ..db.types import INTEGER, TEXT, TIMESTAMP
 from ..errors import SyncError
+from ..obs.runtime import OBS
 
 T_CHANGED_ROWS = "ediflow_changed_rows"
 
@@ -108,6 +109,28 @@ class NotificationCenter:
 
     # ------------------------------------------------------------------
     def _on_change(self, change: ChangeSet) -> None:
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "sync.notify", tags={"table": change.table}
+            ) as span:
+                notified, listeners = self._record(change)
+                span.set_tag("notifications", len(notified))
+                # Register the notify context under (table, seq_no) so the
+                # mirror refresh -- on another thread, reached only through
+                # the protocol -- can join this trace, and so the
+                # NOTIFY->applied latency has a start timestamp.
+                context = span.context()
+                for table, op, seq_no in notified:
+                    OBS.tracer.link(("notify", table, seq_no), context)
+                    OBS.metrics.counter("sync.notifications", op=op).inc()
+                self._fan_out(notified, listeners)
+            return
+        notified, listeners = self._record(change)
+        self._fan_out(notified, listeners)
+
+    def _record(
+        self, change: ChangeSet
+    ) -> tuple[list[tuple[str, str, int]], list[Listener]]:
         events: list[tuple[str, list[int]]] = []
         if change.inserted:
             events.append((datamodel.OP_INSERT, [r[TID] for r in change.inserted]))
@@ -146,6 +169,12 @@ class NotificationCenter:
                 )
                 notified.append((change.table, op, seq_no))
             listeners = list(self._listeners)
+        return notified, listeners
+
+    @staticmethod
+    def _fan_out(
+        notified: list[tuple[str, str, int]], listeners: list[Listener]
+    ) -> None:
         for table, op, seq_no in notified:
             for listener in listeners:
                 listener(table, op, seq_no)

@@ -16,6 +16,7 @@ import time
 from typing import Callable, Optional
 
 from ..errors import SyncError
+from ..obs.runtime import OBS
 from .client import SyncClient
 
 #: Called after each automatic refresh: (table, stats-dict).
@@ -94,10 +95,26 @@ class RefreshDriver:
                     "deletes", 0
                 )
                 refreshed_any = True
-                for listener in list(self._listeners):
-                    listener(table, stats)
+                self._notify_listeners(table, stats)
             if not refreshed_any:
                 self._stop.wait(self.poll_interval)
+
+    def _notify_listeners(self, table: str, stats: dict[str, int]) -> None:
+        """Fan stats out to listeners, inside the refresh's trace.
+
+        When tracing is on, the just-completed refresh span becomes the
+        parent for whatever the listeners do (delta application, layout,
+        display updates), so the whole reaction shows up as one trace.
+        """
+        if not self._listeners:
+            return
+        if not OBS.enabled:
+            for listener in list(self._listeners):
+                listener(table, stats)
+            return
+        with OBS.tracer.activate(self.client.last_refresh_context(table)):
+            for listener in list(self._listeners):
+                listener(table, stats)
 
     # ------------------------------------------------------------------
     def flush(self, table: str) -> dict[str, int]:

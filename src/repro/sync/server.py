@@ -32,6 +32,7 @@ from ..core import datamodel
 from ..db.database import Database
 from ..db.expression import col
 from ..errors import ProtocolError, SyncError
+from ..obs.runtime import OBS
 from . import protocol
 from .notification import NotificationCenter
 
@@ -54,6 +55,8 @@ class _Endpoint:
     #: ``time.monotonic()`` of the last inbound message (PONG).
     last_rx: float = 0.0
     ping_seq: int = 0
+    #: ``time.monotonic()`` of the last PING sent (for PONG RTT).
+    last_ping_at: float = 0.0
     #: When the endpoint detached (for :meth:`SyncServer.evict_detached`).
     detached_at: Optional[float] = None
 
@@ -175,6 +178,8 @@ class SyncServer:
             endpoint.stream = None
             endpoint.detached_at = time.monotonic()
             self.detaches += 1
+        # Rare event: always counted, enabled or not.
+        OBS.metrics.counter("sync.server.detaches").inc()
         transport.close()
 
     # ------------------------------------------------------------------
@@ -189,6 +194,11 @@ class SyncServer:
             kind = message.get("type")
             if kind == protocol.PONG:
                 self.pongs_received += 1
+                if OBS.enabled and endpoint.last_ping_at:
+                    OBS.metrics.gauge(
+                        "sync.heartbeat_rtt_ms",
+                        client=f"{endpoint.host}:{endpoint.port}",
+                    ).set((endpoint.last_rx - endpoint.last_ping_at) * 1e3)
             elif kind == protocol.DISCONNECT:
                 break
         if not self._closed and endpoint.stream is transport:
@@ -212,6 +222,7 @@ class SyncServer:
                     continue
                 endpoint.ping_seq += 1
                 try:
+                    endpoint.last_ping_at = time.monotonic()
                     with endpoint.lock:
                         transport.send(protocol.ping(endpoint.ping_seq))
                     self.pings_sent += 1
@@ -289,6 +300,7 @@ class SyncServer:
             stale.close()
         self._attach(endpoint, transport)
         self.reattaches += 1
+        OBS.metrics.counter("sync.server.reattaches").inc()
         return True
 
     def unregister_client(self, connected_user_id: int) -> bool:

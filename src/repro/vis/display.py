@@ -13,6 +13,7 @@ import time
 from typing import Any, Iterable, Optional
 
 from ..errors import VisError
+from ..obs.runtime import OBS
 from .attributes import VisualItem
 
 
@@ -33,6 +34,19 @@ class Display:
     # ------------------------------------------------------------------
     def apply_rows(self, rows: Iterable[dict[str, Any]]) -> int:
         """Fold VisualAttributes rows into the display list."""
+        if not OBS.enabled:
+            return self._apply_rows_impl(rows)
+        with OBS.tracer.span(
+            "vis.display.apply", tags={"display": self.name}
+        ) as span:
+            count = self._apply_rows_impl(rows)
+            span.set_tag("rows", count)
+        OBS.metrics.histogram("vis.display_apply_ms", display=self.name).observe(
+            span.duration_ms
+        )
+        return count
+
+    def _apply_rows_impl(self, rows: Iterable[dict[str, Any]]) -> int:
         count = 0
         for row in rows:
             item = VisualItem.from_row(row)

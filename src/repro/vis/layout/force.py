@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ...obs.runtime import OBS
 from .graph import Graph, NodeId
 from .linlog import IterationCallback, LayoutResult
 
@@ -39,6 +40,22 @@ class FruchtermanReingold:
                 self.positions[node] = (float(xy[0]), float(xy[1]))
 
     def run(
+        self,
+        max_iterations: int = 100,
+        on_iteration: Optional[IterationCallback] = None,
+    ) -> LayoutResult:
+        if not OBS.enabled:
+            return self._run_impl(max_iterations, on_iteration)
+        with OBS.tracer.span(
+            "vis.layout", tags={"algo": "fr", "nodes": len(self.graph)}
+        ) as span:
+            result = self._run_impl(max_iterations, on_iteration)
+            span.set_tag("iterations", result.iterations)
+            span.set_tag("converged", result.converged)
+        OBS.metrics.histogram("vis.layout_ms", algo="fr").observe(span.duration_ms)
+        return result
+
+    def _run_impl(
         self,
         max_iterations: int = 100,
         on_iteration: Optional[IterationCallback] = None,

@@ -29,6 +29,7 @@ from typing import Any, Callable, Hashable, Optional, Sequence
 import numpy as np
 
 from ...errors import LayoutError
+from ...obs.runtime import OBS
 from .graph import Graph, NodeId
 
 #: Called after every iteration with (iteration, positions-by-node, energy).
@@ -238,6 +239,25 @@ class LinLogLayout:
         return self._minimize(max_iterations, on_iteration, step or self.step)
 
     def _minimize(
+        self,
+        max_iterations: int,
+        on_iteration: Optional[IterationCallback],
+        step: float,
+    ) -> LayoutResult:
+        if not OBS.enabled:
+            return self._minimize_impl(max_iterations, on_iteration, step)
+        with OBS.tracer.span(
+            "vis.layout", tags={"algo": "linlog", "nodes": len(self.graph)}
+        ) as span:
+            result = self._minimize_impl(max_iterations, on_iteration, step)
+            span.set_tag("iterations", result.iterations)
+            span.set_tag("converged", result.converged)
+        OBS.metrics.histogram("vis.layout_ms", algo="linlog").observe(
+            span.duration_ms
+        )
+        return result
+
+    def _minimize_impl(
         self,
         max_iterations: int,
         on_iteration: Optional[IterationCallback],

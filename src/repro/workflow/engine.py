@@ -20,6 +20,7 @@ from ..db.database import Database
 from ..db.schema import Column, TID
 from ..db.types import type_from_name
 from ..errors import EnactmentError, SpecificationError, WorkflowError
+from ..obs.runtime import OBS
 from .expressions import (
     ProcCallExpr,
     QueryExpr,
@@ -263,6 +264,22 @@ class WorkflowEngine:
         detached activities remain -- the mode interactive visualization
         processes use.
         """
+        if not OBS.enabled:
+            return self._run_impl(process_name, user, responder, close)
+        with OBS.tracer.span(
+            "workflow.process", tags={"process": process_name}
+        ) as span:
+            execution = self._run_impl(process_name, user, responder, close)
+            span.set_tag("process_instance_id", execution.id)
+        return execution
+
+    def _run_impl(
+        self,
+        process_name: str,
+        user: Optional[str],
+        responder: Optional[Responder],
+        close: bool,
+    ) -> Execution:
         execution = self.start(process_name, user=user, responder=responder)
         try:
             self.execute_node(execution.definition.body, execution)
@@ -376,6 +393,29 @@ class WorkflowEngine:
     # ------------------------------------------------------------------
     # Activities
     def run_activity(self, activity: Activity, execution: Execution) -> ActivityInstance:
+        if not OBS.enabled:
+            return self._run_activity_impl(activity, execution)
+        with OBS.tracer.span(
+            "workflow.activity",
+            tags={
+                "process": execution.definition.name,
+                "activity": activity.name,
+                "type": type(activity).__name__,
+                "process_instance_id": execution.id,
+            },
+        ) as span:
+            instance = self._run_activity_impl(activity, execution)
+            # Matches ActivityInstance.id, so span timings can be checked
+            # against the monitor's ActivityTrace timeline.
+            span.set_tag("activity_instance_id", instance.id)
+        OBS.metrics.histogram(
+            "workflow.activity_ms", activity=activity.name
+        ).observe(span.duration_ms)
+        return instance
+
+    def _run_activity_impl(
+        self, activity: Activity, execution: Execution
+    ) -> ActivityInstance:
         instance = self._create_activity_instance(activity, execution)
         instance.start()
         env = self._make_env(execution, activity, instance)

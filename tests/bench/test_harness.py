@@ -51,6 +51,47 @@ class TestSeriesTable:
         assert "ms" in text
 
 
+class TestJsonEmission:
+    def make(self):
+        table = SeriesTable("n", ["a", "b"])
+        table.add(10, {"a": 1.0, "b": 5.0})
+        table.add(20, {"a": 2.0, "b": 10.0})
+        return table
+
+    def test_as_json_shape(self):
+        payload = self.make().as_json()
+        assert payload["x_label"] == "n"
+        assert payload["series"] == ["a", "b"]
+        assert payload["rows"] == [
+            {"x": 10, "values": {"a": 1.0, "b": 5.0}},
+            {"x": 20, "values": {"a": 2.0, "b": 10.0}},
+        ]
+
+    def test_write_json_round_trips(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_demo.json"
+        self.make().write_json(path, "demo", unit="us", extra={"git_rev": "abc"})
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert payload["unit"] == "us"
+        assert payload["git_rev"] == "abc"
+        assert payload["rows"] == self.make().as_json()["rows"]
+
+    def test_write_json_machine_readable_values(self, tmp_path):
+        """Every value in the payload is a plain JSON scalar -- no repr
+        leakage from floats or numpy-ish types."""
+        import json
+
+        path = tmp_path / "BENCH_x.json"
+        self.make().write_json(path, "x")
+        decoded = json.loads(path.read_text())
+        for row in decoded["rows"]:
+            assert isinstance(row["x"], (int, float))
+            for value in row["values"].values():
+                assert isinstance(value, (int, float))
+
+
 class TestShapeChecks:
     def test_linear_fit_exact(self):
         slope, intercept, r2 = linear_fit([1, 2, 3], [10, 20, 30])

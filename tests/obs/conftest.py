@@ -1,0 +1,22 @@
+"""Observability test fixtures: a clean, enabled runtime per test."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Guarantee every test starts disabled and empty, and leaves no
+    spans or metrics behind for its neighbors."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def enabled_obs():
+    obs.enable()
+    return obs

@@ -1,0 +1,157 @@
+"""Metrics registry: instruments, snapshot, Prometheus exposition."""
+
+import re
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("events").inc(-1)
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("msgs", type="notify")
+        b = registry.counter("msgs", type="notify")
+        c = registry.counter("msgs", type="ping")
+        assert a is b
+        assert a is not c
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_gauge_fn_evaluated_on_read(self):
+        registry = MetricsRegistry()
+        state = {"v": 1}
+        gauge = registry.gauge_fn("cache.size", lambda: state["v"])
+        assert gauge.value == 1
+        state["v"] = 42
+        assert gauge.value == 42
+        assert registry.snapshot()["gauges"]["cache.size"] == 42
+
+
+class TestHistogram:
+    def test_observe_counts_and_sums(self):
+        histogram = MetricsRegistry().histogram("lat")
+        histogram.observe(0.04)
+        histogram.observe(0.2)
+        histogram.observe(5000.0)  # beyond the last bucket
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5000.24)
+
+    def test_buckets_are_cumulative_with_inf(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 100.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts == {"1": 2, "10": 3, "+Inf": 4}
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        histogram.observe(1.0)  # le="1" means <= 1
+        assert histogram.bucket_counts()["1"] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=(10.0, 1.0))
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", table="t").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{table=t}": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["sum"] == 1.5
+        assert "+Inf" in snap["histograms"]["h"]["buckets"]
+
+    def test_labels_sorted_in_series_name(self):
+        registry = MetricsRegistry()
+        registry.counter("c", zeta="1", alpha="2").inc()
+        assert list(registry.snapshot()["counters"]) == ["c{alpha=2,zeta=1}"]
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _parse_prometheus(text):
+    """Minimal parser for the text exposition format: name{labels} value."""
+    samples = {}
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$", line)
+        assert match, f"malformed exposition line: {line!r}"
+        name, labels, value = match.groups()
+        samples[name + (labels or "")] = float(value)
+    return samples
+
+
+class TestPrometheusText:
+    def test_dump_round_trips_against_snapshot(self):
+        """Every snapshot value must be recoverable from the text dump."""
+        registry = MetricsRegistry()
+        registry.counter("sync.notifications", op="insert").inc(3)
+        registry.gauge("sync.heartbeat_rtt_ms").set(1.25)
+        histogram = registry.histogram("db.execute_ms", kind="select")
+        histogram.observe(0.3)
+        histogram.observe(40.0)
+
+        samples = _parse_prometheus(registry.prometheus_text())
+        snap = registry.snapshot()
+
+        assert samples['repro_sync_notifications_total{op="insert"}'] == 3.0
+        assert (
+            samples["repro_sync_heartbeat_rtt_ms"]
+            == snap["gauges"]["sync.heartbeat_rtt_ms"]
+        )
+        hist_snap = snap["histograms"]["db.execute_ms{kind=select}"]
+        assert samples['repro_db_execute_ms_count{kind="select"}'] == hist_snap["count"]
+        assert samples['repro_db_execute_ms_sum{kind="select"}'] == hist_snap["sum"]
+        for bound, count in hist_snap["buckets"].items():
+            key = f'repro_db_execute_ms_bucket{{kind="select",le="{bound}"}}'
+            assert samples[key] == count
+
+    def test_type_lines_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1)
+        text = registry.prometheus_text()
+        assert "# TYPE repro_c_total counter" in text
+        assert "# TYPE repro_g gauge" in text
+        assert "# TYPE repro_h histogram" in text
+
+    def test_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("sync.client.hook-failures").inc()
+        text = registry.prometheus_text()
+        assert "repro_sync_client_hook_failures_total" in text
+        assert "." not in text.split()[-2]  # metric name carries no dots

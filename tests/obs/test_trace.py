@@ -1,0 +1,174 @@
+"""Tracer core: nesting, thread propagation, links, ring buffer."""
+
+import json
+import threading
+
+from repro.obs import SpanContext, Tracer
+
+
+class TestNesting:
+    def test_root_span_gets_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as span:
+            pass
+        assert span.parent_id is None
+        assert span.trace_id != 0
+        assert span.finished
+        assert span.duration_ms >= 0
+
+    def test_child_nests_under_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == b.parent_id == parent.span_id
+        assert a.span_id != b.span_id
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        with tracer.span("origin") as origin:
+            pass
+        with tracer.span("elsewhere"):
+            with tracer.span("joined", parent=origin.context()) as joined:
+                pass
+        assert joined.trace_id == origin.trace_id
+        assert joined.parent_id == origin.span_id
+
+    def test_tags_via_constructor_and_setter(self):
+        tracer = Tracer()
+        with tracer.span("op", tags={"table": "t"}) as span:
+            span.set_tag("rows", 7)
+        assert span.tags == {"table": "t", "rows": 7}
+
+    def test_set_parent_reparents_before_children_start(self):
+        tracer = Tracer()
+        with tracer.span("origin") as origin:
+            pass
+        with tracer.span("late") as late:
+            late.set_parent(origin.context())
+            with tracer.span("child") as child:
+                pass
+        assert late.trace_id == origin.trace_id
+        assert child.trace_id == origin.trace_id
+        assert child.parent_id == late.span_id
+
+
+class TestThreads:
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("worker") as span:
+                seen["worker"] = span
+
+        with tracer.span("main") as main:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker's span must NOT nest under main's: different thread,
+        # no activation.
+        assert seen["worker"].parent_id is None
+        assert seen["worker"].trace_id != main.trace_id
+
+    def test_activate_joins_another_threads_trace(self):
+        tracer = Tracer()
+        seen = {}
+        with tracer.span("main") as main:
+            context = main.context()
+
+        def worker():
+            with tracer.activate(context):
+                with tracer.span("joined") as span:
+                    seen["joined"] = span
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["joined"].trace_id == main.trace_id
+        assert seen["joined"].parent_id == main.span_id
+
+    def test_activate_none_is_noop(self):
+        tracer = Tracer()
+        with tracer.activate(None):
+            with tracer.span("free") as span:
+                pass
+        assert span.parent_id is None
+
+
+class TestLinks:
+    def test_link_round_trip(self):
+        tracer = Tracer()
+        context = SpanContext(11, 22)
+        tracer.link(("notify", "t", 5), context)
+        found = tracer.lookup_link(("notify", "t", 5))
+        assert found is not None
+        linked, registered_at = found
+        assert linked is context
+        assert registered_at > 0
+
+    def test_lookup_missing_returns_none(self):
+        assert Tracer().lookup_link("nope") is None
+
+    def test_link_registry_is_bounded(self):
+        tracer = Tracer(link_capacity=4)
+        for i in range(10):
+            tracer.link(i, SpanContext(1, i))
+        assert tracer.lookup_link(0) is None  # evicted, oldest first
+        assert tracer.lookup_link(9) is not None
+
+
+class TestBufferAndExport:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["s2", "s3", "s4"]
+        assert len(tracer) == 3
+
+    def test_spans_named_and_traces(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.spans_named("a")) == 2
+        traces = tracer.traces()
+        assert len(traces) == 2
+        sizes = sorted(len(spans) for spans in traces.values())
+        assert sizes == [1, 2]
+
+    def test_export_json_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("op", tags={"k": "v"}):
+            pass
+        exported = json.loads(tracer.export_json())
+        assert len(exported) == 1
+        record = exported[0]
+        assert record["name"] == "op"
+        assert record["tags"] == {"k": "v"}
+        assert record["duration_ms"] >= 0
+        assert record["end_ns"] >= record["start_ns"]
+        assert record["thread"]
+
+    def test_reset_clears_spans_and_links(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        tracer.link("k", SpanContext(1, 2))
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.lookup_link("k") is None

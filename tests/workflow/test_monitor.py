@@ -2,7 +2,9 @@
 
 import pytest
 
+import repro.obs as obs
 from repro.core import datamodel
+from repro.db.persistence import load_snapshot, save_snapshot
 from repro.workflow import (
     CallProcedure,
     ProcessDefinition,
@@ -122,3 +124,89 @@ class TestStatistics:
         assert "write" in text and "read" in text and "vis" in text
         assert "by bob" in text
         assert "completed" in text
+
+
+class TestSnapshotRoundTrip:
+    """The monitor reads only the core tables, so a reloaded snapshot must
+    reproduce the exact same timeline as the live engine."""
+
+    def test_trace_survives_snapshot_reload(self, db, deployed, tmp_path):
+        execution = deployed.run("p", user="carol")
+        deployed.close(execution)
+        live = ProcessMonitor(db).trace(execution.id)
+
+        path = tmp_path / "wf.snapshot"
+        save_snapshot(db, path)
+        reloaded = ProcessMonitor(load_snapshot(path)).trace(execution.id)
+
+        assert reloaded.process_name == live.process_name
+        assert reloaded.status == live.status == datamodel.COMPLETED
+        assert reloaded.duration == live.duration
+        assert [a.activity_name for a in reloaded.activities] == [
+            a.activity_name for a in live.activities
+        ]
+        for before, after in zip(live.activities, reloaded.activities):
+            assert after.activity_instance_id == before.activity_instance_id
+            assert after.status == before.status
+            assert after.start == before.start
+            assert after.end == before.end
+            assert after.duration == before.duration
+            assert after.user == "carol"
+
+    def test_history_and_statistics_from_snapshot(self, db, deployed, tmp_path):
+        for _ in range(2):
+            deployed.close(deployed.run("p"))
+        path = tmp_path / "wf.snapshot"
+        save_snapshot(db, path)
+        monitor = ProcessMonitor(load_snapshot(path))
+        assert len(monitor.history("p")) == 2
+        stats = monitor.activity_statistics()
+        assert stats["write"]["instances"] == 2
+        assert stats["write"]["completed"] == 2
+
+
+class TestSpansAgreeWithMonitor:
+    """Workflow spans carry activity_instance_id, so the wall-clock trace
+    and the monitor's logical-clock timeline describe the same execution."""
+
+    @pytest.fixture(autouse=True)
+    def clean_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_activity_spans_match_monitor_timeline(self, db, deployed):
+        obs.enable()
+        execution = deployed.run("p", user="dana")
+        deployed.close(execution)
+        trace = ProcessMonitor(db).trace(execution.id)
+
+        spans = obs.tracer().spans_named("workflow.activity")
+        by_instance = {s.tags["activity_instance_id"]: s for s in spans}
+        # Every activity the monitor recorded has exactly one span.
+        assert set(by_instance) == {
+            a.activity_instance_id for a in trace.activities
+        }
+        for activity in trace.activities:
+            span = by_instance[activity.activity_instance_id]
+            assert span.tags["activity"] == activity.activity_name
+            assert span.tags["process_instance_id"] == execution.id
+            assert span.finished and span.duration_ms >= 0
+        # Both clocks agree on the order activities started in.
+        span_order = [
+            s.tags["activity"] for s in sorted(spans, key=lambda s: s.start_ns)
+        ]
+        monitor_order = [a.activity_name for a in trace.activities]
+        assert span_order == monitor_order
+
+    def test_process_span_brackets_every_activity_span(self, db, deployed):
+        obs.enable()
+        execution = deployed.run("p")
+        deployed.close(execution)
+        (process_span,) = obs.tracer().spans_named("workflow.process")
+        assert process_span.tags["process_instance_id"] == execution.id
+        for span in obs.tracer().spans_named("workflow.activity"):
+            assert span.start_ns >= process_span.start_ns
+            assert span.end_ns <= process_span.end_ns
