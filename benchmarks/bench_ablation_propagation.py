@@ -18,7 +18,6 @@ import pytest
 from repro.bench import SeriesTable, Timer
 from repro.db import Column, Database
 from repro.db.types import INTEGER
-from repro.ivm.delta import Delta
 from repro.workflow import (
     CallProcedure,
     ProcessDefinition,
@@ -58,7 +57,7 @@ def build(scope):
     db = Database()
     db.create_table("src", [Column("id", INTEGER), Column("v", INTEGER)])
     engine = WorkflowEngine(db)
-    propagation = PropagationManager(engine)
+    PropagationManager(engine)  # attaches itself to the engine
     proc = CountingProcedure(f"proc_{scope or 'none'}")
     engine.procedures.register(proc)
     propagations = []

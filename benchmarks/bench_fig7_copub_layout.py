@@ -12,7 +12,6 @@ import math
 import pytest
 
 from repro.apps import copub
-from repro.bench import SeriesTable
 from repro.vis import LinLogLayout
 
 #: Paper scale: "about 4500 nodes".  The bench sweep uses smaller sizes
@@ -58,7 +57,6 @@ def test_fig7_layout_converges_and_clusters(copub_graph, benchmark, emit, emit_j
     small_gen = copub.CopublicationGenerator(n_authors=400, n_teams=20, seed=9)
     publications = small_gen.take(350)
     graph = copub.build_graph(publications)
-    layout = LinLogLayout(graph, seed=11)
     result = benchmark.pedantic(
         lambda: LinLogLayout(graph, seed=11).run(max_iterations=300),
         rounds=1,

@@ -85,7 +85,6 @@ def test_fig8_each_step_scales_with_batch(fig8_table, benchmark):
         benchmark(pipeline.run_batch, 2000)
     finally:
         pipeline.close()
-    xs = fig8_table.xs()
     for series in ("insert_visualattrs", "extract_new_nodes", "insert_into_display"):
         values = fig8_table.series(series)
         # Larger batches cost more end-to-end (allowing noise on smalls).

@@ -1,0 +1,43 @@
+"""CI gate: batched propagation must beat immediate by a set factor.
+
+Reads ``benchmarks/BENCH_policy_batching.json`` (written by
+``bench_policy_batching.py``) and exits non-zero if the threshold-256
+arm's burst-insert speedup over the batch-size-1 (immediate) arm falls
+below the recorded ``required`` factor.  Run after the benchmark:
+
+    python benchmarks/check_batching_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_policy_batching.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_policy_batching run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    gate = payload.get("throughput_gate")
+    if not isinstance(gate, dict):
+        print(f"FAIL: {RESULT} has no throughput_gate block")
+        return 2
+    measured = float(gate["speedup"])
+    required = float(gate["required"])
+    verdict = "PASS" if measured >= required else "FAIL"
+    print(
+        f"{verdict}: threshold-256 vs immediate at {gate['clients']} clients "
+        f"over {payload.get('rows')} rows: {measured:.2f}x "
+        f"(required {required:.1f}x; immediate {gate['immediate_ms']:.1f} ms, "
+        f"batched {gate['threshold_256_ms']:.1f} ms)"
+    )
+    return 0 if measured >= required else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

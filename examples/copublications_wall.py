@@ -48,7 +48,7 @@ def main() -> None:
     initial = layout.run(max_iterations=400, on_iteration=stream)
     initial_time = time.perf_counter() - start
     platform.views.publish_positions(component, initial.positions)
-    counts = platform.views.refresh_all()
+    platform.views.refresh_all()
     print(f"initial layout: {initial.iterations} iterations in {initial_time:.2f}s "
           f"(streamed {published[0]} intermediate frames)")
     print(f"view sizes: wall={len(wall.display)}, laptop={len(laptop.display)}, "

@@ -22,13 +22,12 @@ from ..db.schema import Column
 from ..db.types import FLOAT, INTEGER, TEXT
 from ..ivm.delta import Delta
 from ..vis.attributes import VisualItem
-from ..vis.color import SequentialScale, lerp
+from ..vis.color import SequentialScale
 from ..vis.treemap import squarify
 from ..workflow.model import (
     CallProcedure,
     ProcessDefinition,
     RelationDecl,
-    RunQuery,
     UpdatePropagation,
     seq,
 )
@@ -265,7 +264,6 @@ def compute_treemap(
     height: float = 500.0,
 ) -> list[VisualItem]:
     """Pure mapping: aggregate rows -> treemap visual items."""
-    base = {state: population for state, population in STATES}
     by_state = {row["state"]: row for row in agg_rows}
     cells = squarify(
         [(state, float(population)) for state, population in STATES],

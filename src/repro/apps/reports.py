@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence
+from typing import Iterator
 from xml.etree import ElementTree as ET
 
 from ..db.database import Database

@@ -10,7 +10,7 @@ similarity, and a person-name matcher built on them, all from scratch.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 
 def levenshtein(a: str, b: str) -> int:

@@ -24,11 +24,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Optional
 
 from ..core import datamodel
 from ..db.database import Database
-from ..db.schema import TID, Column
+from ..db.schema import Column
 from ..db.types import INTEGER, TEXT
 from ..sync.client import SyncClient
 from ..sync.notification import NotificationCenter
@@ -138,7 +138,7 @@ class InsertPipeline:
         # Step 1: machine 1 receives + parses the author-change message.
         t1 = self._wait_dirty(self.machine1, T_NODES)
         start = time.perf_counter()
-        stats1 = self.machine1.refresh(T_NODES)
+        self.machine1.refresh(T_NODES)
         t1 += (time.perf_counter() - start) * 1000.0
         new_nodes = [r for r in rows]
 

@@ -20,6 +20,7 @@ from typing import Any, Optional
 from ..db.database import Database
 from ..db.persistence import load_snapshot, save_snapshot
 from ..ivm.registry import ViewRegistry
+from ..sync.batching import PropagationPolicy
 from ..sync.notification import NotificationCenter
 from ..sync.server import SyncServer
 from ..vis.views import ViewManager
@@ -87,6 +88,27 @@ class EdiFlow:
     def query(self, sql: str, params: Any = ()) -> list[dict[str, Any]]:
         return self.database.query(sql, params)
 
+    # -- propagation policies (Section V) ------------------------------------
+    def set_propagation_policy(self, table: str, policy: PropagationPolicy) -> None:
+        """Apply one policy to ``table`` across the whole pipeline.
+
+        Configures both the notification center (mirror/display path) and
+        the workflow propagation manager (UP handler path); materialized
+        views opt in per view via ``materialized.set_policy``.
+        """
+        self.center.set_policy(table, policy)
+        self.propagation.set_policy(table, policy)
+
+    def flush_propagation(self, table: Optional[str] = None) -> int:
+        """Flush buffered changes now; ``None`` flushes every table."""
+        if table is None:
+            return (
+                self.center.flush_all()
+                + self.propagation.flush_all()
+                + self.materialized.flush_all()
+            )
+        return self.center.flush(table) + self.propagation.flush(table)
+
     # -- persistence ---------------------------------------------------------
     def save(self, path: str | Path) -> int:
         """Snapshot the whole database (process state included)."""
@@ -105,3 +127,4 @@ class EdiFlow:
         """Stop the synchronization layer (open executions stay queryable)."""
         self.views.close()
         self.server.close()
+        self.center.close()

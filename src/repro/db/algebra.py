@@ -17,9 +17,8 @@ import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
 
-from ..errors import DatabaseError, UnknownColumnError
+from ..errors import DatabaseError
 from .expression import ColumnRef, Expression, evaluate_predicate
-from .schema import HIDDEN_FIELDS
 from .table import Table
 
 

@@ -89,6 +89,17 @@ class Database:
         self._statement_cache = LRUCache(capacity=512)
         self._plan_cache = LRUCache(capacity=256)
 
+    @property
+    def lock(self) -> threading.RLock:
+        """The database's global lock.
+
+        Triggers fire while it is held, so any subsystem that must take
+        both this lock and its own (the notification center's batching
+        flush, the purge path) acquires *this one first* to keep a single
+        global order and stay deadlock-free.
+        """
+        return self._lock
+
     # ------------------------------------------------------------------
     # Clock
     def now(self) -> int:

@@ -20,7 +20,6 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any
 
 from ..errors import DatabaseError
 from .database import Database

@@ -7,7 +7,7 @@ endowed with a primary key".  Relationships become foreign-key columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..errors import ConstraintViolation, SchemaError, TypeMismatchError

@@ -7,8 +7,8 @@ lowers them to algebra plans / mutation commands.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Optional, Union
 
 
 # ---------------------------------------------------------------------------

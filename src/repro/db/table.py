@@ -14,7 +14,7 @@ API only.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..errors import ConstraintViolation, DatabaseError, SchemaError
 from .index import HashIndex, SortedIndex

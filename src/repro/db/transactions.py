@@ -12,7 +12,7 @@ are not needed by any EdiFlow mechanism and are left out deliberately).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..errors import TransactionError

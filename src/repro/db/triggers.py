@@ -15,7 +15,7 @@ depth limit to catch accidental loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import DatabaseError

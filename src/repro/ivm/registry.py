@@ -4,17 +4,26 @@ Registering a view installs statement-level triggers on each of its base
 tables; every subsequent change set is converted to a delta and folded
 into the view incrementally.  The registry records counters so benchmarks
 (ablation A1) can report maintenance vs recomputation work.
+
+Views participate in the propagation policies of Section V: under a
+non-immediate policy (:meth:`ViewRegistry.set_policy`) the trigger path
+*buffers* change sets in a :class:`~repro.sync.batching.DeltaCoalescer`
+and a flush folds the whole batch into the view as **one** combined
+delta -- one ``apply_delta`` call, one maintenance span, however many
+statements fed it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any
 
 from ..db.database import Database
 from ..db.table import ChangeSet
 from ..errors import ViewError
 from ..obs.runtime import OBS
+from ..sync.batching import BatchBuffer, IMMEDIATE, PropagationPolicy
 from .delta import Delta
 from .maintenance import apply_delta
 from .view import ViewDefinition
@@ -27,6 +36,10 @@ class ViewStats:
     recomputes: int = 0
     deltas_applied: int = 0
     delta_rows: int = 0
+    #: Flushes of buffered (non-immediate policy) batches.
+    batched_flushes: int = 0
+    #: Raw operations removed by coalescing before application.
+    coalesced_ops: int = 0
 
 
 class ViewRegistry:
@@ -37,6 +50,11 @@ class ViewRegistry:
         self._views: dict[str, ViewDefinition] = {}
         self._stats: dict[str, ViewStats] = {}
         self._trigger_names: dict[str, list[str]] = {}
+        # Propagation policies: view name -> policy (absent = immediate).
+        # Buffer keys are "view|table" since one view may span tables.
+        self._policies: dict[str, PropagationPolicy] = {}
+        self._buffer = BatchBuffer()
+        self._lock = threading.RLock()
 
     def register(self, view: ViewDefinition, populate: bool = True) -> ViewDefinition:
         """Add a view, install its triggers, and (by default) populate it."""
@@ -58,7 +76,96 @@ class ViewRegistry:
             self.recompute(view.name)
         return view
 
+    # ------------------------------------------------------------------
+    # Propagation policies
+    def set_policy(self, view_name: str, policy: PropagationPolicy) -> None:
+        """Configure how base-table changes reach ``view_name``.
+
+        Anything buffered under the old policy is flushed first, so a
+        policy switch never strands deltas.
+        """
+        self.view(view_name)  # must exist
+        self.flush_view(view_name)
+        with self._lock:
+            if policy.buffers:
+                self._policies[view_name] = policy
+            else:
+                self._policies.pop(view_name, None)
+
+    def policy(self, view_name: str) -> PropagationPolicy:
+        with self._lock:
+            return self._policies.get(view_name, IMMEDIATE)
+
+    def pending_ops(self, view_name: str) -> int:
+        """Buffered raw operations awaiting a flush for ``view_name``."""
+        prefix = view_name + "|"
+        with self._lock:
+            return sum(
+                self._buffer.pending_ops(key)
+                for key in self._buffer.keys()
+                if key.startswith(prefix)
+            )
+
+    def flush_view(self, view_name: str) -> int:
+        """Apply buffered deltas of ``view_name`` as combined batches.
+
+        Returns the number of net operations applied.  One call per base
+        table: a flush of 10k coalesced inserts costs one ``apply_delta``
+        invocation instead of 10k trigger firings.
+        """
+        prefix = view_name + "|"
+        # Database lock first: the trigger path arrives holding it, so a
+        # flusher thread must use the same order.
+        with self._database.lock:
+            with self._lock:
+                coalescers = [
+                    self._buffer.take(key)
+                    for key in self._buffer.keys()
+                    if key.startswith(prefix)
+                ]
+            applied = 0
+            for coalescer in coalescers:
+                if coalescer is None:
+                    continue
+                stats = self._stats.get(view_name)
+                if stats is not None:
+                    stats.coalesced_ops += coalescer.coalesced_away()
+                if coalescer.is_empty():
+                    continue  # batch annihilated itself; savings counted
+                if stats is not None:
+                    stats.batched_flushes += 1
+                self._apply_now(self._views[view_name], coalescer.net_changeset())
+                applied += coalescer.net_ops()
+            return applied
+
+    def flush_all(self) -> int:
+        """Flush every view with buffered deltas; returns total net ops."""
+        with self._lock:
+            names = {key.split("|", 1)[0] for key in self._buffer.keys()}
+        return sum(self.flush_view(name) for name in names)
+
+    # ------------------------------------------------------------------
     def _make_handler(self, view: ViewDefinition):
+        def handler(change: ChangeSet) -> None:
+            # Trigger context: database lock held.
+            with self._lock:
+                policy = self._policies.get(view.name)
+                if policy is not None:
+                    key = f"{view.name}|{change.table}"
+                    coalescer = self._buffer.add(key, change)
+                    due = policy.should_flush(
+                        coalescer.raw_ops, self._buffer.age_ms(key)
+                    )
+                    if not due:
+                        return
+            if policy is not None:
+                self.flush_view(view.name)
+                return
+            self._apply_now(view, change)
+
+        return handler
+
+    def _apply_now(self, view: ViewDefinition, change: ChangeSet) -> int:
         def apply(change: ChangeSet) -> int:
             delta = Delta.from_changeset(change)
             applied = apply_delta(view, delta, self._database)
@@ -67,22 +174,19 @@ class ViewRegistry:
             stats.delta_rows += applied
             return applied
 
-        def handler(change: ChangeSet) -> None:
-            if not OBS.enabled:
-                apply(change)
-                return
-            with OBS.tracer.span(
-                "ivm.delta_apply",
-                tags={"view": view.name, "table": change.table},
-            ) as span:
-                applied = apply(change)
-                span.set_tag("rows", applied)
-            OBS.metrics.histogram("ivm.delta_rows", view=view.name).observe(applied)
-            OBS.metrics.histogram("ivm.maintenance_ms", view=view.name).observe(
-                span.duration_ms
-            )
-
-        return handler
+        if not OBS.enabled:
+            return apply(change)
+        with OBS.tracer.span(
+            "ivm.delta_apply",
+            tags={"view": view.name, "table": change.table},
+        ) as span:
+            applied = apply(change)
+            span.set_tag("rows", applied)
+        OBS.metrics.histogram("ivm.delta_rows", view=view.name).observe(applied)
+        OBS.metrics.histogram("ivm.maintenance_ms", view=view.name).observe(
+            span.duration_ms
+        )
+        return applied
 
     def unregister(self, name: str) -> None:
         if name not in self._views:
@@ -92,6 +196,12 @@ class ViewRegistry:
                 self._database.drop_trigger(trigger)
             except Exception:
                 pass  # table may have been dropped, taking triggers with it
+        prefix = name + "|"
+        with self._lock:
+            self._policies.pop(name, None)
+            for key in self._buffer.keys():
+                if key.startswith(prefix):
+                    self._buffer.take(key)
         del self._views[name]
         del self._stats[name]
 

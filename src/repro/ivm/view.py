@@ -17,8 +17,7 @@ maintenance algorithms live in :mod:`repro.ivm.maintenance`.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 from ..db.algebra import AggSpec
 from ..db.expression import ColumnRef, Expression, evaluate_predicate

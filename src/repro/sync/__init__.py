@@ -9,8 +9,23 @@ Typical socket-mode use::
     ... db changes ... client receives NOTIFY ...
     client.refresh("visual_attributes")       # step 8: pull
     client.write_back("visual_attributes", tid, "x", 4.2)   # step 9
+
+Propagation policies (Section V) are per-table::
+
+    center.set_policy("visual_attributes", Threshold(max_changes=256))
+    center.set_policy("annotations", MANUAL)   # flush on activity end
 """
 
+from .batching import (
+    BatchBuffer,
+    DeltaCoalescer,
+    IMMEDIATE,
+    Immediate,
+    MANUAL,
+    Manual,
+    PropagationPolicy,
+    Threshold,
+)
 from .client import SyncClient
 from .faults import FaultPlan, FaultyTransport
 from .memtable import MemoryTable
@@ -20,6 +35,7 @@ from .protocol import (
     DISCONNECT,
     HELLO,
     NOTIFY,
+    NOTIFY_BATCH,
     PING,
     PONG,
     REPLY,
@@ -30,21 +46,30 @@ from .protocol import (
 from .server import SyncServer
 
 __all__ = [
+    "BatchBuffer",
     "DISCONNECT",
+    "DeltaCoalescer",
     "FaultPlan",
     "FaultyTransport",
     "HELLO",
+    "IMMEDIATE",
+    "Immediate",
+    "MANUAL",
+    "Manual",
     "MemoryTable",
     "MessageStream",
     "NOTIFY",
+    "NOTIFY_BATCH",
     "NotificationCenter",
     "PING",
     "PONG",
+    "PropagationPolicy",
     "REPLY",
     "RefreshDriver",
     "SyncClient",
     "SyncServer",
     "T_CHANGED_ROWS",
+    "Threshold",
     "decode",
     "encode",
 ]

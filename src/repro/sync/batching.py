@@ -1,0 +1,273 @@
+"""Declarative update-propagation policies and delta coalescing.
+
+Section V of the paper defines three propagation behaviors for pushing
+changes of R_D toward their consumers:
+
+P1 (*immediate*)
+    every statement-level change propagates as it happens -- the
+    default, and the only behavior the repro had before this module.
+P2 (*deferred to completion*)
+    changes accumulate and propagate when an activity (or the caller)
+    says the unit of work is done -- :class:`Manual`.
+P3 (*periodic*)
+    changes accumulate and propagate every T milliseconds or every N
+    changes, whichever comes first -- :class:`Threshold`.
+
+A policy object is pure decision logic: the queues live in the layer
+applying it (:class:`~repro.sync.notification.NotificationCenter`,
+:class:`~repro.ivm.registry.ViewRegistry`,
+:class:`~repro.workflow.propagation.PropagationManager`), all of which
+buffer raw :class:`~repro.db.table.ChangeSet` objects in a
+:class:`DeltaCoalescer` and ship the *net* delta on flush.
+
+Coalescing is per primary key (the tuple identifier) with
+last-writer-wins semantics::
+
+    insert + update  -> insert(after)
+    insert + delete  -> (nothing)
+    update + update  -> update(first before, last after)
+    update + delete  -> delete(first before)
+    delete + insert  -> update(before, after)     # tid reuse, defensive
+
+so a burst of 10k inserts followed by 10k deletes flushes as zero work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..db.schema import TID
+from ..db.table import ChangeSet
+from ..errors import SyncError
+
+#: State tags inside :class:`DeltaCoalescer`.
+_INS = "insert"
+_UPD = "update"
+_DEL = "delete"
+
+
+class PropagationPolicy:
+    """Base class: when should buffered changes flush?
+
+    ``should_flush`` is consulted after every enqueued change;
+    ``max_delay_ms`` (when not ``None``) lets a timer flush batches that
+    would otherwise sit forever on an idle table.
+    """
+
+    kind: str = "abstract"
+    max_delay_ms: Optional[float] = None
+
+    def should_flush(self, pending_ops: int, age_ms: float) -> bool:
+        raise NotImplementedError
+
+    @property
+    def buffers(self) -> bool:
+        """True when changes are queued rather than propagated inline."""
+        return self.kind != "immediate"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class Immediate(PropagationPolicy):
+    """P1: propagate every change as it happens (the default)."""
+
+    kind = "immediate"
+
+    def should_flush(self, pending_ops: int, age_ms: float) -> bool:
+        return True
+
+
+@dataclass(frozen=True, repr=False)
+class Threshold(PropagationPolicy):
+    """P3 (periodic): flush after ``max_changes`` ops or ``max_delay_ms``
+    milliseconds, whichever comes first.
+
+    ``max_delay_ms=None`` disables the time bound (pure count batching).
+    """
+
+    max_changes: int = 64
+    max_delay_ms: Optional[float] = 50.0
+
+    kind = "threshold"
+
+    def __post_init__(self) -> None:
+        if self.max_changes < 1:
+            raise SyncError(f"max_changes must be >= 1, got {self.max_changes}")
+        if self.max_delay_ms is not None and self.max_delay_ms <= 0:
+            raise SyncError(f"max_delay_ms must be positive, got {self.max_delay_ms}")
+
+    def should_flush(self, pending_ops: int, age_ms: float) -> bool:
+        if pending_ops >= self.max_changes:
+            return True
+        return self.max_delay_ms is not None and age_ms >= self.max_delay_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Threshold(max_changes={self.max_changes}, "
+            f"max_delay_ms={self.max_delay_ms})"
+        )
+
+
+@dataclass(frozen=True, repr=False)
+class Manual(PropagationPolicy):
+    """P2 (deferred to completion): flush only when the owner says so.
+
+    The workflow engine flushes manual-policy relations whenever an
+    activity completes; any caller can flush explicitly at any time.
+    """
+
+    kind = "manual"
+
+    def should_flush(self, pending_ops: int, age_ms: float) -> bool:
+        return False
+
+
+#: Shared singletons for the zero-argument policies.
+IMMEDIATE = Immediate()
+MANUAL = Manual()
+
+
+class DeltaCoalescer:
+    """Merges queued :class:`ChangeSet` objects into one net change.
+
+    Keyed on the tuple identifier; not thread-safe on its own -- owners
+    guard it with their own lock.  ``raw_ops`` counts operations as they
+    arrived; the difference to the net size is what coalescing saved.
+    """
+
+    __slots__ = ("table", "raw_ops", "_state")
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        self.raw_ops = 0
+        # tid -> ("insert", after) | ("update", before, after) | ("delete", before)
+        self._state: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, change: ChangeSet) -> int:
+        """Fold one change set in; returns the number of raw ops added."""
+        if change.table != self.table:
+            raise SyncError(
+                f"cannot coalesce changes of {change.table!r} into {self.table!r}"
+            )
+        ops = 0
+        for row in change.inserted:
+            self._add_insert(row[TID], row)
+            ops += 1
+        for before, after in change.updated:
+            self._add_update(after[TID], before, after)
+            ops += 1
+        for row in change.deleted:
+            self._add_delete(row[TID], row)
+            ops += 1
+        self.raw_ops += ops
+        return ops
+
+    def _add_insert(self, tid: int, after: dict) -> None:
+        prev = self._state.get(tid)
+        if prev is None or prev[0] == _INS:
+            self._state[tid] = (_INS, after)
+        elif prev[0] == _DEL:
+            # delete + insert: the row came back -- net effect is an update.
+            self._state[tid] = (_UPD, prev[1], after)
+        else:  # update + insert (defensive): keep the original before image
+            self._state[tid] = (_UPD, prev[1], after)
+
+    def _add_update(self, tid: int, before: dict, after: dict) -> None:
+        prev = self._state.get(tid)
+        if prev is None:
+            self._state[tid] = (_UPD, before, after)
+        elif prev[0] == _INS:
+            # insert + update: the consumer never saw the intermediate image.
+            self._state[tid] = (_INS, after)
+        elif prev[0] == _UPD:
+            self._state[tid] = (_UPD, prev[1], after)
+        else:  # delete + update (defensive): treat like delete + insert
+            self._state[tid] = (_UPD, prev[1], after)
+
+    def _add_delete(self, tid: int, before: dict) -> None:
+        prev = self._state.get(tid)
+        if prev is None:
+            self._state[tid] = (_DEL, before)
+        elif prev[0] == _INS:
+            # insert + delete: the row never existed for the consumer.
+            del self._state[tid]
+        elif prev[0] == _UPD:
+            self._state[tid] = (_DEL, prev[1])
+        # delete + delete: keep the first tombstone.
+
+    # ------------------------------------------------------------------
+    def net_changeset(self) -> ChangeSet:
+        """The coalesced change set (insertion order preserved)."""
+        net = ChangeSet(self.table)
+        for state in self._state.values():
+            if state[0] == _INS:
+                net.inserted.append(state[1])
+            elif state[0] == _UPD:
+                net.updated.append((state[1], state[2]))
+            else:
+                net.deleted.append(state[1])
+        return net
+
+    def net_ops(self) -> int:
+        return len(self._state)
+
+    def coalesced_away(self) -> int:
+        """Operations eliminated by coalescing (raw minus net)."""
+        return self.raw_ops - len(self._state)
+
+    def is_empty(self) -> bool:
+        return not self._state
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def clear(self) -> None:
+        self._state.clear()
+        self.raw_ops = 0
+
+
+class BatchBuffer:
+    """One keyed set of coalescers plus first-buffered timestamps.
+
+    The shared bookkeeping of every batching layer: per-key pending
+    changes, the age of the oldest one, and net extraction.  Owners
+    provide the lock.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[str, DeltaCoalescer] = {}
+        self._since: dict[str, float] = {}
+
+    def add(self, key: str, change: ChangeSet) -> DeltaCoalescer:
+        coalescer = self._pending.get(key)
+        if coalescer is None:
+            coalescer = self._pending[key] = DeltaCoalescer(change.table)
+            self._since[key] = time.monotonic()
+        coalescer.add(change)
+        return coalescer
+
+    def age_ms(self, key: str) -> float:
+        since = self._since.get(key)
+        if since is None:
+            return 0.0
+        return (time.monotonic() - since) * 1000.0
+
+    def take(self, key: str) -> Optional[DeltaCoalescer]:
+        """Remove and return the pending coalescer for ``key`` (or None)."""
+        self._since.pop(key, None)
+        return self._pending.pop(key, None)
+
+    def pending_ops(self, key: str) -> int:
+        coalescer = self._pending.get(key)
+        return coalescer.raw_ops if coalescer is not None else 0
+
+    def keys(self) -> list[str]:
+        return list(self._pending)
+
+    def is_empty(self) -> bool:
+        return not self._pending

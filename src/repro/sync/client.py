@@ -40,7 +40,6 @@ import time
 from typing import Any, Callable, Optional
 
 from ..db.database import Database
-from ..db.schema import TID
 from ..errors import SyncError
 from ..obs.runtime import OBS
 from ..retry import RetryPolicy
@@ -105,7 +104,16 @@ class SyncClient:
         self._cu_ids: dict[str, int] = {}
         self._dirty: set[str] = set()
         self._dirty_lock = threading.Lock()
+        # Per-table refresh serialization: the RefreshDriver's loop and an
+        # explicit flush() may call refresh concurrently; without this
+        # both would take the same changes_since snapshot and apply it
+        # twice.
+        self._refresh_locks: dict[str, threading.Lock] = {}
+        self._refresh_locks_guard = threading.Lock()
+        #: Capabilities negotiated with the server (socket mode only).
+        self.server_caps: frozenset[str] = frozenset()
         self.notify_received = 0
+        self.batch_notifies_received = 0
         self._hooks: list[NotifyHook] = []
         self._status_hooks: list[StatusHook] = []
         self._listener: Optional[socket.socket] = None
@@ -210,7 +218,9 @@ class SyncClient:
             raise SyncError(f"listener unusable: {exc}") from None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = protocol.MessageStream(sock)
-        protocol.client_handshake(stream)
+        self.server_caps = protocol.client_handshake(
+            stream, caps=[protocol.CAP_BATCH]
+        )
         self._stream = stream
         self._last_rx = time.monotonic()
         self._reader = threading.Thread(
@@ -243,6 +253,20 @@ class SyncClient:
                 self._fire_notify_hooks(
                     table, message.get("op", ""), message.get("seq_no", 0)
                 )
+            elif kind == protocol.NOTIFY_BATCH:
+                table = message["table"]
+                try:
+                    events = protocol.batch_events(message)
+                except SyncError:
+                    # Malformed frame from a confused peer: the dirty
+                    # flag still forces a pull, so nothing is lost.
+                    events = []
+                self.batch_notifies_received += 1
+                self.notify_received += len(events)
+                with self._dirty_lock:
+                    self._dirty.add(table)
+                for op, seq_no in events:
+                    self._fire_notify_hooks(table, op, seq_no)
             elif kind == protocol.PING:
                 try:
                     stream.send(protocol.pong(message.get("seq", 0)))
@@ -479,20 +503,32 @@ class SyncClient:
         database directly -- so it keeps working while the client is
         reconnecting or degraded (stale-but-consistent views, then
         convergence, rather than a frozen display).
+
+        Refreshes of one table are serialized: the RefreshDriver's loop
+        and an explicit ``flush()`` would otherwise race, take the same
+        seq snapshot, and apply the same delta twice.
         """
-        if not OBS.enabled:
-            return self._refresh_impl(table, full)
-        with OBS.tracer.span(
-            "sync.mirror_refresh", tags={"table": table, "full": full}
-        ) as span:
-            stats = self._refresh_impl(table, full, span=span)
-            span.set_tag("upserts", stats["upserts"])
-            span.set_tag("deletes", stats["deletes"])
-        OBS.metrics.histogram("sync.refresh_ms", table=table).observe(
-            span.duration_ms
-        )
-        self._refresh_contexts[table] = span.context()
-        return stats
+        with self._refresh_lock(table):
+            if not OBS.enabled:
+                return self._refresh_impl(table, full)
+            with OBS.tracer.span(
+                "sync.mirror_refresh", tags={"table": table, "full": full}
+            ) as span:
+                stats = self._refresh_impl(table, full, span=span)
+                span.set_tag("upserts", stats["upserts"])
+                span.set_tag("deletes", stats["deletes"])
+            OBS.metrics.histogram("sync.refresh_ms", table=table).observe(
+                span.duration_ms
+            )
+            self._refresh_contexts[table] = span.context()
+            return stats
+
+    def _refresh_lock(self, table: str) -> threading.Lock:
+        with self._refresh_locks_guard:
+            lock = self._refresh_locks.get(table)
+            if lock is None:
+                lock = self._refresh_locks[table] = threading.Lock()
+            return lock
 
     def last_refresh_context(self, table: str) -> Optional[Any]:
         """Span context of the latest traced refresh of ``table``.
@@ -530,24 +566,29 @@ class SyncClient:
             # Take the current notification horizon first, so changes that
             # land during the scan are re-pulled on the next refresh.
             newest, _changes = self.center.changes_since(table, memtable.last_seq_no)
-            for row in base.rows():
-                memtable.apply_upsert(row)
-                stats["upserts"] += 1
+            rows = list(base.rows())
+            memtable.apply_batch(rows, [])
+            stats["upserts"] += len(rows)
             memtable.last_seq_no = newest
         else:
             newest, changes = self.center.changes_since(table, memtable.last_seq_no)
+            # Resolve row images first, then fold the whole delta into the
+            # mirror under ONE memtable lock acquisition (ops stay in seq
+            # order, so repeated tids replay correctly).
+            ops: list[tuple[str, Any]] = []
             for tid, op in changes:
                 if op == "delete":
-                    memtable.apply_delete(tid)
+                    ops.append(("delete", tid))
                     stats["deletes"] += 1
                 else:
                     row = base.get(tid)
                     if row is None:
-                        memtable.apply_delete(tid)
+                        ops.append(("delete", tid))
                         stats["deletes"] += 1
                     else:
-                        memtable.apply_upsert(row)
+                        ops.append(("upsert", row))
                         stats["upserts"] += 1
+            memtable.apply_ops(ops)
             memtable.last_seq_no = newest
         if span is not None:
             self._join_notify_trace(span, table, newest)

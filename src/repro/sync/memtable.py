@@ -72,21 +72,24 @@ class MemoryTable:
     # Applying pulled changes (called by the sync client)
     def apply_upsert(self, row: Row) -> None:
         with self._lock:
-            tid = row[TID]
-            if not self.accepts(row):
-                self.rows.pop(tid, None)
+            self._upsert_locked(row)
+
+    def _upsert_locked(self, row: Row) -> None:
+        tid = row[TID]
+        if not self.accepts(row):
+            self.rows.pop(tid, None)
+            return
+        image = dict(row)
+        existing = self.rows.get(tid)
+        if existing is not None:
+            if self._is_own_echo(tid, image):
+                self.skipped_self_updates += 1
+                self.rows[tid] = image
                 return
-            image = dict(row)
-            existing = self.rows.get(tid)
-            if existing is not None:
-                if self._is_own_echo(tid, image):
-                    self.skipped_self_updates += 1
-                    self.rows[tid] = image
-                    return
-                self.applied_updates += 1
-            else:
-                self.applied_inserts += 1
-            self.rows[tid] = image
+            self.applied_updates += 1
+        else:
+            self.applied_inserts += 1
+        self.rows[tid] = image
 
     def _is_own_echo(self, tid: int, image: Row) -> bool:
         """True when the pulled image only confirms our own pending writes."""
@@ -112,8 +115,38 @@ class MemoryTable:
 
     def apply_delete(self, tid: int) -> None:
         with self._lock:
-            if self.rows.pop(tid, None) is not None:
-                self.applied_deletes += 1
+            self._delete_locked(tid)
+
+    def _delete_locked(self, tid: int) -> None:
+        if self.rows.pop(tid, None) is not None:
+            self.applied_deletes += 1
+
+    def apply_batch(self, upserts: list[Row], deletes: list[int]) -> None:
+        """Fold a whole pulled delta in under ONE lock acquisition.
+
+        Semantically identical to calling :meth:`apply_upsert` /
+        :meth:`apply_delete` per row, but a 4096-row flush pays one lock
+        round trip instead of 4096 -- and readers never observe a
+        half-applied batch.
+        """
+        with self._lock:
+            for row in upserts:
+                self._upsert_locked(row)
+            for tid in deletes:
+                self._delete_locked(tid)
+
+    def apply_ops(self, ops: list[tuple[str, Any]]) -> None:
+        """Order-preserving batch apply: ``[("upsert", row) | ("delete", tid)]``.
+
+        Used when a pulled change log interleaves kinds (insert, delete,
+        re-insert of one tid) and replay order matters.
+        """
+        with self._lock:
+            for kind, payload in ops:
+                if kind == "delete":
+                    self._delete_locked(payload)
+                else:
+                    self._upsert_locked(payload)
 
     # ------------------------------------------------------------------
     # Local edits (to be pushed back by the client)

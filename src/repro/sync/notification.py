@@ -10,11 +10,25 @@ tombstones are server-side state, never sent over the wire).
 The center also fans each notification out to in-process listeners --
 the :class:`~repro.sync.server.SyncServer` registers one to push NOTIFY
 messages to remote clients.
+
+Propagation policies (Section V's P1/P2/P3) are configured per table via
+:meth:`NotificationCenter.set_policy`: under a non-immediate policy the
+trigger path *buffers* change sets in a :class:`DeltaCoalescer` and a
+flush records the net delta as one seq-no batch, fanned out to
+batch-aware listeners in a single call.
+
+Locking: the database fires triggers while holding its global lock, so
+the write path enters here as ``db lock -> center lock``.  Every center
+method that may run on another thread and touch both (flush, purge, the
+replay readers) therefore acquires the *database* lock first -- one
+consistent order, no deadlock, and replay scans see a stable snapshot
+instead of racing a concurrent purge (the RefreshDriver/purge race).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Optional
 
 from ..core import datamodel
@@ -22,14 +36,19 @@ from ..db.database import Database
 from ..db.expression import col
 from ..db.schema import TID, Column
 from ..db.table import ChangeSet
-from ..db.types import INTEGER, TEXT, TIMESTAMP
+from ..db.types import INTEGER, TEXT
 from ..errors import SyncError
 from ..obs.runtime import OBS
+from .batching import IMMEDIATE, BatchBuffer, PropagationPolicy
 
 T_CHANGED_ROWS = "ediflow_changed_rows"
 
 #: Listener signature: (table_name, op, seq_no).
 Listener = Callable[[str, str, int], None]
+
+#: Batch listener signature: (table_name, [(op, seq_no), ...]) -- one call
+#: per recorded event group (singletons included), in seq order.
+BatchListener = Callable[[str, list[tuple[str, int]]], None]
 
 
 class NotificationCenter:
@@ -57,8 +76,19 @@ class NotificationCenter:
                 table.create_index(f"ix_{name}_seq", ("seq_no",), sorted=True)
         self._watched: set[str] = set()
         self._listeners: list[Listener] = []
+        self._batch_listeners: list[BatchListener] = []
         self._lock = threading.RLock()
         self._next_seq = self._initial_seq()
+        # Propagation policies (P1/P2/P3): table -> policy; absent means
+        # immediate.  Buffered changes live in the batch buffer.
+        self._policies: dict[str, PropagationPolicy] = {}
+        self._buffer = BatchBuffer()
+        self._flush_thread: Optional[threading.Thread] = None
+        self._flush_stop = threading.Event()
+        self._closed = False
+        # Counters (tests and dashboards read these).
+        self.flushes = 0
+        self.coalesced_ops = 0
 
     def _initial_seq(self) -> int:
         table = self.database.table(datamodel.T_NOTIFICATION)
@@ -89,6 +119,7 @@ class NotificationCenter:
             self._watched.add(table)
 
     def unwatch(self, table: str) -> None:
+        self.flush(table)
         with self._lock:
             if table not in self._watched:
                 return
@@ -107,30 +138,189 @@ class NotificationCenter:
             if listener in self._listeners:
                 self._listeners.remove(listener)
 
+    def add_batch_listener(self, listener: BatchListener) -> None:
+        """Register a listener receiving one call per recorded batch."""
+        with self._lock:
+            self._batch_listeners.append(listener)
+
+    def remove_batch_listener(self, listener: BatchListener) -> None:
+        with self._lock:
+            if listener in self._batch_listeners:
+                self._batch_listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Propagation policies
+    def set_policy(self, table: str, policy: PropagationPolicy) -> None:
+        """Configure how changes of ``table`` propagate (P1/P2/P3).
+
+        Switching policies never strands queued changes: anything pending
+        under the old policy is flushed first.
+        """
+        self.flush(table)
+        with self._lock:
+            if policy.buffers:
+                self._policies[table] = policy
+            else:
+                self._policies.pop(table, None)
+        if policy.max_delay_ms is not None:
+            self._ensure_flush_thread()
+
+    def policy(self, table: str) -> PropagationPolicy:
+        with self._lock:
+            return self._policies.get(table, IMMEDIATE)
+
+    def pending_ops(self, table: str) -> int:
+        """Buffered (not yet flushed) raw operations for ``table``."""
+        with self._lock:
+            return self._buffer.pending_ops(table)
+
+    # ------------------------------------------------------------------
+    # Time-based flushing
+    def _ensure_flush_thread(self) -> None:
+        with self._lock:
+            if self._flush_thread is not None or self._closed:
+                return
+            self._flush_thread = threading.Thread(
+                target=self._flush_loop, daemon=True
+            )
+            self._flush_thread.start()
+
+    def _flush_interval(self) -> float:
+        delays = [
+            p.max_delay_ms for p in self._policies.values() if p.max_delay_ms
+        ]
+        if not delays:
+            return 0.05
+        return min(0.05, max(0.001, min(delays) / 1000.0 / 4.0))
+
+    def _flush_loop(self) -> None:
+        while not self._flush_stop.wait(self._flush_interval()):
+            for table in self.due_tables():
+                self.flush(table)
+
+    def due_tables(self) -> list[str]:
+        """Tables whose buffered changes have exceeded their time bound."""
+        with self._lock:
+            due = []
+            for table in self._buffer.keys():
+                policy = self._policies.get(table)
+                if policy is None:
+                    due.append(table)  # policy dropped with changes queued
+                elif policy.max_delay_ms is not None and (
+                    self._buffer.age_ms(table) >= policy.max_delay_ms
+                ):
+                    due.append(table)
+            return due
+
+    def close(self) -> None:
+        """Flush everything and stop the background flusher."""
+        self._closed = True
+        self._flush_stop.set()
+        self.flush_all()
+        thread = self._flush_thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+            self._flush_thread = None
+
     # ------------------------------------------------------------------
     def _on_change(self, change: ChangeSet) -> None:
+        # Trigger context: the database lock is held here, so taking the
+        # center lock respects the global db -> center order.
+        with self._lock:
+            policy = self._policies.get(change.table)
+            if policy is not None:
+                coalescer = self._buffer.add(change.table, change)
+                due = policy.should_flush(
+                    coalescer.raw_ops, self._buffer.age_ms(change.table)
+                )
+                if not due:
+                    return
+        if policy is not None:
+            self.flush(change.table)
+            return
         if OBS.enabled:
             with OBS.tracer.span(
                 "sync.notify", tags={"table": change.table}
             ) as span:
-                notified, listeners = self._record(change)
+                notified, listeners, batchers = self._record(change)
                 span.set_tag("notifications", len(notified))
-                # Register the notify context under (table, seq_no) so the
-                # mirror refresh -- on another thread, reached only through
-                # the protocol -- can join this trace, and so the
-                # NOTIFY->applied latency has a start timestamp.
-                context = span.context()
-                for table, op, seq_no in notified:
-                    OBS.tracer.link(("notify", table, seq_no), context)
-                    OBS.metrics.counter("sync.notifications", op=op).inc()
-                self._fan_out(notified, listeners)
+                self._register_links(notified, span)
+                self._fan_out(change.table, notified, listeners, batchers)
             return
-        notified, listeners = self._record(change)
-        self._fan_out(notified, listeners)
+        notified, listeners, batchers = self._record(change)
+        self._fan_out(change.table, notified, listeners, batchers)
+
+    @staticmethod
+    def _register_links(notified: list[tuple[str, str, int]], span: Any) -> None:
+        # Register the notify context under (table, seq_no) so the
+        # mirror refresh -- on another thread, reached only through
+        # the protocol -- can join this trace, and so the
+        # NOTIFY->applied latency has a start timestamp.
+        context = span.context()
+        for table, op, seq_no in notified:
+            OBS.tracer.link(("notify", table, seq_no), context)
+            OBS.metrics.counter("sync.notifications", op=op).inc()
+
+    def flush(self, table: str) -> int:
+        """Record and fan out the net delta buffered for ``table``.
+
+        Returns the number of net operations shipped (0 when nothing was
+        pending).  Safe to call from any thread and at any time,
+        including under an immediate policy (no-op).
+        """
+        # Acquire the database lock first: the trigger path arrives with
+        # it held, so a flusher thread must take the same order.
+        with self.database.lock:
+            with self._lock:
+                coalescer = self._buffer.take(table)
+            if coalescer is None:
+                return 0
+            away = coalescer.coalesced_away()
+            if coalescer.is_empty():
+                # The batch annihilated itself (e.g. insert+delete per
+                # tid): nothing to record, but the savings still count.
+                self.coalesced_ops += away
+                if away and OBS.enabled:
+                    OBS.metrics.counter(
+                        "sync.coalesced_away", table=table
+                    ).inc(away)
+                return 0
+            net = coalescer.net_changeset()
+            net_ops = coalescer.net_ops()
+            started = time.perf_counter()
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "sync.flush", tags={"table": table, "ops": net_ops}
+                ) as span:
+                    notified, listeners, batchers = self._record(net)
+                    self._register_links(notified, span)
+                self._observe_flush(table, net_ops, away, started)
+            else:
+                notified, listeners, batchers = self._record(net)
+            self.flushes += 1
+            self.coalesced_ops += away
+            self._fan_out(table, notified, listeners, batchers)
+            return net_ops
+
+    def _observe_flush(
+        self, table: str, net_ops: int, away: int, started: float
+    ) -> None:
+        OBS.metrics.histogram("sync.batch_size", table=table).observe(net_ops)
+        OBS.metrics.histogram("sync.flush_ms", table=table).observe(
+            (time.perf_counter() - started) * 1000.0
+        )
+        if away:
+            OBS.metrics.counter("sync.coalesced_away", table=table).inc(away)
+
+    def flush_all(self) -> int:
+        """Flush every table with buffered changes; returns total net ops."""
+        with self._lock:
+            tables = self._buffer.keys()
+        return sum(self.flush(table) for table in tables)
 
     def _record(
         self, change: ChangeSet
-    ) -> tuple[list[tuple[str, str, int]], list[Listener]]:
+    ) -> tuple[list[tuple[str, str, int]], list[Listener], list[BatchListener]]:
         events: list[tuple[str, list[int]]] = []
         if change.inserted:
             events.append((datamodel.OP_INSERT, [r[TID] for r in change.inserted]))
@@ -141,41 +331,51 @@ class NotificationCenter:
         if change.deleted:
             events.append((datamodel.OP_DELETE, [r[TID] for r in change.deleted]))
         notified: list[tuple[str, str, int]] = []
-        with self._lock:
-            for op, tids in events:
-                seq_no = self._next_seq
-                self._next_seq += 1
-                ts = self.database.now()
-                self.database.insert(
-                    datamodel.T_NOTIFICATION,
-                    {
-                        "seq_no": seq_no,
-                        "ts": ts,
-                        "table_name": change.table,
-                        "op": op,
-                    },
-                )
-                self.database.insert_many(
-                    T_CHANGED_ROWS,
-                    [
+        with self.database.lock:
+            with self._lock:
+                for op, tids in events:
+                    seq_no = self._next_seq
+                    self._next_seq += 1
+                    ts = self.database.now()
+                    self.database.insert(
+                        datamodel.T_NOTIFICATION,
                         {
                             "seq_no": seq_no,
+                            "ts": ts,
                             "table_name": change.table,
-                            "tid": tid,
                             "op": op,
-                        }
-                        for tid in tids
-                    ],
-                )
-                notified.append((change.table, op, seq_no))
-            listeners = list(self._listeners)
-        return notified, listeners
+                        },
+                    )
+                    self.database.insert_many(
+                        T_CHANGED_ROWS,
+                        [
+                            {
+                                "seq_no": seq_no,
+                                "table_name": change.table,
+                                "tid": tid,
+                                "op": op,
+                            }
+                            for tid in tids
+                        ],
+                    )
+                    notified.append((change.table, op, seq_no))
+                listeners = list(self._listeners)
+                batchers = list(self._batch_listeners)
+        return notified, listeners, batchers
 
     @staticmethod
     def _fan_out(
-        notified: list[tuple[str, str, int]], listeners: list[Listener]
+        table: str,
+        notified: list[tuple[str, str, int]],
+        listeners: list[Listener],
+        batchers: list[BatchListener],
     ) -> None:
-        for table, op, seq_no in notified:
+        if not notified:
+            return
+        events = [(op, seq_no) for _table, op, seq_no in notified]
+        for batcher in batchers:
+            batcher(table, events)
+        for _table, op, seq_no in notified:
             for listener in listeners:
                 listener(table, op, seq_no)
 
@@ -187,15 +387,19 @@ class NotificationCenter:
         """All ``(tid, op)`` changes on ``table`` after ``last_seq_no``.
 
         Returns ``(newest_seq_no, changes)``; changes are ordered by
-        sequence number so replaying them yields the current state.
+        sequence number so replaying them yields the current state.  The
+        snapshot is taken under the database lock so a concurrent purge
+        (which deletes log rows) can never shift the scan mid-iteration.
         """
         newest = last_seq_no
         entries: list[tuple[int, int, str]] = []
-        for row in self._rows_after(T_CHANGED_ROWS, last_seq_no):
-            if row["table_name"] == table:
-                entries.append((row["seq_no"], row["tid"], row["op"]))
-                if row["seq_no"] > newest:
-                    newest = row["seq_no"]
+        with self.database.lock:
+            with self._lock:
+                for row in self._rows_after(T_CHANGED_ROWS, last_seq_no):
+                    if row["table_name"] == table:
+                        entries.append((row["seq_no"], row["tid"], row["op"]))
+                        if row["seq_no"] > newest:
+                            newest = row["seq_no"]
         entries.sort()
         return newest, [(tid, op) for _, tid, op in entries]
 
@@ -204,7 +408,8 @@ class NotificationCenter:
 
         Served by the sorted seq_no index when present (the common case:
         a reconnecting client pulls a short tail of a long log), falling
-        back to a full scan.
+        back to a full scan.  Callers hold the database lock so the
+        underlying index cannot shift while the generator runs.
         """
         table = self.database.table(table_name)
         index = table.find_sorted_index("seq_no")
@@ -227,9 +432,11 @@ class NotificationCenter:
         replay is lossless.
         """
         entries: list[tuple[int, str]] = []
-        for row in self._rows_after(datamodel.T_NOTIFICATION, last_seq_no):
-            if row["table_name"] == table:
-                entries.append((row["seq_no"], row["op"]))
+        with self.database.lock:
+            with self._lock:
+                for row in self._rows_after(datamodel.T_NOTIFICATION, last_seq_no):
+                    if row["table_name"] == table:
+                        entries.append((row["seq_no"], row["op"]))
         entries.sort()
         return entries
 
@@ -241,18 +448,24 @@ class NotificationCenter:
         means "consumed up to and including", so entries at or below the
         horizon are safe to drop.  Returns the number of notification
         rows removed.
+
+        Runs under the database lock (then the center lock) so it is
+        serialized against in-flight ``changes_since`` scans -- a refresh
+        taking its seq snapshot can never observe a half-purged log.
         """
-        connected = self.database.table(datamodel.T_CONNECTED_USER)
-        lowest: Optional[int] = None
-        for row in connected.scan():
-            seq = row["last_seq_no"]
-            if lowest is None or seq < lowest:
-                lowest = seq
-        if lowest is None:
-            # No clients: everything already consumed.
-            lowest = self._next_seq
-        removed = self.database.delete(
-            datamodel.T_NOTIFICATION, col("seq_no") <= lowest
-        )
-        self.database.delete(T_CHANGED_ROWS, col("seq_no") <= lowest)
-        return removed
+        with self.database.lock:
+            with self._lock:
+                connected = self.database.table(datamodel.T_CONNECTED_USER)
+                lowest: Optional[int] = None
+                for row in connected.scan():
+                    seq = row["last_seq_no"]
+                    if lowest is None or seq < lowest:
+                        lowest = seq
+                if lowest is None:
+                    # No clients: everything already consumed.
+                    lowest = self._next_seq
+                removed = self.database.delete(
+                    datamodel.T_NOTIFICATION, col("seq_no") <= lowest
+                )
+                self.database.delete(T_CHANGED_ROWS, col("seq_no") <= lowest)
+                return removed

@@ -29,6 +29,11 @@ from ..errors import ProtocolError
 HELLO = "HELLO"
 REPLY = "REPLY"
 NOTIFY = "NOTIFY"
+# Batched-notification extension: one frame carrying every (op, seq_no)
+# of a flush for one table, so a 4096-row burst costs one message
+# instead of thousands.  Only sent to peers that advertised the "batch"
+# capability in their HELLO; everyone else gets per-event NOTIFYs.
+NOTIFY_BATCH = "NOTIFYB"
 DISCONNECT = "DISCONNECT"
 # Liveness extension (not in the paper): the DBMS pings each callback
 # connection; the client answers.  Either side treats prolonged silence
@@ -38,6 +43,10 @@ PONG = "PONG"
 
 #: Protocol magic exchanged during the handshake (steps 5-6).
 MAGIC = "ediflow-sync-1"
+
+#: Optional capabilities a peer may advertise in its HELLO.
+CAP_BATCH = "batch"
+SUPPORTED_CAPS = frozenset({CAP_BATCH})
 
 #: Generous bound on one serialized message; protects against garbage peers.
 MAX_MESSAGE_BYTES = 1 << 16
@@ -62,16 +71,71 @@ def decode(line: bytes) -> dict[str, Any]:
     return message
 
 
-def hello() -> dict[str, Any]:
-    return {"type": HELLO, "magic": MAGIC}
+def hello(caps: Optional[list[str]] = None) -> dict[str, Any]:
+    message: dict[str, Any] = {"type": HELLO, "magic": MAGIC}
+    if caps:
+        message["caps"] = sorted(caps)
+    return message
 
 
-def reply() -> dict[str, Any]:
-    return {"type": REPLY, "magic": MAGIC}
+def reply(caps: Optional[list[str]] = None) -> dict[str, Any]:
+    message: dict[str, Any] = {"type": REPLY, "magic": MAGIC}
+    if caps:
+        message["caps"] = sorted(caps)
+    return message
+
+
+def peer_caps(message: dict[str, Any]) -> frozenset[str]:
+    """Capabilities a HELLO/REPLY advertises, restricted to known ones.
+
+    Pre-capability peers send no ``caps`` key at all; a malformed value
+    degrades to the empty set rather than failing the handshake --
+    capabilities only ever *add* behavior.
+    """
+    raw = message.get("caps")
+    if not isinstance(raw, list):
+        return frozenset()
+    return frozenset(c for c in raw if isinstance(c, str)) & SUPPORTED_CAPS
 
 
 def notify(table: str, seq_no: int, op: str) -> dict[str, Any]:
     return {"type": NOTIFY, "table": table, "seq_no": seq_no, "op": op}
+
+
+def notify_batch(table: str, events: list[tuple[str, int]]) -> dict[str, Any]:
+    """One frame for a whole flush: ``events`` is ``[(op, seq_no), ...]``.
+
+    ``lo``/``hi`` carry the covered seq-no range so a receiver can
+    advance its cursor and detect gaps without unpacking every event.
+    """
+    if not events:
+        raise ProtocolError("a NOTIFYB frame needs at least one event")
+    seqs = [seq_no for _op, seq_no in events]
+    return {
+        "type": NOTIFY_BATCH,
+        "table": table,
+        "lo": min(seqs),
+        "hi": max(seqs),
+        "events": [[op, seq_no] for op, seq_no in events],
+    }
+
+
+def batch_events(message: dict[str, Any]) -> list[tuple[str, int]]:
+    """Decode a NOTIFYB frame back into ``[(op, seq_no), ...]``."""
+    raw = message.get("events")
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError(f"malformed NOTIFYB events: {message!r}")
+    events: list[tuple[str, int]] = []
+    for item in raw:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not isinstance(item[0], str)
+            or not isinstance(item[1], int)
+        ):
+            raise ProtocolError(f"malformed NOTIFYB event: {item!r}")
+        events.append((item[0], item[1]))
+    return events
 
 
 def disconnect() -> dict[str, Any]:
@@ -125,17 +189,32 @@ class MessageStream:
         self._sock.close()
 
 
-def client_handshake(stream: MessageStream, timeout: float = 5.0) -> None:
-    """Client side of steps 5-6: send HELLO, await REPLY."""
-    stream.send(hello())
+def client_handshake(
+    stream: MessageStream,
+    timeout: float = 5.0,
+    caps: Optional[list[str]] = None,
+) -> frozenset[str]:
+    """Client side of steps 5-6: send HELLO, await REPLY.
+
+    Returns the capabilities the server echoed back (the negotiated
+    set); an old server that ignores ``caps`` yields the empty set.
+    """
+    stream.send(hello(caps))
     message = stream.receive(timeout)
     if message.get("type") != REPLY or message.get("magic") != MAGIC:
         raise ProtocolError(f"bad handshake reply: {message!r}")
+    return peer_caps(message)
 
 
-def server_handshake(stream: MessageStream, timeout: float = 5.0) -> None:
-    """Server side of steps 5-6: await HELLO, send REPLY."""
+def server_handshake(stream: MessageStream, timeout: float = 5.0) -> frozenset[str]:
+    """Server side of steps 5-6: await HELLO, send REPLY.
+
+    Returns the client's advertised capabilities; the REPLY echoes the
+    intersection with our own so both sides agree on the negotiated set.
+    """
     message = stream.receive(timeout)
     if message.get("type") != HELLO or message.get("magic") != MAGIC:
         raise ProtocolError(f"bad handshake hello: {message!r}")
-    stream.send(reply())
+    caps = peer_caps(message)
+    stream.send(reply(sorted(caps)))
+    return caps

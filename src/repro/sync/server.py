@@ -59,6 +59,9 @@ class _Endpoint:
     last_ping_at: float = 0.0
     #: When the endpoint detached (for :meth:`SyncServer.evict_detached`).
     detached_at: Optional[float] = None
+    #: Capabilities the client advertised in its HELLO; a peer without
+    #: ``batch`` receives per-event NOTIFYs even for flushed batches.
+    caps: frozenset[str] = frozenset()
 
 
 @dataclass
@@ -113,7 +116,7 @@ class SyncServer:
         self._endpoints: dict[tuple[str, int], _Endpoint] = {}
         self._lock = threading.RLock()
         self._allocator = datamodel.IdAllocator(database)
-        self.center.add_listener(self._on_notification)
+        self.center.add_batch_listener(self._on_notifications)
         self._closed = False
         self._stop = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
@@ -125,8 +128,12 @@ class SyncServer:
 
     # ------------------------------------------------------------------
     # Connection plumbing
-    def _open_callback(self, host: str, port: int) -> Any:
-        """Connect back to a client listener and handshake (steps 5-6)."""
+    def _open_callback(self, host: str, port: int) -> tuple[Any, frozenset[str]]:
+        """Connect back to a client listener and handshake (steps 5-6).
+
+        Returns ``(transport, caps)`` where ``caps`` is what the client
+        advertised in its HELLO (empty for pre-capability peers).
+        """
         transport: Optional[Any] = None
         try:
             sock = socket.create_connection((host, port), timeout=5.0)
@@ -135,14 +142,14 @@ class SyncServer:
             if self.transport_factory is not None:
                 transport = self.transport_factory(transport)
             # Step 5/6: the DBMS expects HELLO and answers REPLY.
-            protocol.server_handshake(transport, timeout=5.0)
+            caps = protocol.server_handshake(transport, timeout=5.0)
         except (OSError, SyncError) as exc:
             if transport is not None:
                 transport.close()
             raise SyncError(
                 f"cannot connect back to client at {host}:{port}: {exc}"
             ) from None
-        return transport
+        return transport, caps
 
     def _attach(self, endpoint: _Endpoint, transport: Any) -> None:
         """Install a live transport on an endpoint and start its reader."""
@@ -260,14 +267,14 @@ class SyncServer:
                 endpoint = self._endpoints.get((host, port))
             if endpoint is None:
                 try:
-                    transport = self._open_callback(host, port)
+                    transport, caps = self._open_callback(host, port)
                 except SyncError:
                     # Failed connection or handshake: no trace left behind.
                     self.database.delete(
                         datamodel.T_CONNECTED_USER, col("id") == cu_id
                     )
                     raise
-                endpoint = _Endpoint(host, port, None)
+                endpoint = _Endpoint(host, port, None, caps=caps)
                 self._attach(endpoint, transport)
                 with self._lock:
                     self._endpoints[(host, port)] = endpoint
@@ -292,10 +299,11 @@ class SyncServer:
             endpoint = self._endpoints.get((host, port))
         if endpoint is None:
             raise SyncError(f"no registered client at {host}:{port}")
-        transport = self._open_callback(host, port)
+        transport, caps = self._open_callback(host, port)
         with self._lock:
             stale = endpoint.stream
             endpoint.stream = None
+            endpoint.caps = caps
         if stale is not None:
             stale.close()
         self._attach(endpoint, transport)
@@ -376,13 +384,22 @@ class SyncServer:
 
     # ------------------------------------------------------------------
     def _on_notification(self, table: str, op: str, seq_no: int) -> None:
-        """Step 7: push NOTIFY to every client registered on ``table``.
+        """Single-event convenience wrapper over :meth:`_on_notifications`."""
+        self._on_notifications(table, [(op, seq_no)])
 
-        A send failure detaches the endpoint (keeping the registration)
-        instead of unregistering the client; ``notify_count`` counts only
-        *successful* deliveries, ``missed_count`` the ones the client
-        will replay from ``changes_since`` after reconnecting.
+    def _on_notifications(self, table: str, events: list[tuple[str, int]]) -> None:
+        """Step 7: push the recorded events to every client on ``table``.
+
+        One center flush arrives here as one call.  Batch-capable peers
+        get a single NOTIFYB frame covering all events; legacy peers get
+        one NOTIFY per event -- same information, more messages.  A send
+        failure detaches the endpoint (keeping the registration) instead
+        of unregistering the client; ``notify_count`` counts only
+        *successful* deliveries (per event), ``missed_count`` the ones
+        the client will replay from ``changes_since`` after reconnecting.
         """
+        if not events:
+            return
         with self._lock:
             links = [link for link in self._links.values() if link.table == table]
         failed: list[_Endpoint] = []
@@ -390,22 +407,27 @@ class SyncServer:
             endpoint = link.endpoint
             if endpoint is None:
                 # In-process mode: delivery happens via the center's own
-                # listener fan-out; count the dispatch.
-                link.notify_count += 1
+                # listener fan-out; count the dispatches.
+                link.notify_count += len(events)
                 continue
             transport = endpoint.stream
             if transport is None:
-                link.missed_count += 1
+                link.missed_count += len(events)
                 continue
+            if protocol.CAP_BATCH in endpoint.caps and len(events) > 1:
+                frames = [protocol.notify_batch(table, events)]
+            else:
+                frames = [protocol.notify(table, s, op) for op, s in events]
             try:
                 with endpoint.lock:
-                    transport.send(protocol.notify(table, seq_no, op))
+                    for frame in frames:
+                        transport.send(frame)
             except (OSError, ProtocolError):
-                link.missed_count += 1
+                link.missed_count += len(events)
                 if endpoint not in failed:
                     failed.append(endpoint)
                 continue
-            link.notify_count += 1
+            link.notify_count += len(events)
         for endpoint in failed:
             self._detach_endpoint(endpoint)
 
@@ -436,7 +458,7 @@ class SyncServer:
             self.database.delete(
                 datamodel.T_CONNECTED_USER, col("id") == link.connected_user_id
             )
-        self.center.remove_listener(self._on_notification)
+        self.center.remove_batch_listener(self._on_notifications)
         if self._heartbeat_thread is not None:
             self._heartbeat_thread.join(timeout=2.0)
             self._heartbeat_thread = None

@@ -17,7 +17,6 @@ from ..core import datamodel
 from ..db.database import Database
 from ..db.expression import col
 from ..db.schema import TID
-from ..errors import VisError
 
 
 @dataclass

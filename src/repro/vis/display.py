@@ -9,10 +9,9 @@ screen" -- is :meth:`apply_rows`.
 
 from __future__ import annotations
 
-import time
-from typing import Any, Iterable, Optional
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
 
-from ..errors import VisError
 from ..obs.runtime import OBS
 from .attributes import VisualItem
 
@@ -30,6 +29,12 @@ class Display:
         self.updated = 0
         self.removed = 0
         self.refreshes = 0
+        #: Display-list transactions committed (one frame each).
+        self.transactions = 0
+        # Open transaction() nesting depth; while positive, refresh()
+        # only *requests* a frame -- the outermost exit commits one.
+        self._txn_depth = 0
+        self._txn_refresh_requested = False
 
     # ------------------------------------------------------------------
     def apply_rows(self, rows: Iterable[dict[str, Any]]) -> int:
@@ -89,10 +94,49 @@ class Display:
 
         Real toolkits redraw "10 times per second" (Section I); headless,
         a refresh just counts -- the data movement it would render is
-        already in ``items``.
+        already in ``items``.  Inside a :meth:`transaction` the frame is
+        *deferred*: however many refreshes the batch requests, exactly
+        one is committed when the outermost transaction closes.
         """
+        if self._txn_depth > 0:
+            self._txn_refresh_requested = True
+            return self.refreshes
         self.refreshes += 1
         return self.refreshes
+
+    @contextmanager
+    def transaction(self) -> Iterator["Display"]:
+        """Apply a whole batch of display-list edits as one frame.
+
+        Section VII: periodic propagation amortizes layout/render cost --
+        a flush of 4096 coalesced changes must redraw once, not 4096
+        times.  Reentrant; only the outermost exit commits the frame (and
+        only if something inside asked for one).
+        """
+        self._txn_depth += 1
+        try:
+            yield self
+        finally:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                requested = self._txn_refresh_requested
+                self._txn_refresh_requested = False
+                self.transactions += 1
+                if requested:
+                    self.refreshes += 1
+
+    def apply_snapshot(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Replace the display list with ``rows`` in one transaction.
+
+        Clear + apply + a single frame: the batched equivalent of the
+        clear/apply_rows/refresh sequence view bindings used to issue
+        per update.
+        """
+        with self.transaction():
+            self.clear()
+            count = self.apply_rows(rows)
+            self.refresh()
+        return count
 
     # ------------------------------------------------------------------
     def bounds(self) -> tuple[float, float, float, float]:

@@ -8,7 +8,7 @@ paper's choice "among the very best for social networks").
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,7 @@ and adds new nodes" (Section VII-B).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator
 
 from ...errors import LayoutError
 

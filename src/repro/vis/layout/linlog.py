@@ -24,11 +24,10 @@ much faster since most of the nodes will only move slightly".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ...errors import LayoutError
 from ...obs.runtime import OBS
 from .graph import Graph, NodeId
 

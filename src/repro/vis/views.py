@@ -19,7 +19,6 @@ from typing import Any, Optional, Sequence
 
 from ..core import datamodel
 from ..db.database import Database
-from ..errors import VisError
 from ..sync.client import SyncClient
 from ..sync.memtable import MemoryTable, RowPredicate
 from ..sync.server import SyncServer
@@ -39,17 +38,18 @@ class ViewBinding:
     display: Display
 
     def refresh(self) -> int:
-        """Pull pending changes and redraw; returns #rows applied."""
-        stats = self.client.refresh(self.memtable.table)
+        """Pull pending changes and redraw; returns #rows applied.
+
+        The redraw is one display-list transaction: however many changes
+        the pull folded in, the display commits a single frame.
+        """
+        self.client.refresh(self.memtable.table)
         rows = [
             row
             for row in self.memtable.all_rows()
             if row["component_id"] == self.component_id
         ]
-        self.display.clear()
-        applied = self.display.apply_rows(rows)
-        self.display.refresh()
-        return applied
+        return self.display.apply_snapshot(rows)
 
 
 class ViewManager:

@@ -12,7 +12,7 @@ their finished handlers.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..core import datamodel
@@ -22,10 +22,6 @@ from ..db.types import type_from_name
 from ..errors import EnactmentError, SpecificationError, WorkflowError
 from ..obs.runtime import OBS
 from .expressions import (
-    ProcCallExpr,
-    QueryExpr,
-    TableExpr,
-    ValueExpr,
     WorkflowExpression,
     evaluate_condition,
 )
@@ -151,6 +147,16 @@ class WorkflowEngine:
         self._lock = threading.RLock()
         self._propagation = None  # set by PropagationManager.attach
         self.record_provenance = True
+
+    def _flush_propagation(self) -> None:
+        """Release manual-policy UP deltas (P2, deferred-to-completion).
+
+        Called whenever an activity or execution completes; a no-op when
+        no PropagationManager is attached or nothing is buffered.
+        """
+        propagation = self._propagation
+        if propagation is not None:
+            propagation.flush_all()
 
     # ------------------------------------------------------------------
     # Deployment
@@ -344,6 +350,10 @@ class WorkflowEngine:
 
     def close(self, execution: Execution) -> None:
         """Finish remaining detached activities and complete the process."""
+        # P2 (deferred-to-completion): deliver buffered deltas while the
+        # detached activities are still live, so their ``ra`` handlers
+        # run before completion.
+        self._flush_propagation()
         with self._lock:
             for live in list(execution.detached_running):
                 self.finish_activity(live.instance.id)
@@ -437,6 +447,7 @@ class WorkflowEngine:
                 instance.complete()
             raise
         instance.complete()
+        self._flush_propagation()
         return instance
 
     def _create_activity_instance(
@@ -565,11 +576,17 @@ class WorkflowEngine:
         if activity.detached:
             execution.detached_running.append(live)
             return instance
+        # The activity is done: release manual-policy deltas it produced
+        # before it leaves the live set (P2, deferred-to-completion).
+        self._flush_propagation()
         self._finish_live(live)
         return instance
 
     def finish_activity(self, activity_instance_id: int) -> None:
         """Complete a detached activity instance."""
+        # Flush before completing: manual-policy deltas must reach this
+        # instance's ``ra`` handler while it still counts as running.
+        self._flush_propagation()
         with self._lock:
             live = self.live_activities.get(activity_instance_id)
             if live is None:

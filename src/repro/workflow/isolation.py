@@ -30,7 +30,7 @@ the tuples created by a given process instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from ..core import datamodel
 from ..db.database import Database, Result

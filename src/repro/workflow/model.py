@@ -19,7 +19,7 @@ Everything here is declarative description; execution lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from ..errors import SpecificationError
 
@@ -449,4 +449,3 @@ def _lift(node: ProcessNode | Activity) -> ProcessNode:
 
 
 # Imported late to avoid a cycle; re-exported for convenience.
-from .expressions import WorkflowExpression  # noqa: E402  (intentional)

@@ -9,7 +9,7 @@ activity instance is assigned.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from ..core import datamodel
 from ..db.database import Database

@@ -1,6 +1,5 @@
 """The EdiFlow facade: wiring, XML deployment, snapshots."""
 
-import pytest
 
 from repro import EdiFlow
 from repro.workflow import Procedure

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.db import Column, Database, col
+from repro.db import Column, Database
 from repro.db.types import INTEGER, TEXT
 
 # Small value pools keep collisions (and therefore interesting cases) common.

@@ -125,9 +125,9 @@ class TestScans:
         assert ids == [3, 1, 2]  # insertion order == tid order
 
     def test_created_between(self, table):
-        a = table.insert({"id": 1})
+        table.insert({"id": 1})
         b = table.insert({"id": 2})
-        c = table.insert({"id": 3})
+        table.insert({"id": 3})
         middle = [r["id"] for r in table.created_between(b[CREATED_AT], b[CREATED_AT])]
         assert middle == [2]
         up_to_b = [r["id"] for r in table.created_between(None, b[CREATED_AT])]

@@ -4,7 +4,6 @@ The core IVM invariant, checked under random interleavings of inserts,
 deletes, and updates.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

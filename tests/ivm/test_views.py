@@ -300,3 +300,84 @@ class TestRegistry:
         registry.register(SelectProjectView("b", "orders"))
         registry.register(SelectProjectView("a", "orders"))
         assert registry.names() == ["a", "b"]
+
+
+class TestRegistryPolicies:
+    """Propagation policies on materialized views (Section V)."""
+
+    def test_threshold_applies_one_combined_delta(self, db, registry):
+        from repro.sync.batching import Threshold
+
+        view = registry.register(SelectProjectView("all", "orders"))
+        registry.set_policy("all", Threshold(max_changes=100, max_delay_ms=None))
+        for i in range(10):
+            db.insert("orders", {"id": i + 1, "customer": "c", "amount": i})
+        assert len(view) == 0  # buffered, not yet applied
+        assert registry.pending_ops("all") == 10
+        assert registry.flush_view("all") == 10
+        assert len(view) == 10
+        stats = registry.stats("all")
+        assert stats.deltas_applied == 1  # ONE combined delta
+        assert stats.batched_flushes == 1
+
+    def test_threshold_count_overflow_autoflushes(self, db, registry):
+        from repro.sync.batching import Threshold
+
+        view = registry.register(SelectProjectView("all", "orders"))
+        registry.set_policy("all", Threshold(max_changes=3, max_delay_ms=None))
+        db.insert("orders", {"id": 1, "customer": "a", "amount": 1})
+        db.insert("orders", {"id": 2, "customer": "b", "amount": 2})
+        assert len(view) == 0
+        db.insert("orders", {"id": 3, "customer": "c", "amount": 3})
+        assert len(view) == 3  # third change crossed the threshold
+
+    def test_insert_delete_coalesces_to_nothing(self, db, registry):
+        from repro.sync.batching import MANUAL
+
+        view = registry.register(SelectProjectView("all", "orders"))
+        registry.set_policy("all", MANUAL)
+        db.insert("orders", {"id": 1, "customer": "a", "amount": 1})
+        db.delete("orders", col("id") == 1)
+        assert registry.flush_view("all") == 0
+        assert len(view) == 0
+        assert registry.stats("all").coalesced_ops == 2
+
+    def test_policy_switch_flushes_pending(self, db, registry):
+        from repro.sync.batching import IMMEDIATE, MANUAL
+
+        view = registry.register(SelectProjectView("all", "orders"))
+        registry.set_policy("all", MANUAL)
+        db.insert("orders", {"id": 1, "customer": "a", "amount": 1})
+        assert len(view) == 0
+        registry.set_policy("all", IMMEDIATE)
+        assert len(view) == 1  # switch released the buffered delta
+        db.insert("orders", {"id": 2, "customer": "b", "amount": 2})
+        assert len(view) == 2  # immediate again
+
+    def test_aggregate_view_batches_correctly(self, db, registry):
+        from repro.sync.batching import MANUAL
+
+        view = registry.register(
+            AggregateView(
+                "by_customer",
+                "orders",
+                group_by=["customer"],
+                aggregates=[AggSpec("SUM", col("amount"), "total")],
+            )
+        )
+        registry.set_policy("by_customer", MANUAL)
+        for i in range(4):
+            db.insert("orders", {"id": i + 1, "customer": "a", "amount": 10})
+        db.insert("orders", {"id": 9, "customer": "b", "amount": 7})
+        registry.flush_view("by_customer")
+        totals = {r["customer"]: r["total"] for r in view.rows()}
+        assert totals == {"a": 40, "b": 7}
+
+    def test_unregister_drops_buffered_deltas(self, db, registry):
+        from repro.sync.batching import MANUAL
+
+        registry.register(SelectProjectView("all", "orders"))
+        registry.set_policy("all", MANUAL)
+        db.insert("orders", {"id": 1, "customer": "a", "amount": 1})
+        registry.unregister("all")
+        assert registry.flush_all() == 0  # nothing strands, nothing crashes

@@ -6,7 +6,6 @@ identical contents."""
 import threading
 import time
 
-import pytest
 
 from repro.core import datamodel
 from repro.db import Column, Database

@@ -1,10 +1,11 @@
 """The rate-limited automatic refresh driver."""
 
+import threading
 import time
 
 import pytest
 
-from repro.db import Column, Database
+from repro.db import Column
 from repro.db.types import INTEGER
 from repro.errors import SyncError
 from repro.sync import NotificationCenter, RefreshDriver, SyncClient, SyncServer
@@ -106,3 +107,69 @@ class TestDriver:
         db.insert("pts", {"id": 2, "x": 2})
         time.sleep(0.05)
         driver.stop()  # must not hang or raise
+
+
+class TestConcurrencyRegressions:
+    """Races between the driver loop, explicit flushes, and purging."""
+
+    def test_flush_vs_loop_never_double_applies(self, stack):
+        """driver.flush and the _loop thread racing on one table must not
+        both consume the same changes_since window (refreshes of a table
+        are serialized in the client)."""
+        db, _server, client, mirror = stack
+        stop = threading.Event()
+        errors = []
+
+        def flusher():
+            while not stop.is_set():
+                try:
+                    client.refresh("pts")
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=flusher, daemon=True)
+        with RefreshDriver(client, max_rate=1000.0, poll_interval=0.0005):
+            thread.start()
+            for i in range(200):
+                db.insert("pts", {"id": i + 1, "x": i})
+            assert wait_until(lambda: len(mirror) == 200)
+            stop.set()
+            thread.join(timeout=5.0)
+        assert not errors
+        client.refresh("pts")
+        # An insert-only workload pulled twice would re-apply existing
+        # rows as updates; serialized refreshes never do.
+        assert mirror.applied_updates == 0
+        assert mirror.applied_inserts == 200
+
+    def test_refresh_vs_purge_race(self, stack):
+        """A concurrent purge must never shift a changes_since scan: the
+        snapshot is taken under the database lock (regression for the
+        RefreshDriver.flush / NotificationCenter.purge race)."""
+        db, server, client, mirror = stack
+        stop = threading.Event()
+        errors = []
+
+        def purger():
+            while not stop.is_set():
+                try:
+                    server.purge_notifications()
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=purger, daemon=True)
+        thread.start()
+        try:
+            for i in range(300):
+                db.insert("pts", {"id": i + 1, "x": i})
+                if i % 7 == 0:
+                    client.refresh("pts")
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert not errors
+        client.refresh("pts")
+        rows = {r["id"]: r["x"] for r in mirror.all_rows()}
+        assert rows == {i + 1: i for i in range(300)}

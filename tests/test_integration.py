@@ -1,6 +1,5 @@
 """End-to-end scenarios exercising the whole platform together."""
 
-import pytest
 
 from repro import EdiFlow
 from repro.apps import copub, elections, wikipedia

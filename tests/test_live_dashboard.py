@@ -12,8 +12,6 @@ import pytest
 
 from repro import EdiFlow
 from repro.core import datamodel
-from repro.db import AggSpec, col
-from repro.ivm import AggregateView
 from repro.sync import RefreshDriver, SyncClient
 from repro.workflow import (
     CallProcedure,

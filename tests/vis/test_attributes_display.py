@@ -238,3 +238,48 @@ class TestViewManager:
         manager.add_view("v", comp)
         manager.close()
         assert manager.views == []
+
+
+class TestDisplayTransactions:
+    def test_transaction_commits_one_frame(self):
+        display = Display()
+        with display.transaction():
+            display.apply_items([VisualItem(obj_id=i) for i in range(10)])
+            for _ in range(10):
+                display.refresh()  # each batch item asks for a redraw
+        assert display.refreshes == 1
+        assert display.transactions == 1
+
+    def test_transaction_without_refresh_request_skips_frame(self):
+        display = Display()
+        with display.transaction():
+            display.apply_items([VisualItem(obj_id=1)])
+        assert display.refreshes == 0
+        assert display.transactions == 1
+
+    def test_nested_transactions_commit_once(self):
+        display = Display()
+        with display.transaction():
+            with display.transaction():
+                display.refresh()
+            display.refresh()
+        assert display.refreshes == 1
+        assert display.transactions == 1
+
+    def test_refresh_outside_transaction_unchanged(self):
+        display = Display()
+        assert display.refresh() == 1
+        assert display.refresh() == 2
+
+    def test_apply_snapshot_replaces_in_one_frame(self):
+        display = Display()
+        display.apply_items([VisualItem(obj_id="stale")])
+        rows = [
+            {"obj_id": i, "x": float(i), "y": 0.0, "width": None, "height": None,
+             "color": None, "label": None, "selected": False}
+            for i in range(5)
+        ]
+        assert display.apply_snapshot(rows) == 5
+        assert display.refreshes == 1
+        assert "stale" not in display.items
+        assert len(display) == 5

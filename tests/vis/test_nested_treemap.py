@@ -121,7 +121,6 @@ def test_group_cells_tile_whole_rectangle(tree):
 @settings(max_examples=50, deadline=None)
 def test_leaves_tile_their_groups_without_padding(tree):
     cells = squarify_nested(tree, 0, 0, 20, 12)
-    by_path = {c.path: c for c in cells}
     for group in (c for c in cells if not c.is_leaf):
         leaf_area = sum(
             c.area for c in cells if len(c.path) == 2 and c.path[0] == group.key

@@ -8,7 +8,6 @@ from repro.workflow import (
     AskUser,
     Assign,
     CallProcedure,
-    OrSplitJoin,
     ProcessDefinition,
     Procedure,
     QueryExpr,

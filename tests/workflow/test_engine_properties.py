@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.core import datamodel
 from repro.db import Column, Database
-from repro.db.types import INTEGER, TEXT
+from repro.db.types import TEXT
 from repro.workflow import (
     ActivityNode,
     AndSplitJoin,

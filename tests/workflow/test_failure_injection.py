@@ -9,14 +9,11 @@ consistent and queryable, and instance rows record the history.
 import pytest
 
 from repro.core import datamodel
-from repro.db import Column, Database, col
-from repro.db.types import INTEGER
-from repro.errors import ProcedureError, WorkflowError
+from repro.errors import ProcedureError
 from repro.workflow import (
     CallProcedure,
     ProcessDefinition,
     Procedure,
-    PropagationManager,
     RelationDecl,
     RunQuery,
     UpdatePropagation,

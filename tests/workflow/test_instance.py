@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import datamodel
 from repro.errors import EnactmentError, WorkflowError
-from repro.workflow import ProcessDefinition, RunQuery, UpdateTable, seq
+from repro.workflow import ProcessDefinition, UpdateTable, seq
 from repro.workflow.instance import ActivityInstance, ProcessInstance
 
 

@@ -4,12 +4,10 @@ import pytest
 
 from repro.errors import SpecificationError
 from repro.workflow import (
-    AndSplitJoin,
     AskUser,
     Assign,
     CallProcedure,
     Constant,
-    OrSplitJoin,
     ProcessDefinition,
     RelationDecl,
     RunQuery,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import PropagationError
-from repro.ivm.delta import Delta
 from repro.workflow import (
     CallProcedure,
     ProcessDefinition,
@@ -311,3 +310,77 @@ class TestCompileErrors:
         )
         with pytest.raises(PropagationError, match="delta handlers"):
             engine.deploy(definition)
+
+
+class TestPropagationPolicies:
+    """P2/P3 policies on UP routes (Section V)."""
+
+    def test_manual_policy_defers_to_activity_completion(
+        self, source, engine, propagation
+    ):
+        from repro.sync.batching import MANUAL
+
+        recorder = Recorder()
+        deploy(engine, recorder, ["ra"], detached=True)
+        propagation.set_policy("src", MANUAL)
+        execution = engine.run("p")
+        for i in range(5):
+            source.execute(f"INSERT INTO src (id, v) VALUES ({i + 1}, {i})")
+        # Nothing delivered while the unit of work is open.
+        assert recorder.running_deltas == []
+        assert propagation.pending_ops("src") == 5
+        # Completion flushes: the still-live 'ra' instance gets ONE net
+        # delta covering the whole batch.
+        engine.close(execution)
+        assert len(recorder.running_deltas) == 1
+        assert len(recorder.running_deltas[0].inserted) == 5
+
+    def test_threshold_policy_flushes_on_count(self, source, engine, propagation):
+        from repro.sync.batching import Threshold
+
+        recorder = Recorder()
+        deploy(engine, recorder, ["ra"], detached=True)
+        propagation.set_policy("src", Threshold(max_changes=3, max_delay_ms=None))
+        execution = engine.run("p")
+        source.execute("INSERT INTO src (id, v) VALUES (1, 1)")
+        source.execute("INSERT INTO src (id, v) VALUES (2, 2)")
+        assert recorder.running_deltas == []
+        source.execute("INSERT INTO src (id, v) VALUES (3, 3)")
+        assert len(recorder.running_deltas) == 1
+        assert len(recorder.running_deltas[0].inserted) == 3
+        engine.close(execution)
+
+    def test_coalescing_delivers_net_delta(self, source, engine, propagation):
+        from repro.sync.batching import MANUAL
+
+        recorder = Recorder()
+        deploy(engine, recorder, ["ra"], detached=True)
+        propagation.set_policy("src", MANUAL)
+        execution = engine.run("p")
+        source.execute("INSERT INTO src (id, v) VALUES (1, 1)")
+        source.execute("UPDATE src SET v = 9 WHERE id = 1")
+        source.execute("INSERT INTO src (id, v) VALUES (2, 2)")
+        source.execute("DELETE FROM src WHERE id = 2")
+        flushed = propagation.flush("src")
+        # insert+update -> one insert carrying the final image;
+        # insert+delete -> annihilated.
+        assert flushed == 1
+        (delta,) = recorder.running_deltas
+        assert len(delta.inserted) == 1
+        assert delta.inserted[0]["v"] == 9
+        engine.close(execution)
+
+    def test_policy_switch_flushes_pending(self, source, engine, propagation):
+        from repro.sync.batching import IMMEDIATE, MANUAL
+
+        recorder = Recorder()
+        deploy(engine, recorder, ["ra"], detached=True)
+        propagation.set_policy("src", MANUAL)
+        execution = engine.run("p")
+        source.execute("INSERT INTO src (id, v) VALUES (1, 1)")
+        assert recorder.running_deltas == []
+        propagation.set_policy("src", IMMEDIATE)
+        assert len(recorder.running_deltas) == 1
+        source.execute("INSERT INTO src (id, v) VALUES (2, 2)")
+        assert len(recorder.running_deltas) == 2  # immediate again
+        engine.close(execution)

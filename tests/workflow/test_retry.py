@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ProcedureError, SpecificationError
+from repro.errors import SpecificationError
 from repro.retry import RetryPolicy
 from repro.workflow import CallProcedure, ProcessDefinition, Procedure, seq
 from repro.workflow.spec import parse_process, serialize_process

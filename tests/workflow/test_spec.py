@@ -11,9 +11,7 @@ from repro.workflow import (
     OrSplitJoin,
     Procedure,
     ProcedureRegistry,
-    RunQuery,
     SequenceNode,
-    UpdateTable,
     parse_process,
     serialize_process,
 )
