@@ -1,5 +1,13 @@
 """The paper's applications (Section III) and their substrates."""
 
-from . import copub, diff, elections, reports, similarity, wikipedia
+from . import copub, diff, elections, reports, similarity, telemetry, wikipedia
 
-__all__ = ["copub", "diff", "elections", "reports", "similarity", "wikipedia"]
+__all__ = [
+    "copub",
+    "diff",
+    "elections",
+    "reports",
+    "similarity",
+    "telemetry",
+    "wikipedia",
+]

@@ -1,0 +1,343 @@
+"""A live, EdiFlow-native telemetry dashboard (self-hosted observability).
+
+The dashboard is deliberately built from the same parts as every other
+application in this repo -- no privileged access to the tracer:
+
+- the :class:`~repro.obs.store.TelemetrySink` persists spans/metrics
+  into ``sys_spans`` / ``sys_metrics`` of a telemetry database;
+- a :class:`~repro.sync.server.SyncServer` +
+  :class:`~repro.sync.client.SyncClient` pair mirrors those tables the
+  normal way (NOTIFY/NOTIFYB over the sink's notification center);
+- a :class:`~repro.ivm.registry.ViewRegistry`
+  :class:`~repro.ivm.view.AggregateView` maintains per-span-name
+  statistics incrementally as the sink writes;
+- :class:`~repro.vis.display.Display` objects render three views:
+  a **span waterfall** (one bar per recent span, lane per span name),
+  the **NOTIFY -> applied latency distribution** (a
+  :class:`~repro.vis.scatter.ScatterPlot` over the persisted
+  p50/p95/p99 summaries), and a **per-table batch/coalesce savings
+  treemap** (cell area = operations eliminated before they reached the
+  wire).
+
+Because the observed workload keeps running while the dashboard
+refreshes, every dashboard operation runs under the tracer's recursion
+guard -- the dashboard observing the telemetry tables must not itself
+generate telemetry (see :mod:`repro.obs.store`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..db.algebra import AggSpec
+from ..db.expression import col
+from ..ivm.registry import ViewRegistry
+from ..ivm.view import AggregateView
+from ..obs.store import SYS_METRICS, SYS_SPANS, TelemetrySink
+from ..sync.client import SyncClient
+from ..sync.server import SyncServer
+from ..vis.attributes import VisualItem
+from ..vis.color import categorical
+from ..vis.display import Display
+from ..vis.scatter import ScatterPlot
+from ..vis.treemap import squarify
+
+__all__ = [
+    "TelemetryDashboard",
+    "V_SPAN_STATS",
+    "compute_coalesce_treemap",
+    "compute_latency_points",
+    "compute_span_waterfall",
+]
+
+V_SPAN_STATS = "telemetry_span_stats"
+
+#: Quantile stats persisted per histogram, in plotting order.
+_QUANTILE_STATS = ("p50", "p95", "p99")
+
+
+def _labels(row: dict[str, Any]) -> dict[str, Any]:
+    try:
+        decoded = json.loads(row.get("labels") or "{}")
+    except (TypeError, ValueError):
+        return {}
+    return decoded if isinstance(decoded, dict) else {}
+
+
+def latest_series_rows(metric_rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The newest row per (name, labels, stat) series.
+
+    The sink persists changed series only between keyframes, so the
+    current value of a metric is its newest *persisted* row -- a series
+    absent from the latest snap is unchanged, not gone.
+    """
+    newest: dict[tuple[str, str, str], dict[str, Any]] = {}
+    for row in metric_rows:
+        key = (row["name"], row["labels"], row["stat"])
+        held = newest.get(key)
+        if held is None or row["snap"] > held["snap"]:
+            newest[key] = row
+    return list(newest.values())
+
+
+# ---------------------------------------------------------------------------
+# Pure visual mappings (rows -> VisualItems), in the apps-module idiom.
+
+
+def compute_span_waterfall(
+    span_rows: list[dict[str, Any]],
+    width: float = 900.0,
+    height: float = 400.0,
+    limit: int = 96,
+) -> list[VisualItem]:
+    """The most recent spans as a waterfall: time on x, one lane per name.
+
+    Bar length encodes duration; color encodes the span name.  Workflow
+    rows (logical clock) are excluded -- their time axis is not
+    commensurable with ``perf_counter_ns``.
+    """
+    spans = [r for r in span_rows if r.get("kind") == "span" and r.get("end_ns")]
+    spans.sort(key=lambda r: r["start_ns"])
+    spans = spans[-limit:]
+    if not spans:
+        return []
+    t0 = min(r["start_ns"] for r in spans)
+    t1 = max(r["end_ns"] for r in spans)
+    span_ns = max(t1 - t0, 1)
+    names = sorted({r["name"] for r in spans})
+    lane_height = height / max(len(names), 1)
+    items: list[VisualItem] = []
+    for row in spans:
+        lane = names.index(row["name"])
+        x = (row["start_ns"] - t0) / span_ns * width
+        bar = max((row["end_ns"] - row["start_ns"]) / span_ns * width, 1.0)
+        items.append(
+            VisualItem(
+                obj_id=row["span_id"],
+                x=x,
+                y=lane * lane_height,
+                width=bar,
+                height=lane_height * 0.8,
+                color=categorical(lane),
+                label=f"{row['name']} {row['duration_ms']:.2f}ms",
+            )
+        )
+    return items
+
+
+def compute_latency_points(
+    metric_rows: list[dict[str, Any]],
+    metric: str = "sync.notify_to_applied_ms",
+    width: float = 600.0,
+    height: float = 300.0,
+) -> list[VisualItem]:
+    """NOTIFY -> applied latency distribution as a quantile scatter.
+
+    One dot per (table, quantile) from the latest persisted snapshot:
+    x = quantile, y = milliseconds, color = table.  Built on the
+    declarative :class:`ScatterPlot` so the dashboard exercises the
+    normal vis pipeline.
+    """
+    latest = latest_series_rows(metric_rows)
+    points: list[dict[str, Any]] = []
+    for row in latest:
+        if row["name"] != metric or row["stat"] not in _QUANTILE_STATS:
+            continue
+        table = _labels(row).get("table", "?")
+        points.append(
+            {
+                "key": f"{table}:{row['stat']}",
+                "quantile": float(row["stat"].lstrip("p")),
+                "ms": row["value"],
+                "table": table,
+            }
+        )
+    if not points:
+        return []
+    plot = ScatterPlot(
+        x="quantile",
+        y="ms",
+        key="key",
+        color_by="table",
+        label="key",
+        width=width,
+        height=height,
+    )
+    return plot.compute(points)
+
+
+def compute_coalesce_treemap(
+    metric_rows: list[dict[str, Any]],
+    width: float = 600.0,
+    height: float = 300.0,
+) -> list[VisualItem]:
+    """Per-table propagation savings as a treemap.
+
+    Cell area = operations eliminated before they reached the wire
+    (``sync.coalesced_away``); falls back to per-table write volume
+    (``db.writes``) when no batching policy has saved anything yet, so
+    the view is never blank on a fresh system.
+    """
+    latest = latest_series_rows(metric_rows)
+
+    def series(name: str) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for row in latest:
+            if row["name"] == name and row["stat"] == "value" and row["value"]:
+                table = _labels(row).get("table", "?")
+                out[table] = out.get(table, 0.0) + row["value"]
+        return out
+
+    values = series("sync.coalesced_away")
+    label_fmt = "{table}: {value:.0f} saved"
+    if not values:
+        values = series("db.writes")
+        label_fmt = "{table}: {value:.0f} writes"
+    if not values:
+        return []
+    cells = squarify(sorted(values.items()), 0.0, 0.0, width, height)
+    items: list[VisualItem] = []
+    for index, cell in enumerate(cells):
+        items.append(
+            VisualItem(
+                obj_id=cell.key,
+                x=cell.x,
+                y=cell.y,
+                width=cell.width,
+                height=cell.height,
+                color=categorical(index),
+                label=label_fmt.format(table=cell.key, value=values[cell.key]),
+            )
+        )
+    return items
+
+
+# ---------------------------------------------------------------------------
+
+
+class TelemetryDashboard:
+    """Three live displays over the telemetry system tables.
+
+    Parameters
+    ----------
+    sink:
+        The telemetry sink whose database/center this dashboard attaches
+        to.  The dashboard never reads the tracer directly -- only the
+        persisted tables, through a synchronized mirror.
+    use_sockets:
+        ``True`` routes the NOTIFY path over a real loopback socket
+        (exactly like a remote display wall); ``False`` uses in-process
+        polling.
+    """
+
+    def __init__(
+        self,
+        sink: TelemetrySink,
+        use_sockets: bool = False,
+        width: float = 900.0,
+        height: float = 400.0,
+    ) -> None:
+        self.sink = sink
+        self.server = SyncServer(
+            sink.database,
+            center=sink.center,
+            use_sockets=use_sockets,
+            heartbeat_interval=0.5 if use_sockets else None,
+        )
+        # Everything the dashboard does against the telemetry database
+        # must be invisible to the tracer (recursion guard, layer 1).
+        with sink.runtime.tracer.suppress():
+            self.client = SyncClient(self.server)
+            self.span_mirror = self.client.mirror(SYS_SPANS)
+            self.metric_mirror = self.client.mirror(SYS_METRICS)
+            self.registry = ViewRegistry(sink.database)
+            self.span_stats = AggregateView(
+                V_SPAN_STATS,
+                SYS_SPANS,
+                ("name",),
+                [
+                    AggSpec("COUNT", None, "n"),
+                    AggSpec("SUM", col("duration_ms"), "total_ms"),
+                    AggSpec("MAX", col("duration_ms"), "max_ms"),
+                ],
+                where=col("kind") == "span",
+            )
+            self.registry.register(self.span_stats)
+        self.waterfall = Display("span-waterfall", width=width, height=height)
+        self.latency = Display("notify-latency", width=width, height=height)
+        self.savings = Display("coalesce-savings", width=width, height=height)
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> dict[str, Any]:
+        """Pull the mirrors and redraw all three views.
+
+        Returns a stats dict (mirrored row counts, items per display,
+        the metric snapshot generation rendered) so headless callers --
+        tests, the CI e2e -- can assert the dashboard reflects the
+        system tables.
+        """
+        with self.sink.runtime.tracer.suppress():
+            self.client.refresh(SYS_SPANS)
+            self.client.refresh(SYS_METRICS)
+            span_rows = self.span_mirror.all_rows()
+            metric_rows = self.metric_mirror.all_rows()
+            self.waterfall.apply_snapshot(
+                r.to_row(0, i + 1)
+                for i, r in enumerate(compute_span_waterfall(span_rows))
+            )
+            self.latency.apply_snapshot(
+                r.to_row(1, i + 1)
+                for i, r in enumerate(compute_latency_points(metric_rows))
+            )
+            self.savings.apply_snapshot(
+                r.to_row(2, i + 1)
+                for i, r in enumerate(compute_coalesce_treemap(metric_rows))
+            )
+        self.refreshes += 1
+        return {
+            "span_rows": len(span_rows),
+            "metric_rows": len(metric_rows),
+            "snap": max((r["snap"] for r in metric_rows), default=0),
+            "waterfall_items": len(self.waterfall),
+            "latency_items": len(self.latency),
+            "savings_items": len(self.savings),
+        }
+
+    def span_summary(self) -> list[dict[str, Any]]:
+        """Per-span-name statistics from the incremental AggregateView."""
+        rows = self.registry.rows(V_SPAN_STATS)
+        return sorted(rows, key=lambda r: -(r["total_ms"] or 0.0))
+
+    def format_summary(self, limit: int = 12) -> str:
+        """A terminal-friendly rendering of the span-stats view."""
+        lines = [f"{'span':<28}{'count':>8}{'total ms':>12}{'max ms':>10}"]
+        for row in self.span_summary()[:limit]:
+            lines.append(
+                f"{row['name']:<28}{row['n']:>8}"
+                f"{(row['total_ms'] or 0.0):>12.2f}"
+                f"{(row['max_ms'] or 0.0):>10.2f}"
+            )
+        return "\n".join(lines)
+
+    def render_svg(self) -> dict[str, str]:
+        """All three views as SVG documents (keyed by display name)."""
+        return {
+            d.name: d.render_svg()
+            for d in (self.waterfall, self.latency, self.savings)
+        }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self.sink.runtime.tracer.suppress():
+            self.registry.unregister(V_SPAN_STATS)
+            self.client.close()
+            self.server.close()
+
+
+def attach_dashboard(
+    sink: Optional[TelemetrySink] = None, use_sockets: bool = False
+) -> TelemetryDashboard:
+    """Convenience: build a sink (if needed) and attach a dashboard."""
+    return TelemetryDashboard(sink or TelemetrySink(), use_sockets=use_sockets)

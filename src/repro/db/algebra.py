@@ -909,16 +909,14 @@ class MapRows(Plan):
         return (self.child,)
 
 
-def format_plan(
-    plan: Plan, indent: int = 0, counters: dict[int, int] | None = None
-) -> str:
-    """Render a plan tree, one operator per line (EXPLAIN output).
+def plan_node_label(plan: Plan) -> str:
+    """One operator's EXPLAIN label: type name plus operator detail.
 
-    When ``counters`` (from :func:`instrument_plan`) is given, each line is
-    suffixed with ``(rows=N)`` -- the number of rows the operator produced
-    during execution (EXPLAIN ANALYZE output).
+    This is the exact text :func:`format_plan` puts on the operator's
+    line (sans indentation and row suffix), shared with
+    :func:`operator_rows` so plan-level and span-level views of the same
+    query agree character for character.
     """
-    pad = "  " * indent
     label = type(plan).__name__
     detail = ""
     if isinstance(plan, Scan):
@@ -955,10 +953,37 @@ def format_plan(
         detail = " ALL" if plan.all else ""
     elif isinstance(plan, RowSource):
         detail = f" {plan.label}"
+    return f"{label}{detail}"
+
+
+def operator_rows(plan: Plan, counters: dict[int, int]) -> list[tuple[str, int]]:
+    """``(label, rows)`` per operator, in :func:`format_plan` line order.
+
+    The bridge between EXPLAIN ANALYZE and the tracing layer: executing
+    an instrumented plan fills ``counters``; this flattens them into the
+    same pre-order walk ``format_plan`` renders, so span attributes and
+    the printed plan describe the operators identically.
+    """
+    out = [(plan_node_label(plan), counters.get(id(plan), 0))]
+    for child in plan.children():
+        out.extend(operator_rows(child, counters))
+    return out
+
+
+def format_plan(
+    plan: Plan, indent: int = 0, counters: dict[int, int] | None = None
+) -> str:
+    """Render a plan tree, one operator per line (EXPLAIN output).
+
+    When ``counters`` (from :func:`instrument_plan`) is given, each line is
+    suffixed with ``(rows=N)`` -- the number of rows the operator produced
+    during execution (EXPLAIN ANALYZE output).
+    """
+    pad = "  " * indent
     suffix = ""
     if counters is not None:
         suffix = f" (rows={counters.get(id(plan), 0)})"
-    lines = [f"{pad}{label}{detail}{suffix}"]
+    lines = [f"{pad}{plan_node_label(plan)}{suffix}"]
     for child in plan.children():
         lines.append(format_plan(child, indent + 1, counters))
     return "\n".join(lines)

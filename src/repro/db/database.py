@@ -17,7 +17,13 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import DatabaseError, SchemaError, UnknownTableError
 from ..obs.runtime import OBS
-from .algebra import Plan, format_plan, instrument_plan, plan_access_kind
+from .algebra import (
+    Plan,
+    format_plan,
+    instrument_plan,
+    operator_rows,
+    plan_access_kind,
+)
 from .expression import Expression
 from .plancache import LRUCache, plan_cachable
 from .routing import matching_tids
@@ -520,10 +526,36 @@ class Database:
         if not analyze:
             return format_plan(plan)
         instrumented, counters = instrument_plan(plan)
-        with self._lock:
-            for _ in instrumented.rows(self):
-                pass
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "db.explain", tags={"analyze": True}
+            ) as span:
+                with self._lock:
+                    for _ in instrumented.rows(self):
+                        pass
+                self._annotate_explain_span(span, plan, counters)
+        else:
+            with self._lock:
+                for _ in instrumented.rows(self):
+                    pass
         return format_plan(plan, counters=counters)
+
+    @staticmethod
+    def _annotate_explain_span(
+        span: Any, plan: Plan, counters: dict[int, int]
+    ) -> None:
+        """Attach EXPLAIN ANALYZE operator counters to ``span``.
+
+        One event per operator, in ``format_plan`` line order with the
+        exact same labels, so the span-level view of the query agrees
+        with the printed plan (and persists to ``sys_span_events``).
+        """
+        operators = operator_rows(plan, counters)
+        span.set_tag("operators", len(operators))
+        for index, (label, rows) in enumerate(operators):
+            span.add_event(
+                "explain.operator", index=index, operator=label, rows=rows
+            )
 
     def _execute_explain(self, stmt: ExplainStmt, params: Sequence[Any]) -> Result:
         plan = plan_select(stmt.select, self, params)
@@ -532,6 +564,12 @@ class Database:
             for _ in instrumented.rows(self):
                 pass
             text = format_plan(plan, counters=counters)
+            if OBS.enabled:
+                # EXPLAIN ANALYZE through SQL runs inside the db.execute
+                # statement span; hang the counters off it.
+                span = OBS.tracer.current_span()
+                if span is not None:
+                    self._annotate_explain_span(span, plan, counters)
         else:
             text = format_plan(plan)
         return Result(rows=[{"plan": line} for line in text.splitlines()])

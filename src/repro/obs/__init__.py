@@ -23,10 +23,38 @@ instrumented hot path while disabled.  Quickstart::
 
 from __future__ import annotations
 
-from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    DEFAULT_BUCKETS,
+    SUMMARY_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from .propagation import STAGES, PropagationReport, propagation_report
 from .runtime import OBS, ObsRuntime, disable, enable, enabled, reset
-from .trace import Span, SpanContext, Tracer
+from .trace import NullSpan, Span, SpanContext, Tracer
+
+#: Names served lazily from :mod:`repro.obs.store`.  The store pulls in
+#: the db + sync layers, which themselves import ``repro.obs.runtime``
+#: -- importing it eagerly here would make ``repro.db`` -> ``repro.obs``
+#: a hard cycle.  PEP 562 module __getattr__ keeps ``repro.obs.X``
+#: working for every export without the eager edge.
+_STORE_EXPORTS = (
+    "SYS_METRICS",
+    "SYS_SPANS",
+    "SYS_SPAN_EVENTS",
+    "SYSTEM_TABLES",
+    "TelemetrySink",
+)
+
+
+def __getattr__(name: str):
+    if name in _STORE_EXPORTS:
+        from . import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Counter",
@@ -34,12 +62,19 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullSpan",
     "OBS",
     "ObsRuntime",
     "PropagationReport",
     "STAGES",
+    "SUMMARY_QUANTILES",
+    "SYS_METRICS",
+    "SYS_SPANS",
+    "SYS_SPAN_EVENTS",
+    "SYSTEM_TABLES",
     "Span",
     "SpanContext",
+    "TelemetrySink",
     "Tracer",
     "disable",
     "enable",

@@ -19,7 +19,14 @@ import threading
 from bisect import bisect_left
 from typing import Any, Callable, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "SUMMARY_QUANTILES",
+]
 
 #: Default latency buckets in milliseconds: sub-resolution ticks up to
 #: the one-second pathological tail.
@@ -38,6 +45,9 @@ DEFAULT_BUCKETS = (
     250.0,
     1000.0,
 )
+
+#: The quantiles every histogram summarizes in snapshots and text dumps.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -151,6 +161,40 @@ class Histogram:
         out["+Inf"] = running + counts[-1]
         return out
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Uses the standard ``histogram_quantile`` interpolation: find the
+        bucket the target rank falls into and interpolate linearly within
+        it (the first bucket's lower edge is 0).  Observations beyond the
+        last finite bound clamp to that bound -- with fixed buckets
+        nothing better is knowable.  Returns ``None`` while empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0.0
+        for index, bound in enumerate(self.buckets):
+            in_bucket = counts[index]
+            if cumulative + in_bucket >= rank and in_bucket > 0:
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                fraction = (rank - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+        # Rank lives in the +Inf bucket: clamp to the last finite bound.
+        return self.buckets[-1]
+
+    def quantiles(
+        self, qs: tuple[float, ...] = SUMMARY_QUANTILES
+    ) -> dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` style summaries."""
+        return {f"p{round(q * 100)}": self.quantile(q) for q in qs}
+
 
 def format_bound(bound: float) -> str:
     """Render a bucket bound the way Prometheus does (no trailing zeros)."""
@@ -220,6 +264,22 @@ class MetricsRegistry:
         return histogram
 
     # ------------------------------------------------------------------
+    def instruments(self) -> list[tuple[str, Any]]:
+        """Every live instrument as ``(kind, instrument)`` pairs.
+
+        Kinds are ``"counter"``, ``"gauge"``, ``"histogram"``.  Unlike
+        :meth:`snapshot` this hands back the instrument objects, so
+        structured consumers (the telemetry sink) can read names and
+        label pairs without re-parsing rendered series names.
+        """
+        with self._lock:
+            return (
+                [("counter", c) for c in self._counters.values()]
+                + [("gauge", g) for g in self._gauges.values()]
+                + [("histogram", h) for h in self._histograms.values()]
+            )
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _series_name(name: str, labels: LabelKey) -> str:
         if not labels:
@@ -243,6 +303,7 @@ class MetricsRegistry:
                     "count": h.count,
                     "sum": h.sum,
                     "buckets": h.bucket_counts(),
+                    **h.quantiles(),
                 }
                 for h in histograms
             },
@@ -278,6 +339,16 @@ class MetricsRegistry:
                     f"{name}_bucket"
                     f"{_label_text(histogram.labels, (('le', bound),))} {count}"
                 )
+            # Summary-style quantile series alongside the buckets, so a
+            # scrape shows p50/p95/p99 without server-side PromQL.
+            for q in SUMMARY_QUANTILES:
+                value = histogram.quantile(q)
+                if value is not None:
+                    lines.append(
+                        f"{name}"
+                        f"{_label_text(histogram.labels, (('quantile', f'{q:g}'),))}"
+                        f" {value:g}"
+                    )
             lines.append(f"{name}_sum{_label_text(histogram.labels)} {histogram.sum:g}")
             lines.append(
                 f"{name}_count{_label_text(histogram.labels)} {histogram.count}"

@@ -1,0 +1,564 @@
+"""Self-hosted telemetry: spans and metrics as first-class relations.
+
+EdiFlow's thesis is that state worth reacting to belongs in the DBMS,
+where generic mechanisms -- triggers, propagation policies, incremental
+views, visualization bindings -- apply to it uniformly.  The tracing
+layer (PR 3) violated that thesis for its own data: spans lived in a
+volatile ring buffer that dies with the process and cannot be queried,
+joined, or watched.  :class:`TelemetrySink` closes the loop by draining
+the :class:`~repro.obs.trace.Tracer` buffer and the
+:class:`~repro.obs.metrics.MetricsRegistry` into *system tables* of a
+dedicated telemetry :class:`~repro.db.database.Database`:
+
+``sys_spans``
+    one row per finished span -- plus, optionally, one row per
+    workflow process/activity timeline entry
+    (:meth:`TelemetrySink.ingest_process_monitor`), so obs spans and
+    ProcessMonitor traces share a single queryable schema.  Workflow
+    rows carry ``kind='workflow'`` and *logical-clock* start/end
+    values (the engine stamps activities with the database clock, not
+    wall time); span rows carry ``kind='span'`` and
+    ``perf_counter_ns`` values.
+``sys_span_events``
+    point annotations attached via :meth:`Span.add_event` (EXPLAIN
+    ANALYZE operator counters, retry firings, forced flushes).
+``sys_metrics``
+    one row per (instrument, statistic) per collection generation
+    (``snap``): counters and gauges as ``stat='value'``, histograms as
+    ``count``/``sum``/``p50``/``p95``/``p99``.  Old generations are
+    pruned past :attr:`TelemetrySink.metric_retention`.
+
+The system tables are watched by the sink's own
+:class:`~repro.sync.notification.NotificationCenter` under a
+:class:`~repro.sync.batching.Threshold` policy, so dashboards attach
+through the *normal* sync machinery (SyncServer/SyncClient, mirrors,
+view registry) and receive batched NOTIFYB frames per flush cycle.
+
+Recursion guard
+---------------
+The sink writes tracer output into a database whose write path is
+itself instrumented; unguarded, every flush would create spans that the
+next flush persists, forever.  Two independent layers prevent that:
+
+1. every sink operation runs inside :meth:`Tracer.suppress`, so spans
+   created *on the sink's thread* (db.write, db.trigger, sync.notify,
+   sync.flush on the telemetry database) are no-op ``NullSpan``\\ s and
+   never reach the ring buffer;
+2. :meth:`collect` drops any drained span tagged with a ``sys_*``
+   system table (belt and braces: a dashboard client refreshing its
+   telemetry mirrors on another, unsuppressed thread may legitimately
+   create such spans; they are counted in ``guard_dropped`` and never
+   persisted, so the observer still never observes itself).
+
+The default Threshold policy deliberately has ``max_delay_ms=None``:
+with no time bound there is no background flusher thread inside the
+notification center, so *every* telemetry flush happens on a thread the
+sink has suppressed.  The sink's own cadence (:meth:`start` /
+:meth:`collect`) provides the time bound instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from ..db.database import Database
+from ..db.expression import col
+from ..db.schema import Column
+from ..db.types import FLOAT, INTEGER, TEXT
+from ..sync.batching import PropagationPolicy, Threshold
+from ..sync.notification import NotificationCenter
+from .runtime import OBS, ObsRuntime
+from .trace import Span
+
+__all__ = [
+    "SYS_METRICS",
+    "SYS_SPANS",
+    "SYS_SPAN_EVENTS",
+    "SYSTEM_TABLES",
+    "TelemetrySink",
+]
+
+SYS_SPANS = "sys_spans"
+SYS_SPAN_EVENTS = "sys_span_events"
+SYS_METRICS = "sys_metrics"
+
+#: Every telemetry system table.  Spans tagged with one of these (a
+#: dashboard refreshing its own mirrors) are filtered at collect time.
+SYSTEM_TABLES = (SYS_SPANS, SYS_SPAN_EVENTS, SYS_METRICS)
+
+#: Default flush policy: pure count batching, no timer thread (see the
+#: module docstring for why the time bound lives in the sink, not here).
+DEFAULT_POLICY = Threshold(max_changes=256, max_delay_ms=None)
+
+
+def _json_text(mapping: dict[str, Any]) -> str:
+    return json.dumps(mapping, sort_keys=True, default=str)
+
+
+class TelemetrySink:
+    """Drains tracer + metrics into queryable, watchable system tables.
+
+    Parameters
+    ----------
+    runtime:
+        The :class:`ObsRuntime` to drain (defaults to the process-wide
+        :data:`OBS` singleton).
+    database:
+        Where the system tables live.  Defaults to a fresh dedicated
+        ``Database("telemetry")`` -- keeping telemetry out of the
+        workload database means sink writes never contend with workload
+        triggers or views.
+    policy:
+        Propagation policy installed on every system table (default: a
+        timerless :data:`DEFAULT_POLICY` Threshold -- see module
+        docstring before passing a policy with ``max_delay_ms``).
+    span_sample:
+        Head-sampling rate in (0, 1]: persist roughly this fraction of
+        drained spans (default 1.0 = everything).  Sampling is
+        deterministic -- every Nth drained span is kept, counted across
+        collections -- so runs are reproducible and the sampled set is
+        unbiased across span names.  Use it when the sink must ride
+        along with a hot workload; persisting every span costs about as
+        much as the traced operation itself on micro-operation
+        workloads.
+    span_retention:
+        Keep span rows from at most this many recent collections
+        (default ``None`` = unbounded).  Pruning uses per-collection
+        ``start_ns`` watermarks, so the system tables stay bounded on
+        long-running sinks; matching ``sys_span_events`` rows are pruned
+        by the same timestamp cutoff.
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[ObsRuntime] = None,
+        database: Optional[Database] = None,
+        policy: Optional[PropagationPolicy] = None,
+        span_sample: float = 1.0,
+        span_retention: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < span_sample <= 1.0:
+            raise ValueError(f"span_sample must be in (0, 1], got {span_sample}")
+        if span_retention is not None and span_retention < 1:
+            raise ValueError(f"span_retention must be >= 1, got {span_retention}")
+        self.runtime = runtime if runtime is not None else OBS
+        self.database = database if database is not None else Database("telemetry")
+        self._install_schema()
+        self.center = NotificationCenter(self.database)
+        self.policy = policy if policy is not None else DEFAULT_POLICY
+        for table in SYSTEM_TABLES:
+            self.center.watch(table)
+            self.center.set_policy(table, self.policy)
+        #: How many metric collection generations to keep in sys_metrics.
+        self.metric_retention = 16
+        #: Full-registry snapshot (keyframe) every N collections; between
+        #: keyframes only changed series are persisted.  Must stay below
+        #: metric_retention so every series has a retained row.
+        self.metric_keyframe_every = 8
+        #: (kind, name, labels-json) -> fingerprint at last persist.
+        self._metric_fingerprints: dict[tuple[str, str, str], Any] = {}
+        self.span_sample = span_sample
+        #: Keep exactly 1 span in N (None = keep everything).
+        self._sample_modulus = (
+            None if span_sample >= 1.0 else max(1, round(1.0 / span_sample))
+        )
+        self._sample_counter = 0
+        self.span_retention = span_retention
+        #: Max start_ns per collection that stored spans (newest last);
+        #: the popped-off watermark is the retention pruning cutoff.
+        self._span_watermarks: deque[int] = deque()
+        self._snap = 0
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        # Counters (tests and the dashboard read these).
+        self.collections = 0
+        self.spans_stored = 0
+        self.events_stored = 0
+        self.metrics_stored = 0
+        self.guard_dropped = 0
+        self.sampled_out = 0
+
+    # ------------------------------------------------------------------
+    def _install_schema(self) -> None:
+        db = self.database
+        if not db.has_table(SYS_SPANS):
+            db.create_table(
+                SYS_SPANS,
+                [
+                    Column("span_id", INTEGER, nullable=False),
+                    Column("trace_id", INTEGER, nullable=False),
+                    Column("parent_id", INTEGER),
+                    Column("name", TEXT, nullable=False),
+                    Column("kind", TEXT, nullable=False),
+                    Column("start_ns", INTEGER),
+                    Column("end_ns", INTEGER),
+                    Column("duration_ms", FLOAT),
+                    Column("thread", TEXT),
+                    Column("tags", TEXT),
+                ],
+            )
+            table = db.table(SYS_SPANS)
+            table.create_index("ix_sys_spans_start", ("start_ns",), sorted=True)
+            table.create_index("ix_sys_spans_trace", ("trace_id",))
+            table.create_index("ix_sys_spans_span", ("span_id",))
+        if not db.has_table(SYS_SPAN_EVENTS):
+            db.create_table(
+                SYS_SPAN_EVENTS,
+                [
+                    Column("trace_id", INTEGER, nullable=False),
+                    Column("span_id", INTEGER, nullable=False),
+                    Column("seq", INTEGER, nullable=False),
+                    Column("ts_ns", INTEGER),
+                    Column("name", TEXT, nullable=False),
+                    Column("attrs", TEXT),
+                ],
+            )
+            db.table(SYS_SPAN_EVENTS).create_index(
+                "ix_sys_span_events_span", ("span_id",)
+            )
+        if not db.has_table(SYS_METRICS):
+            db.create_table(
+                SYS_METRICS,
+                [
+                    Column("snap", INTEGER, nullable=False),
+                    Column("ts", INTEGER, nullable=False),
+                    Column("kind", TEXT, nullable=False),
+                    Column("name", TEXT, nullable=False),
+                    Column("labels", TEXT, nullable=False),
+                    Column("stat", TEXT, nullable=False),
+                    Column("value", FLOAT),
+                ],
+            )
+            db.table(SYS_METRICS).create_index(
+                "ix_sys_metrics_snap", ("snap",), sorted=True
+            )
+
+    # ------------------------------------------------------------------
+    # Row builders
+    @staticmethod
+    def _span_row(span: Span) -> dict[str, Any]:
+        return {
+            "span_id": span.span_id,
+            "trace_id": span.trace_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "kind": "span",
+            "start_ns": span.start_ns,
+            "end_ns": span.end_ns,
+            "duration_ms": span.duration_ms,
+            "thread": span.thread_name,
+            "tags": _json_text(span.tags),
+        }
+
+    @staticmethod
+    def _event_rows(span: Span) -> list[dict[str, Any]]:
+        return [
+            {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "seq": seq,
+                "ts_ns": ts_ns,
+                "name": name,
+                "attrs": _json_text(attrs),
+            }
+            for seq, (ts_ns, name, attrs) in enumerate(span.events)
+        ]
+
+    def _metric_rows(self, snap: int) -> list[dict[str, Any]]:
+        """Rows for this collection: changed series only, between keyframes.
+
+        Every :attr:`metric_keyframe_every`-th collection persists the
+        full registry (a *keyframe*); in between, a series is persisted
+        only when its fingerprint (count+sum for histograms, value for
+        counters/gauges) moved since it was last stored.  Readers take
+        the newest row per (name, labels, stat) -- an absent series is
+        unchanged, not gone -- and because ``metric_retention`` exceeds
+        the keyframe interval, every live series always has at least one
+        retained row.
+        """
+        ts = self.database.now()
+        keyframe = (snap - 1) % self.metric_keyframe_every == 0
+        rows: list[dict[str, Any]] = []
+
+        def row(kind: str, inst: Any, labels: str, stat: str, value: Optional[float]) -> None:
+            if value is None:
+                return
+            rows.append(
+                {
+                    "snap": snap,
+                    "ts": ts,
+                    "kind": kind,
+                    "name": inst.name,
+                    "labels": labels,
+                    "stat": stat,
+                    "value": float(value),
+                }
+            )
+
+        for kind, inst in self.runtime.metrics.instruments():
+            label_map = dict(inst.labels)
+            # The metric side of the recursion guard: the sink's own
+            # flushes update sync.* series labeled with the system
+            # tables; persisting those would make every collection
+            # dirty its own next collection.
+            if label_map.get("table") in SYSTEM_TABLES:
+                continue
+            labels = _json_text(label_map)
+            if kind in ("counter", "gauge"):
+                fingerprint: Any = inst.value
+            else:  # histogram
+                fingerprint = (inst.count, inst.sum)
+            series = (kind, inst.name, labels)
+            if not keyframe and self._metric_fingerprints.get(series) == fingerprint:
+                continue
+            self._metric_fingerprints[series] = fingerprint
+            if kind in ("counter", "gauge"):
+                row(kind, inst, labels, "value", inst.value)
+            else:
+                row(kind, inst, labels, "count", float(inst.count))
+                row(kind, inst, labels, "sum", inst.sum)
+                for stat, value in inst.quantiles().items():
+                    row(kind, inst, labels, stat, value)
+        return rows
+
+    # ------------------------------------------------------------------
+    def collect(self) -> dict[str, int]:
+        """Drain spans + snapshot metrics into the system tables.
+
+        Runs entirely under the tracer's recursion guard; returns the
+        per-kind row counts for this collection.
+        """
+        with self.runtime.tracer.suppress():
+            drained = self.runtime.tracer.drain()
+            if self._sample_modulus is not None:
+                # Every Nth drained span, counted across collections; the
+                # slice keeps the unsampled majority out of any per-span
+                # Python work (a hot sink drains thousands per cycle).
+                modulus = self._sample_modulus
+                offset = (-self._sample_counter - 1) % modulus
+                picked = drained[offset::modulus]
+                self._sample_counter += len(drained)
+                self.sampled_out += len(drained) - len(picked)
+            else:
+                picked = drained
+            spans = [s for s in picked if s.tags.get("table") not in SYSTEM_TABLES]
+            dropped = len(picked) - len(spans)
+            span_rows = [self._span_row(s) for s in spans]
+            event_rows = [row for s in spans for row in self._event_rows(s)]
+            with self._lock:
+                self._snap += 1
+                snap = self._snap
+            metric_rows = self._metric_rows(snap)
+            if span_rows:
+                self.database.insert_many(SYS_SPANS, span_rows)
+                self._span_watermarks.append(max(r["start_ns"] for r in span_rows))
+            if event_rows:
+                self.database.insert_many(SYS_SPAN_EVENTS, event_rows)
+            if metric_rows:
+                self.database.insert_many(SYS_METRICS, metric_rows)
+            cutoff = snap - self.metric_retention
+            if cutoff > 0:
+                self.database.delete(SYS_METRICS, col("snap") <= cutoff)
+            self._prune_spans()
+            self.collections += 1
+            self.spans_stored += len(span_rows)
+            self.events_stored += len(event_rows)
+            self.metrics_stored += len(metric_rows)
+            self.guard_dropped += dropped
+        return {
+            "spans": len(span_rows),
+            "events": len(event_rows),
+            "metrics": len(metric_rows),
+            "dropped": dropped,
+        }
+
+    def _prune_spans(self) -> None:
+        """Drop span (and event) rows older than ``span_retention`` collections.
+
+        Workflow timeline rows (``kind='workflow'``) use a logical clock
+        and are re-ingested wholesale, so retention only applies to
+        ``kind='span'`` rows.  Caller holds the tracer suppression.
+        """
+        if self.span_retention is None:
+            return
+        pruned_cutoff: Optional[int] = None
+        while len(self._span_watermarks) > self.span_retention:
+            pruned_cutoff = self._span_watermarks.popleft()
+        if pruned_cutoff is None:
+            return
+        doomed = (col("kind") == "span") & (col("start_ns") <= pruned_cutoff)
+        pruned_ids = [
+            row["span_id"]
+            for row in self.database.query(
+                f"SELECT span_id FROM {SYS_SPANS} "
+                f"WHERE kind = 'span' AND start_ns <= {int(pruned_cutoff)}"
+            )
+        ]
+        self.database.delete(SYS_SPANS, doomed)
+        if pruned_ids:
+            # Events are pruned by span membership, not by timestamp: an
+            # event fires *after* its span starts, so a start_ns cutoff
+            # would strand the boundary collection's events forever.
+            self.database.delete(
+                SYS_SPAN_EVENTS, col("span_id").is_in(pruned_ids)
+            )
+
+    def flush(self) -> int:
+        """Flush buffered telemetry notifications (one dashboard cycle).
+
+        Under the default timerless Threshold policy this is what ends a
+        flush cycle: the net per-table deltas are recorded as seq-no
+        batches and fanned out (NOTIFYB) to attached dashboards.
+        Returns total net operations shipped.
+        """
+        with self.runtime.tracer.suppress():
+            return self.center.flush_all()
+
+    def collect_and_flush(self) -> dict[str, int]:
+        """One full cycle: drain + snapshot, then push to dashboards."""
+        stats = self.collect()
+        stats["net_ops"] = self.flush()
+        return stats
+
+    @property
+    def flush_cycles(self) -> int:
+        """Completed notification flushes (the dashboard's heartbeat)."""
+        return self.center.flushes
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime sink counters (for tests, examples, and debugging)."""
+        return {
+            "collections": self.collections,
+            "spans_stored": self.spans_stored,
+            "events_stored": self.events_stored,
+            "metrics_stored": self.metrics_stored,
+            "guard_dropped": self.guard_dropped,
+            "sampled_out": self.sampled_out,
+        }
+
+    # ------------------------------------------------------------------
+    # Workflow timelines share the span schema (kind='workflow').
+    #
+    # Ids must not collide with tracer span ids (positive, process-local)
+    # or with each other (process and activity instance ids come from
+    # separate tables), so workflow rows live in the negative id space:
+    # processes at -(2*pid + 1), activities at -(2*aid + 2).
+    @staticmethod
+    def _process_span_id(process_instance_id: int) -> int:
+        return -(2 * process_instance_id + 1)
+
+    @staticmethod
+    def _activity_span_id(activity_instance_id: int) -> int:
+        return -(2 * activity_instance_id + 2)
+
+    def ingest_process_monitor(self, monitor: Any) -> int:
+        """Mirror ProcessMonitor timelines into ``sys_spans``.
+
+        One row per process instance (the trace root) and one per
+        activity instance (parented to its process).  ``start_ns`` /
+        ``end_ns`` hold *logical-clock* values and ``duration_ms`` is
+        NULL -- the ``kind='workflow'`` tag tells consumers which clock
+        they are looking at.  Re-ingesting is an upsert: a still-running
+        activity's row is replaced when its end materializes.  Returns
+        the number of rows written.
+        """
+        with self.runtime.tracer.suppress():
+            rows: list[dict[str, Any]] = []
+            for trace in monitor.history():
+                root_id = self._process_span_id(trace.process_instance_id)
+                rows.append(
+                    {
+                        "span_id": root_id,
+                        "trace_id": root_id,
+                        "parent_id": None,
+                        "name": f"workflow.process:{trace.process_name}",
+                        "kind": "workflow",
+                        "start_ns": trace.start,
+                        "end_ns": trace.end,
+                        "duration_ms": None,
+                        "thread": "",
+                        "tags": _json_text(
+                            {
+                                "process_instance": trace.process_instance_id,
+                                "process": trace.process_name,
+                                "status": trace.status,
+                            }
+                        ),
+                    }
+                )
+                for activity in trace.activities:
+                    rows.append(
+                        {
+                            "span_id": self._activity_span_id(
+                                activity.activity_instance_id
+                            ),
+                            "trace_id": root_id,
+                            "parent_id": root_id,
+                            "name": f"workflow.activity:{activity.activity_name}",
+                            "kind": "workflow",
+                            "start_ns": activity.start,
+                            "end_ns": activity.end,
+                            "duration_ms": None,
+                            "thread": "",
+                            "tags": _json_text(
+                                {
+                                    "activity_instance": activity.activity_instance_id,
+                                    "process_instance": trace.process_instance_id,
+                                    "activity": activity.activity_name,
+                                    "status": activity.status,
+                                    "user": activity.user,
+                                }
+                            ),
+                        }
+                    )
+            if not rows:
+                return 0
+            with self.database.lock:
+                self.database.delete(
+                    SYS_SPANS,
+                    col("span_id").is_in([row["span_id"] for row in rows]),
+                )
+                self.database.insert_many(SYS_SPANS, rows)
+            self.spans_stored += len(rows)
+            return len(rows)
+
+    # ------------------------------------------------------------------
+    # Background collection
+    def start(self, interval: float = 0.25) -> None:
+        """Collect + flush every ``interval`` seconds on a daemon thread."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, args=(interval,), daemon=True, name="telemetry-sink"
+            )
+            self._thread.start()
+
+    def _run(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self.collect_and_flush()
+
+    def stop(self) -> None:
+        """Stop the background thread after one final cycle."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=2.0)
+        with self._lock:
+            self._thread = None
+        self.collect_and_flush()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def close(self) -> None:
+        """Stop collection and shut the notification center down."""
+        self.stop()
+        with self.runtime.tracer.suppress():
+            self.center.close()

@@ -31,7 +31,7 @@ import time
 from collections import OrderedDict, deque
 from typing import Any, Iterator, Optional
 
-__all__ = ["Span", "SpanContext", "Tracer"]
+__all__ = ["NullSpan", "Span", "SpanContext", "Tracer"]
 
 
 class SpanContext:
@@ -59,6 +59,7 @@ class Span:
         "start_ns",
         "end_ns",
         "tags",
+        "events",
         "thread_name",
         "_explicit_parent",
     )
@@ -73,6 +74,7 @@ class Span:
         self.tracer = tracer
         self.name = name
         self.tags: dict[str, Any] = dict(tags) if tags else {}
+        self.events: list[tuple[int, str, dict[str, Any]]] = []
         self.trace_id = 0
         self.span_id = 0
         self.parent_id: Optional[int] = None
@@ -87,6 +89,17 @@ class Span:
 
     def set_tag(self, key: str, value: Any) -> "Span":
         self.tags[key] = value
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> "Span":
+        """Attach a timestamped point annotation to this span.
+
+        Events carry things a duration cannot: per-operator row counters
+        of an EXPLAIN ANALYZE, the moment a retry fired, a flush being
+        forced.  They export alongside the span and persist into the
+        ``sys_span_events`` telemetry table.
+        """
+        self.events.append((time.perf_counter_ns(), name, dict(attrs)))
         return self
 
     def set_parent(self, context: Optional[SpanContext]) -> "Span":
@@ -149,6 +162,10 @@ class Span:
             "duration_ms": self.duration_ms,
             "thread": self.thread_name,
             "tags": dict(self.tags),
+            "events": [
+                {"ts_ns": ts, "name": name, "attrs": dict(attrs)}
+                for ts, name, attrs in list(self.events)
+            ],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -156,6 +173,87 @@ class Span:
             f"<Span {self.name!r} trace={self.trace_id} id={self.span_id} "
             f"parent={self.parent_id} {self.duration_ms:.3f}ms>"
         )
+
+
+class NullSpan:
+    """A do-nothing stand-in returned while a thread is suppressed.
+
+    The telemetry sink persists the tracer's own output back into a
+    database whose write path is itself instrumented; without a guard the
+    observer would observe itself forever (every flush creates spans that
+    the next flush persists, which creates spans...).  Inside
+    :meth:`Tracer.suppress`, ``span()`` hands out one of these: it honors
+    the whole :class:`Span` surface but records nothing and never touches
+    the ring buffer or the context stack.
+    """
+
+    __slots__ = ()
+
+    name = "<suppressed>"
+    trace_id = 0
+    span_id = 0
+    parent_id: Optional[int] = None
+    start_ns = 0
+    end_ns: Optional[int] = 0
+    thread_name = ""
+
+    @property
+    def tags(self) -> dict[str, Any]:
+        return {}
+
+    @property
+    def events(self) -> list[tuple[int, str, dict[str, Any]]]:
+        return []
+
+    def context(self) -> SpanContext:
+        return SpanContext(0, 0)
+
+    def set_tag(self, key: str, value: Any) -> "NullSpan":
+        return self
+
+    def add_event(self, name: str, **attrs: Any) -> "NullSpan":
+        return self
+
+    def set_parent(self, context: Optional[SpanContext]) -> "NullSpan":
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return 0.0
+
+    @property
+    def finished(self) -> bool:
+        return True
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def to_dict(self) -> dict[str, Any]:  # pragma: no cover - debugging aid
+        return {"name": self.name, "suppressed": True}
+
+
+#: Shared instance -- NullSpan carries no state, one is enough.
+_NULL_SPAN = NullSpan()
+
+
+class _Suppression:
+    """Context manager marking the current thread as do-not-trace."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self.tracer = tracer
+
+    def __enter__(self) -> None:
+        local = self.tracer._local
+        local.suppress = getattr(local, "suppress", 0) + 1
+
+    def __exit__(self, *exc: Any) -> None:
+        local = self.tracer._local
+        local.suppress = max(getattr(local, "suppress", 1) - 1, 0)
 
 
 class _Activation:
@@ -212,18 +310,39 @@ class Tracer:
             self._buffer.append(span)
 
     # ------------------------------------------------------------------
+    # Suppression (the telemetry sink's recursion guard)
+    def suppress(self) -> _Suppression:
+        """Mark this thread do-not-trace for the duration of a ``with``.
+
+        Every ``span()`` call made on the thread while inside returns a
+        shared :class:`NullSpan` that records nothing.  Reentrant.  This
+        is the recursion guard that keeps telemetry writes from being
+        themselves traced (see :mod:`repro.obs.store`).
+        """
+        return _Suppression(self)
+
+    @property
+    def suppressed(self) -> bool:
+        """True while the current thread is inside :meth:`suppress`."""
+        return getattr(self._local, "suppress", 0) > 0
+
+    # ------------------------------------------------------------------
     # Span creation / context propagation
     def span(
         self,
         name: str,
         tags: Optional[dict[str, Any]] = None,
         parent: Optional[SpanContext] = None,
-    ) -> Span:
+    ) -> "Span | NullSpan":
         """Create a span (enter it with ``with``).
 
         Without an explicit ``parent`` the span nests under the current
-        thread's innermost active span (or activation), if any.
+        thread's innermost active span (or activation), if any.  On a
+        suppressed thread (see :meth:`suppress`) a no-op span is returned
+        instead.
         """
+        if getattr(self._local, "suppress", 0) > 0:
+            return _NULL_SPAN
         return Span(self, name, tags=tags, parent=parent)
 
     def current_context(self) -> Optional[SpanContext]:
@@ -233,6 +352,19 @@ class Tracer:
             return None
         top = stack[-1]
         return SpanContext(top.trace_id, top.span_id)
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost *open* span on this thread, if any.
+
+        Activations (bare contexts) don't count: callers use this to
+        attach tags or events to the statement span they are running
+        under (e.g. EXPLAIN ANALYZE recording operator counters).
+        """
+        stack = self._stack()
+        for frame in reversed(stack):
+            if isinstance(frame, Span):
+                return frame
+        return None
 
     def activate(self, context: Optional[SpanContext]) -> _Activation:
         """Install ``context`` as the parent for spans started inside.
@@ -263,6 +395,22 @@ class Tracer:
         with self._lock:
             return list(self._buffer)
 
+    def drain(self) -> list[Span]:
+        """Atomically remove and return every buffered span, oldest first.
+
+        The snapshot-and-clear happens under the buffer lock, so a
+        concurrently finishing span either lands wholly in this drain or
+        wholly in the next one -- never split, never lost, never seen
+        half-written.  Spans only enter the buffer *after* their
+        ``end_ns`` is set (``Span.__exit__`` records last), and the
+        defensive filter below keeps that invariant even if a future
+        caller records by hand.  This is the telemetry sink's read path.
+        """
+        with self._lock:
+            spans = [s for s in self._buffer if s.end_ns is not None]
+            self._buffer.clear()
+        return spans
+
     def spans_named(self, name: str) -> list[Span]:
         return [s for s in self.finished_spans() if s.name == name]
 
@@ -274,10 +422,15 @@ class Tracer:
         return out
 
     def export_json(self, indent: Optional[int] = None) -> str:
-        """The ring buffer as a JSON array of span dicts."""
-        return json.dumps(
-            [span.to_dict() for span in self.finished_spans()], indent=indent
-        )
+        """The ring buffer as a JSON array of span dicts.
+
+        The span list is serialized from one atomic snapshot taken under
+        the buffer lock, so concurrent span-finishes cannot shift the
+        buffer mid-export.
+        """
+        with self._lock:
+            dicts = [span.to_dict() for span in self._buffer]
+        return json.dumps(dicts, indent=indent)
 
     def __iter__(self) -> Iterator[Span]:
         return iter(self.finished_spans())

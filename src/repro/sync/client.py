@@ -42,6 +42,7 @@ from typing import Any, Callable, Optional
 from ..db.database import Database
 from ..errors import SyncError
 from ..obs.runtime import OBS
+from ..obs.trace import SpanContext
 from ..retry import RetryPolicy
 from . import protocol
 from .memtable import MemoryTable, RowPredicate
@@ -138,6 +139,11 @@ class SyncClient:
         #: table -> span context of the last completed refresh, so later
         #: pipeline stages (layout, display) can join the trace.
         self._refresh_contexts: dict[str, Any] = {}
+        #: table -> (seq_no, (trace_id, span_id, sent_ns)) decoded from
+        #: the newest NOTIFY/NOTIFYB frame's ``ctx`` field.  This is the
+        #: *cross-socket* trace bridge: unlike the tracer's link
+        #: registry it needs no shared memory with the server side.
+        self._frame_contexts: dict[str, tuple[int, tuple[int, int, int]]] = {}
         if server.use_sockets:
             self.status = IDLE
             self._open_listener()
@@ -219,7 +225,7 @@ class SyncClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = protocol.MessageStream(sock)
         self.server_caps = protocol.client_handshake(
-            stream, caps=[protocol.CAP_BATCH]
+            stream, caps=[protocol.CAP_BATCH, protocol.CAP_TRACE]
         )
         self._stream = stream
         self._last_rx = time.monotonic()
@@ -248,6 +254,9 @@ class SyncClient:
             if kind == protocol.NOTIFY:
                 table = message["table"]
                 self.notify_received += 1
+                self._note_frame_context(
+                    table, message.get("seq_no", 0), message
+                )
                 with self._dirty_lock:
                     self._dirty.add(table)
                 self._fire_notify_hooks(
@@ -263,6 +272,7 @@ class SyncClient:
                     events = []
                 self.batch_notifies_received += 1
                 self.notify_received += len(events)
+                self._note_frame_context(table, message.get("hi", 0), message)
                 with self._dirty_lock:
                     self._dirty.add(table)
                 for op, seq_no in events:
@@ -539,21 +549,64 @@ class SyncClient:
         """
         return self._refresh_contexts.get(table)
 
+    def _note_frame_context(
+        self, table: str, seq_no: int, message: dict[str, Any]
+    ) -> None:
+        """Remember the newest frame-carried trace context for ``table``.
+
+        Called from the socket read loop on every NOTIFY/NOTIFYB; a peer
+        without the ``trace`` capability (or with tracing off) sends no
+        ``ctx`` field and this is a no-op.
+        """
+        ctx = protocol.frame_trace_context(message)
+        if ctx is None:
+            return
+        with self._dirty_lock:
+            previous = self._frame_contexts.get(table)
+            if previous is None or seq_no >= previous[0]:
+                self._frame_contexts[table] = (seq_no, ctx)
+
     def _join_notify_trace(self, span: Any, table: str, newest: int) -> None:
         """Adopt the notify span that produced ``newest`` as our parent.
 
-        The notification protocol shares no thread or call stack with the
-        refresh; the link registry keyed ``(table, seq_no)`` is the only
-        bridge.  Its registration timestamp also yields the
+        The notification protocol shares no thread or call stack with
+        the refresh, so the parent context must arrive out of band.
+        Preferred bridge: the ``ctx`` field the server puts on
+        NOTIFY/NOTIFYB frames (works across real sockets, no shared
+        memory).  Fallback: the in-process link registry keyed
+        ``(table, seq_no)`` -- polling mode, legacy servers, replayed
+        notifications.  Either bridge's origin timestamp yields the
         NOTIFY -> mirror-applied latency.
         """
-        linked = OBS.tracer.lookup_link(("notify", table, newest))
-        if linked is None:
+        with self._dirty_lock:
+            stored = self._frame_contexts.get(table)
+        if stored is not None and stored[0] >= newest:
+            # A frame covering this refresh's horizon already arrived.
+            seq, (trace_id, span_id, sent_ns) = stored
+            span.set_parent(SpanContext(trace_id, span_id))
+            span.set_tag("ctx_source", "frame")
+            self._observe_notify_latency(table, sent_ns)
             return
-        context, registered_at_ns = linked
-        span.set_parent(context)
+        linked = OBS.tracer.lookup_link(("notify", table, newest))
+        if linked is not None:
+            context, registered_at_ns = linked
+            span.set_parent(context)
+            span.set_tag("ctx_source", "link")
+            self._observe_notify_latency(table, registered_at_ns)
+            return
+        if stored is not None:
+            # The refresh outran the socket (the write is visible in the
+            # database but its frame is still in flight): the latest
+            # received frame is the best-known origin.
+            seq, (trace_id, span_id, sent_ns) = stored
+            span.set_parent(SpanContext(trace_id, span_id))
+            span.set_tag("ctx_source", "frame")
+            self._observe_notify_latency(table, sent_ns)
+
+    @staticmethod
+    def _observe_notify_latency(table: str, origin_ns: int) -> None:
         OBS.metrics.histogram("sync.notify_to_applied_ms", table=table).observe(
-            (time.perf_counter_ns() - registered_at_ns) / 1e6
+            (time.perf_counter_ns() - origin_ns) / 1e6
         )
 
     def _refresh_impl(

@@ -46,7 +46,13 @@ MAGIC = "ediflow-sync-1"
 
 #: Optional capabilities a peer may advertise in its HELLO.
 CAP_BATCH = "batch"
-SUPPORTED_CAPS = frozenset({CAP_BATCH})
+#: Trace-context propagation: a peer advertising "trace" receives a
+#: ``ctx`` field on NOTIFY/NOTIFYB frames -- ``{"t": trace_id,
+#: "s": span_id, "n": sent_ns}`` -- so its refresh spans join the
+#: server-side propagation trace across the socket (no shared link
+#: registry required).  Legacy peers never see the field.
+CAP_TRACE = "trace"
+SUPPORTED_CAPS = frozenset({CAP_BATCH, CAP_TRACE})
 
 #: Generous bound on one serialized message; protects against garbage peers.
 MAX_MESSAGE_BYTES = 1 << 16
@@ -98,26 +104,75 @@ def peer_caps(message: dict[str, Any]) -> frozenset[str]:
     return frozenset(c for c in raw if isinstance(c, str)) & SUPPORTED_CAPS
 
 
-def notify(table: str, seq_no: int, op: str) -> dict[str, Any]:
-    return {"type": NOTIFY, "table": table, "seq_no": seq_no, "op": op}
+def trace_context(
+    trace_id: int, span_id: int, sent_ns: int
+) -> dict[str, int]:
+    """The compact ``ctx`` frame field carrying a span identity."""
+    return {"t": trace_id, "s": span_id, "n": sent_ns}
 
 
-def notify_batch(table: str, events: list[tuple[str, int]]) -> dict[str, Any]:
+def frame_trace_context(
+    message: dict[str, Any]
+) -> Optional[tuple[int, int, int]]:
+    """Decode a frame's ``ctx`` field into ``(trace_id, span_id, sent_ns)``.
+
+    Returns ``None`` when absent or malformed -- trace context is
+    best-effort metadata and must never fail a notification.
+    """
+    raw = message.get("ctx")
+    if not isinstance(raw, dict):
+        return None
+    trace_id, span_id, sent_ns = raw.get("t"), raw.get("s"), raw.get("n")
+    if (
+        isinstance(trace_id, int)
+        and isinstance(span_id, int)
+        and isinstance(sent_ns, int)
+        and not isinstance(trace_id, bool)
+        and not isinstance(span_id, bool)
+        and not isinstance(sent_ns, bool)
+    ):
+        return trace_id, span_id, sent_ns
+    return None
+
+
+def notify(
+    table: str, seq_no: int, op: str, ctx: Optional[dict[str, int]] = None
+) -> dict[str, Any]:
+    message: dict[str, Any] = {
+        "type": NOTIFY,
+        "table": table,
+        "seq_no": seq_no,
+        "op": op,
+    }
+    if ctx is not None:
+        message["ctx"] = ctx
+    return message
+
+
+def notify_batch(
+    table: str,
+    events: list[tuple[str, int]],
+    ctx: Optional[dict[str, int]] = None,
+) -> dict[str, Any]:
     """One frame for a whole flush: ``events`` is ``[(op, seq_no), ...]``.
 
     ``lo``/``hi`` carry the covered seq-no range so a receiver can
     advance its cursor and detect gaps without unpacking every event.
+    ``ctx`` (trace-capable peers only) carries the flush span's context.
     """
     if not events:
         raise ProtocolError("a NOTIFYB frame needs at least one event")
     seqs = [seq_no for _op, seq_no in events]
-    return {
+    message: dict[str, Any] = {
         "type": NOTIFY_BATCH,
         "table": table,
         "lo": min(seqs),
         "hi": max(seqs),
         "events": [[op, seq_no] for op, seq_no in events],
     }
+    if ctx is not None:
+        message["ctx"] = ctx
+    return message
 
 
 def batch_events(message: dict[str, Any]) -> list[tuple[str, int]]:

@@ -383,6 +383,18 @@ class SyncServer:
             )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _trace_ctx(table: str, seq_no: int) -> Optional[dict[str, int]]:
+        """The ``ctx`` frame field for one notification, if a span
+        context was linked under ``(table, seq_no)`` on this side."""
+        linked = OBS.tracer.lookup_link(("notify", table, seq_no))
+        if linked is None:
+            return None
+        context, registered_ns = linked
+        return protocol.trace_context(
+            context.trace_id, context.span_id, registered_ns
+        )
+
     def _on_notification(self, table: str, op: str, seq_no: int) -> None:
         """Single-event convenience wrapper over :meth:`_on_notifications`."""
         self._on_notifications(table, [(op, seq_no)])
@@ -414,10 +426,23 @@ class SyncServer:
             if transport is None:
                 link.missed_count += len(events)
                 continue
+            # Trace-capable peers get the notify/flush span context on
+            # the frame itself, so their refresh spans join the
+            # server-side trace across the socket (no shared memory).
+            want_trace = OBS.enabled and protocol.CAP_TRACE in endpoint.caps
             if protocol.CAP_BATCH in endpoint.caps and len(events) > 1:
-                frames = [protocol.notify_batch(table, events)]
+                ctx = self._trace_ctx(table, events[-1][1]) if want_trace else None
+                frames = [protocol.notify_batch(table, events, ctx=ctx)]
             else:
-                frames = [protocol.notify(table, s, op) for op, s in events]
+                frames = [
+                    protocol.notify(
+                        table,
+                        s,
+                        op,
+                        ctx=self._trace_ctx(table, s) if want_trace else None,
+                    )
+                    for op, s in events
+                ]
             try:
                 with endpoint.lock:
                     for frame in frames:

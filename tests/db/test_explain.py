@@ -55,3 +55,66 @@ class TestExplain:
     def test_explain_rejects_mutations(self, db):
         with pytest.raises(DatabaseError):
             db.explain("DELETE FROM emp")
+
+
+class TestExplainAnalyzeSpans:
+    """EXPLAIN ANALYZE records per-operator row counters as span events,
+    matching the printed plan verbatim."""
+
+    @pytest.fixture(autouse=True)
+    def _obs(self):
+        import repro.obs as obs
+
+        obs.disable()
+        obs.reset()
+        yield obs
+        obs.disable()
+        obs.reset()
+
+    @pytest.fixture
+    def populated(self, db):
+        for i in range(10):
+            db.execute(
+                f"INSERT INTO emp (id, dept, salary) VALUES ({i}, 'd{i % 2}', {i * 10})"
+            )
+        return db
+
+    @staticmethod
+    def assert_events_match_plan(events, text):
+        plan_lines = [line.strip() for line in text.splitlines()]
+        assert events, "EXPLAIN ANALYZE produced no operator events"
+        assert [attrs["index"] for _, _, attrs in events] == list(range(len(events)))
+        for _, name, attrs in events:
+            assert name == "explain.operator"
+            assert f"{attrs['operator']} (rows={attrs['rows']})" in plan_lines
+        assert len(events) == len(plan_lines)
+
+    def test_explain_api_annotates_its_own_span(self, populated, _obs):
+        _obs.enable()
+        text = populated.explain("SELECT * FROM emp WHERE salary > 40", analyze=True)
+        (span,) = _obs.tracer().spans_named("db.explain")
+        assert span.tags["analyze"] is True
+        assert span.tags["operators"] == len(span.events)
+        self.assert_events_match_plan(span.events, text)
+        scan = next(a for _, _, a in span.events if a["operator"].startswith("Scan"))
+        assert scan["rows"] == 10  # the scan saw every row
+
+    def test_sql_explain_analyze_annotates_statement_span(self, populated, _obs):
+        _obs.enable()
+        result = populated.execute("EXPLAIN ANALYZE SELECT * FROM emp WHERE id = 3")
+        text = "\n".join(row["plan"] for row in result.rows)
+        spans = [
+            s for s in _obs.tracer().finished_spans() if s.events
+        ]
+        (span,) = spans
+        assert span.name == "db.execute"
+        self.assert_events_match_plan(span.events, text)
+
+    def test_plain_explain_emits_no_events(self, populated, _obs):
+        _obs.enable()
+        populated.explain("SELECT * FROM emp", analyze=False)
+        assert _obs.tracer().spans_named("db.explain") == []
+
+    def test_disabled_tracing_still_counts_rows(self, populated):
+        text = populated.explain("SELECT * FROM emp", analyze=True)
+        assert "(rows=10)" in text

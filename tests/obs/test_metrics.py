@@ -155,3 +155,71 @@ class TestPrometheusText:
         text = registry.prometheus_text()
         assert "repro_sync_client_hook_failures_total" in text
         assert "." not in text.split()[-2]  # metric name carries no dots
+
+
+class TestQuantiles:
+    def test_interpolation_within_a_bucket(self):
+        # 10 observations all landing in the (1.0, 2.5] bucket: the
+        # median interpolates linearly to the bucket midpoint.
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.5, 5.0))
+        for _ in range(10):
+            histogram.observe(2.0)
+        assert histogram.quantile(0.5) == pytest.approx(1.0 + (2.5 - 1.0) * 0.5)
+
+    def test_quantile_spans_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+            histogram.observe(value)
+        # Rank 4 of 8 is the last observation of the (1.0, 2.0] bucket.
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        # Rank 0.25*8=2 exhausts the first bucket exactly.
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(999.0)  # +Inf bucket
+        assert histogram.quantile(0.99) == pytest.approx(10.0)
+
+    def test_empty_histogram_returns_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) is None
+        assert histogram.quantiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_out_of_range_quantile_rejected(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_quantiles_keys(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(0.3)
+        summary = histogram.quantiles()
+        assert set(summary) == {"p50", "p95", "p99"}
+        assert all(v is not None for v in summary.values())
+
+    def test_snapshot_includes_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("db.execute_ms")
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        series = registry.snapshot()["histograms"]["db.execute_ms"]
+        for stat in ("p50", "p95", "p99"):
+            assert series[stat] == pytest.approx(histogram.quantile(
+                float(stat.lstrip("p")) / 100
+            ))
+        assert series["p50"] <= series["p95"] <= series["p99"]
+
+    def test_prometheus_text_has_quantile_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("db.execute_ms", table="emp").observe(0.3)
+        text = registry.prometheus_text()
+        for q in ("0.5", "0.95", "0.99"):
+            pattern = rf'repro_db_execute_ms\{{table="emp",quantile="{q}"\}} '
+            assert re.search(pattern, text), pattern
+
+    def test_empty_histogram_emits_no_quantile_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        assert "quantile=" not in registry.prometheus_text()

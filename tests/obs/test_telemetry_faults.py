@@ -1,0 +1,180 @@
+"""Telemetry under faults: the observer must survive the same network
+failures as the pipeline it observes -- and never observe itself while
+recovering."""
+
+import time
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.telemetry import TelemetryDashboard
+from repro.obs.store import SYS_SPANS, TelemetrySink
+from repro.retry import RetryPolicy
+from repro.sync import FaultPlan, FaultyTransport, SyncClient, SyncServer
+from repro.sync import client as client_mod
+
+HB = 0.05
+
+
+def fast_reconnect(max_attempts=10):
+    return RetryPolicy(
+        max_attempts=max_attempts,
+        base_delay=0.01,
+        multiplier=1.5,
+        max_delay=0.1,
+        jitter=0.5,
+        retryable=(OSError, Exception),
+    )
+
+
+def make_spans(count, table="nodes"):
+    tracer = obs.tracer()
+    for i in range(count):
+        with tracer.span("work", tags={"table": table, "i": i}):
+            pass
+
+
+def faulted_telemetry_stack(plans):
+    """A telemetry sink whose dashboard socket runs ``plans[N]`` on its
+    Nth callback connection; later connections run clean."""
+    sink = TelemetrySink()
+    queue = list(plans)
+
+    def factory(stream):
+        return FaultyTransport(stream, queue.pop(0) if queue else None)
+
+    server = SyncServer(
+        sink.database,
+        sink.center,
+        use_sockets=True,
+        heartbeat_interval=HB,
+        transport_factory=factory,
+    )
+    client = SyncClient(
+        server, reconnect=fast_reconnect(), heartbeat_timeout=HB * 5
+    )
+    return sink, server, client
+
+
+def stored_span_ids(sink):
+    with obs.tracer().suppress():
+        return sorted(
+            r["span_id"]
+            for r in sink.database.query(f"SELECT span_id FROM {SYS_SPANS}")
+        )
+
+
+def mirrored_span_ids(client):
+    return sorted(r["span_id"] for r in client.table(SYS_SPANS).all_rows())
+
+
+class TestSinkUnderFaults:
+    def test_sys_spans_mirror_survives_reconnect_replay(self, enabled_obs):
+        """Kill the dashboard's socket mid-session: missed sys_spans
+        notifications must replay after reconnect and the mirror must
+        converge to the base table."""
+        # Message 0 is the handshake REPLY; die on the 3rd send.
+        sink, server, client, = faulted_telemetry_stack([FaultPlan(disconnect_at=2)])
+        try:
+            client.mirror(SYS_SPANS)
+            make_spans(3)
+            sink.collect_and_flush()
+            # Keep flushing through the failure window: some of these
+            # NOTIFYB frames die on the severed transport.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and client.reconnects == 0:
+                make_spans(1)
+                sink.collect_and_flush()
+                time.sleep(0.01)
+            assert client.reconnects >= 1, "dashboard client never reconnected"
+            assert client.wait_status(client_mod.CONNECTED, timeout=5.0)
+            make_spans(2)
+            sink.collect_and_flush()
+            with obs.tracer().suppress():
+                client.refresh(SYS_SPANS)
+            assert mirrored_span_ids(client) == stored_span_ids(sink)
+        finally:
+            client.close()
+            server.close()
+            sink.close()
+
+    def test_flush_tolerates_a_dead_dashboard(self, enabled_obs):
+        """A dashboard whose transport is dead must not break the sink:
+        collect_and_flush keeps persisting and the missed notifications
+        are counted for replay."""
+        sink, server, client = faulted_telemetry_stack([FaultPlan(disconnect_at=1)])
+        try:
+            client.mirror(SYS_SPANS)
+            for _ in range(4):
+                make_spans(2)
+                sink.collect_and_flush()
+            # Every workload span persisted regardless of the
+            # dashboard's health (the client's own untagged connection
+            # spans may legitimately ride along).
+            with obs.tracer().suppress():
+                work = sink.database.query(
+                    f"SELECT name FROM {SYS_SPANS} WHERE name = 'work'"
+                )
+            assert len(work) == 8
+        finally:
+            client.close()
+            server.close()
+            sink.close()
+
+
+class TestRecursionGuardRegression:
+    def test_idle_cycles_with_live_dashboard_stay_stable(self, enabled_obs):
+        """The acceptance regression: sink + dashboard attached, repeated
+        collect/flush/refresh cycles with NO workload must leave the span
+        table and the ring buffer flat -- the observer never observes
+        itself."""
+        sink = TelemetrySink()
+        dashboard = TelemetryDashboard(sink)
+        try:
+            make_spans(5)
+            sink.collect_and_flush()
+            dashboard.refresh()
+            baseline = stored_span_ids(sink)
+            for _ in range(6):
+                sink.collect_and_flush()
+                dashboard.refresh()
+            assert stored_span_ids(sink) == baseline
+            assert len(obs.tracer()) == 0, "telemetry leaked into the tracer"
+            assert sink.guard_dropped == 0, "suppression already guards here"
+        finally:
+            dashboard.close()
+            sink.close()
+
+    def test_unsuppressed_observer_is_guard_dropped(self, enabled_obs):
+        """Second guard layer: a foreign thread's spans over the system
+        tables (an unsuppressed dashboard) are dropped at collect time."""
+        sink = TelemetrySink()
+        try:
+            make_spans(2, table="nodes")
+            make_spans(3, table=SYS_SPANS)  # what a rogue observer produces
+            stats = sink.collect_and_flush()
+            assert stats["spans"] == 2
+            assert stats["dropped"] == 3
+            assert sink.guard_dropped == 3
+            assert stored_span_ids(sink) == stored_span_ids(sink)  # stable reads
+            names = {
+                r["name"]
+                for r in sink.database.query(f"SELECT name FROM {SYS_SPANS}")
+            }
+            assert names == {"work"}
+        finally:
+            sink.close()
+
+    @pytest.mark.parametrize("cycles", [3])
+    def test_dashboard_refresh_emits_no_spans(self, enabled_obs, cycles):
+        sink = TelemetrySink()
+        dashboard = TelemetryDashboard(sink)
+        try:
+            make_spans(4)
+            for _ in range(cycles):
+                sink.collect_and_flush()
+                dashboard.refresh()
+                assert len(obs.tracer()) == 0
+        finally:
+            dashboard.close()
+            sink.close()

@@ -172,3 +172,151 @@ class TestBufferAndExport:
         tracer.reset()
         assert len(tracer) == 0
         assert tracer.lookup_link("k") is None
+
+
+class TestSuppression:
+    def test_suppressed_thread_gets_null_spans(self):
+        tracer = Tracer()
+        with tracer.suppress():
+            assert tracer.suppressed
+            with tracer.span("hidden") as span:
+                span.set_tag("k", "v").add_event("e")
+            assert span.span_id == 0
+            assert span.finished
+        assert not tracer.suppressed
+        assert len(tracer) == 0
+
+    def test_suppression_is_reentrant(self):
+        tracer = Tracer()
+        with tracer.suppress():
+            with tracer.suppress():
+                pass
+            # Still suppressed after the inner exit.
+            assert tracer.suppressed
+            with tracer.span("hidden"):
+                pass
+        assert len(tracer) == 0
+
+    def test_suppression_is_per_thread(self):
+        tracer = Tracer()
+        seen = []
+
+        def other():
+            with tracer.span("visible") as span:
+                pass
+            seen.append(span.span_id)
+
+        with tracer.suppress():
+            worker = threading.Thread(target=other)
+            worker.start()
+            worker.join()
+        assert seen[0] != 0
+        assert [s.name for s in tracer.finished_spans()] == ["visible"]
+
+    def test_suppressed_spans_do_not_touch_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.suppress():
+                with tracer.span("hidden"):
+                    assert tracer.current_context().span_id == outer.span_id
+
+
+class TestEvents:
+    def test_events_round_trip_through_export(self):
+        tracer = Tracer()
+        with tracer.span("stmt") as span:
+            span.add_event("explain.operator", operator="SeqScan", rows=3)
+        record = json.loads(tracer.export_json())[0]
+        assert len(record["events"]) == 1
+        event = record["events"][0]
+        assert event["name"] == "explain.operator"
+        assert event["attrs"] == {"operator": "SeqScan", "rows": 3}
+        assert span.start_ns <= event["ts_ns"] <= span.end_ns
+
+    def test_events_keep_order(self):
+        tracer = Tracer()
+        with tracer.span("stmt") as span:
+            for i in range(5):
+                span.add_event("tick", i=i)
+        assert [attrs["i"] for _, _, attrs in span.events] == list(range(5))
+
+
+class TestDrain:
+    def test_drain_empties_and_preserves_order(self):
+        tracer = Tracer()
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        drained = tracer.drain()
+        assert [s.name for s in drained] == ["a", "b", "c"]
+        assert len(tracer) == 0
+        assert tracer.drain() == []
+
+    def test_concurrent_drain_loses_no_span(self):
+        """Producers finishing spans while a consumer drains: every span
+        lands in exactly one drain -- none lost, none duplicated."""
+        tracer = Tracer(capacity=100_000)
+        per_thread = 400
+        threads = 4
+        stop = threading.Event()
+        drained = []
+
+        def produce(tid):
+            for i in range(per_thread):
+                with tracer.span(f"s-{tid}-{i}"):
+                    pass
+
+        def consume():
+            while not stop.is_set():
+                drained.extend(tracer.drain())
+            drained.extend(tracer.drain())
+
+        producers = [
+            threading.Thread(target=produce, args=(t,)) for t in range(threads)
+        ]
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for p in producers:
+            p.start()
+        for p in producers:
+            p.join()
+        stop.set()
+        consumer.join()
+
+        names = [s.name for s in drained]
+        assert len(names) == threads * per_thread
+        assert len(set(names)) == threads * per_thread
+        assert all(s.end_ns is not None for s in drained)
+
+    def test_export_is_atomic_under_concurrent_finishes(self):
+        """export_json must serialize one consistent snapshot while other
+        threads keep appending finished spans."""
+        tracer = Tracer(capacity=512)  # ring bounds the serialization cost
+        stop = threading.Event()
+        errors = []
+
+        def produce():
+            i = 0
+            while not stop.is_set():
+                with tracer.span(f"p-{i}"):
+                    pass
+                i += 1
+
+        def export():
+            try:
+                for _ in range(20):
+                    for record in json.loads(tracer.export_json()):
+                        assert record["end_ns"] is not None
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        producers = [threading.Thread(target=produce) for _ in range(3)]
+        exporter = threading.Thread(target=export)
+        for p in producers:
+            p.start()
+        exporter.start()
+        exporter.join()
+        stop.set()
+        for p in producers:
+            p.join()
+        assert errors == []
