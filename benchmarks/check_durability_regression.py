@@ -1,0 +1,43 @@
+"""CI gate: group-commit WAL overhead must stay within bounds.
+
+Reads ``benchmarks/BENCH_durability.json`` (written by
+``bench_durability.py``) and exits non-zero if the ``fsync=interval``
+arm's overhead over the in-memory Figure-8 insert pipeline exceeds the
+recorded ``required_max_pct``.  Run after the benchmark:
+
+    python benchmarks/check_durability_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_durability.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_durability run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    gate = payload.get("overhead_gate")
+    if not isinstance(gate, dict):
+        print(f"FAIL: {RESULT} has no overhead_gate block")
+        return 2
+    measured = float(gate["overhead_pct"])
+    required = float(gate["required_max_pct"])
+    verdict = "PASS" if measured <= required else "FAIL"
+    print(
+        f"{verdict}: fsync={gate['policy']} WAL overhead on the insert "
+        f"pipeline ({payload.get('batches')} x {payload.get('batch_rows')} "
+        f"rows): {measured:.1f}% (max {required:.1f}%; baseline "
+        f"{gate['baseline_ms']:.1f} ms, durable {gate['durable_ms']:.1f} ms)"
+    )
+    return 0 if measured <= required else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,7 @@ T_VIS_COMPONENT = "ediflow_vis_component"
 T_VISUAL_ATTRIBUTES = "ediflow_visual_attributes"
 T_NOTIFICATION = "ediflow_notification"
 T_PROVENANCE = "ediflow_provenance"
+T_PROCESS_VARIABLE = "ediflow_process_variable"
 T_DELETION_SUFFIX = "_deleted"
 
 CORE_TABLES = (
@@ -68,6 +69,7 @@ CORE_TABLES = (
     T_VISUAL_ATTRIBUTES,
     T_NOTIFICATION,
     T_PROVENANCE,
+    T_PROCESS_VARIABLE,
 )
 
 
@@ -224,6 +226,22 @@ def install_core_schema(database: Database) -> None:
         ],
         foreign_keys=[
             ForeignKey("activity_instance_id", T_ACTIVITY_INSTANCE, "id")
+        ],
+    )
+    # Process variables persisted per assignment (JSON-encoded), so a
+    # crashed enactment resumes with the values it had -- the piece of
+    # process state the paper keeps "in the DBMS" that an in-memory
+    # Execution would otherwise lose.
+    mk(
+        T_PROCESS_VARIABLE,
+        [
+            Column("process_instance_id", INTEGER, nullable=False),
+            Column("name", TEXT, nullable=False),
+            Column("value", TEXT),  # JSON text; NULL = not representable
+        ],
+        unique=[("process_instance_id", "name")],
+        foreign_keys=[
+            ForeignKey("process_instance_id", T_PROCESS_INSTANCE, "id")
         ],
     )
 

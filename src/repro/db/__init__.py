@@ -36,6 +36,7 @@ from .algebra import (
     Union,
 )
 from .database import Database, Result
+from .durability import DurabilityManager, RecoveryInfo, open_durable, recover
 from .plancache import LRUCache
 from .routing import matching_tids, optimize_plan
 from .expression import (
@@ -49,6 +50,15 @@ from .persistence import load_snapshot, save_snapshot
 from .schema import CREATED_AT, TID, UPDATED_AT, Column, ForeignKey, TableSchema
 from .table import ChangeSet, Table
 from .types import ANY, BOOLEAN, FLOAT, INTEGER, TEXT, TIMESTAMP, ColumnType
+from .wal import (
+    FSYNC_ALWAYS,
+    FSYNC_INTERVAL,
+    FSYNC_NEVER,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
     "ANY",
@@ -64,8 +74,12 @@ __all__ = [
     "Database",
     "Difference",
     "Distinct",
+    "DurabilityManager",
     "Expression",
     "FLOAT",
+    "FSYNC_ALWAYS",
+    "FSYNC_INTERVAL",
+    "FSYNC_NEVER",
     "ForeignKey",
     "HashJoin",
     "INTEGER",
@@ -81,6 +95,7 @@ __all__ = [
     "Product",
     "Project",
     "RangeIndexScan",
+    "RecoveryInfo",
     "Result",
     "RowSource",
     "Scan",
@@ -93,11 +108,17 @@ __all__ = [
     "TableSchema",
     "UPDATED_AT",
     "Union",
+    "WalRecord",
+    "WriteAheadLog",
     "col",
     "format_plan",
     "instrument_plan",
     "load_snapshot",
     "matching_tids",
+    "open_durable",
     "optimize_plan",
+    "read_wal",
+    "recover",
     "save_snapshot",
+    "truncate_torn_tail",
 ]

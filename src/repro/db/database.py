@@ -90,6 +90,12 @@ class Database:
         self._lock = threading.RLock()
         self._current_transaction: Transaction | None = None
         self._trigger_counter = 0
+        # Durability hooks (see repro.db.durability): commit hooks see
+        # every committed statement batch *before* triggers fire; DDL
+        # hooks see create/drop table.  Empty lists cost one truth test
+        # per statement.
+        self._commit_hooks: list[Callable[[list[ChangeSet]], None]] = []
+        self._ddl_hooks: list[Callable[[str, TableSchema | None, str], None]] = []
         # SQL fast path: text -> AST (never invalidated) and text -> plan
         # (evicted on DDL); see repro.db.plancache for the cachability rules.
         self._statement_cache = LRUCache(capacity=512)
@@ -124,6 +130,17 @@ class Database:
             self._clock += 1
             return self._clock
 
+    def restore_clock(self, value: int) -> None:
+        """Reset the logical clock to a recovered value.
+
+        Recovery code only (snapshot load, WAL replay): sets the clock so
+        that post-restart timestamps continue strictly after every
+        pre-crash timestamp.  Never lowers the clock below its current
+        value -- time-based isolation depends on monotonicity.
+        """
+        with self._lock:
+            self._clock = max(self._clock, int(value))
+
     # ------------------------------------------------------------------
     # Schema management
     def create_table(
@@ -155,6 +172,8 @@ class Database:
             table = Table(schema, self.tick)
             self._tables[schema.name] = table
             self._plan_cache.clear()
+            if self._ddl_hooks:
+                self._notify_ddl("create", schema, schema.name)
             return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -166,6 +185,8 @@ class Database:
             del self._tables[name]
             self._triggers.drop_for_table(name)
             self._plan_cache.clear()
+            if self._ddl_hooks:
+                self._notify_ddl("drop", None, name)
 
     def table(self, name: str) -> Table:
         try:
@@ -221,7 +242,53 @@ class Database:
         if transaction is not None:
             transaction.defer_triggers(change)
         else:
+            # Auto-commit: the statement IS the transaction.  Durability
+            # hooks run first -- write-ahead means the log records a
+            # change before any downstream effect becomes observable.
+            if self._commit_hooks:
+                self._notify_commit([change])
             self._triggers.fire(change)
+
+    # ------------------------------------------------------------------
+    # Durability hooks
+    def add_commit_hook(self, hook: Callable[[list[ChangeSet]], None]) -> None:
+        """Register a hook receiving every committed statement batch.
+
+        Hooks run once per commit -- with the single change set of an
+        auto-committed statement, or with the ordered list of change
+        sets of an explicit transaction -- *before* triggers fire.  A
+        raising hook aborts the commit's downstream effects (triggers
+        never observe a change the log refused), so hooks must only
+        raise for genuine durability failures.
+        """
+        with self._lock:
+            self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook: Callable[[list[ChangeSet]], None]) -> None:
+        with self._lock:
+            if hook in self._commit_hooks:
+                self._commit_hooks.remove(hook)
+
+    def add_ddl_hook(self, hook: Callable[[str, TableSchema | None, str], None]) -> None:
+        """Register a hook called as ``hook(op, schema, name)`` on DDL.
+
+        ``op`` is ``"create"`` (schema given) or ``"drop"`` (schema None).
+        """
+        with self._lock:
+            self._ddl_hooks.append(hook)
+
+    def remove_ddl_hook(self, hook: Callable[[str, TableSchema | None, str], None]) -> None:
+        with self._lock:
+            if hook in self._ddl_hooks:
+                self._ddl_hooks.remove(hook)
+
+    def _notify_commit(self, changes: list[ChangeSet]) -> None:
+        for hook in list(self._commit_hooks):
+            hook(changes)
+
+    def _notify_ddl(self, op: str, schema: TableSchema | None, name: str) -> None:
+        for hook in list(self._ddl_hooks):
+            hook(op, schema, name)
 
     # ------------------------------------------------------------------
     # Programmatic mutations

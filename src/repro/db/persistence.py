@@ -24,6 +24,7 @@ from pathlib import Path
 from ..errors import DatabaseError
 from .database import Database
 from .schema import CREATED_AT, TID, UPDATED_AT, TableSchema
+from .wal import fsync_dir
 
 FORMAT_VERSION = 1
 
@@ -32,7 +33,9 @@ def save_snapshot(database: Database, path: str | Path) -> int:
     """Write a consistent snapshot of ``database`` to ``path``.
 
     Returns the number of rows written.  Writing happens to a temp file
-    followed by an atomic rename so a crash never leaves a torn snapshot.
+    that is flushed and fsynced, followed by an atomic rename and a
+    directory fsync -- so neither a crash nor a *power loss* can leave a
+    torn, empty, or missing snapshot behind a successful return.
     """
     path = Path(path)
     rows_written = 0
@@ -75,7 +78,13 @@ def save_snapshot(database: Database, path: str | Path) -> int:
                             f"that is not JSON-serializable: {exc}"
                         ) from None
                     rows_written += 1
+            # os.replace is atomic but not durable: without these two
+            # fsyncs a power loss can zero the data (page cache never
+            # written) or lose the rename (directory entry not logged).
+            out.flush()
+            os.fsync(out.fileno())
         os.replace(tmp_name, path)
+        fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -107,7 +116,7 @@ def load_snapshot(path: str | Path) -> Database:
                         f"unsupported snapshot version {record.get('version')!r}"
                     )
                 database = Database(record.get("name", "ediflow"))
-                database._clock = int(record.get("clock", 0))
+                database.restore_clock(int(record.get("clock", 0)))
             elif kind == "schema":
                 if database is None:
                     raise DatabaseError(f"{path}:{line_no}: schema before header")

@@ -66,6 +66,12 @@ class Transaction:
         pending = self._pending_changes
         self._pending_changes = []
         self._undo.clear()
+        # Durability first: the write-ahead log must hold the full
+        # transaction before any trigger makes its effects observable.
+        # A rolled-back transaction never reaches this point, so the log
+        # only ever frames committed work.
+        if self._database._commit_hooks and pending:
+            self._database._notify_commit(pending)
         # Fire triggers only after the transaction's effects are final.
         for change in pending:
             self._database._triggers.fire(change)

@@ -1,0 +1,147 @@
+"""Deterministic fault-injection core shared across subsystems.
+
+PR 1 introduced reproducible *transport* faults for the synchronization
+layer (:mod:`repro.sync.faults`); the durability work brings the same
+rigor to the storage engine (:mod:`repro.db.wal`).  Both need the same
+two primitives, so they live here:
+
+* :class:`FaultSchedule` -- a seeded random source plus an event counter.
+  Indexed rules ("fire at send #7") and rate rules ("fire with p=0.05")
+  both draw their determinism from it: identical ``(plan, seed)`` pairs
+  yield identical fault schedules, run after run.
+* :class:`CrashInjector` -- named *crash points* with per-point trigger
+  counting.  Production code calls :meth:`CrashInjector.check` at each
+  boundary it is willing to die at; when the armed :class:`CrashPlan`
+  matches, the caller performs the plan's mechanics (torn write, dropped
+  fsync) and raises :class:`SimulatedCrash`.
+
+The split keeps policy (which occurrence of which point, seeded rates)
+here and mechanics (how a WAL write is torn, how a socket dies) in the
+subsystem that owns the resource.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "CrashInjector",
+    "CrashPlan",
+    "FaultSchedule",
+    "SimulatedCrash",
+    "as_index_set",
+]
+
+
+def as_index_set(value: Iterable[int] | frozenset) -> frozenset:
+    """Coerce any iterable of indices to the frozenset plans store."""
+    return value if isinstance(value, frozenset) else frozenset(value)
+
+
+class FaultSchedule:
+    """Seeded randomness + monotonic event counting for one fault plan.
+
+    Every decision a fault plan makes is either *indexed* (an exact
+    0-based occurrence number) or *sampled* (a probability drawn from
+    this schedule's private RNG).  Keeping both behind one object means
+    a plan's full behavior is a pure function of ``(plan, seed)``.
+    """
+
+    __slots__ = ("_rng", "count")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        #: Events seen so far (equals the *next* event's index).
+        self.count = 0
+
+    def next_index(self) -> int:
+        """Claim the next event index (0-based) and advance the counter."""
+        index = self.count
+        self.count += 1
+        return index
+
+    def chance(self, rate: float) -> bool:
+        """Deterministically sample a rate rule from the seeded RNG."""
+        return rate > 0 and self._rng.random() < rate
+
+
+class SimulatedCrash(RuntimeError):
+    """The process "died" at an injected crash point.
+
+    Raised by fault-injection harnesses only; production code never
+    catches it (a crashed process does not get to run except-clauses).
+    Tests catch it at top level, discard every in-memory object, and
+    exercise recovery from the on-disk state alone.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(f"simulated crash at {point!r} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+@dataclass
+class CrashPlan:
+    """Kill the process at the Nth occurrence of a named crash point.
+
+    ``point`` names a boundary the instrumented code declares (the WAL
+    declares ``wal.append`` / ``wal.post_append`` / ``wal.fsync``).  The
+    remaining fields select the mechanics the *owner* of the crash point
+    applies before dying:
+
+    * ``torn_bytes`` -- write only this many bytes of the in-flight
+      record, then die (a torn write reaching the disk's sector cache).
+    * ``power_loss`` -- on death, data not yet fsynced is lost (the OS
+      page cache never reached the platter).  Without it the crash
+      models a process kill: buffered writes survive.
+    """
+
+    point: str
+    at: int = 0
+    torn_bytes: Optional[int] = None
+    power_loss: bool = False
+
+
+class CrashInjector:
+    """Trigger-counting registry of crash plans.
+
+    Instrumented code calls :meth:`check` at every declared boundary;
+    the injector counts occurrences per point name and returns the plan
+    when one matches (at most once -- a process only dies once).  With
+    no plans armed the per-call cost is one dict update.
+    """
+
+    def __init__(self, *plans: CrashPlan) -> None:
+        self.plans = list(plans)
+        self.counts: dict[str, int] = {}
+        #: The plan that fired, if any (tests assert on it).
+        self.fired: Optional[CrashPlan] = None
+
+    def check(self, point: str) -> Optional[CrashPlan]:
+        """Count one occurrence of ``point``; return a matching plan.
+
+        Returns ``None`` when nothing fires.  The caller is responsible
+        for applying the plan's mechanics and raising :meth:`crash`.
+        """
+        occurrence = self.counts.get(point, 0)
+        self.counts[point] = occurrence + 1
+        if self.fired is not None:
+            return None
+        for plan in self.plans:
+            if plan.point == point and plan.at == occurrence:
+                self.fired = plan
+                return plan
+        return None
+
+    def crash(self, plan: CrashPlan) -> "SimulatedCrash":
+        """The exception to raise for ``plan`` (records the occurrence)."""
+        return SimulatedCrash(plan.point, plan.at)
+
+    def reach(self, point: str, **_context: Any) -> None:
+        """Convenience for crash points with no special mechanics:
+        count, and die immediately when a plan matches."""
+        plan = self.check(point)
+        if plan is not None:
+            raise self.crash(plan)

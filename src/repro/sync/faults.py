@@ -25,11 +25,11 @@ connection is index 1.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..faults import FaultSchedule, as_index_set
 from .protocol import MessageStream, encode
 
 
@@ -39,8 +39,9 @@ class FaultPlan:
 
     Indexed rules fire at exact 0-based send indices; rate rules fire
     with the given probability per message, drawn from the transport's
-    seeded RNG.  Multiple rules may hit the same message; they apply in
-    the order: disconnect, truncate, drop, delay, duplicate, hold.
+    seeded :class:`~repro.faults.FaultSchedule`.  Multiple rules may hit
+    the same message; they apply in the order: disconnect, truncate,
+    drop, delay, duplicate, hold.
     """
 
     #: Send indices whose message is silently discarded.
@@ -62,8 +63,8 @@ class FaultPlan:
     duplicate_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        self.drop = frozenset(self.drop)
-        self.duplicate = frozenset(self.duplicate)
+        self.drop = as_index_set(self.drop)
+        self.duplicate = as_index_set(self.duplicate)
 
 
 class FaultyTransport:
@@ -75,8 +76,9 @@ class FaultyTransport:
     and truncated frames as seen by a client.  ``receive``/``close``
     delegate unchanged (so handshakes and PONG consumption still work).
 
-    All randomness comes from a private ``random.Random(seed)``;
-    identical (plan, seed) pairs yield identical fault schedules.
+    All randomness and event counting comes from a private
+    :class:`~repro.faults.FaultSchedule`; identical (plan, seed) pairs
+    yield identical fault schedules.
     """
 
     def __init__(
@@ -88,17 +90,21 @@ class FaultyTransport:
     ) -> None:
         self._stream = stream
         self.plan = plan or FaultPlan()
-        self._rng = random.Random(seed)
+        self._schedule = FaultSchedule(seed)
         self._clock = clock
         self._held: list[tuple[int, bytes]] = []
         # Counters (tests and benchmarks read these).
-        self.sent = 0
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
         self.reordered = 0
         self.truncated = 0
         self.disconnected = 0
+
+    @property
+    def sent(self) -> int:
+        """Messages offered to this transport (including perturbed ones)."""
+        return self._schedule.count
 
     # ------------------------------------------------------------------
     def _kill_socket(self) -> None:
@@ -118,8 +124,7 @@ class FaultyTransport:
 
     def send(self, message: dict[str, Any]) -> None:
         plan = self.plan
-        index = self.sent
-        self.sent += 1
+        index = self._schedule.next_index()
         data = encode(message)
         if plan.disconnect_at is not None and index >= plan.disconnect_at:
             self.disconnected += 1
@@ -130,9 +135,7 @@ class FaultyTransport:
             self._emit(data[: max(1, len(data) // 2)])
             self._kill_socket()
             raise BrokenPipeError(f"fault injection: truncated at message {index}")
-        if index in plan.drop or (
-            plan.drop_rate > 0 and self._rng.random() < plan.drop_rate
-        ):
+        if index in plan.drop or self._schedule.chance(plan.drop_rate):
             self.dropped += 1
             self._release_held(index)
             return
@@ -143,9 +146,7 @@ class FaultyTransport:
             self._held.append((index, data))
             return
         self._emit(data)
-        if index in plan.duplicate or (
-            plan.duplicate_rate > 0 and self._rng.random() < plan.duplicate_rate
-        ):
+        if index in plan.duplicate or self._schedule.chance(plan.duplicate_rate):
             self.duplicated += 1
             self._emit(data)
         self._release_held(index)

@@ -116,6 +116,14 @@ class SyncServer:
         self._endpoints: dict[tuple[str, int], _Endpoint] = {}
         self._lock = threading.RLock()
         self._allocator = datamodel.IdAllocator(database)
+        # Re-arm watch triggers for tables that durable ConnectedUser rows
+        # say clients still mirror: triggers are runtime objects, so a
+        # server restarted on a recovered database would otherwise stop
+        # logging the very changes those clients reconnect to replay.
+        tables = set(database.table_names())
+        for row in database.table(datamodel.T_CONNECTED_USER).scan():
+            if row["table_name"] in tables:
+                self.center.watch(row["table_name"])
         self.center.add_batch_listener(self._on_notifications)
         self._closed = False
         self._stop = threading.Event()

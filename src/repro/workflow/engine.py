@@ -11,15 +11,18 @@ their finished handlers.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..core import datamodel
 from ..db.database import Database
+from ..db.expression import col
 from ..db.schema import Column, TID
 from ..db.types import type_from_name
 from ..errors import EnactmentError, SpecificationError, WorkflowError
+from ..faults import SimulatedCrash
 from ..obs.runtime import OBS
 from .expressions import (
     WorkflowExpression,
@@ -102,6 +105,10 @@ class Execution:
         self.detached_running: list[LiveActivity] = []
         #: table -> tids written by this execution (always visible to it).
         self.own_tids: dict[str, set[int]] = {}
+        #: Resume bookkeeping: activity name -> queue of already-completed
+        #: instance ids whose re-execution must be skipped (set by
+        #: WorkflowEngine.recover; empty on a fresh enactment).
+        self.skip_completed: dict[str, list[int]] = {}
 
     @property
     def id(self) -> int:
@@ -175,27 +182,48 @@ class WorkflowEngine:
                         f"process {definition.name!r} requires procedure "
                         f"{name!r}, which is not registered"
                     )
-            pid = self.allocator.next_id(datamodel.T_PROCESS)
-            self.database.insert(
-                datamodel.T_PROCESS, {"id": pid, "name": definition.name}
+            # Adopt existing Process/Activity rows by name: redeploying
+            # after a restart must reattach to the recovered catalog, not
+            # violate its unique-name constraints.
+            existing = next(
+                (
+                    row
+                    for row in self.database.table(datamodel.T_PROCESS).rows()
+                    if row["name"] == definition.name
+                ),
+                None,
             )
-            self._process_ids[definition.name] = pid
-            for activity in definition.body.activities():
-                aid = self.allocator.next_id(datamodel.T_ACTIVITY)
-                group_id = (
-                    self.roles.ensure_group(activity.group)
-                    if activity.group
-                    else None
-                )
+            if existing is not None:
+                pid = existing["id"]
+            else:
+                pid = self.allocator.next_id(datamodel.T_PROCESS)
                 self.database.insert(
-                    datamodel.T_ACTIVITY,
-                    {
-                        "id": aid,
-                        "process_id": pid,
-                        "name": activity.name,
-                        "group_id": group_id,
-                    },
+                    datamodel.T_PROCESS, {"id": pid, "name": definition.name}
                 )
+            self._process_ids[definition.name] = pid
+            known_activities = {
+                row["name"]: row["id"]
+                for row in self.database.table(datamodel.T_ACTIVITY).rows()
+                if row["process_id"] == pid
+            }
+            for activity in definition.body.activities():
+                aid = known_activities.get(activity.name)
+                if aid is None:
+                    aid = self.allocator.next_id(datamodel.T_ACTIVITY)
+                    group_id = (
+                        self.roles.ensure_group(activity.group)
+                        if activity.group
+                        else None
+                    )
+                    self.database.insert(
+                        datamodel.T_ACTIVITY,
+                        {
+                            "id": aid,
+                            "process_id": pid,
+                            "name": activity.name,
+                            "group_id": group_id,
+                        },
+                    )
                 self._activity_ids[(definition.name, activity.name)] = aid
             for relation in definition.relations:
                 if relation.temporary:
@@ -289,6 +317,10 @@ class WorkflowEngine:
         execution = self.start(process_name, user=user, responder=responder)
         try:
             self.execute_node(execution.definition.body, execution)
+        except SimulatedCrash:
+            # A "dead" process runs no cleanup: leave the monitor tables
+            # exactly as the crash found them so recovery sees the truth.
+            raise
         except Exception:
             # Leave a queryable trace, then re-raise.
             self._abort(execution)
@@ -375,11 +407,17 @@ class WorkflowEngine:
 
     # ------------------------------------------------------------------
     # Temporary relations (Section IV-B)
-    def _create_temp_tables(self, execution: Execution) -> None:
+    def _create_temp_tables(self, execution: Execution, adopt: bool = False) -> None:
         for relation in execution.definition.relations:
             if not relation.temporary:
                 continue
             if self.database.has_table(relation.name):
+                if adopt:
+                    # Recovery: the table (and its contents) survived the
+                    # crash in the durable store; the resumed execution
+                    # owns it again.
+                    execution.temp_tables.append(relation.name)
+                    continue
                 raise EnactmentError(
                     f"temporary relation {relation.name!r} already exists -- "
                     "is another instance of this process running?"
@@ -426,6 +464,17 @@ class WorkflowEngine:
     def _run_activity_impl(
         self, activity: Activity, execution: Execution
     ) -> ActivityInstance:
+        if execution.skip_completed:
+            # Resuming after a crash: this activity already completed in
+            # the pre-crash run; hand back its persisted instance instead
+            # of executing it a second time.
+            with self._lock:
+                queue = execution.skip_completed.get(activity.name)
+                if queue:
+                    instance_id = queue.pop(0)
+                    if not queue:
+                        del execution.skip_completed[activity.name]
+                    return ActivityInstance(self.database, instance_id)
         instance = self._create_activity_instance(activity, execution)
         instance.start()
         env = self._make_env(execution, activity, instance)
@@ -442,6 +491,8 @@ class WorkflowEngine:
                 return self._run_call(activity, execution, instance, env)
             else:
                 raise EnactmentError(f"unknown activity type {type(activity).__name__}")
+        except SimulatedCrash:
+            raise  # a dead process cannot update its own status
         except Exception:
             if instance.status == datamodel.RUNNING:
                 instance.complete()
@@ -556,6 +607,8 @@ class WorkflowEngine:
                 )
             else:
                 outputs = procedure.run(env, inputs, list(activity.read_write))
+        except SimulatedCrash:
+            raise  # a dead process cannot update its own status
         except Exception:
             with self._lock:
                 self.live_activities.pop(instance.id, None)
@@ -617,17 +670,237 @@ class WorkflowEngine:
         ]
         inserted = self.database.insert_many(table, clean)
         env.isolation.record_own(table, (row[TID] for row in inserted))
-        if self.record_provenance and env.activity_instance_id is not None:
-            prov_rows = [
+        self.record_created(table, [row[TID] for row in inserted], env)
+
+    def record_created(
+        self, table: str, tids: Sequence[int], env: ProcessEnv
+    ) -> None:
+        """Durable ``createdBy`` provenance for rows an activity created.
+
+        This is both the compensation undo-log and -- after a crash --
+        the source :meth:`recover` rebuilds own-row visibility from, so
+        every activity write path (procedure ``write_rows`` *and* raw-SQL
+        INSERTs through ``ProcessEnv.execute``) must land here.
+        """
+        if not self.record_provenance or not tids:
+            return
+        if env.activity_instance_id is None:
+            return
+        self.database.insert_many(
+            datamodel.T_PROVENANCE,
+            [
                 {
                     "entity_table": table,
-                    "entity_tid": row[TID],
+                    "entity_tid": tid,
                     "activity_instance_id": env.activity_instance_id,
                     "relation": "createdBy",
                 }
-                for row in inserted
-            ]
-            self.database.insert_many(datamodel.T_PROVENANCE, prov_rows)
+                for tid in tids
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Durability of process state
+    def persist_variable(self, process_instance_id: int, name: str, value: Any) -> None:
+        """Write-through one variable assignment to the core tables.
+
+        Values are stored as JSON text; a value that JSON cannot express
+        is stored as NULL (recovery then falls back to the definition's
+        initial value -- better a stale default than silently restoring
+        the wrong thing).
+        """
+        try:
+            encoded: Optional[str] = json.dumps(value)
+        except (TypeError, ValueError):
+            encoded = None
+        where = (col("process_instance_id") == process_instance_id) & (
+            col("name") == name
+        )
+        with self.database.lock:
+            count = self.database.update(
+                datamodel.T_PROCESS_VARIABLE, {"value": encoded}, where
+            )
+            if count == 0:
+                self.database.insert(
+                    datamodel.T_PROCESS_VARIABLE,
+                    {
+                        "process_instance_id": process_instance_id,
+                        "name": name,
+                        "value": encoded,
+                    },
+                )
+
+    def _restore_variables(self, execution: Execution) -> None:
+        for row in self.database.table(datamodel.T_PROCESS_VARIABLE).rows():
+            if row["process_instance_id"] != execution.id:
+                continue
+            if row["value"] is None:
+                continue  # was not JSON-representable; keep the initial
+            execution.variables[row["name"]] = json.loads(row["value"])
+
+    # ------------------------------------------------------------------
+    # Crash recovery (resumable enactments)
+    def recover(
+        self,
+        responders: Optional[dict[str, Responder]] = None,
+        resume: bool = True,
+    ) -> list[Execution]:
+        """Resume enactments left ``running`` by a crashed engine.
+
+        Call after recovering the database (:func:`repro.db.recover`) and
+        redeploying the same definitions.  For every process instance the
+        monitor tables show as in flight, this:
+
+        1. rebuilds its :class:`Execution` (start time, persisted
+           variables, own-row visibility, adopted temporary tables);
+        2. *compensates* activity instances that were mid-run at the
+           crash -- rows they created are deleted via their ``createdBy``
+           provenance and the half-done instance rows are removed, so the
+           re-run starts from a clean slate;
+        3. re-walks the process body, skipping activities whose instances
+           completed before the crash (their effects are already
+           durable), executing the rest, and closing the instance.
+
+        With ``resume=False`` only steps 1-2 run and the executions are
+        returned still running (callers drive them manually).  INSERTs --
+        both procedure ``write_rows`` and raw SQL through the env -- are
+        provenance-tracked, so they are compensated and stay visible to
+        the resumed enactment.  Raw-SQL UPDATE/DELETE effects of an
+        activity that was mid-run at the crash are *not* undone; such
+        statements re-execute on resume and should be idempotent
+        (``UPDATE ... SET`` to absolute values).
+
+        Returns the recovered executions.
+        """
+        if not OBS.enabled:
+            return self._recover_impl(responders, resume)
+        with OBS.tracer.span("workflow.recover") as span:
+            recovered = self._recover_impl(responders, resume)
+            span.set_tag("instances", len(recovered))
+        return recovered
+
+    def _recover_impl(
+        self,
+        responders: Optional[dict[str, Responder]],
+        resume: bool,
+    ) -> list[Execution]:
+        responders = responders or {}
+        names_by_pid = {pid: name for name, pid in self._process_ids.items()}
+        in_flight = [
+            dict(row)
+            for row in self.database.table(datamodel.T_PROCESS_INSTANCE).rows()
+            if row["status"] == datamodel.RUNNING
+            and row["process_id"] in names_by_pid
+            and row["id"] not in self.executions
+        ]
+        recovered: list[Execution] = []
+        for row in in_flight:
+            process_name = names_by_pid[row["process_id"]]
+            definition = self._definitions[process_name]
+            instance = ProcessInstance(self.database, row["id"])
+            activity_rows = instance.activity_instances()
+            user_id = next(
+                (
+                    ai["user_id"]
+                    for ai in activity_rows
+                    if ai["user_id"] is not None
+                ),
+                None,
+            )
+            execution = Execution(
+                self, definition, instance, user_id, responders.get(process_name)
+            )
+            execution.start_time = row["start"] or 0
+            self._restore_variables(execution)
+            self.isolation.process_started(execution.id, execution.start_time)
+            self._create_temp_tables(execution, adopt=True)
+            self._compensate_crashed(execution, activity_rows)
+            self._restore_own_tids(execution)
+            execution.skip_completed = self._completed_by_activity(
+                definition, activity_rows
+            )
+            self.executions[execution.id] = execution
+            recovered.append(execution)
+        if resume:
+            for execution in recovered:
+                try:
+                    self.execute_node(execution.definition.body, execution)
+                except Exception:
+                    self._abort(execution)
+                    raise
+                if not execution.detached_running:
+                    self.close(execution)
+        return recovered
+
+    def _compensate_crashed(
+        self, execution: Execution, activity_rows: list[Row]
+    ) -> None:
+        """Undo activity instances that were mid-run at the crash.
+
+        Their completed statements are durable, so without compensation a
+        re-run would double-apply them.  Provenance tells us exactly which
+        rows each crashed instance created; those are deleted, then the
+        half-done instance row itself (the re-run gets a fresh one).
+        """
+        # RUNNING was mid-flight; NOT_STARTED was created but never ran.
+        # Both belong to the crashed attempt and must go.
+        crashed_ids = {
+            ai["id"]
+            for ai in activity_rows
+            if ai["status"] != datamodel.COMPLETED
+        }
+        if not crashed_ids:
+            return
+        provenance = self.database.table(datamodel.T_PROVENANCE)
+        by_table: dict[str, list[int]] = {}
+        for prov in provenance.rows():
+            if prov["activity_instance_id"] in crashed_ids:
+                by_table.setdefault(prov["entity_table"], []).append(
+                    prov["entity_tid"]
+                )
+        for table, tids in by_table.items():
+            if self.database.has_table(table):
+                self.database.delete_by_tids(table, tids)
+        for crashed in sorted(crashed_ids):
+            self.database.delete(
+                datamodel.T_PROVENANCE, col("activity_instance_id") == crashed
+            )
+            self.database.delete(
+                datamodel.T_ACTIVITY_INSTANCE, col("id") == crashed
+            )
+        activity_rows[:] = [
+            ai for ai in activity_rows if ai["id"] not in crashed_ids
+        ]
+
+    def _restore_own_tids(self, execution: Execution) -> None:
+        """Rebuild the own-writes visibility set from provenance."""
+        instance_ids = {
+            ai["id"]
+            for ai in execution.instance.activity_instances()
+        }
+        for prov in self.database.table(datamodel.T_PROVENANCE).rows():
+            if prov["activity_instance_id"] in instance_ids:
+                execution.own_tids.setdefault(prov["entity_table"], set()).add(
+                    prov["entity_tid"]
+                )
+
+    def _completed_by_activity(
+        self, definition: ProcessDefinition, activity_rows: list[Row]
+    ) -> dict[str, list[int]]:
+        """Completed instance ids per activity name, in execution order."""
+        activity_names = {
+            aid: name
+            for (process, name), aid in self._activity_ids.items()
+            if process == definition.name
+        }
+        skip: dict[str, list[int]] = {}
+        for ai in sorted(activity_rows, key=lambda r: r["id"]):
+            if ai["status"] != datamodel.COMPLETED:
+                continue
+            name = activity_names.get(ai["activity_id"])
+            if name is not None:
+                skip.setdefault(name, []).append(ai["id"])
+        return skip
 
     # ------------------------------------------------------------------
     # Retention

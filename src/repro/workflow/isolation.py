@@ -301,6 +301,11 @@ class IsolationManager:
             finally:
                 self.database.drop_trigger(trigger)
             ctx.record_own(statement.table, collected)
+            # Surface what landed so the caller (ProcessEnv.execute) can
+            # write durable createdBy provenance -- in-memory own_tids
+            # alone would not survive a crash + recover().
+            result.inserted_table = statement.table
+            result.inserted_tids = collected
             return result
         if isinstance(statement, DeleteStmt) and statement.table in self._managed:
             scope = _Scope(self.database, params)

@@ -71,6 +71,9 @@ class ProcessEnv:
         if name in self.constants:
             raise WorkflowError(f"cannot assign to constant {name!r}")
         self.variables[name] = value
+        # Write-through to the core tables so a crashed enactment resumes
+        # with the variable values it had (see WorkflowEngine.recover).
+        self.engine.persist_variable(self.process_instance_id, name, value)
 
     def resolve_params(self, params: Sequence[Any]) -> list[Any]:
         """Replace ``$name`` placeholders in a parameter list."""
@@ -133,10 +136,17 @@ class ProcessEnv:
         """Run a mutation statement (INSERT/UPDATE/DELETE/CREATE...).
 
         DELETE statements are intercepted by the isolation layer and
-        turned into deletion-table entries (Section VI-A).
+        turned into deletion-table entries (Section VI-A).  INSERTed rows
+        get durable ``createdBy`` provenance, so they stay visible to
+        this enactment across a crash + recover() and are compensated if
+        this activity dies mid-run.
         """
         sql, bound = self.resolve_sql(sql, params)
-        return self.engine.isolation.execute(sql, bound, self.isolation)
+        result = self.engine.isolation.execute(sql, bound, self.isolation)
+        tids = getattr(result, "inserted_tids", None)
+        if tids:
+            self.engine.record_created(result.inserted_table, tids, self)
+        return result
 
     def write_rows(self, table: str, rows: Sequence[Row]) -> None:
         """Append rows to a (persistent or temporary) relation."""

@@ -1,0 +1,133 @@
+"""Reconnect across a server restart: the notification log is durable.
+
+The purge-horizon invariant ("never purge above any connected client's
+last_seq_no") only helps a reconnecting client if the seq-no and
+changed-rows tables actually SURVIVE the server dying.  With a durable
+database they are WAL-covered like any other table, so a client that
+remembers its position can replay exactly what it missed.
+"""
+
+import pytest
+
+from repro.db import open_durable
+from repro.sync import NotificationCenter, SyncClient, SyncServer
+
+
+@pytest.fixture
+def durable_stack(tmp_path):
+    directory = tmp_path / "data"
+    db, manager = open_durable(directory)
+    db.execute("CREATE TABLE pts (id INTEGER PRIMARY KEY, x FLOAT)")
+    db.execute("INSERT INTO pts (id, x) VALUES (1, 0.0), (2, 1.0)")
+    center = NotificationCenter(db)
+    server = SyncServer(db, center, use_sockets=False)
+    client = SyncClient(server)
+    return directory, db, server, client
+
+
+def restart(directory):
+    """The server process dies (fsync=always: every commit is on disk)
+    and a new one recovers from the durable directory.  Reopening with
+    ``open_durable`` (not bare ``recover``) keeps post-restart writes
+    logged too, so a SECOND restart sees them."""
+    db, _manager = open_durable(directory)
+    center = NotificationCenter(db)
+    server = SyncServer(db, center, use_sockets=False)
+    return db, center, server
+
+
+def reattach(client, db, server):
+    """Point a surviving client at the restarted server (in-process
+    transport: the "socket" is plain attribute wiring)."""
+    client.database = db
+    client.server = server
+    client.center = server.center
+
+
+class TestRestartReplay:
+    def test_missed_changes_replay_after_restart(self, durable_stack):
+        directory, db, _server, client = durable_stack
+        mirror = client.mirror("pts")
+        position = mirror.last_seq_no
+        assert len(mirror) == 2
+
+        # Changes the client never pulls before the server dies.
+        db.execute("INSERT INTO pts (id, x) VALUES (3, 2.0)")
+        db.execute("UPDATE pts SET x = 9.0 WHERE id = 1")
+        db.execute("DELETE FROM pts WHERE id = 2")
+
+        db2, center2, server2 = restart(directory)
+        # The restarted server re-armed the watch trigger from the durable
+        # ConnectedUser rows -- new writes keep flowing into the log.
+        assert center2.watched_tables() == ["pts"]
+        missed = center2.notifications_since("pts", position)
+        assert [op for _seq, op in missed] == ["insert", "update", "delete"]
+
+        reattach(client, db2, server2)
+        stats = client.refresh("pts")
+        assert stats == {"upserts": 2, "deletes": 1}
+        assert {r["id"]: r["x"] for r in mirror.all_rows()} == {1: 9.0, 3: 2.0}
+        assert mirror.last_seq_no == max(seq for seq, _op in missed)
+
+    def test_changes_since_survives_restart_verbatim(self, durable_stack):
+        directory, db, _server, client = durable_stack
+        mirror = client.mirror("pts")
+        position = mirror.last_seq_no
+        db.execute("INSERT INTO pts (id, x) VALUES (4, 4.0)")
+        before = client.center.changes_since("pts", position)
+
+        _db2, center2, _server2 = restart(directory)
+        assert center2.changes_since("pts", position) == before
+
+    def test_connected_user_registration_survives_restart(self, durable_stack):
+        from repro.core import datamodel
+
+        directory, db, _server, client = durable_stack
+        client.mirror("pts")
+        users_before = [
+            dict(r) for r in db.table(datamodel.T_CONNECTED_USER).rows()
+        ]
+        assert users_before
+
+        db2, _center2, server2 = restart(directory)
+        users_after = [
+            dict(r) for r in db2.table(datamodel.T_CONNECTED_USER).rows()
+        ]
+        assert users_after == users_before
+        # The surviving registration keeps the purge horizon honest: the
+        # reattached client can still advance its seq through the server.
+        reattach(client, db2, server2)
+        db2.execute("INSERT INTO pts (id, x) VALUES (7, 7.0)")
+        client.refresh("pts")
+        horizon = db2.table(datamodel.T_CONNECTED_USER).rows()
+        assert [r["last_seq_no"] for r in horizon] == [
+            client.table("pts").last_seq_no
+        ]
+
+    def test_new_client_full_replay_from_durable_log(self, durable_stack):
+        directory, db, _server, client = durable_stack
+        client.mirror("pts")
+        db.execute("INSERT INTO pts (id, x) VALUES (5, 5.0)")
+        db.execute("DELETE FROM pts WHERE id = 1")
+
+        db2, _center2, server2 = restart(directory)
+        fresh = SyncClient(server2)
+        mirror = fresh.mirror("pts")  # initial fill from the recovered R_D
+        assert {r["id"] for r in mirror.all_rows()} == {
+            r["id"] for r in db2.query("SELECT id FROM pts")
+        }
+
+    def test_double_restart_keeps_replaying(self, durable_stack):
+        directory, db, _server, client = durable_stack
+        mirror = client.mirror("pts")
+        db.execute("INSERT INTO pts (id, x) VALUES (3, 3.0)")
+
+        db2, _center2, server2 = restart(directory)
+        reattach(client, db2, server2)
+        client.refresh("pts")
+        db2.execute("INSERT INTO pts (id, x) VALUES (4, 4.0)")
+
+        db3, _center3, server3 = restart(directory)
+        reattach(client, db3, server3)
+        client.refresh("pts")
+        assert {r["id"] for r in mirror.all_rows()} == {1, 2, 3, 4}

@@ -1,0 +1,115 @@
+"""The shared fault-injection core (repro.faults).
+
+Both the transport faults (repro.sync.faults) and the WAL crash points
+(repro.db.wal) are built on these primitives, so their contracts --
+determinism, fire-once, occurrence counting -- are pinned here once.
+"""
+
+import pytest
+
+from repro.faults import (
+    CrashInjector,
+    CrashPlan,
+    FaultSchedule,
+    SimulatedCrash,
+    as_index_set,
+)
+
+
+class TestAsIndexSet:
+    def test_coerces_iterables(self):
+        assert as_index_set([3, 1, 3]) == frozenset({1, 3})
+        assert as_index_set(range(2)) == frozenset({0, 1})
+
+    def test_passes_frozenset_through(self):
+        s = frozenset({5})
+        assert as_index_set(s) is s
+
+
+class TestFaultSchedule:
+    def test_next_index_is_monotonic_from_zero(self):
+        schedule = FaultSchedule()
+        assert [schedule.next_index() for _ in range(4)] == [0, 1, 2, 3]
+        assert schedule.count == 4
+
+    def test_same_seed_same_samples(self):
+        a = FaultSchedule(seed=42)
+        b = FaultSchedule(seed=42)
+        assert [a.chance(0.5) for _ in range(50)] == [
+            b.chance(0.5) for _ in range(50)
+        ]
+
+    def test_different_seeds_diverge(self):
+        def run(seed):
+            schedule = FaultSchedule(seed)
+            return tuple(schedule.chance(0.5) for _ in range(20))
+
+        assert len({run(seed) for seed in range(4)}) > 1
+
+    def test_zero_rate_never_fires_and_draws_nothing(self):
+        schedule = FaultSchedule(seed=7)
+        assert not any(schedule.chance(0.0) for _ in range(10))
+        # The guard short-circuits before the RNG: the stream is intact.
+        untouched = FaultSchedule(seed=7)
+        assert schedule.chance(0.5) == untouched.chance(0.5)
+
+
+class TestSimulatedCrash:
+    def test_message_names_point_and_occurrence(self):
+        crash = SimulatedCrash("wal.fsync", 3)
+        assert crash.point == "wal.fsync"
+        assert crash.occurrence == 3
+        assert "wal.fsync" in str(crash)
+        assert "3" in str(crash)
+
+
+class TestCrashInjector:
+    def test_fires_at_exact_occurrence(self):
+        injector = CrashInjector(CrashPlan("p", at=2))
+        assert injector.check("p") is None
+        assert injector.check("p") is None
+        plan = injector.check("p")
+        assert plan is not None and plan.at == 2
+
+    def test_fires_at_most_once(self):
+        injector = CrashInjector(CrashPlan("p", at=0))
+        assert injector.check("p") is not None
+        # A process only dies once: later matches are suppressed.
+        assert injector.check("p") is None
+        assert injector.fired is not None
+
+    def test_counts_are_per_point(self):
+        injector = CrashInjector(CrashPlan("b", at=1))
+        assert injector.check("a") is None
+        assert injector.check("b") is None  # b's occurrence 0
+        assert injector.check("a") is None  # a's counter is independent
+        assert injector.check("b") is not None
+
+    def test_unarmed_points_still_counted(self):
+        injector = CrashInjector()
+        injector.check("x")
+        injector.check("x")
+        assert injector.counts["x"] == 2
+        assert injector.fired is None
+
+    def test_reach_raises_on_match(self):
+        injector = CrashInjector(CrashPlan("checkpoint.switch", at=1))
+        injector.reach("checkpoint.switch")
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.reach("checkpoint.switch")
+        assert exc.value.point == "checkpoint.switch"
+        assert exc.value.occurrence == 1
+
+    def test_crash_builds_exception_for_plan(self):
+        injector = CrashInjector()
+        plan = CrashPlan("p", at=4, torn_bytes=3, power_loss=True)
+        crash = injector.crash(plan)
+        assert isinstance(crash, SimulatedCrash)
+        assert (crash.point, crash.occurrence) == ("p", 4)
+
+    def test_multiple_plans_independent_points(self):
+        injector = CrashInjector(CrashPlan("a", at=0), CrashPlan("b", at=0))
+        fired = injector.check("b")
+        assert fired is not None and fired.point == "b"
+        # The other plan can no longer fire: the process is already dead.
+        assert injector.check("a") is None
