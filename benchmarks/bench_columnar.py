@@ -1,0 +1,175 @@
+"""Columnar engine benchmarks: row vs vectorized execution.
+
+The vectorized engine (``repro.db.vector``) executes scans, filters, and
+group-by aggregates over column chunks (``repro.db.columnar``) instead
+of per-row dicts; list comprehensions and builtins over parallel arrays
+run at C speed.  These benchmarks measure the win on the three query
+shapes the paper's visual-analytics workloads lean on:
+
+* **scan_count**: ``COUNT(*)`` over the whole table -- the vectorized
+  plan counts chunk lengths without touching a single value.
+* **filter**: a selective predicate (``val > 99``, ~1% selectivity)
+  projecting one column.
+* **aggregate**: ``GROUP BY`` with COUNT/SUM/AVG over a 50-group key.
+
+Each arm runs at every scale in ``SCALES``, both engines, best of
+``REPS``; results are asserted identical between engines before any
+timing is trusted.  The regression gate (vectorized aggregate at the
+largest scale at least ``AGGREGATE_GATE``x faster than the row engine)
+is asserted here and re-checked by CI from ``BENCH_columnar.json`` via
+``check_columnar_regression.py``.
+
+Scale with ``BENCH_COLUMNAR_ROWS`` (default 1M; CI smoke can run small,
+but the gate is only meaningful at the default scale).
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.bench import SeriesTable, speedup
+from repro.db import Database
+
+MAX_ROWS = int(os.environ.get("BENCH_COLUMNAR_ROWS", "1000000"))
+SCALES = tuple(
+    sorted({min(100_000, MAX_ROWS), MAX_ROWS})
+)
+GROUPS = 50
+REPS = 3
+#: The regression gate: the vectorized aggregate must beat the row
+#: engine by this factor at the largest scale.  CI re-checks the same
+#: number from the emitted JSON.
+AGGREGATE_GATE = 10.0
+
+QUERIES = {
+    "scan_count": "SELECT COUNT(*) AS n FROM big",
+    "filter": "SELECT id FROM big WHERE val > 99",
+    "aggregate": (
+        "SELECT grp, COUNT(*) AS n, SUM(val) AS s, AVG(val) AS a "
+        "FROM big GROUP BY grp"
+    ),
+}
+
+
+def _make_db(rows: int) -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE big (id INTEGER PRIMARY KEY, grp TEXT, val FLOAT)"
+    )
+    rng = random.Random(7)
+    db.insert_many(
+        "big",
+        [
+            {"id": i, "grp": f"g{i % GROUPS}", "val": rng.random() * 100}
+            for i in range(rows)
+        ],
+    )
+    return db
+
+
+def _best_of(db: Database, mode: str, sql: str) -> tuple[float, list]:
+    """Best-of-REPS wall time for ``sql`` under engine ``mode``."""
+    db.set_engine(mode)
+    result = db.query(sql)  # warm: builds the column store / plan cache
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        result = db.query(sql)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0, result
+
+
+@pytest.fixture(scope="module")
+def columnar_result(emit, emit_json):
+    tables = {
+        name: SeriesTable("rows", ["row_ms", "vector_ms", "speedup_x"])
+        for name in QUERIES
+    }
+    grid: dict[tuple[str, int], dict[str, float]] = {}
+    for rows in SCALES:
+        db = _make_db(rows)
+        for name, sql in QUERIES.items():
+            row_ms, row_result = _best_of(db, "row", sql)
+            vec_ms, vec_result = _best_of(db, "vector", sql)
+            # Identical results are a precondition for trusting the
+            # timings: same rows, same key order, same rounding.
+            assert sorted(map(repr, row_result)) == sorted(
+                map(repr, vec_result)
+            ), f"{name} diverged at {rows} rows"
+            cell = {
+                "row_ms": row_ms,
+                "vector_ms": vec_ms,
+                "speedup_x": speedup(row_ms, vec_ms),
+            }
+            grid[(name, rows)] = cell
+            tables[name].add(rows, cell)
+
+    top = SCALES[-1]
+    gate_cell = grid[("aggregate", top)]
+    extra = {
+        "scales": list(SCALES),
+        "groups": GROUPS,
+        "reps": REPS,
+        "queries": QUERIES,
+        "columnar_gate": {
+            "query": "aggregate",
+            "rows": top,
+            "row_ms": gate_cell["row_ms"],
+            "vector_ms": gate_cell["vector_ms"],
+            "speedup": gate_cell["speedup_x"],
+            "required": AGGREGATE_GATE,
+        },
+    }
+    for name, table in tables.items():
+        emit(f"\n== {name}: row vs vectorized engine ==")
+        emit(table.format(unit="ms"))
+    emit(
+        f"aggregate at {top} rows: {gate_cell['speedup_x']:.1f}x "
+        f"(gate {AGGREGATE_GATE:.0f}x)"
+    )
+    merged = SeriesTable(
+        "rows",
+        [f"{name}_{col}" for name in QUERIES for col in
+         ("row_ms", "vector_ms", "speedup_x")],
+    )
+    for rows in SCALES:
+        merged.add(
+            rows,
+            {
+                f"{name}_{col}": grid[(name, rows)][col]
+                for name in QUERIES
+                for col in ("row_ms", "vector_ms", "speedup_x")
+            },
+        )
+    emit_json("columnar", merged, extra=extra)
+    return grid
+
+
+def test_aggregate_clears_gate(columnar_result):
+    """Vectorized group-by aggregate clears the 10x gate at full scale."""
+    cell = columnar_result[("aggregate", SCALES[-1])]
+    assert cell["speedup_x"] >= AGGREGATE_GATE
+
+
+def test_scan_count_wins_big(columnar_result):
+    """COUNT(*) never touches values: the win should be enormous."""
+    cell = columnar_result[("scan_count", SCALES[-1])]
+    assert cell["speedup_x"] >= AGGREGATE_GATE
+
+
+def test_filter_beats_row_engine(columnar_result):
+    """A selective filter still wins despite result materialization."""
+    cell = columnar_result[("filter", SCALES[-1])]
+    assert cell["speedup_x"] >= 2.0
+
+
+def test_speedup_grows_with_scale(columnar_result):
+    """The vectorized win should not erode as tables grow."""
+    if len(SCALES) < 2:
+        pytest.skip("single-scale run")
+    small, large = SCALES[0], SCALES[-1]
+    agg_small = columnar_result[("aggregate", small)]["speedup_x"]
+    agg_large = columnar_result[("aggregate", large)]["speedup_x"]
+    assert agg_large >= agg_small * 0.5  # scale never erases the win

@@ -173,6 +173,47 @@ def test_range_scan_ablation(loaded_db, benchmark, emit):
     )
 
 
+def test_vectorized_engine_ablation(loaded_db, benchmark, emit, emit_json):
+    """Row vs vectorized engine on the substrate's group-by aggregate.
+
+    The same ablation discipline as the index tests: both engines must
+    return identical rows before the timings mean anything.  The full
+    scan/filter/aggregate grid lives in ``bench_columnar.py``; this arm
+    keeps one vectorization number in the substrate suite so engine
+    regressions surface alongside the routing ablations.
+    """
+    sql = "SELECT dept, COUNT(*) AS n, AVG(salary) AS mean FROM emp GROUP BY dept"
+    loaded_db.set_engine("row")
+    row_rows = loaded_db.query(sql)
+    with Timer() as t_row:
+        for _ in range(REPS):
+            loaded_db.query(sql)
+    loaded_db.set_engine("vector")
+    vec_rows = loaded_db.query(sql)  # warm: builds the column store
+    with Timer() as t_vec:
+        for _ in range(REPS):
+            loaded_db.query(sql)
+    loaded_db.set_engine("auto")
+    assert sorted(map(repr, row_rows)) == sorted(map(repr, vec_rows))
+    factor = speedup(t_row.ms, t_vec.ms)
+    emit(
+        f"\n== Substrate: vectorized vs row group-by aggregate ({ROWS} rows) ==\n"
+        f"vectorized: {t_vec.ms / REPS:.3f} ms/query, "
+        f"row: {t_row.ms / REPS:.3f} ms/query, speedup {factor:.1f}x"
+    )
+    emit_json(
+        "substrate_vectorized",
+        {
+            "rows": ROWS,
+            "row_ms": t_row.ms / REPS,
+            "vector_ms": t_vec.ms / REPS,
+            "speedup": factor,
+        },
+    )
+    assert factor > 2
+    benchmark(loaded_db.query, sql)
+
+
 def test_plan_cache_ablation(loaded_db, benchmark, emit, emit_json):
     """Repeated identical statement: cached plan vs parse+plan each time."""
     sql = "SELECT * FROM emp WHERE id = 4242"

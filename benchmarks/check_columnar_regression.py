@@ -1,0 +1,43 @@
+"""CI gate: the vectorized aggregate must beat the row engine 10x.
+
+Reads ``benchmarks/BENCH_columnar.json`` (written by
+``bench_columnar.py``) and exits non-zero if the 1M-row group-by
+aggregate's vectorized speedup over the row engine falls below the
+recorded ``required`` factor.  Run after the benchmark:
+
+    python benchmarks/check_columnar_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_columnar.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_columnar run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    gate = payload.get("columnar_gate")
+    if not isinstance(gate, dict):
+        print(f"FAIL: {RESULT} has no columnar_gate block")
+        return 2
+    measured = float(gate["speedup"])
+    required = float(gate["required"])
+    verdict = "PASS" if measured >= required else "FAIL"
+    print(
+        f"{verdict}: vectorized {gate['query']} at {gate['rows']} rows: "
+        f"{measured:.2f}x over the row engine "
+        f"(required {required:.1f}x; row {gate['row_ms']:.1f} ms, "
+        f"vectorized {gate['vector_ms']:.1f} ms)"
+    )
+    return 0 if measured >= required else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,9 @@ from .algebra import (
     Select,
     Sort,
     Union,
+    sort_key_total,
 )
+from .columnar import CHUNK_ROWS, ColumnStore, value_tag
 from .database import Database, Result
 from .durability import DurabilityManager, RecoveryInfo, open_durable, recover
 from .plancache import LRUCache
@@ -50,6 +52,7 @@ from .persistence import load_snapshot, save_snapshot
 from .schema import CREATED_AT, TID, UPDATED_AT, Column, ForeignKey, TableSchema
 from .table import ChangeSet, Table
 from .types import ANY, BOOLEAN, FLOAT, INTEGER, TEXT, TIMESTAMP, ColumnType
+from .vector import Batch, Unvectorizable, Vectorized, batch_rows, rows_to_batch, vectorize_plan
 from .wal import (
     FSYNC_ALWAYS,
     FSYNC_INTERVAL,
@@ -65,9 +68,12 @@ __all__ = [
     "AggSpec",
     "Aggregate",
     "BOOLEAN",
+    "Batch",
+    "CHUNK_ROWS",
     "CREATED_AT",
     "ChangeSet",
     "Column",
+    "ColumnStore",
     "ColumnRef",
     "ColumnType",
     "CompositeIndexScan",
@@ -108,8 +114,11 @@ __all__ = [
     "TableSchema",
     "UPDATED_AT",
     "Union",
+    "Unvectorizable",
+    "Vectorized",
     "WalRecord",
     "WriteAheadLog",
+    "batch_rows",
     "col",
     "format_plan",
     "instrument_plan",
@@ -119,6 +128,10 @@ __all__ = [
     "optimize_plan",
     "read_wal",
     "recover",
+    "rows_to_batch",
     "save_snapshot",
+    "sort_key_total",
     "truncate_torn_tail",
+    "value_tag",
+    "vectorize_plan",
 ]

@@ -14,10 +14,11 @@ result rows as dicts.  A plan executes against any object exposing
 from __future__ import annotations
 
 import copy
+import numbers
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Protocol, Sequence
 
-from ..errors import DatabaseError
+from ..errors import DatabaseError, UnknownTableError
 from .expression import ColumnRef, Expression, evaluate_predicate
 from .table import Table
 
@@ -86,7 +87,10 @@ def _scan_columns(
     """Catalog columns of a stored-table leaf, plus alias-qualified names."""
     try:
         schema = source.table(table_name).schema
-    except Exception:
+    except UnknownTableError:
+        # Planning against a source that can't resolve the name (delta
+        # RowSources, isolation wrappers) degrades gracefully; any other
+        # failure means the catalog itself is broken and must surface.
         return None
     columns = set(schema.column_names)
     if alias:
@@ -503,7 +507,9 @@ class HashJoin(Plan):
             return set()
         try:
             schema = source.table(child.table_name).schema
-        except Exception:
+        except UnknownTableError:
+            # Unknown name -> no padding columns; genuinely broken
+            # catalogs must not be silently flattened to an empty pad.
             return set()
         columns = set(schema.column_names)
         alias = getattr(child, "alias", None)
@@ -656,17 +662,17 @@ class _AggState:
         self.total: Any = 0
         self.minimum: Any = None
         self.maximum: Any = None
-        self.seen: set[Any] | None = set() if distinct else None
+        # _DedupSet so COUNT(DISTINCT x) survives unhashable cell values
+        # (lists/dicts in ANY-typed columns) via its linear fallback.
+        self.seen: "_DedupSet | None" = _DedupSet() if distinct else None
         self.summable = True
         self.comparable = True
 
     def add(self, value: Any) -> None:
         if value is None:
             return
-        if self.seen is not None:
-            if value in self.seen:
-                return
-            self.seen.add(value)
+        if self.seen is not None and not self.seen.add(value):
+            return
         self.count += 1
         if self.summable:
             try:
@@ -756,8 +762,39 @@ class Aggregate(Plan):
         return set(self.group_by) | {s.name for s in self.aggregates}
 
 
+def sort_key_total(value: Any) -> tuple[Any, ...]:
+    """Total, deterministic ordering key over heterogeneous cell values.
+
+    Values are ranked by type class first -- NULL, numbers, strings,
+    bytes, sequences, mappings, everything else -- then compared within
+    the class, so a column holding both ints and strs (schema-less ANY
+    columns) sorts deterministically instead of crashing on ``int < str``.
+    Within a homogeneous comparable column the ordering is identical to
+    plain value comparison, which keeps existing results byte-stable.
+    The vectorized sort uses the same key, so both engines agree.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, numbers.Number) and not isinstance(value, complex):
+        # bool/int/float/Decimal/Fraction all inter-compare numerically.
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, bytes):
+        return (3, value)
+    if isinstance(value, (tuple, list)):
+        return (4, [sort_key_total(v) for v in value])
+    if isinstance(value, dict):
+        return (5, sorted((str(k), sort_key_total(v)) for k, v in value.items()))
+    return (6, type(value).__name__, repr(value))
+
+
 class Sort(Plan):
-    """ORDER BY.  NULLs sort first ascending, last descending."""
+    """ORDER BY.  NULLs sort first ascending, last descending.
+
+    Ordering is total: mixed-type key columns rank by type class (via
+    :func:`sort_key_total`) instead of raising ``TypeError``.
+    """
 
     def __init__(self, child: Plan, keys: Sequence[tuple[str, bool]]) -> None:
         self.child = child
@@ -769,9 +806,8 @@ class Sort(Plan):
         for name, ascending in reversed(self.keys):
             ref = ColumnRef(name)
 
-            def sort_key(row: Row, ref: ColumnRef = ref) -> tuple[int, Any]:
-                value = ref.eval(row)
-                return (0, 0) if value is None else (1, value)
+            def sort_key(row: Row, ref: ColumnRef = ref) -> tuple[Any, ...]:
+                return sort_key_total(ref.eval(row))
 
             rows.sort(key=sort_key, reverse=not ascending)
         return iter(rows)
@@ -816,6 +852,44 @@ def _row_key(row: Row) -> tuple[tuple[str, Any], ...]:
     return tuple(sorted((k, v) for k, v in row.items() if not k.startswith("__")))
 
 
+class _DedupSet:
+    """Set-semantics membership that tolerates unhashable keys.
+
+    Hashable keys take the O(1) set path; a key whose hash raises
+    ``TypeError`` (rows holding lists/dicts in ANY-typed columns) falls
+    back to a linear equality scan over the unhashable tail.  Dedup is
+    by ``==`` either way, matching what a plain set does for hashables.
+    """
+
+    __slots__ = ("_seen", "_linear")
+
+    def __init__(self) -> None:
+        self._seen: set[Any] = set()
+        self._linear: list[Any] = []
+
+    def add(self, key: Any) -> bool:
+        """Record ``key``; returns True when it was not seen before."""
+        try:
+            if key in self._seen:
+                return False
+            self._seen.add(key)
+            return True
+        except TypeError:
+            if key in self._linear:
+                return False
+            self._linear.append(key)
+            return True
+
+    def __contains__(self, key: Any) -> bool:
+        try:
+            return key in self._seen
+        except TypeError:
+            return key in self._linear
+
+    def __len__(self) -> int:
+        return len(self._seen) + len(self._linear)
+
+
 class Distinct(Plan):
     """Duplicate elimination over visible columns."""
 
@@ -823,11 +897,9 @@ class Distinct(Plan):
         self.child = child
 
     def rows(self, source: TableProvider) -> Iterator[Row]:
-        seen: set[tuple[tuple[str, Any], ...]] = set()
+        seen = _DedupSet()
         for row in self.child.rows(source):
-            key = _row_key(row)
-            if key not in seen:
-                seen.add(key)
+            if seen.add(_row_key(row)):
                 yield row
 
     def children(self) -> tuple[Plan, ...]:
@@ -850,16 +922,12 @@ class Union(Plan):
             yield from self.left.rows(source)
             yield from self.right.rows(source)
             return
-        seen: set[tuple[tuple[str, Any], ...]] = set()
+        seen = _DedupSet()
         for row in self.left.rows(source):
-            key = _row_key(row)
-            if key not in seen:
-                seen.add(key)
+            if seen.add(_row_key(row)):
                 yield row
         for row in self.right.rows(source):
-            key = _row_key(row)
-            if key not in seen:
-                seen.add(key)
+            if seen.add(_row_key(row)):
                 yield row
 
     def children(self) -> tuple[Plan, ...]:
@@ -877,12 +945,13 @@ class Difference(Plan):
         self.right = right
 
     def rows(self, source: TableProvider) -> Iterator[Row]:
-        exclude = {_row_key(r) for r in self.right.rows(source)}
-        seen: set[tuple[tuple[str, Any], ...]] = set()
+        exclude = _DedupSet()
+        for r in self.right.rows(source):
+            exclude.add(_row_key(r))
+        seen = _DedupSet()
         for row in self.left.rows(source):
             key = _row_key(row)
-            if key not in exclude and key not in seen:
-                seen.add(key)
+            if key not in exclude and seen.add(key):
                 yield row
 
     def children(self) -> tuple[Plan, ...]:
@@ -917,6 +986,11 @@ def plan_node_label(plan: Plan) -> str:
     :func:`operator_rows` so plan-level and span-level views of the same
     query agree character for character.
     """
+    custom = getattr(plan, "explain_label", None)
+    if custom is not None:
+        # Vectorized operators (repro.db.vector) label themselves; the
+        # duck-typed hook keeps this module free of an import cycle.
+        return custom
     label = type(plan).__name__
     detail = ""
     if isinstance(plan, Scan):
@@ -1027,6 +1101,13 @@ def instrument_plan(plan: Plan) -> tuple[Plan, dict[int, int]]:
     counters: dict[int, int] = {}
 
     def wrap(node: Plan) -> Plan:
+        attach = getattr(node, "attach_counters", None)
+        if attach is not None:
+            # Vectorized subtrees count rows chunk-wise inside their own
+            # operators (keyed by the original node ids, so format_plan
+            # on the untouched tree still lines up); the wrapper clone
+            # only counts the subtree's final output.
+            return _Counted(attach(counters), id(node), counters)
         clone = copy.copy(node)
         for attr in ("child", "left", "right"):
             sub = getattr(clone, attr, None)
@@ -1042,15 +1123,19 @@ _INDEXED_OPERATORS = (IndexScan, CompositeIndexScan, RangeIndexScan, IndexNested
 
 
 def plan_access_kind(plan: Plan) -> str:
-    """``"routed"`` when any operator uses an index, else ``"scan"``.
+    """``"vectorized"``/``"routed"``/``"scan"`` access classification.
 
-    The observability layer tags every executed SELECT with this, so a
+    ``"vectorized"`` when the plan executes on the columnar batch engine,
+    ``"routed"`` when any operator uses an index, else ``"scan"``.  The
+    observability layer tags every executed SELECT with this, so a
     metrics snapshot shows at a glance whether hot statements are being
-    served by the router or falling back to full scans.
+    served by the vectorized engine, the router, or full scans.
     """
     stack: list[Plan] = [plan]
     while stack:
         node = stack.pop()
+        if getattr(node, "engine", None) == "vectorized":
+            return "vectorized"
         if isinstance(node, _INDEXED_OPERATORS):
             return "routed"
         stack.extend(node.children())

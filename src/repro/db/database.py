@@ -100,6 +100,31 @@ class Database:
         # (evicted on DDL); see repro.db.plancache for the cachability rules.
         self._statement_cache = LRUCache(capacity=512)
         self._plan_cache = LRUCache(capacity=256)
+        # Vectorized execution (repro.db.vector).  "auto" lets the router
+        # vectorize unrouted plans over tables of at least vector_min_rows
+        # rows; "row"/"vector" force one engine; "oracle" runs both and
+        # diffs (the row/vector equivalence oracle).
+        self._engine_mode = "auto"
+        self.vector_min_rows = 4096
+
+    @property
+    def engine_mode(self) -> str:
+        return self._engine_mode
+
+    def set_engine(self, mode: str) -> None:
+        """Select the query engine: ``auto``, ``row``, ``vector``, ``oracle``.
+
+        Cached plans keep the engine decision made when they were
+        planned, so switching clears the plan cache.
+        """
+        if mode not in ("auto", "row", "vector", "oracle"):
+            raise DatabaseError(
+                f"unknown engine mode {mode!r}; "
+                "expected auto, row, vector, or oracle"
+            )
+        with self._lock:
+            self._engine_mode = mode
+            self._plan_cache.clear()
 
     @property
     def lock(self) -> threading.RLock:

@@ -110,6 +110,26 @@ def _restore(table: Any, row: dict[str, Any]) -> None:
     table.restore_row(row)
 
 
+def _bulk_insert(table: Any, cols: list[str], vals: list[Any]) -> bool:
+    """Land a committed columnar "I" record as a single bulk load.
+
+    The writer's flat row-major array is sliced into per-column lists
+    (``vals[i::width]``), which go straight into the table -- and, when a
+    column store is active, straight into column chunks without a
+    per-row transpose.  Returns False (leaving the table untouched) when
+    the record cannot be bulk-loaded -- a tid collision with checkpoint
+    state or a non-monotonic tid sequence -- so the caller falls back to
+    per-row restore.
+    """
+    bulk = getattr(table, "bulk_restore", None)
+    if bulk is None or not vals:
+        return bulk is not None and not vals
+    width = len(cols)
+    columns = {name: vals[i::width] for i, name in enumerate(cols)}
+    rows = [dict(zip(cols, values)) for values in zip(*[iter(vals)] * width)]
+    return bulk(rows, columns=columns)
+
+
 def _apply_op(database: Database, op: dict[str, Any]) -> int:
     """Redo one WAL operation; returns the number of rows it touched.
 
@@ -131,6 +151,8 @@ def _apply_op(database: Database, op: dict[str, Any]) -> int:
     if kind in ("I", "U"):
         cols = op["cols"]
         if "vals" in op:
+            if kind == "I" and _bulk_insert(table, cols, op["vals"]):
+                return len(op["vals"]) // len(cols)
             # zip(*[iter]*width) regroups the flat array into rows at C
             # speed -- the inverse of the writer's flattening.
             rows = list(zip(*[iter(op["vals"])] * len(cols)))

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from ..errors import UnknownTableError
 from .algebra import (
     CompositeIndexScan,
     Distinct,
@@ -44,6 +45,7 @@ from .algebra import (
     Scan,
     Select,
     Sort,
+    plan_access_kind,
 )
 from .expression import (
     And,
@@ -384,7 +386,45 @@ def optimize_plan(plan: Plan, database: Any) -> Plan:
     returned; callers optimizing a tree they share should deep-copy first.
     """
     plan = _pushdown(plan, database)
-    return _route_tree(plan, database)
+    plan = _route_tree(plan, database)
+    return _maybe_vectorize(plan, database)
+
+
+def _maybe_vectorize(plan: Plan, database: Any) -> Plan:
+    """Compete a vectorized candidate against the routed row plan.
+
+    The decision follows the database's engine mode: ``"row"`` never
+    vectorizes; ``"vector"``/``"oracle"`` always do when translatable
+    (oracle runs both engines and diffs); ``"auto"`` -- the default --
+    vectorizes only when the router found no index access (an index probe
+    beats any scan, columnar or not) and the base tables are large enough
+    (``vector_min_rows``) for chunked execution to amortize its setup.
+    Untranslatable plans always keep the row form.
+    """
+    mode = getattr(database, "engine_mode", "row")
+    if mode == "row":
+        return plan
+    from .vector import vectorize_plan
+
+    if mode in ("vector", "oracle"):
+        vectorized = vectorize_plan(plan, database, verify=mode == "oracle")
+        return vectorized if vectorized is not None else plan
+    if plan_access_kind(plan) != "scan":
+        return plan
+    threshold = getattr(database, "vector_min_rows", 4096)
+    total = 0
+    for name in plan.base_tables():
+        try:
+            table = database.table(name)
+        except UnknownTableError:
+            return plan
+        if not isinstance(table, Table):
+            return plan
+        total += len(table)
+    if total < threshold:
+        return plan
+    vectorized = vectorize_plan(plan, database)
+    return vectorized if vectorized is not None else plan
 
 
 def _pushdown(plan: Plan, database: Any) -> Plan:

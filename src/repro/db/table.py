@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..errors import ConstraintViolation, DatabaseError, SchemaError
+from .columnar import ColumnStore
 from .index import HashIndex, SortedIndex
 from .schema import CREATED_AT, TID, UPDATED_AT, TableSchema
 
@@ -77,6 +78,7 @@ class Table:
         self._clock = clock
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_tid = 1
+        self._store: ColumnStore | None = None
         self._indexes: dict[str, HashIndex | SortedIndex] = {}
         if schema.primary_key:
             self.create_index(
@@ -155,6 +157,27 @@ class Table:
         return name in self._indexes
 
     # ------------------------------------------------------------------
+    # Columnar mirror (lazy; maintained incrementally once activated)
+    def column_store(self) -> ColumnStore:
+        """The columnar mirror of this table, building it on first use.
+
+        The vectorized executor (:mod:`repro.db.vector`) scans tables
+        through this instead of :meth:`rows`.  Once built, every mutation
+        keeps it in sync, so repeated vectorized queries pay no transpose
+        cost.
+        """
+        if self._store is None:
+            self._store = ColumnStore(self)
+        return self._store
+
+    def has_column_store(self) -> bool:
+        return self._store is not None
+
+    def drop_column_store(self) -> None:
+        """Release the columnar mirror (memory pressure / tests)."""
+        self._store = None
+
+    # ------------------------------------------------------------------
     # Mutations (called by Database; do not invoke triggers themselves)
     def insert(self, values: Mapping[str, Any]) -> dict[str, Any]:
         """Insert one row; returns the stored row (with hidden fields)."""
@@ -171,6 +194,8 @@ class Table:
         for idx in self._indexes.values():
             idx.add(tid, row)
         self._created_index.add(tid, row)
+        if self._store is not None:
+            self._store.append(row)
         return row
 
     def update_row(self, tid: int, changes: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -206,6 +231,8 @@ class Table:
             raise
         for idx in touched:
             idx.add(tid, row)
+        if self._store is not None:
+            self._store.update(tid, row)
         return before, row
 
     def delete_row(self, tid: int) -> dict[str, Any]:
@@ -217,6 +244,8 @@ class Table:
         for idx in self._indexes.values():
             idx.remove(tid, row)
         self._created_index.remove(tid, row)
+        if self._store is not None:
+            self._store.delete(tid)
         return row
 
     def restore_row(self, row: dict[str, Any]) -> None:
@@ -230,6 +259,52 @@ class Table:
             idx.add(tid, stored)
         self._created_index.add(tid, stored)
         self._next_tid = max(self._next_tid, tid + 1)
+        if self._store is not None:
+            # append() flags the store stale when tid arrives out of order
+            # (rollback restores); the next columnar scan rebuilds.
+            self._store.append(stored)
+
+    def bulk_restore(
+        self,
+        rows: list[dict[str, Any]],
+        columns: dict[str, list[Any]] | None = None,
+    ) -> bool:
+        """Restore many row images at once (WAL recovery bulk load).
+
+        ``rows`` must carry hidden fields and strictly increasing tids
+        none of which are present; returns False without touching the
+        table when that doesn't hold, so the caller can fall back to
+        per-row :meth:`restore_row`.  Takes ownership of the row dicts.
+        When ``columns`` (parallel per-column arrays for the same rows)
+        is provided and a column store is active, the store is fed the
+        arrays directly instead of re-transposing the rows.
+        """
+        if not rows:
+            return True
+        existing = self._rows
+        last = 0
+        for row in rows:
+            tid = row[TID]
+            if tid <= last or tid in existing:
+                return False
+            last = tid
+        indexes = list(self._indexes.values())
+        for idx in indexes:
+            add = idx.add
+            for row in rows:
+                add(row[TID], row)
+        add = self._created_index.add
+        for row in rows:
+            tid = row[TID]
+            existing[tid] = row
+            add(tid, row)
+        self._next_tid = max(self._next_tid, last + 1)
+        if self._store is not None:
+            if columns is not None:
+                self._store.bulk_append_columns(columns, len(rows))
+            else:
+                self._store.bulk_append(rows)
+        return True
 
     # ------------------------------------------------------------------
     # Reads

@@ -10,7 +10,7 @@ modelled, classically, as delete(before) + insert(after).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from ..db.table import ChangeSet
 
@@ -57,6 +57,26 @@ class Delta:
             inserted=list(self.deleted),
             deleted=list(self.inserted),
         )
+
+
+def partition_rows(rows: Iterable[Row], group_by: Sequence[str]) -> dict[tuple, list[Row]]:
+    """Partition rows by their group key, preserving first-seen group order
+    and within-group row order.
+
+    Batch aggregate maintenance folds each partition with one
+    :meth:`AggregateView.apply_group_rows` call instead of one
+    :meth:`apply_row` call per row; preserving row order keeps float SUM
+    accumulation identical to the per-row path.
+    """
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        key = tuple(row[g] for g in group_by)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [row]
+        else:
+            bucket.append(row)
+    return groups
 
 
 def row_key(row: Row) -> tuple[tuple[str, Any], ...]:

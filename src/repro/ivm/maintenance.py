@@ -13,8 +13,15 @@ from typing import Any
 
 from ..db.expression import evaluate_predicate
 from ..errors import ViewError
-from .delta import Delta, Row
+from .delta import Delta, Row, partition_rows
 from .view import AggregateView, JoinView, SelectProjectView, ViewDefinition, _project
+
+# Deltas at least this large take the batch maintenance path: rows are
+# partitioned per group (aggregates) or projected en masse (select-project)
+# and folded in with one view-level call per partition instead of one per
+# row.  Coalesced flushes from the batching layer routinely carry thousands
+# of rows; below this size the per-row path's simplicity wins.
+_BATCH_MIN = 64
 
 
 def apply_delta(view: ViewDefinition, delta: Delta, database: Any = None) -> int:
@@ -35,6 +42,8 @@ def apply_delta(view: ViewDefinition, delta: Delta, database: Any = None) -> int
 def _maintain_select_project(view: SelectProjectView, delta: Delta) -> int:
     if delta.table != view.table:
         return 0
+    if len(delta) >= _BATCH_MIN:
+        return _maintain_select_project_batch(view, delta)
     applied = 0
     for row in delta.inserted:
         if evaluate_predicate(view.where, row):
@@ -45,6 +54,25 @@ def _maintain_select_project(view: SelectProjectView, delta: Delta) -> int:
             view.storage.remove(_project(row, view.project))
             applied += 1
     return applied
+
+
+def _maintain_select_project_batch(view: SelectProjectView, delta: Delta) -> int:
+    """Batch path: project all qualifying rows, then fold them in en masse.
+
+    Ordering matches the per-row path (insertions before deletions), and
+    ``add_many``/``remove_many`` are row-order-preserving, so the view's
+    multiset state is byte-identical.
+    """
+    where = view.where
+    project = view.project
+    inserted = delta.inserted
+    deleted = delta.deleted
+    if where is not None:
+        inserted = [row for row in inserted if evaluate_predicate(where, row)]
+        deleted = [row for row in deleted if evaluate_predicate(where, row)]
+    view.storage.add_many([_project(row, project) for row in inserted])
+    view.storage.remove_many([_project(row, project) for row in deleted])
+    return len(inserted) + len(deleted)
 
 
 def _join_side_apply(
@@ -114,6 +142,8 @@ def _maintain_join(view: JoinView, delta: Delta) -> int:
 def _maintain_aggregate(view: AggregateView, delta: Delta) -> int:
     if delta.table != view.table:
         return 0
+    if len(delta) >= _BATCH_MIN:
+        return _maintain_aggregate_batch(view, delta)
     applied = 0
     for row in delta.deleted:
         if evaluate_predicate(view.where, row):
@@ -123,4 +153,29 @@ def _maintain_aggregate(view: AggregateView, delta: Delta) -> int:
         if evaluate_predicate(view.where, row):
             view.apply_row(row, +1)
             applied += 1
+    return applied
+
+
+def _maintain_aggregate_batch(view: AggregateView, delta: Delta) -> int:
+    """Batch path: partition qualifying rows per group, fold each partition
+    with one :meth:`AggregateView.apply_group_rows` call.
+
+    Deletions are applied fully before insertions and row order is
+    preserved inside each partition, so accumulator state (including float
+    SUM rounding) matches the per-row path exactly.
+    """
+    where = view.where
+    group_by = view.group_by
+    deleted = delta.deleted
+    inserted = delta.inserted
+    if where is not None:
+        deleted = [row for row in deleted if evaluate_predicate(where, row)]
+        inserted = [row for row in inserted if evaluate_predicate(where, row)]
+    applied = 0
+    for key, rows in partition_rows(deleted, group_by).items():
+        view.apply_group_rows(key, rows, -1)
+        applied += len(rows)
+    for key, rows in partition_rows(inserted, group_by).items():
+        view.apply_group_rows(key, rows, +1)
+        applied += len(rows)
     return applied

@@ -72,6 +72,34 @@ class _MultisetStorage:
         else:
             self._counts[key] = current - count
 
+    def add_many(self, rows: Sequence[Row]) -> None:
+        """Fold a batch of rows in; equivalent to ``add`` per row in order."""
+        counts = self._counts
+        samples = self._samples
+        for row in rows:
+            key = row_key(row)
+            counts[key] += 1
+            if key not in samples:
+                samples[key] = {k: v for k, v in row.items() if not k.startswith("__")}
+
+    def remove_many(self, rows: Sequence[Row]) -> None:
+        """Fold a batch of rows out; equivalent to ``remove`` per row in order."""
+        counts = self._counts
+        samples = self._samples
+        for row in rows:
+            key = row_key(row)
+            current = counts.get(key, 0)
+            if current < 1:
+                raise ViewError(
+                    f"view multiset underflow removing {dict(key)!r} "
+                    f"(have {current}, removing 1)"
+                )
+            if current == 1:
+                del counts[key]
+                del samples[key]
+            else:
+                counts[key] = current - 1
+
     def rows(self) -> list[Row]:
         out: list[Row] = []
         for key, count in self._counts.items():
@@ -275,6 +303,67 @@ class AggregateView(ViewDefinition):
                 vc[value] += sign
                 if vc[value] <= 0:
                     del vc[value]
+        if state.count_star < 0:
+            raise ViewError(
+                f"aggregate view {self.name!r}: group {key!r} count underflow"
+            )
+        if state.count_star == 0:
+            del self.groups[key]
+
+    def apply_group_rows(self, key: tuple[Any, ...], rows: Sequence[Row], sign: int) -> None:
+        """Fold a batch of same-group base rows in (+1) or out (-1).
+
+        Equivalent to calling :meth:`apply_row` once per row in order:
+        per-slot accumulation stays a left fold in row order, so float SUM
+        rounding and MIN/MAX multiset contents match the per-row path
+        exactly.
+        """
+        if not rows:
+            return
+        state = self.groups.get(key)
+        if state is None:
+            if sign < 0:
+                raise ViewError(
+                    f"aggregate view {self.name!r}: deleting from unknown group {key!r}"
+                )
+            state = _GroupState(len(self.aggregates))
+            self.groups[key] = state
+        state.count_star += sign * len(rows)
+        first = rows[0]
+        for i, spec in enumerate(self.aggregates):
+            arg = spec.arg
+            if arg is None:
+                continue
+            if isinstance(arg, ColumnRef) and arg.name in first:
+                name = arg.name
+                values = [v for row in rows if (v := row[name]) is not None]
+            else:
+                values = [v for row in rows if (v := arg.eval(row)) is not None]
+            if not values:
+                continue
+            state.counts[i] += sign * len(values)
+            if spec.func in ("SUM", "AVG"):
+                if sign > 0:
+                    # Left fold from the current total -- same float
+                    # rounding as per-row ``sums[i] += value``.
+                    state.sums[i] = sum(values, state.sums[i])
+                else:
+                    total = state.sums[i]
+                    for value in values:
+                        total -= value
+                    state.sums[i] = total
+            elif spec.func in ("MIN", "MAX"):
+                vc = state.value_counts[i]
+                if vc is None:
+                    vc = Counter()
+                    state.value_counts[i] = vc
+                if sign > 0:
+                    vc.update(values)
+                else:
+                    vc.subtract(values)
+                    for value in set(values):
+                        if vc[value] <= 0:
+                            del vc[value]
         if state.count_star < 0:
             raise ViewError(
                 f"aggregate view {self.name!r}: group {key!r} count underflow"

@@ -9,12 +9,33 @@ Covers three defects fixed together with the planner work:
    it now yields NULL for the whole group instead of a partial total.
 3. ``HashIndex.add`` leaving an empty bucket behind when a unique
    violation aborted the insert.
+
+And three more fixed with the columnar-engine work:
+
+4. ``Distinct`` / ``COUNT(DISTINCT x)`` raising a bare ``TypeError``
+   on unhashable cell values (lists, dicts) -- they now fall back to
+   linear-scan dedup.
+5. ``Sort`` crashing on mixed-type keys -- ordering is now total and
+   deterministic via type-tagged keys.
+6. ``_scan_columns`` / ``HashJoin._schema_columns`` swallowing *all*
+   exceptions; they now only catch ``UnknownTableError``.
 """
 
 import pytest
 
 from repro.db import Column, Database
-from repro.db.algebra import Aggregate, AggSpec, HashJoin, Project, Scan, Select
+from repro.db.algebra import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    HashJoin,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    _scan_columns,
+    sort_key_total,
+)
 from repro.db.expression import col
 from repro.db.index import HashIndex
 from repro.db.types import ANY, INTEGER, TEXT
@@ -216,3 +237,98 @@ class TestHashIndexViolationCleanup:
         db.insert("emp", {"id": 99, "dept": "x", "bonus": 0})
         assert db.query("SELECT dept FROM emp WHERE id = 1")[0]["dept"] == "eng"
         assert len(db.query("SELECT * FROM emp WHERE id = 99")) == 1
+
+
+@pytest.fixture
+def udb():
+    """Table whose ANY column holds unhashable and mixed-type values."""
+    database = Database()
+    database.create_table(
+        "t",
+        [Column("id", INTEGER, nullable=False), Column("v", ANY)],
+        primary_key="id",
+    )
+    values = [[1, 2], [1, 2], {"a": 1}, {"a": 1}, "x", "x", 3, None]
+    for i, v in enumerate(values):
+        database.insert("t", {"id": i, "v": v})
+    return database
+
+
+class TestUnhashableDistinct:
+    """Distinct and COUNT(DISTINCT x) over unhashable cell values used to
+    raise a bare TypeError from the dedup set; they now fall back to a
+    linear-scan membership check."""
+
+    def test_distinct_over_unhashable_values(self, udb):
+        rows = Distinct(Project(Scan("t"), [("v", col("v"))])).to_list(udb)
+        assert len(rows) == 5  # [1,2], {'a':1}, 'x', 3, None
+
+    def test_sql_select_distinct(self, udb):
+        rows = udb.query("SELECT DISTINCT v FROM t")
+        assert len(rows) == 5
+
+    def test_count_distinct_unhashable(self, udb):
+        rows = udb.query("SELECT COUNT(DISTINCT v) AS d FROM t")
+        assert rows[0]["d"] == 4  # NULL excluded from COUNT
+
+    def test_hashable_rows_still_dedup_fast(self, udb):
+        # Sanity: plain hashable values keep working through the set path.
+        rows = udb.query("SELECT DISTINCT id FROM t")
+        assert len(rows) == 8
+
+
+class TestMixedTypeSort:
+    """ORDER BY over a column holding ints, strings, lists and NULLs used
+    to crash with TypeError; sort_key_total makes the ordering total."""
+
+    def test_order_by_mixed_types_is_deterministic(self, udb):
+        rows1 = udb.query("SELECT id, v FROM t ORDER BY v")
+        rows2 = udb.query("SELECT id, v FROM t ORDER BY v")
+        assert rows1 == rows2
+        # NULLs sort first, numbers before strings before containers.
+        assert rows1[0]["v"] is None
+        assert rows1[1]["v"] == 3
+
+    def test_sort_key_total_ranks(self):
+        keys = [
+            sort_key_total(None),
+            sort_key_total(3),
+            sort_key_total("x"),
+            sort_key_total(b"x"),
+            sort_key_total([1, 2]),
+            sort_key_total({"a": 1}),
+        ]
+        assert keys == sorted(keys)
+
+    def test_sort_key_total_numeric_interleave(self):
+        values = [2, 1.5, True, 3]
+        ordered = sorted(values, key=sort_key_total)
+        assert ordered == [True, 1.5, 2, 3]
+
+    def test_algebra_sort_node(self, udb):
+        rows = Sort(Scan("t"), [("v", True)]).to_list(udb)
+        assert len(rows) == 8
+        assert rows[0]["v"] is None
+
+    def test_stable_ties_preserve_input_order(self, udb):
+        rows = udb.query("SELECT id FROM t ORDER BY v")
+        # The two list cells (ids 0, 1) tie; stability keeps id order.
+        list_ids = [r["id"] for r in rows if r["id"] in (0, 1)]
+        assert list_ids == [0, 1]
+
+
+class TestNarrowedScanColumnExcepts:
+    def test_scan_columns_unknown_table_is_none(self, udb):
+        assert _scan_columns(udb, "missing", None) is None
+
+    def test_scan_columns_known_table(self, udb):
+        cols = _scan_columns(udb, "t", None)
+        assert cols is not None and "v" in cols
+
+    def test_scan_columns_propagates_unexpected_errors(self):
+        class Exploding:
+            def table(self, name):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            _scan_columns(Exploding(), "t", None)

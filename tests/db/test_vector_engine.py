@@ -1,0 +1,241 @@
+"""Tests for the vectorized execution engine and its router integration.
+
+Covers engine modes (auto/row/vector/oracle), the auto-mode size and
+access-path gates, EXPLAIN labels and per-operator row counters,
+graceful fallback to the row engine at execution time, and the
+translation gate (which plans vectorize at all).
+"""
+
+import pytest
+
+from repro.db import Database, Vectorized, vectorize_plan
+from repro.db.algebra import (
+    Aggregate,
+    AggSpec,
+    Distinct,
+    HashJoin,
+    Limit,
+    Project,
+    RowSource,
+    Scan,
+    Select,
+    Sort,
+    plan_access_kind,
+)
+from repro.db.expression import Lambda, col
+from repro.errors import DatabaseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept TEXT, salary INTEGER)"
+    )
+    for i in range(200):
+        database.execute(
+            "INSERT INTO emp (id, dept, salary) VALUES (?, ?, ?)",
+            [i, f"d{i % 5}", 1000 + i],
+        )
+    return database
+
+
+AGG_SQL = (
+    "SELECT dept, COUNT(*) AS n, SUM(salary) AS s FROM emp GROUP BY dept"
+)
+
+
+class TestEngineModes:
+    def test_default_is_auto(self, db):
+        assert db.engine_mode == "auto"
+
+    def test_set_engine_validates(self, db):
+        with pytest.raises(DatabaseError):
+            db.set_engine("turbo")
+        for mode in ("row", "vector", "oracle", "auto"):
+            db.set_engine(mode)
+            assert db.engine_mode == mode
+
+    def test_row_and_vector_agree(self, db):
+        db.set_engine("row")
+        expected = db.query(AGG_SQL)
+        db.set_engine("vector")
+        assert db.query(AGG_SQL) == expected
+
+    def test_oracle_mode_runs_both(self, db):
+        db.set_engine("oracle")
+        rows = db.query(AGG_SQL)
+        assert len(rows) == 5
+
+    def test_set_engine_clears_plan_cache(self, db):
+        db.set_engine("vector")
+        assert "Vectorized" in db.explain(AGG_SQL)
+        db.set_engine("row")
+        assert "Vectorized" not in db.explain(AGG_SQL)
+
+
+class TestAutoGate:
+    def test_small_table_stays_row(self, db):
+        db.set_engine("auto")
+        assert "Vectorized" not in db.explain(AGG_SQL)
+
+    def test_crossing_threshold_vectorizes(self, db):
+        db.vector_min_rows = 100
+        db.set_engine("auto")  # clears the plan cache
+        assert "Vectorized" in db.explain(AGG_SQL)
+
+    def test_point_lookup_never_vectorizes(self, db):
+        db.vector_min_rows = 1
+        db.set_engine("auto")
+        text = db.explain("SELECT * FROM emp WHERE id = 5")
+        assert "IndexScan" in text
+        assert "Vectorized" not in text
+
+    def test_auto_results_match_row(self, db):
+        db.set_engine("row")
+        expected = db.query("SELECT id, salary FROM emp WHERE salary > 1100")
+        db.vector_min_rows = 100
+        db.set_engine("auto")
+        assert db.query("SELECT id, salary FROM emp WHERE salary > 1100") == expected
+
+
+class TestExplainIntegration:
+    def test_explain_labels(self, db):
+        db.set_engine("vector")
+        text = db.explain(AGG_SQL)
+        assert "Vectorized" in text
+        assert "VAggregate" in text
+        assert "VScan emp" in text
+
+    def test_explain_analyze_row_counters(self, db):
+        db.set_engine("vector")
+        rows = db.query(
+            "EXPLAIN ANALYZE SELECT id FROM emp WHERE salary > 1100"
+        )
+        text = "\n".join(r["plan"] for r in rows)
+        assert "VScan emp (rows=200)" in text
+        assert "VFilter" in text and "(rows=99)" in text
+
+    def test_plan_access_kind(self, db):
+        plan = vectorize_plan(Scan("emp"), db)
+        assert plan is not None
+        assert plan_access_kind(plan) == "vectorized"
+
+    def test_union_keeps_row_combinator_vectorized_branches(self, db):
+        db.set_engine("vector")
+        # UNION itself has no vectorized translation, but each branch
+        # plans independently and may vectorize under the row combinator.
+        sql = "SELECT dept FROM emp UNION ALL SELECT dept FROM emp"
+        rows = db.query(sql)
+        assert len(rows) == 400
+        text = db.explain(sql)
+        assert text.startswith("Union ALL")
+
+
+class TestTranslationGate:
+    def test_scan_select_project_vectorizes(self, db):
+        plan = Project(
+            Select(Scan("emp"), col("salary") > 1100), [("id", col("id"))]
+        )
+        assert isinstance(vectorize_plan(plan, db), Vectorized)
+
+    def test_rowsource_does_not(self, db):
+        plan = Select(RowSource("r", [{"x": 1}]), col("x") > 0)
+        assert vectorize_plan(plan, db) is None
+
+    def test_lambda_predicate_does_not(self, db):
+        plan = Select(Scan("emp"), Lambda(lambda row: True, "always"))
+        assert vectorize_plan(plan, db) is None
+
+    def test_join_sort_limit_distinct_vectorize(self, db):
+        plan = Limit(
+            Sort(
+                Distinct(
+                    HashJoin(
+                        Scan("emp", alias="a"),
+                        Scan("emp", alias="b"),
+                        left_on="dept",
+                        right_on="dept",
+                    )
+                ),
+                [("id", False)],
+            ),
+            10,
+        )
+        vec = vectorize_plan(plan, db)
+        assert isinstance(vec, Vectorized)
+        assert vec.to_list(db) == plan.to_list(db)
+
+    def test_aggregate_distinct_vectorizes(self, db):
+        plan = Aggregate(
+            Scan("emp"),
+            group_by=["dept"],
+            aggregates=[AggSpec("COUNT", col("salary"), "n", distinct=True)],
+        )
+        vec = vectorize_plan(plan, db)
+        assert isinstance(vec, Vectorized)
+        assert sorted(map(repr, vec.to_list(db))) == sorted(
+            map(repr, plan.to_list(db))
+        )
+
+
+class _DelegatingTable:
+    """Not a Table: forces the vectorized scan to fall back at runtime."""
+
+    def __init__(self, table):
+        self._table = table
+
+    def __getattr__(self, name):
+        return getattr(self._table, name)
+
+
+class _WrappedSource:
+    def __init__(self, database):
+        self._database = database
+
+    def table(self, name):
+        return _DelegatingTable(self._database.table(name))
+
+
+class TestRuntimeFallback:
+    def test_non_table_source_falls_back(self, db):
+        plan = Select(Scan("emp"), col("salary") > 1100)
+        vec = vectorize_plan(plan, db)
+        assert vec is not None
+        source = _WrappedSource(db)
+        rows = vec.to_list(source)
+        assert rows == plan.to_list(source)
+        assert len(rows) == 99
+
+    def test_fallback_leaves_no_phantom_counters(self, db):
+        from repro.db.algebra import instrument_plan
+
+        plan = Select(Scan("emp"), col("salary") > 1100)
+        vec = vectorize_plan(plan, db)
+        counted, counters = instrument_plan(vec)
+        counted.to_list(_WrappedSource(db))
+        # The vectorized ops never ran to completion: their counters must
+        # not survive into EXPLAIN ANALYZE output.
+        from repro.db.vector import _collect_ids
+
+        assert not set(counters) & set(_collect_ids(vec.root))
+
+
+class TestMutationVisibility:
+    def test_vector_engine_sees_fresh_writes(self, db):
+        db.set_engine("vector")
+        before = db.query("SELECT COUNT(*) AS n FROM emp")[0]["n"]
+        db.execute(
+            "INSERT INTO emp (id, dept, salary) VALUES (?, ?, ?)",
+            [999, "d9", 1],
+        )
+        assert db.query("SELECT COUNT(*) AS n FROM emp")[0]["n"] == before + 1
+        db.execute("DELETE FROM emp WHERE id = 999")
+        assert db.query("SELECT COUNT(*) AS n FROM emp")[0]["n"] == before
+
+    def test_update_visible_through_store(self, db):
+        db.set_engine("vector")
+        db.query(AGG_SQL)  # builds the store
+        db.execute("UPDATE emp SET salary = 0 WHERE id = 0")
+        rows = db.query("SELECT salary FROM emp WHERE id = 0")
+        assert rows == [{"salary": 0}]

@@ -1,0 +1,192 @@
+"""Batch view maintenance must be indistinguishable from per-row.
+
+Deltas at or above ``_BATCH_MIN`` rows take the batch path
+(`apply_group_rows`, `add_many`/`remove_many`); these tests drive both
+paths over the same deltas and assert identical view state -- including
+float SUM rounding, MIN/MAX multiset contents, and group lifecycle
+(creation, deletion at zero, underflow errors).
+"""
+
+import random
+
+import pytest
+
+from repro.db.algebra import AggSpec
+from repro.db.expression import col, evaluate_predicate
+from repro.errors import ViewError
+from repro.ivm.delta import Delta, partition_rows
+from repro.ivm.maintenance import _BATCH_MIN, apply_delta
+from repro.ivm.view import AggregateView, SelectProjectView
+
+
+def make_rows(n, seed=0, groups=5):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "g": f"g{rng.randrange(groups)}",
+                "v": rng.choice([None, rng.uniform(-10, 10), rng.randrange(-5, 5)]),
+                "__tid__": i + 1,
+            }
+        )
+    return rows
+
+
+def agg_view():
+    return AggregateView(
+        "agg",
+        "t",
+        ["g"],
+        [
+            AggSpec("COUNT", None, "n"),
+            AggSpec("COUNT", col("v"), "c"),
+            AggSpec("SUM", col("v"), "s"),
+            AggSpec("AVG", col("v"), "a"),
+            AggSpec("MIN", col("v"), "mn"),
+            AggSpec("MAX", col("v"), "mx"),
+        ],
+        where=col("v") > -9,
+    )
+
+
+def snapshot(view):
+    return sorted(map(repr, (sorted(r.items()) for r in view.rows())))
+
+
+def state_snapshot(view):
+    out = []
+    for key, state in sorted(view.groups.items(), key=repr):
+        vcs = [None if vc is None else sorted(vc.items()) for vc in state.value_counts]
+        out.append((key, state.count_star, list(state.sums), list(state.counts), vcs))
+    return out
+
+
+class TestAggregateBatchEquivalence:
+    def test_insert_batch_matches_per_row(self):
+        rows = make_rows(300)
+        batch, perrow = agg_view(), agg_view()
+        apply_delta(batch, Delta.insertions("t", rows))
+        for row in rows:
+            if evaluate_predicate(perrow.where, row):
+                perrow.apply_row(row, +1)
+        assert state_snapshot(batch) == state_snapshot(perrow)
+        assert snapshot(batch) == snapshot(perrow)
+
+    def test_delete_batch_matches_per_row(self):
+        rows = make_rows(300, seed=2)
+        batch, perrow = agg_view(), agg_view()
+        apply_delta(batch, Delta.insertions("t", rows))
+        apply_delta(perrow, Delta.insertions("t", rows))
+        victim = rows[::2]
+        apply_delta(batch, Delta.deletions("t", victim))
+        small = Delta.deletions("t", victim)
+        # Force the per-row path by splitting below _BATCH_MIN.
+        for i in range(0, len(victim), _BATCH_MIN - 1):
+            apply_delta(perrow, Delta.deletions("t", victim[i : i + _BATCH_MIN - 1]))
+        assert state_snapshot(batch) == state_snapshot(perrow)
+
+    def test_float_sum_rounding_identical(self):
+        rows = [
+            {"g": "g", "v": x, "__tid__": i + 1}
+            for i, x in enumerate([0.1] * 70 + [1e15, -1e15] + [0.1] * 70)
+        ]
+        batch, perrow = agg_view(), agg_view()
+        apply_delta(batch, Delta.insertions("t", rows))
+        for row in rows:
+            if evaluate_predicate(perrow.where, row):
+                perrow.apply_row(row, +1)
+        # Bit-for-bit, not math.isclose: same left fold, same rounding.
+        assert state_snapshot(batch) == state_snapshot(perrow)
+
+    def test_group_deleted_at_zero(self):
+        rows = make_rows(200, seed=3, groups=3)
+        view = agg_view()
+        apply_delta(view, Delta.insertions("t", rows))
+        apply_delta(view, Delta.deletions("t", rows))
+        assert view.groups == {}
+
+    def test_mixed_update_delta(self):
+        rows = make_rows(400, seed=4)
+        view_b, view_r = agg_view(), agg_view()
+        apply_delta(view_b, Delta.insertions("t", rows))
+        apply_delta(view_r, Delta.insertions("t", rows))
+        delta = Delta(
+            table="t",
+            deleted=rows[100:300],
+            inserted=[dict(r, v=1) for r in rows[100:300]],
+        )
+        assert len(delta) >= _BATCH_MIN
+        applied_b = apply_delta(view_b, delta)
+        # True per-row reference for the SAME delta: every deletion before
+        # every insertion, in delta order (what _maintain_aggregate does
+        # below _BATCH_MIN).
+        applied_r = 0
+        for row in delta.deleted:
+            if evaluate_predicate(view_r.where, row):
+                view_r.apply_row(row, -1)
+                applied_r += 1
+        for row in delta.inserted:
+            if evaluate_predicate(view_r.where, row):
+                view_r.apply_row(row, +1)
+                applied_r += 1
+        assert applied_b == applied_r
+        assert state_snapshot(view_b) == state_snapshot(view_r)
+
+    def test_unknown_group_delete_raises(self):
+        view = agg_view()
+        rows = [{"g": "zz", "v": 1, "__tid__": i} for i in range(_BATCH_MIN)]
+        with pytest.raises(ViewError, match="unknown group"):
+            apply_delta(view, Delta.deletions("t", rows))
+
+    def test_apply_group_rows_empty_is_noop(self):
+        view = agg_view()
+        view.apply_group_rows(("g0",), [], +1)
+        assert view.groups == {}
+
+
+class TestSelectProjectBatchEquivalence:
+    def make_views(self):
+        mk = lambda: SelectProjectView(
+            "sp", "t", where=col("v") > 0, project=[("g", col("g")), ("v", col("v"))]
+        )
+        return mk(), mk()
+
+    def test_insert_and_delete_batches(self):
+        rows = make_rows(250, seed=5)
+        batch, perrow = self.make_views()
+        apply_delta(batch, Delta.insertions("t", rows))
+        for i in range(0, len(rows), _BATCH_MIN - 1):
+            apply_delta(perrow, Delta.insertions("t", rows[i : i + _BATCH_MIN - 1]))
+        assert sorted(map(repr, batch.rows())) == sorted(map(repr, perrow.rows()))
+        apply_delta(batch, Delta.deletions("t", rows[::3]))
+        victims = rows[::3]
+        for i in range(0, len(victims), _BATCH_MIN - 1):
+            apply_delta(perrow, Delta.deletions("t", victims[i : i + _BATCH_MIN - 1]))
+        assert sorted(map(repr, batch.rows())) == sorted(map(repr, perrow.rows()))
+
+    def test_underflow_message_identical(self):
+        batch, perrow = self.make_views()
+        rows = [{"g": "g", "v": 1, "__tid__": i} for i in range(_BATCH_MIN)]
+        with pytest.raises(ViewError) as err_batch:
+            apply_delta(batch, Delta.deletions("t", rows))
+        with pytest.raises(ViewError) as err_row:
+            perrow.storage.remove({"g": "g", "v": 1})
+        assert str(err_batch.value) == str(err_row.value)
+
+
+class TestPartitionRows:
+    def test_preserves_orders(self):
+        rows = [{"g": g, "i": i} for i, g in enumerate("abcabcab")]
+        parts = partition_rows(rows, ["g"])
+        assert list(parts) == [("a",), ("b",), ("c",)]
+        assert [r["i"] for r in parts[("a",)]] == [0, 3, 6]
+
+    def test_multi_column_key(self):
+        rows = [{"g": "a", "h": 1}, {"g": "a", "h": 2}, {"g": "a", "h": 1}]
+        parts = partition_rows(rows, ["g", "h"])
+        assert len(parts) == 2
+        assert len(parts[("a", 1)]) == 2
+
+    def test_empty(self):
+        assert partition_rows([], ["g"]) == {}
