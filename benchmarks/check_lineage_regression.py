@@ -1,0 +1,43 @@
+"""CI gate: sampled lineage capture must cost <= 10% on the aggregate bench.
+
+Reads ``benchmarks/BENCH_lineage.json`` (written by ``bench_lineage.py``)
+and exits non-zero if the enabled-capture overhead over the disabled
+baseline exceeds the recorded ``limit_pct``.  Run after the benchmark:
+
+    python benchmarks/check_lineage_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_lineage.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_lineage run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    gate = payload.get("lineage_gate")
+    if not isinstance(gate, dict):
+        print(f"FAIL: {RESULT} has no lineage_gate block")
+        return 2
+    measured = float(gate["overhead_pct"])
+    limit = float(gate["limit_pct"])
+    verdict = "PASS" if measured <= limit else "FAIL"
+    print(
+        f"{verdict}: lineage capture (1/{gate['sample']} sampling) on the "
+        f"aggregate bench at {gate['rows']} rows: amortized "
+        f"{measured:+.2f}% over baseline (limit {limit:.1f}%; "
+        f"plain {gate['per_query_ms']:.2f} ms, "
+        f"captured {gate['captured_ms']:.2f} ms)"
+    )
+    return 0 if measured <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

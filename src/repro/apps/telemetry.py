@@ -32,6 +32,7 @@ from typing import Any, Optional
 
 from ..db.algebra import AggSpec
 from ..db.expression import col
+from ..db.schema import TID
 from ..ivm.registry import ViewRegistry
 from ..ivm.view import AggregateView
 from ..obs.store import SYS_METRICS, SYS_SPANS, TelemetrySink
@@ -263,6 +264,10 @@ class TelemetryDashboard:
                 ],
                 where=col("kind") == "span",
             )
+            # Lineage-enabled: every stats group knows exactly which
+            # sys_spans rows it aggregates, so the dashboard can answer
+            # "why is this pixel here" without re-querying.
+            self.span_stats.enable_lineage()
             self.registry.register(self.span_stats)
         self.waterfall = Display("span-waterfall", width=width, height=height)
         self.latency = Display("notify-latency", width=width, height=height)
@@ -320,6 +325,47 @@ class TelemetryDashboard:
                 f"{(row['max_ms'] or 0.0):>10.2f}"
             )
         return "\n".join(lines)
+
+    def why(self, span_id: str) -> Optional[dict[str, Any]]:
+        """"Why is this point here": provenance of one waterfall bar.
+
+        ``span_id`` is the bar's obj_id in the waterfall display.  The
+        answer traces both lineage directions through the span-stats
+        view: *forward* -- which aggregate group this span's ``sys_spans``
+        row feeds -- and *backward* -- every base tid contributing to
+        that group, i.e. the bar's siblings in the statistics it is part
+        of.  Returns None for an unknown span id.
+        """
+        with self.sink.runtime.tracer.suppress():
+            db = self.sink.database
+            target = None
+            for row in db.table(SYS_SPANS).rows():
+                if row.get("span_id") == span_id:
+                    target = row
+                    break
+            if target is None:
+                return None
+            tid = target[TID]
+            lineage = self.span_stats.lineage
+            groups = sorted(lineage.forward((SYS_SPANS, tid)))
+            contributing = sorted(
+                {t for g in groups for (_, t) in lineage.backward(g)}
+            )
+            stats = [
+                r
+                for r in self.registry.rows(V_SPAN_STATS)
+                if (r["name"],) in groups
+            ]
+        return {
+            "span_id": span_id,
+            "name": target["name"],
+            "duration_ms": target["duration_ms"],
+            "source": (SYS_SPANS, tid),
+            "groups": groups,
+            "stats": stats,
+            "contributing_tids": contributing,
+            "contributing_spans": len(contributing),
+        }
 
     def render_svg(self) -> dict[str, str]:
         """All three views as SVG documents (keyed by display name)."""

@@ -106,6 +106,78 @@ class Database:
         # diffs (the row/vector equivalence oracle).
         self._engine_mode = "auto"
         self.vector_min_rows = 4096
+        # Lineage capture (repro.lineage).  Off by default -- queries pay
+        # nothing until enable_lineage() installs a manager.
+        self._lineage: Any = None
+
+    # ------------------------------------------------------------------
+    # Lineage
+    @property
+    def lineage(self) -> Any:
+        """The installed :class:`~repro.lineage.manager.LineageManager`,
+        or None when lineage capture is disabled (the default)."""
+        return self._lineage
+
+    def enable_lineage(
+        self, sample: int = 256, store: Any = True
+    ) -> Any:
+        """Turn on tuple lineage capture; returns the manager.
+
+        ``sample`` captures every Nth SELECT (deterministically); pass
+        ``sample=1`` to capture everything.  ``store`` keeps the default
+        :class:`~repro.lineage.store.LineageStore` persisting captures as
+        ``sys_lineage_*`` tables in this database, ``store=False`` skips
+        persistence, or pass a configured store instance.  Idempotent in
+        the sense that calling it again replaces the manager (fresh
+        counters, same tables).
+        """
+        from ..lineage.manager import LineageManager
+
+        with self._lock:
+            self._lineage = LineageManager(self, sample=sample, store=store)
+            return self._lineage
+
+    def disable_lineage(self) -> None:
+        """Stop capturing lineage (sys_lineage_* tables are left as-is)."""
+        with self._lock:
+            self._lineage = None
+
+    def query_lineage(
+        self, sql: str, params: Sequence[Any] = ()
+    ) -> tuple[list[dict[str, Any]], list[tuple]]:
+        """Run a SELECT with unconditional lineage capture.
+
+        Returns ``(rows, lineage)`` where ``lineage[i]`` is the tuple of
+        ``(table, tid)`` pairs behind ``rows[i]``.  Requires
+        :meth:`enable_lineage`.
+        """
+        if self._lineage is None:
+            raise DatabaseError(
+                "lineage capture is disabled; call enable_lineage() first"
+            )
+        with self._lock:
+            plan = self.plan(sql, params)
+            return self._lineage.capture(sql, plan)
+
+    def backward_lineage(self, view_name: str, key: Any) -> set[tuple[str, Any]]:
+        """Base ``(table, tid)`` pairs behind one output key of a
+        lineage-enabled IVM view ("why is this group here")."""
+        if self._lineage is None:
+            raise DatabaseError(
+                "lineage capture is disabled; call enable_lineage() first"
+            )
+        return self._lineage.backward(view_name, key)
+
+    def forward_lineage(
+        self, table: str, tids: Iterable[Any]
+    ) -> dict[str, set[Any]]:
+        """Which outputs of every lineage-enabled view do these base
+        tuples feed ("where did this row go")."""
+        if self._lineage is None:
+            raise DatabaseError(
+                "lineage capture is disabled; call enable_lineage() first"
+            )
+        return self._lineage.forward(table, tids)
 
     @property
     def engine_mode(self) -> str:
@@ -509,6 +581,10 @@ class Database:
                     plan = plan_select(statement, self, params)
                     if plan_cachable(statement):
                         self._plan_cache.put(sql, plan)
+                if self._lineage is not None:
+                    captured = self._lineage.maybe_capture(sql, plan)
+                    if captured is not None:
+                        return Result(rows=captured)
                 return Result(rows=plan.to_list(self))
         return self.execute_statement(statement, params)
 
@@ -535,7 +611,16 @@ class Database:
                     else:
                         metrics.counter("db.plan_cache", result="hit").inc()
                     span.set_tag("access", plan_access_kind(plan))
-                    result = Result(rows=plan.to_list(self))
+                    captured = (
+                        self._lineage.maybe_capture(sql, plan)
+                        if self._lineage is not None
+                        else None
+                    )
+                    if captured is not None:
+                        span.set_tag("lineage", True)
+                        result = Result(rows=captured)
+                    else:
+                        result = Result(rows=plan.to_list(self))
                     span.set_tag("rows", len(result.rows))
             else:
                 result = self.execute_statement(statement, params)
@@ -651,6 +736,8 @@ class Database:
 
     def _execute_explain(self, stmt: ExplainStmt, params: Sequence[Any]) -> Result:
         plan = plan_select(stmt.select, self, params)
+        if stmt.lineage:
+            return self._execute_explain_lineage(plan)
         if stmt.analyze:
             instrumented, counters = instrument_plan(plan)
             for _ in instrumented.rows(self):
@@ -665,6 +752,28 @@ class Database:
         else:
             text = format_plan(plan)
         return Result(rows=[{"plan": line} for line in text.splitlines()])
+
+    def _execute_explain_lineage(self, plan: Plan) -> Result:
+        """EXPLAIN LINEAGE: run the query with capture, one row per edge.
+
+        Works whether or not :meth:`enable_lineage` has been called --
+        capture here is explicit and unconditional, and nothing is
+        persisted (use ``enable_lineage`` + sampling for that).
+        """
+        from ..lineage.capture import capture_plan
+
+        rows, lins = capture_plan(plan, self)
+        out: list[dict[str, Any]] = []
+        for out_row, pairs in enumerate(lins):
+            for src_table, src_tid in pairs:
+                out.append(
+                    {
+                        "out_row": out_row,
+                        "src_table": src_table,
+                        "src_tid": src_tid,
+                    }
+                )
+        return Result(rows=out)
 
     # -- statement executors --------------------------------------------
     def _execute_insert(self, stmt: InsertStmt, params: Sequence[Any]) -> Result:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..errors import UnknownTableError
+from ..obs.runtime import OBS
 from .algebra import (
     CompositeIndexScan,
     Distinct,
@@ -341,7 +342,13 @@ def estimate_rows(plan: Plan, database: Any) -> int | None:
     if isinstance(plan, Scan):
         try:
             table = database.table(plan.table_name)
-        except Exception:
+        except UnknownTableError:
+            # Planning against a provider that lacks the table (isolated
+            # snapshots, mid-DDL races): no estimate, count the miss.
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "db.estimate_unknown_table", table=plan.table_name
+                ).inc()
             return None
         # _IsolatedTable and friends may have O(n) __len__; only trust
         # the real storage class.
@@ -349,7 +356,11 @@ def estimate_rows(plan: Plan, database: Any) -> int | None:
     if isinstance(plan, (IndexScan, CompositeIndexScan, RangeIndexScan)):
         try:
             table = database.table(plan.table_name)
-        except Exception:
+        except UnknownTableError:
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "db.estimate_unknown_table", table=plan.table_name
+                ).inc()
             return None
         if not isinstance(table, Table):
             return None

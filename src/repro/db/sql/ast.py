@@ -209,11 +209,14 @@ class DropTableStmt:
 
 @dataclass(frozen=True)
 class ExplainStmt:
-    """``EXPLAIN [ANALYZE] SELECT ...`` -- show (and with ANALYZE, run and
-    instrument) the plan the optimizer picks for a query."""
+    """``EXPLAIN [ANALYZE | LINEAGE] SELECT ...`` -- show the plan the
+    optimizer picks for a query.  ANALYZE runs it and annotates operator
+    row counts; LINEAGE runs it with tuple-lineage capture and returns
+    one row per (output row, source tuple) provenance edge."""
 
     select: SelectStmt
     analyze: bool = False
+    lineage: bool = False
 
 
 Statement = Union[

@@ -125,12 +125,24 @@ class _Parser:
         if self.check_keyword("EXPLAIN"):
             self.advance()
             analyze = self.accept_keyword("ANALYZE")
+            # LINEAGE is a soft keyword (still usable as an identifier
+            # elsewhere): EXPLAIN LINEAGE SELECT ... captures provenance.
+            lineage = False
+            if (
+                not analyze
+                and self.current.kind == "IDENT"
+                and self.current.value.upper() == "LINEAGE"
+            ):
+                self.advance()
+                lineage = True
             if not self.check_keyword("SELECT"):
                 raise SQLSyntaxError(
                     "EXPLAIN supports SELECT statements only",
                     self.current.position,
                 )
-            stmt: Statement = ExplainStmt(self.parse_select(), analyze=analyze)
+            stmt: Statement = ExplainStmt(
+                self.parse_select(), analyze=analyze, lineage=lineage
+            )
         elif self.check_keyword("SELECT"):
             stmt = self.parse_select()
         elif self.check_keyword("INSERT"):

@@ -63,6 +63,7 @@ from .algebra import (
     sort_key_total,
 )
 from .columnar import K_NULL
+from .schema import TID
 from .expression import (
     And,
     Arithmetic,
@@ -100,19 +101,27 @@ class Batch:
     object as their plain counterpart.  ``kinds`` optionally carries the
     column store's advisory type tags (see :mod:`repro.db.columnar`);
     operators that cannot cheaply preserve them drop them to None.
+
+    ``lin`` is the lineage sidecar: when a plan executes under lineage
+    capture, each batch carries one entry per row -- a tuple of
+    ``(table, tid)`` pairs naming the base tuples that produced that row.
+    Operators thread it through exactly like a column (filtered, sliced,
+    reordered, concatenated on joins, unioned on aggregation).
     """
 
-    __slots__ = ("columns", "n", "kinds")
+    __slots__ = ("columns", "n", "kinds", "lin")
 
     def __init__(
         self,
         columns: dict[str, list[Any]],
         n: int,
         kinds: dict[str, int] | None = None,
+        lin: list[tuple] | None = None,
     ) -> None:
         self.columns = columns
         self.n = n
         self.kinds = kinds
+        self.lin = lin
 
 
 def batch_rows(batch: Batch) -> list[Row]:
@@ -410,7 +419,10 @@ class VOp:
     explain_label = "VOp"
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         raise NotImplementedError
 
@@ -455,7 +467,10 @@ class VScan(VOp):
         return {self.table_name}
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         table = source.table(self.table_name)
         if not isinstance(table, Table):
@@ -463,6 +478,7 @@ class VScan(VOp):
         store = table.column_store()
         needed = self.needed
         alias = self.alias
+        tname = self.table_name
         emit: list[tuple[str, str]] | None = None
         kinds: dict[str, int] | None = None
         for cols, n in store.batches():
@@ -481,7 +497,12 @@ class VScan(VOp):
                 types = store.types
                 kinds = {key: types[src] for key, src in emit}
             self._count(counters, n)
-            yield Batch({key: cols[src] for key, src in emit}, n, kinds)
+            lin = None
+            if lineage:
+                # Chunks always carry the hidden tid column even when the
+                # emit pruning drops it: lineage seeds are nearly free.
+                lin = [((tname, tid),) for tid in cols[TID]]
+            yield Batch({key: cols[src] for key, src in emit}, n, kinds, lin)
 
 
 class VFilter(VOp):
@@ -506,11 +527,14 @@ class VFilter(VOp):
         return (self.child,)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         fn = self._fn
         boolean_mask = self._boolean_mask
-        for batch in self.child.batches(source, counters):
+        for batch in self.child.batches(source, counters, lineage):
             mask = fn(batch)
             if boolean_mask:
                 # Mask holds only True/False/None, where truthiness is
@@ -534,7 +558,9 @@ class VFilter(VOp):
                     shared[key] = packed
                 columns[name] = packed
             self._count(counters, len(live))
-            yield Batch(columns, len(live), batch.kinds)
+            blin = batch.lin
+            lin = [blin[i] for i in live] if blin is not None else None
+            yield Batch(columns, len(live), batch.kinds, lin)
 
 
 class VProject(VOp):
@@ -572,15 +598,19 @@ class VProject(VOp):
         return out or None
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         fns = self._fns
-        for batch in self.child.batches(source, counters):
+        for batch in self.child.batches(source, counters, lineage):
             self._count(counters, batch.n)
             yield Batch(
                 {name: fn(batch) for name, fn in fns},
                 batch.n,
                 self._project_kinds(batch.kinds),
+                batch.lin,
             )
 
 
@@ -596,16 +626,19 @@ class VKeepAll(VOp):
         return (self.child,)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
-        for batch in self.child.batches(source, counters):
+        for batch in self.child.batches(source, counters, lineage):
             columns = {
                 k: v
                 for k, v in batch.columns.items()
                 if not k.startswith("__") and "." not in k
             }
             self._count(counters, batch.n)
-            yield Batch(columns, batch.n, batch.kinds)
+            yield Batch(columns, batch.n, batch.kinds, batch.lin)
 
 
 class VLimit(VOp):
@@ -624,13 +657,16 @@ class VLimit(VOp):
         return (self.child,)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         skip = self.offset
         remaining = self.count
         if remaining <= 0:
             return
-        for batch in self.child.batches(source, counters):
+        for batch in self.child.batches(source, counters, lineage):
             start = 0
             if skip:
                 if batch.n <= skip:
@@ -643,10 +679,12 @@ class VLimit(VOp):
                 out = batch
             else:
                 stop = start + take
+                blin = batch.lin
                 out = Batch(
                     {k: v[start:stop] for k, v in batch.columns.items()},
                     take,
                     batch.kinds,
+                    blin[start:stop] if blin is not None else None,
                 )
             remaining -= take
             self._count(counters, take)
@@ -667,10 +705,13 @@ class VDistinct(VOp):
         return (self.child,)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         seen = _DedupSet()
-        for batch in self.child.batches(source, counters):
+        for batch in self.child.batches(source, counters, lineage):
             visible = sorted(
                 name for name in batch.columns if not name.startswith("__")
             )
@@ -694,7 +735,11 @@ class VDistinct(VOp):
                         packed = [col[i] for i in live]
                         shared[ckey] = packed
                     columns[name] = packed
-                out = Batch(columns, len(live), batch.kinds)
+                blin = batch.lin
+                # First occurrence wins, matching the row engine: the
+                # surviving row keeps its own lineage.
+                lin = [blin[i] for i in live] if blin is not None else None
+                out = Batch(columns, len(live), batch.kinds, lin)
             self._count(counters, out.n)
             yield out
 
@@ -714,18 +759,26 @@ class VSort(VOp):
         return (self.child,)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
-        batches = list(self.child.batches(source, counters))
+        batches = list(self.child.batches(source, counters, lineage))
         if not batches:
             return
         columns: dict[str, list[Any]] = {
             k: list(v) for k, v in batches[0].columns.items()
         }
         total = batches[0].n
+        merged_lin: list[tuple] | None = None
+        if batches[0].lin is not None:
+            merged_lin = list(batches[0].lin)
         for batch in batches[1:]:
             for k, v in batch.columns.items():
                 columns[k].extend(v)
+            if merged_lin is not None and batch.lin is not None:
+                merged_lin.extend(batch.lin)
             total += batch.n
         merged = Batch(columns, total)
         order = list(range(total))
@@ -735,7 +788,10 @@ class VSort(VOp):
             sort_keys = [sort_key_total(v) for v in keycol]
             order.sort(key=sort_keys.__getitem__, reverse=not ascending)
         out = Batch(
-            {k: [v[i] for i in order] for k, v in columns.items()}, total
+            {k: [v[i] for i in order] for k, v in columns.items()},
+            total,
+            None,
+            [merged_lin[i] for i in order] if merged_lin is not None else None,
         )
         self._count(counters, total)
         yield out
@@ -776,16 +832,22 @@ class VHashJoin(VOp):
         return (self.left, self.right)
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         rcols: dict[str, list[Any]] = {}
         rn = 0
-        for batch in self.right.batches(source, counters):
+        rlin: list[tuple] | None = [] if lineage else None
+        for batch in self.right.batches(source, counters, lineage):
             if not rcols:
                 rcols = {k: list(v) for k, v in batch.columns.items()}
             else:
                 for k, v in batch.columns.items():
                     rcols[k].extend(v)
+            if rlin is not None and batch.lin is not None:
+                rlin.extend(batch.lin)
             rn += batch.n
         left_join = self.how == "left"
         buckets: dict[Any, list[int]] = {}
@@ -810,7 +872,7 @@ class VHashJoin(VOp):
                     pad_names = {c for c in derived if not c.startswith("__")}
                 else:
                     pad_names = self.orig._schema_columns(source)
-        for lbatch in self.left.batches(source, counters):
+        for lbatch in self.left.batches(source, counters, lineage):
             lcols = lbatch.columns
             if left_join:
                 ragged = [
@@ -854,7 +916,14 @@ class VHashJoin(VOp):
                 if name not in columns:
                     columns[name] = [None] * len(pair_l)
             self._count(counters, len(pair_l))
-            yield Batch(columns, len(pair_l))
+            lin = None
+            if lineage and lbatch.lin is not None and rlin is not None:
+                llin = lbatch.lin
+                lin = [
+                    llin[i] + rlin[j] if j >= 0 else llin[i]
+                    for i, j in zip(pair_l, pair_r)
+                ]
+            yield Batch(columns, len(pair_l), None, lin)
 
 
 class VAggregate(VOp):
@@ -989,19 +1058,30 @@ class VAggregate(VOp):
         return list(zip(*cols))
 
     def batches(
-        self, source: TableProvider, counters: dict[int, int] | None
+        self,
+        source: TableProvider,
+        counters: dict[int, int] | None,
+        lineage: bool = False,
     ) -> Iterator[Batch]:
         specs = self.aggregates
         group_by = self.group_by
         single = len(group_by) == 1
         # groups: key -> [star, states]; insertion order = first occurrence.
         groups: dict[Any, list[Any]] = {}
+        # Lineage capture needs row positions per group, so it rides the
+        # general partition path below (results are identical on every
+        # path; only the accumulation strategy differs).
+        glins: dict[Any, list[tuple]] = {}
 
         if not group_by:
             star = 0
             states = self._new_states()
-            for batch in self.child.batches(source, counters):
+            for batch in self.child.batches(source, counters, lineage):
                 star += batch.n
+                if lineage and batch.lin is not None:
+                    lst = glins.setdefault((), [])
+                    for entry in batch.lin:
+                        lst.extend(entry)
                 if self._star_only:
                     continue
                 for spec, fn, state in zip(specs, self._argfns, states):
@@ -1019,9 +1099,10 @@ class VAggregate(VOp):
             groups[()] = [star, states]
         else:
             arg_names = self._arg_names
-            for batch in self.child.batches(source, counters):
+            for batch in self.child.batches(source, counters, lineage):
                 keys = self._group_keys(batch)
-                if self._star_only:
+                blin = batch.lin if lineage else None
+                if self._star_only and blin is None:
                     # Counts come straight from a C-speed Counter; new
                     # keys enter `groups` in first-occurrence order.
                     counts: Counter = Counter()
@@ -1040,7 +1121,7 @@ class VAggregate(VOp):
                 # of partitioning indexes and picking per spec.
                 col = None
                 no_nulls = False
-                if arg_names is not None:
+                if arg_names is not None and blin is None:
                     resolved = [_resolve_with_kind(batch, n) for n in arg_names]
                     if len({id(c) for c, _ in resolved}) == 1:
                         col = resolved[0][0]
@@ -1088,6 +1169,10 @@ class VAggregate(VOp):
                     if entry is None:
                         entry = groups[key] = [0, self._new_states()]
                     entry[0] += len(idxs)
+                    if blin is not None:
+                        lst = glins.setdefault(key, [])
+                        for i in idxs:
+                            lst.extend(blin[i])
                     picked_cache: dict[int, list[Any]] = {}
                     for spec, col, state in zip(specs, argcols, entry[1]):
                         if col is None:
@@ -1102,6 +1187,7 @@ class VAggregate(VOp):
                         self._accumulate(spec, state, picked)
 
         out_rows: list[Row] = []
+        out_lins: list[tuple] = []
         for key, (star, states) in groups.items():
             if group_by:
                 key_tuple = (key,) if single else key
@@ -1112,8 +1198,12 @@ class VAggregate(VOp):
                 out[spec.name] = self._result(spec, state, star)
             if self.having is None or evaluate_predicate(self.having, out):
                 out_rows.append(out)
+                if lineage:
+                    out_lins.append(tuple(glins.get(key, ())))
         result = rows_to_batch(out_rows)
         if result is not None:
+            if lineage:
+                result.lin = out_lins
             self._count(counters, result.n)
             yield result
 
@@ -1209,6 +1299,33 @@ class Vectorized(Plan):
             if result != expected:
                 raise DatabaseError(self._diff_message(result, expected))
         return result
+
+    def to_list_lineage(self, source: TableProvider) -> tuple[list[Row], list[tuple]]:
+        """Execute with lineage capture: ``(rows, lineages)`` in lockstep.
+
+        ``lineages[i]`` is an iterable of ``(table, tid)`` pairs for
+        ``rows[i]`` (uncanonicalized; callers normalize via
+        :func:`repro.lineage.capture.canon_lineage`).  Falls back to the
+        row-engine capture interpreter whenever the batch engine cannot
+        serve this source, exactly mirroring :meth:`to_list`.
+        """
+        from ..lineage.capture import row_capture
+
+        try:
+            for name in self._scan_names:
+                if not isinstance(source.table(name), Table):
+                    raise _Fallback(name)
+            rows: list[Row] = []
+            lins: list[tuple] = []
+            for batch in self.root.batches(source, None, lineage=True):
+                rows.extend(batch_rows(batch))
+                if batch.lin is not None:
+                    lins.extend(batch.lin)
+                else:
+                    lins.extend(() for _ in range(batch.n))
+        except _Fallback:
+            return row_capture(self.row_plan, source)
+        return rows, lins
 
     def _diff_message(self, got: list[Row], expected: list[Row]) -> str:
         got_keys = Counter(_row_repr(r) for r in got)

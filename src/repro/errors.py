@@ -53,6 +53,10 @@ class ViewError(ReproError):
     """Errors in incremental-view definitions or maintenance."""
 
 
+class LineageError(ReproError):
+    """Errors in lineage capture, storage, or provenance queries."""
+
+
 class WorkflowError(ReproError):
     """Base class for workflow/process-model errors."""
 

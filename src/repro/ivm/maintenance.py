@@ -12,8 +12,9 @@ from __future__ import annotations
 from typing import Any
 
 from ..db.expression import evaluate_predicate
+from ..db.schema import TID
 from ..errors import ViewError
-from .delta import Delta, Row, partition_rows
+from .delta import Delta, Row, partition_rows, row_key
 from .view import AggregateView, JoinView, SelectProjectView, ViewDefinition, _project
 
 # Deltas at least this large take the batch maintenance path: rows are
@@ -45,13 +46,20 @@ def _maintain_select_project(view: SelectProjectView, delta: Delta) -> int:
     if len(delta) >= _BATCH_MIN:
         return _maintain_select_project_batch(view, delta)
     applied = 0
+    lineage = view.lineage
     for row in delta.inserted:
         if evaluate_predicate(view.where, row):
-            view.storage.add(_project(row, view.project))
+            projected = _project(row, view.project)
+            view.storage.add(projected)
+            if lineage is not None:
+                lineage.add(row_key(projected), ((view.table, row.get(TID)),))
             applied += 1
     for row in delta.deleted:
         if evaluate_predicate(view.where, row):
-            view.storage.remove(_project(row, view.project))
+            projected = _project(row, view.project)
+            view.storage.remove(projected)
+            if lineage is not None:
+                lineage.remove(row_key(projected), ((view.table, row.get(TID)),))
             applied += 1
     return applied
 
@@ -70,15 +78,24 @@ def _maintain_select_project_batch(view: SelectProjectView, delta: Delta) -> int
     if where is not None:
         inserted = [row for row in inserted if evaluate_predicate(where, row)]
         deleted = [row for row in deleted if evaluate_predicate(where, row)]
-    view.storage.add_many([_project(row, project) for row in inserted])
-    view.storage.remove_many([_project(row, project) for row in deleted])
+    inserted_projected = [_project(row, project) for row in inserted]
+    deleted_projected = [_project(row, project) for row in deleted]
+    view.storage.add_many(inserted_projected)
+    view.storage.remove_many(deleted_projected)
+    lineage = view.lineage
+    if lineage is not None:
+        table = view.table
+        for row, projected in zip(inserted, inserted_projected):
+            lineage.add(row_key(projected), ((table, row.get(TID)),))
+        for row, projected in zip(deleted, deleted_projected):
+            lineage.remove(row_key(projected), ((table, row.get(TID)),))
     return len(inserted) + len(deleted)
 
 
 def _join_side_apply(
     view: JoinView,
-    side_rows: dict[Any, list[Row]],
-    other_rows: dict[Any, list[Row]],
+    side_rows: dict[Any, list[tuple[Row, Any]]],
+    other_rows: dict[Any, list[tuple[Row, Any]]],
     key_col: str,
     row: Row,
     from_left: bool,
@@ -87,30 +104,53 @@ def _join_side_apply(
     """Fold one delta row on one side of the join; returns combos touched."""
     key = row[key_col]
     touched = 0
+    tid = row.get(TID)
+    lineage = view.lineage
     if key is not None:
-        for other in other_rows.get(key, ()):
+        for other, otid in other_rows.get(key, ()):
             lrow, rrow = (row, other) if from_left else (other, row)
             combined = view.combine(lrow, rrow)
             if combined is None:
                 continue
+            if from_left:
+                srcs = ((view.left, tid), (view.right, otid))
+            else:
+                srcs = ((view.left, otid), (view.right, tid))
             if sign > 0:
                 view.storage.add(combined)
+                if lineage is not None:
+                    lineage.add(row_key(combined), srcs)
             else:
                 view.storage.remove(combined)
+                if lineage is not None:
+                    lineage.remove(row_key(combined), srcs)
             touched += 1
-    # Maintain the side map itself.
+    # Maintain the side map itself.  Entries are (visible image, tid);
+    # deletes match by tid when the delta row carries one (recomputed
+    # state and delta images then agree even though delta rows are full
+    # internal images), falling back to image equality for tid-less rows.
     image = {k: v for k, v in row.items() if not k.startswith("__")}
     bucket = side_rows.setdefault(key, [])
     if sign > 0:
-        bucket.append(image)
+        bucket.append((image, tid))
     else:
-        try:
-            bucket.remove(image)
-        except ValueError:
+        idx = None
+        if tid is not None:
+            for i, (_, t) in enumerate(bucket):
+                if t == tid:
+                    idx = i
+                    break
+        if idx is None:
+            for i, (img, _) in enumerate(bucket):
+                if img == image:
+                    idx = i
+                    break
+        if idx is None:
             raise ViewError(
                 f"join view {view.name!r}: deleting a row never seen on "
                 f"{'left' if from_left else 'right'} side: {image!r}"
-            ) from None
+            )
+        del bucket[idx]
         if not bucket:
             del side_rows[key]
     return touched

@@ -21,7 +21,7 @@ from typing import Any
 
 from ..db.database import Database
 from ..db.table import ChangeSet
-from ..errors import ViewError
+from ..errors import DatabaseError, ViewError
 from ..obs.runtime import OBS
 from ..sync.batching import BatchBuffer, IMMEDIATE, PropagationPolicy
 from .delta import Delta
@@ -72,6 +72,11 @@ class ViewRegistry:
             )
             triggers.append(name)
         self._trigger_names[view.name] = triggers
+        # Lineage-enabled views become provenance-queryable through the
+        # database's lineage manager (when capture is on).
+        manager = getattr(self._database, "lineage", None)
+        if manager is not None and getattr(view, "lineage", None) is not None:
+            manager.register_view(view)
         if populate:
             self.recompute(view.name)
         return view
@@ -194,8 +199,16 @@ class ViewRegistry:
         for trigger in self._trigger_names.pop(name, []):
             try:
                 self._database.drop_trigger(trigger)
-            except Exception:
-                pass  # table may have been dropped, taking triggers with it
+            except DatabaseError:
+                # Table may have been dropped, taking triggers with it.
+                # Count the skip instead of swallowing it invisibly.
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "ivm.trigger_drop_errors", view=name
+                    ).inc()
+        manager = getattr(self._database, "lineage", None)
+        if manager is not None:
+            manager.unregister_view(name)
         prefix = name + "|"
         with self._lock:
             self._policies.pop(name, None)
@@ -217,7 +230,14 @@ class ViewRegistry:
     def recompute(self, name: str) -> None:
         """Full recomputation (also the fallback for doubt or repair)."""
         view = self.view(name)
-        view.recompute(self._database)
+        try:
+            view.recompute(self._database)
+        except Exception:
+            # Surface recompute failures: count them so the dashboard /
+            # alerts see a broken view, then let the caller handle it.
+            if OBS.enabled:
+                OBS.metrics.counter("ivm.recompute_errors", view=name).inc()
+            raise
         self._stats[name].recomputes += 1
 
     def stats(self, name: str) -> ViewStats:

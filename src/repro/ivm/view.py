@@ -21,6 +21,7 @@ from typing import Any, Sequence
 
 from ..db.algebra import AggSpec
 from ..db.expression import ColumnRef, Expression, evaluate_predicate
+from ..db.schema import TID
 from ..errors import ViewError
 from .delta import Row, row_key
 
@@ -29,6 +30,8 @@ class ViewDefinition:
     """Base class: which tables feed the view, and how to recompute it."""
 
     name: str
+    #: Optional bidirectional lineage index (see :meth:`enable_lineage`).
+    lineage: Any = None
 
     def base_tables(self) -> set[str]:
         raise NotImplementedError
@@ -38,6 +41,46 @@ class ViewDefinition:
 
     def rows(self) -> list[Row]:
         raise NotImplementedError
+
+    def enable_lineage(self) -> "ViewDefinition":
+        """Track per-output input-tid sets through recompute and deltas.
+
+        After enabling, :meth:`backward_lineage` answers "which base
+        tuples produced this output" and :meth:`forward_lineage` the
+        reverse.  Tracking starts from the next recompute; enable before
+        registering the view so the initial population is indexed.
+        Returns ``self`` for chaining.
+        """
+        if self.lineage is None:
+            from ..lineage.views import ViewLineage
+
+            self.lineage = ViewLineage()
+        return self
+
+    def _lineage_key(self, row: Row) -> Any:
+        """The lineage-index key for one output row (see subclasses)."""
+        raise NotImplementedError
+
+    def backward_lineage(self, key: Any) -> set[tuple[str, Any]]:
+        """Base ``(table, tid)`` pairs currently feeding output ``key``.
+
+        For :class:`AggregateView` the key is the group-key tuple; for
+        the other shapes it is :func:`~repro.ivm.delta.row_key` of the
+        output row.
+        """
+        if self.lineage is None:
+            raise ViewError(
+                f"view {self.name!r} has no lineage index; call enable_lineage()"
+            )
+        return self.lineage.backward(key)
+
+    def forward_lineage(self, table: str, tid: Any) -> set[Any]:
+        """Output keys that base tuple ``(table, tid)`` contributes to."""
+        if self.lineage is None:
+            raise ViewError(
+                f"view {self.name!r} has no lineage index; call enable_lineage()"
+            )
+        return self.lineage.forward((table, tid))
 
 
 class _MultisetStorage:
@@ -147,9 +190,18 @@ class SelectProjectView(ViewDefinition):
 
     def recompute(self, database: Any) -> None:
         self.storage.clear()
+        lineage = self.lineage
+        if lineage is not None:
+            lineage.clear()
         for row in database.table(self.table).rows():
             if evaluate_predicate(self.where, row):
-                self.storage.add(_project(row, self.project))
+                projected = _project(row, self.project)
+                self.storage.add(projected)
+                if lineage is not None:
+                    lineage.add(row_key(projected), ((self.table, row.get(TID)),))
+
+    def _lineage_key(self, row: Row) -> Any:
+        return row_key(row)
 
     def rows(self) -> list[Row]:
         return self.storage.rows()
@@ -186,9 +238,12 @@ class JoinView(ViewDefinition):
         self.where = where
         self.project = list(project) if project is not None else None
         self.storage = _MultisetStorage()
-        # join key -> list of row images currently on that side
-        self.left_rows: dict[Any, list[Row]] = {}
-        self.right_rows: dict[Any, list[Row]] = {}
+        # join key -> list of (visible-column image, tid) entries currently
+        # on that side.  The tid disambiguates duplicate images on delete
+        # and carries the lineage source; it may be None for rows that
+        # never touched a stored table.
+        self.left_rows: dict[Any, list[tuple[Row, Any]]] = {}
+        self.right_rows: dict[Any, list[tuple[Row, Any]]] = {}
 
     def base_tables(self) -> set[str]:
         return {self.left, self.right}
@@ -202,22 +257,39 @@ class JoinView(ViewDefinition):
             return None
         return _project(joined, self.project)
 
+    @staticmethod
+    def _image(row: Row) -> Row:
+        return {k: v for k, v in row.items() if not k.startswith("__")}
+
     def recompute(self, database: Any) -> None:
         self.storage.clear()
         self.left_rows.clear()
         self.right_rows.clear()
+        lineage = self.lineage
+        if lineage is not None:
+            lineage.clear()
         for row in database.table(self.left).rows():
-            image = dict(row)
-            self.left_rows.setdefault(row[self.left_on], []).append(image)
+            self.left_rows.setdefault(row[self.left_on], []).append(
+                (self._image(row), row.get(TID))
+            )
         for row in database.table(self.right).rows():
-            image = dict(row)
-            self.right_rows.setdefault(row[self.right_on], []).append(image)
+            self.right_rows.setdefault(row[self.right_on], []).append(
+                (self._image(row), row.get(TID))
+            )
         for key, lrows in self.left_rows.items():
-            for rrow in self.right_rows.get(key, ()):
-                for lrow in lrows:
+            for rrow, rtid in self.right_rows.get(key, ()):
+                for lrow, ltid in lrows:
                     combined = self.combine(lrow, rrow)
                     if combined is not None:
                         self.storage.add(combined)
+                        if lineage is not None:
+                            lineage.add(
+                                row_key(combined),
+                                ((self.left, ltid), (self.right, rtid)),
+                            )
+
+    def _lineage_key(self, row: Row) -> Any:
+        return row_key(row)
 
     def rows(self) -> list[Row]:
         return self.storage.rows()
@@ -285,6 +357,12 @@ class AggregateView(ViewDefinition):
                 )
             state = _GroupState(len(self.aggregates))
             self.groups[key] = state
+        if self.lineage is not None:
+            src = ((self.table, row.get(TID)),)
+            if sign > 0:
+                self.lineage.add(key, src)
+            else:
+                self.lineage.remove(key, src)
         state.count_star += sign
         for i, spec in enumerate(self.aggregates):
             if spec.arg is None:
@@ -328,6 +406,12 @@ class AggregateView(ViewDefinition):
                 )
             state = _GroupState(len(self.aggregates))
             self.groups[key] = state
+        if self.lineage is not None:
+            srcs = [(self.table, row.get(TID)) for row in rows]
+            if sign > 0:
+                self.lineage.add(key, srcs)
+            else:
+                self.lineage.remove(key, srcs)
         state.count_star += sign * len(rows)
         first = rows[0]
         for i, spec in enumerate(self.aggregates):
@@ -373,9 +457,14 @@ class AggregateView(ViewDefinition):
 
     def recompute(self, database: Any) -> None:
         self.groups.clear()
+        if self.lineage is not None:
+            self.lineage.clear()
         for row in database.table(self.table).rows():
             if evaluate_predicate(self.where, row):
                 self.apply_row(row, +1)
+
+    def _lineage_key(self, row: Row) -> Any:
+        return tuple(row[g] for g in self.group_by)
 
     def rows(self) -> list[Row]:
         out: list[Row] = []

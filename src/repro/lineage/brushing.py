@@ -1,0 +1,130 @@
+"""Cross-view brushing-and-linking as a forward-lineage query.
+
+The paper's visual analytics loop needs linked selections: brushing a set
+of marks in one view highlights the *related* marks in every other view.
+With per-view lineage indexes this is a pure provenance query -- no
+per-chart join logic:
+
+1. map the brushed ``obj_ids`` back to base-table tids (the brushed
+   component is bound to a base table, typically the table its marks were
+   built from);
+2. ``LineageManager.forward(table, tids)`` asks every lineage-enabled
+   view which of its output groups those base tuples feed;
+3. map each view's output keys to the obj_ids of the component rendering
+   it, and flip their ``selected`` flags in the
+   :class:`~repro.vis.attributes.VisualAttributesStore`.
+
+The store's reactive machinery then propagates the highlight to every
+subscribed renderer, exactly as if the user had clicked each mark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from ..db.schema import TID
+from ..errors import LineageError
+
+
+def _default_view_key(key: Any) -> Any:
+    """Unwrap 1-tuple group keys: views keyed on one column render marks
+    whose obj_id is that column's value, not a tuple wrapping it."""
+    if isinstance(key, tuple) and len(key) == 1:
+        return key[0]
+    return key
+
+
+class CrossViewLinker:
+    """Routes brushed selections across components via forward lineage.
+
+    Components are bound either to a **base table** (brush *sources*: their
+    obj_ids identify base rows via a key column) or to a **lineage-enabled
+    view** (brush *targets*: their obj_ids are derived from the view's
+    group keys).  :meth:`brush` takes a selection on a table-bound
+    component and returns -- after updating the visual attributes store --
+    the obj_ids now selected on every linked component.
+    """
+
+    def __init__(self, database: Any, store: Any) -> None:
+        manager = getattr(database, "lineage", None)
+        if manager is None:
+            raise LineageError(
+                "cross-view brushing needs lineage enabled; call "
+                "Database.enable_lineage() first"
+            )
+        self.database = database
+        self.manager = manager
+        self.store = store
+        self._tables: dict[str, tuple[str, str]] = {}
+        self._views: dict[str, tuple[str, Callable[[Any], Any]]] = {}
+
+    # ------------------------------------------------------------------
+    def bind_table(self, component_id: str, table: str, key: str = "id") -> None:
+        """Bind a component whose marks are rows of ``table``; ``key`` is
+        the column whose value is the mark's obj_id."""
+        self._tables[component_id] = (table, key)
+
+    def bind_view(
+        self,
+        component_id: str,
+        view_name: str,
+        key: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        """Bind a component rendering a lineage-enabled view; ``key`` maps
+        a view output key to that component's obj_id (default unwraps
+        1-tuples)."""
+        self.manager.view(view_name)  # raises LineageError if unknown
+        self._views[component_id] = (view_name, key or _default_view_key)
+
+    def bound_components(self) -> list[str]:
+        return sorted(self._tables) + sorted(self._views)
+
+    # ------------------------------------------------------------------
+    def _tids_for(self, table: str, key: str, obj_ids: Iterable[Any]) -> list[Any]:
+        wanted = set(obj_ids)
+        tids = []
+        for row in self.database.table(table).rows():
+            if row.get(key) in wanted:
+                tids.append(row[TID])
+        return tids
+
+    def brush(
+        self, source_component: str, obj_ids: Iterable[Any]
+    ) -> dict[str, list[Any]]:
+        """Select ``obj_ids`` on ``source_component`` and propagate the
+        selection to every view-bound component via forward lineage.
+
+        Returns ``{component_id: [selected obj_ids]}`` for every component
+        the brush touched (the source included).
+        """
+        try:
+            table, key = self._tables[source_component]
+        except KeyError:
+            raise LineageError(
+                f"component {source_component!r} is not table-bound "
+                f"(bound: {self.bound_components()})"
+            ) from None
+        obj_ids = list(obj_ids)
+        selected: dict[str, list[Any]] = {}
+        self.store.select(source_component, obj_ids)
+        selected[source_component] = sorted(obj_ids, key=repr)
+        tids = self._tids_for(table, key, obj_ids)
+        fwd = self.manager.forward(table, tids)
+        for cid, (view_name, key_fn) in self._views.items():
+            objs = sorted((key_fn(k) for k in fwd.get(view_name, ())), key=repr)
+            if objs:
+                self.store.select(cid, objs)
+            selected[cid] = objs
+        return selected
+
+    def clear(self) -> dict[str, int]:
+        """Deselect everything on every bound component."""
+        out = {}
+        for cid in self.bound_components():
+            ids = [
+                item.obj_id
+                for item in self.store.read(cid)
+                if getattr(item, "selected", False)
+            ]
+            out[cid] = self.store.select(cid, ids, selected=False) if ids else 0
+        return out

@@ -1,0 +1,95 @@
+"""Bidirectional lineage index for incrementally maintained views.
+
+An IVM view under lineage tracking records, for every output key, the
+multiset of base sources (``(table, tid)`` pairs) that currently
+contribute to it.  The index is counted so incremental delta application
+composes: inserting a contribution increments, deleting decrements, and
+a source disappears from the index exactly when its last contribution is
+retracted -- after any interleaving of recomputes and deltas the index
+equals what a full recompute would build.
+
+``backward(key)`` answers "why is this output here" (contributing base
+tuples); ``forward(src)`` answers "which outputs does this base tuple
+feed" (the brushing-and-linking direction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Hashable, Iterable
+
+Source = tuple[str, Any]
+
+
+class ViewLineage:
+    """Counted many-to-many index between view output keys and sources."""
+
+    __slots__ = ("_by_key", "_by_src")
+
+    def __init__(self) -> None:
+        self._by_key: dict[Hashable, Counter] = {}
+        self._by_src: dict[Source, Counter] = {}
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._by_src.clear()
+
+    def add(self, key: Hashable, sources: Iterable[Source]) -> None:
+        """Record one output contribution of ``sources`` under ``key``."""
+        fwd = self._by_key.get(key)
+        if fwd is None:
+            fwd = self._by_key[key] = Counter()
+        for src in sources:
+            fwd[src] += 1
+            back = self._by_src.get(src)
+            if back is None:
+                back = self._by_src[src] = Counter()
+            back[key] += 1
+
+    def remove(self, key: Hashable, sources: Iterable[Source]) -> None:
+        """Retract one contribution previously recorded with :meth:`add`.
+
+        Unknown keys/sources are ignored rather than raised: a view whose
+        lineage tracking was enabled mid-life legitimately sees deletes
+        for contributions recorded before tracking started.
+        """
+        fwd = self._by_key.get(key)
+        for src in sources:
+            if fwd is not None and fwd.get(src, 0) > 0:
+                fwd[src] -= 1
+                if not fwd[src]:
+                    del fwd[src]
+            back = self._by_src.get(src)
+            if back is not None and back.get(key, 0) > 0:
+                back[key] -= 1
+                if not back[key]:
+                    del back[key]
+                if not back:
+                    del self._by_src[src]
+        if fwd is not None and not fwd:
+            del self._by_key[key]
+
+    def backward(self, key: Hashable) -> set[Source]:
+        """Base ``(table, tid)`` sources currently feeding ``key``."""
+        fwd = self._by_key.get(key)
+        return set(fwd) if fwd else set()
+
+    def forward(self, src: Source) -> set[Hashable]:
+        """Output keys the base tuple ``src`` currently contributes to."""
+        back = self._by_src.get(src)
+        return set(back) if back else set()
+
+    def forward_many(self, srcs: Iterable[Source]) -> set[Hashable]:
+        out: set[Hashable] = set()
+        for src in srcs:
+            out |= self.forward(src)
+        return out
+
+    def keys(self) -> set[Hashable]:
+        return set(self._by_key)
+
+    def sources(self) -> set[Source]:
+        return set(self._by_src)
+
+    def __len__(self) -> int:
+        return len(self._by_key)

@@ -198,6 +198,15 @@ class VisualAttributesStore:
                 count += 1
         return count
 
+    def selected_ids(self, component_id: int) -> list[Any]:
+        """Obj ids currently selected on one component (brush sources
+        feed these to forward-lineage queries)."""
+        return [
+            row["obj_id"]
+            for row in self.database.table(datamodel.T_VISUAL_ATTRIBUTES).scan()
+            if row["component_id"] == component_id and row["selected"]
+        ]
+
     def remove(self, component_id: int, obj_ids: Iterable[Any]) -> int:
         wanted = set(obj_ids)
         predicate = (col("component_id") == component_id) & col("obj_id").is_in(wanted)

@@ -1,0 +1,87 @@
+"""The dashboard's "why is this point here" panel: provenance of one
+waterfall bar through the lineage-enabled span-stats view."""
+
+import pytest
+
+import repro.obs as obs
+from repro.apps.telemetry import TelemetryDashboard
+from repro.obs.store import TelemetrySink
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def make_spans(counts):
+    tracer = obs.tracer()
+    for name, n in counts.items():
+        for _ in range(n):
+            with tracer.span(name, tags={"table": "nodes"}):
+                pass
+
+
+class TestWhyPanel:
+    def test_why_traces_a_bar_to_its_group(self):
+        obs.enable()
+        sink = TelemetrySink()
+        dashboard = TelemetryDashboard(sink)
+        try:
+            make_spans({"db.write": 4, "layout": 2})
+            sink.collect_and_flush()
+            dashboard.refresh()
+            # Pick one bar off the rendered waterfall.
+            span_id = next(
+                r["span_id"]
+                for r in dashboard.span_mirror.all_rows()
+                if r["name"] == "db.write" and r.get("kind") == "span"
+            )
+            why = dashboard.why(span_id)
+            assert why is not None
+            assert why["name"] == "db.write"
+            assert why["groups"] == [("db.write",)]
+            # The group aggregates exactly the 4 db.write spans, so the
+            # bar has itself plus 3 siblings behind its statistics.
+            assert why["contributing_spans"] == 4
+            (stats,) = why["stats"]
+            assert stats["n"] == 4
+            # The whole provenance query was invisible to the tracer.
+            assert len(obs.tracer()) == 0
+        finally:
+            dashboard.close()
+            sink.close()
+
+    def test_why_follows_incremental_growth(self):
+        obs.enable()
+        sink = TelemetrySink()
+        dashboard = TelemetryDashboard(sink)
+        try:
+            make_spans({"db.write": 2})
+            sink.collect_and_flush()
+            make_spans({"db.write": 3})
+            sink.collect_and_flush()
+            dashboard.refresh()
+            span_id = next(
+                r["span_id"]
+                for r in dashboard.span_mirror.all_rows()
+                if r["name"] == "db.write"
+            )
+            why = dashboard.why(span_id)
+            assert why["contributing_spans"] == 5
+        finally:
+            dashboard.close()
+            sink.close()
+
+    def test_unknown_span_id(self):
+        obs.enable()
+        sink = TelemetrySink()
+        dashboard = TelemetryDashboard(sink)
+        try:
+            assert dashboard.why("no-such-span") is None
+        finally:
+            dashboard.close()
+            sink.close()

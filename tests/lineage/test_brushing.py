@@ -1,0 +1,89 @@
+"""Cross-view brushing-and-linking as a forward-lineage query."""
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.algebra import AggSpec
+from repro.db.types import INTEGER, TEXT
+from repro.errors import LineageError
+from repro.ivm.registry import ViewRegistry
+from repro.ivm.view import AggregateView
+from repro.lineage.brushing import CrossViewLinker
+from repro.vis.attributes import VisualAttributesStore, VisualItem
+
+SCATTER, BARS = 1, 2
+
+
+def make_world():
+    db = Database("brush")
+    db.create_table(
+        "points", [Column("id", INTEGER), Column("x", INTEGER), Column("tag", TEXT)]
+    )
+    db.insert_many(
+        "points",
+        [{"id": i, "x": i * 10, "tag": "abc"[i % 3]} for i in range(9)],
+    )
+    db.enable_lineage(store=False)
+    view = AggregateView(
+        "by_tag", "points", ("tag",), [AggSpec("COUNT", None, "n")]
+    ).enable_lineage()
+    ViewRegistry(db).register(view)
+    store = VisualAttributesStore(db)
+    # A scatter of the raw points and a bar chart of the per-tag counts.
+    store.write(SCATTER, [VisualItem(obj_id=i, x=float(i)) for i in range(9)])
+    store.write(BARS, [VisualItem(obj_id=t, x=0.0) for t in ("a", "b", "c")])
+    linker = CrossViewLinker(db, store)
+    linker.bind_table(SCATTER, "points", key="id")
+    linker.bind_view(BARS, "by_tag")
+    return db, store, linker
+
+
+class TestCrossViewLinker:
+    def test_brush_propagates_through_forward_lineage(self):
+        db, store, linker = make_world()
+        # Points 0 and 3 are both tag 'a'; point 1 is tag 'b'.
+        selected = linker.brush(SCATTER, [0, 3, 1])
+        assert selected[SCATTER] == [0, 1, 3]
+        assert selected[BARS] == ["a", "b"]
+        assert set(store.selected_ids(SCATTER)) == {0, 1, 3}
+        assert set(store.selected_ids(BARS)) == {"a", "b"}
+
+    def test_brush_single_group(self):
+        db, store, linker = make_world()
+        selected = linker.brush(SCATTER, [2])  # tag 'c'
+        assert selected[BARS] == ["c"]
+        assert store.selected_ids(BARS) == ["c"]
+
+    def test_clear_deselects_everything(self):
+        db, store, linker = make_world()
+        linker.brush(SCATTER, [0, 1, 2])
+        cleared = linker.clear()
+        assert sum(cleared.values()) > 0
+        assert store.selected_ids(SCATTER) == []
+        assert store.selected_ids(BARS) == []
+
+    def test_brush_tracks_base_mutations(self):
+        """The link is live: after base-table deltas, the same brush routes
+        through the view's *current* lineage."""
+        db, store, linker = make_world()
+        db.insert("points", {"id": 100, "x": 5, "tag": "c"})
+        store.write(SCATTER, [VisualItem(obj_id=100, x=5.0)])
+        selected = linker.brush(SCATTER, [100])
+        assert selected[BARS] == ["c"]
+
+    def test_requires_lineage_enabled(self):
+        db = Database("plain")
+        db.create_table("points", [Column("id", INTEGER)])
+        store = VisualAttributesStore(db)
+        with pytest.raises(LineageError, match="enable_lineage"):
+            CrossViewLinker(db, store)
+
+    def test_unbound_source_component(self):
+        db, store, linker = make_world()
+        with pytest.raises(LineageError, match="not table-bound"):
+            linker.brush(99, [1])
+
+    def test_bind_view_validates_registration(self):
+        db, store, linker = make_world()
+        with pytest.raises(LineageError, match="no lineage-enabled view"):
+            linker.bind_view(7, "ghost")

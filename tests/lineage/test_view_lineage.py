@@ -1,0 +1,188 @@
+"""Per-view lineage indexes through recompute and incremental deltas."""
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.algebra import AggSpec
+from repro.db.expression import col
+from repro.db.schema import TID
+from repro.db.types import INTEGER, TEXT
+from repro.errors import ViewError
+from repro.ivm.registry import ViewRegistry
+from repro.ivm.view import AggregateView, JoinView, SelectProjectView
+from repro.lineage.views import ViewLineage
+
+
+def make_db():
+    db = Database("lin")
+    db.create_table("t", [Column("k", INTEGER), Column("v", INTEGER), Column("tag", TEXT)])
+    db.create_table("o", [Column("k", INTEGER), Column("w", INTEGER)])
+    return db
+
+
+def tids(db, table, pred=None):
+    return {
+        row[TID]
+        for row in db.table(table).rows()
+        if pred is None or pred(row)
+    }
+
+
+class TestViewLineageIndex:
+    def test_counted_bidirectional(self):
+        vl = ViewLineage()
+        vl.add("g1", [("t", 1), ("t", 2)])
+        vl.add("g1", [("t", 2)])  # second contribution of the same pair
+        assert vl.backward("g1") == {("t", 1), ("t", 2)}
+        assert vl.forward(("t", 2)) == {"g1"}
+        vl.remove("g1", [("t", 2)])
+        assert vl.backward("g1") == {("t", 1), ("t", 2)}  # still counted once
+        vl.remove("g1", [("t", 2)])
+        assert vl.backward("g1") == {("t", 1)}
+        assert vl.forward(("t", 2)) == set()
+
+    def test_remove_unknown_is_tolerated(self):
+        vl = ViewLineage()
+        vl.remove("nope", [("t", 9)])  # enabling mid-life: no blowup
+        assert len(vl) == 0
+
+    def test_forward_many_and_clear(self):
+        vl = ViewLineage()
+        vl.add("a", [("t", 1)])
+        vl.add("b", [("t", 2)])
+        assert vl.forward_many([("t", 1), ("t", 2)]) == {"a", "b"}
+        vl.clear()
+        assert vl.forward_many([("t", 1)]) == set()
+
+
+class TestAggregateViewLineage:
+    """Acceptance: backward lineage of a group is exactly its contributing
+    base tids, after full recompute AND after incremental deltas."""
+
+    def make_view(self, db):
+        view = AggregateView(
+            "stats",
+            "t",
+            ("tag",),
+            [AggSpec("COUNT", None, "n"), AggSpec("SUM", col("v"), "s")],
+        ).enable_lineage()
+        registry = ViewRegistry(db)
+        registry.register(view)
+        return view, registry
+
+    def test_backward_after_recompute(self):
+        db = make_db()
+        db.insert_many(
+            "t", [{"k": i, "v": i, "tag": "a" if i % 2 else "b"} for i in range(10)]
+        )
+        view, _ = self.make_view(db)
+        for tag in ("a", "b"):
+            expected = {("t", t) for t in tids(db, "t", lambda r, tag=tag: r["tag"] == tag)}
+            assert view.backward_lineage((tag,)) == expected
+
+    def test_backward_tracks_incremental_deltas(self):
+        db = make_db()
+        view, _ = self.make_view(db)  # registered empty, populated by deltas
+        db.insert_many("t", [{"k": i, "v": i, "tag": "a"} for i in range(5)])
+        db.insert("t", {"k": 99, "v": 1, "tag": "b"})
+        a_tids = {("t", t) for t in tids(db, "t", lambda r: r["tag"] == "a")}
+        assert view.backward_lineage(("a",)) == a_tids
+        # Delete two rows; the group's lineage shrinks to match.
+        db.delete("t", col("k") < 2)
+        a_tids = {("t", t) for t in tids(db, "t", lambda r: r["tag"] == "a")}
+        assert view.backward_lineage(("a",)) == a_tids
+        assert len(a_tids) == 3
+        # Drain the group entirely: no stale lineage survives.
+        db.delete("t", col("tag") == "a")
+        assert view.backward_lineage(("a",)) == set()
+        assert view.forward_lineage("t", 1) == set()
+
+    def test_delta_state_equals_recompute_state(self):
+        db = make_db()
+        view, registry = self.make_view(db)
+        db.insert_many(
+            "t", [{"k": i, "v": i % 4, "tag": "ab"[i % 2]} for i in range(20)]
+        )
+        db.delete("t", col("v") == 2)
+        incremental = {
+            key: view.backward_lineage((key,)) for key in ("a", "b")
+        }
+        registry.recompute("stats")
+        recomputed = {
+            key: view.backward_lineage((key,)) for key in ("a", "b")
+        }
+        assert incremental == recomputed
+
+    def test_disabled_lineage_raises(self):
+        db = make_db()
+        view = AggregateView("plain", "t", ("tag",), [AggSpec("COUNT", None, "n")])
+        with pytest.raises(ViewError, match="no lineage index"):
+            view.backward_lineage(("a",))
+
+
+class TestSelectProjectViewLineage:
+    def test_backward_through_recompute_and_deltas(self):
+        db = make_db()
+        view = SelectProjectView("pos", "t", where=col("v") > 0).enable_lineage()
+        registry = ViewRegistry(db)
+        db.insert_many("t", [{"k": 1, "v": 5, "tag": "a"}, {"k": 2, "v": -1, "tag": "b"}])
+        registry.register(view)
+        (out,) = view.rows()
+        from repro.ivm.delta import row_key
+
+        assert view.backward_lineage(row_key(out)) == {
+            ("t", t) for t in tids(db, "t", lambda r: r["v"] > 0)
+        }
+        # Incremental: a new qualifying row gets its own lineage entry.
+        inserted = db.insert("t", {"k": 3, "v": 7, "tag": "a"})
+        key = row_key({"k": 3, "v": 7, "tag": "a"})
+        assert view.backward_lineage(key) == {("t", inserted[TID])}
+        db.delete("t", col("k") == 3)
+        assert view.backward_lineage(key) == set()
+
+
+class TestJoinViewLineage:
+    def make_join(self, db):
+        view = JoinView("j", "t", "o", "k", "k").enable_lineage()
+        registry = ViewRegistry(db)
+        registry.register(view)
+        return view, registry
+
+    def test_backward_pairs_both_sides(self):
+        db = make_db()
+        lrow = db.insert("t", {"k": 1, "v": 10, "tag": "a"})
+        rrow = db.insert("o", {"k": 1, "w": 20})
+        view, _ = self.make_join(db)
+        (out,) = view.rows()
+        from repro.ivm.delta import row_key
+
+        assert view.backward_lineage(row_key(out)) == {
+            ("t", lrow[TID]),
+            ("o", rrow[TID]),
+        }
+        assert view.forward_lineage("o", rrow[TID]) == {row_key(out)}
+
+    def test_delete_after_recompute(self):
+        """Regression: a populated recompute followed by a base delete used
+        to raise -- the side maps stored full internal rows but deletes
+        arrived with hidden fields stripped."""
+        db = make_db()
+        db.insert_many("t", [{"k": 1, "v": 10, "tag": "a"}, {"k": 1, "v": 11, "tag": "b"}])
+        db.insert("o", {"k": 1, "w": 20})
+        view, registry = self.make_join(db)
+        registry.recompute("j")  # side maps rebuilt from a full scan
+        assert len(view) == 2
+        db.delete("t", col("v") == 10)  # must not raise
+        assert len(view) == 1
+        (out,) = view.rows()
+        assert out["v"] == 11
+
+    def test_duplicate_images_disambiguated_by_tid(self):
+        db = make_db()
+        r1 = db.insert("t", {"k": 1, "v": 10, "tag": "a"})
+        db.insert("t", {"k": 1, "v": 10, "tag": "a"})  # identical image
+        db.insert("o", {"k": 1, "w": 20})
+        view, _ = self.make_join(db)
+        assert len(view) == 2
+        db.delete_by_tids("t", [r1[TID]])
+        assert len(view) == 1
