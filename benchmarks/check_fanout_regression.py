@@ -1,0 +1,43 @@
+"""CI gate: async fan-out must beat the threaded engine by a set factor.
+
+Reads ``benchmarks/BENCH_fanout.json`` (written by ``bench_fanout.py``)
+and exits non-zero if the async engine's broadcast time at the baseline
+fan-out fails to beat the threaded engine's by the recorded ``required``
+factor.  Run after the benchmark:
+
+    python benchmarks/check_fanout_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_fanout.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_fanout run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    gate = payload.get("fanout_gate")
+    if not isinstance(gate, dict):
+        print(f"FAIL: {RESULT} has no fanout_gate block")
+        return 2
+    measured = float(gate["speedup"])
+    required = float(gate["required"])
+    verdict = "PASS" if measured >= required else "FAIL"
+    print(
+        f"{verdict}: async vs threaded broadcast at {gate['clients']} "
+        f"clients over {payload.get('rows')} notifications: {measured:.2f}x "
+        f"(required {required:.1f}x; threaded {gate['threaded_ms']:.1f} ms, "
+        f"async {gate['async_ms']:.1f} ms)"
+    )
+    return 0 if measured >= required else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

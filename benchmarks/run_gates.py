@@ -1,0 +1,149 @@
+"""Unified bench-gate runner: one registry, one CI job matrix.
+
+Every performance gate in CI has the same shape -- run a benchmark that
+writes ``BENCH_<name>.json``, then run a standalone check script that
+re-reads the JSON and fails on regression (kept separate so the artifact
+uploads even when the gate fails).  This driver owns that shape; adding
+gate N+1 is one ``GATES`` entry plus a line in the CI matrix.
+
+    python benchmarks/run_gates.py fanout      # one gate
+    python benchmarks/run_gates.py --list      # enumerate gates
+    python benchmarks/run_gates.py --all       # every gate, stop on fail
+
+Environment overrides in each gate are CI smoke scales; run the bench
+files directly (or export the variables yourself) for full-scale numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One CI performance gate: tests around a benchmark and its check."""
+
+    name: str
+    description: str
+    bench: str
+    check: str
+    #: CI-scale environment overrides for the bench run.
+    env: dict[str, str] = field(default_factory=dict)
+    #: Correctness suites that must pass before the bench runs (the
+    #: gate is meaningless if the subsystem is wrong).
+    pre_tests: tuple[str, ...] = ()
+    #: Oracles that run after the bench (e.g. property-based equivalence).
+    post_tests: tuple[str, ...] = ()
+    #: Glob (relative to benchmarks/) of the JSON artifacts to upload.
+    artifacts: str = ""
+
+
+GATES: dict[str, Gate] = {
+    gate.name: gate
+    for gate in (
+        Gate(
+            name="batching",
+            description="batched propagation must beat immediate by 3x",
+            bench="benchmarks/bench_policy_batching.py",
+            check="benchmarks/check_batching_regression.py",
+            env={"BENCH_BATCH_ROWS": "2000"},
+            artifacts="BENCH_policy_batching.json",
+        ),
+        Gate(
+            name="columnar",
+            description="vectorized 1M-row aggregate must beat row by 10x",
+            bench="benchmarks/bench_columnar.py",
+            check="benchmarks/check_columnar_regression.py",
+            post_tests=("tests/db/test_vector_oracle.py",),
+            artifacts="BENCH_columnar.json",
+        ),
+        Gate(
+            name="lineage",
+            description="amortized lineage capture must stay under 10%",
+            bench="benchmarks/bench_lineage.py",
+            check="benchmarks/check_lineage_regression.py",
+            pre_tests=("tests/lineage", "tests/apps/test_telemetry_why.py"),
+            artifacts="BENCH_lineage.json",
+        ),
+        Gate(
+            name="durability",
+            description="fsync=interval must stay within 25% of in-memory",
+            bench="benchmarks/bench_durability.py",
+            check="benchmarks/check_durability_regression.py",
+            artifacts="BENCH_durability*.json",
+        ),
+        Gate(
+            name="fanout",
+            description="async broadcast must beat threaded by 3x at 256 clients",
+            bench="benchmarks/bench_fanout.py",
+            check="benchmarks/check_fanout_regression.py",
+            env={
+                "BENCH_FANOUT_CLIENTS": "256",
+                "BENCH_FANOUT_ROWS": "200",
+                "BENCH_FANOUT_PROBES": "10",
+            },
+            artifacts="BENCH_fanout.json",
+        ),
+    )
+}
+
+
+def _run(cmd: list[str], env: dict[str, str] | None = None) -> int:
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = str(REPO / "src")
+    if env:
+        merged.update(env)
+    print(f"+ {' '.join(cmd)}", flush=True)
+    return subprocess.run(cmd, cwd=REPO, env=merged).returncode
+
+
+def run_gate(gate: Gate) -> int:
+    py = sys.executable
+    for suite in gate.pre_tests:
+        code = _run([py, "-m", "pytest", suite, "-x", "-q"])
+        if code:
+            return code
+    code = _run(
+        [py, "-m", "pytest", gate.bench, "-x", "-q", "--benchmark-disable"],
+        env=gate.env,
+    )
+    if code:
+        return code
+    for suite in gate.post_tests:
+        code = _run([py, "-m", "pytest", suite, "-x", "-q"])
+        if code:
+            return code
+    return _run([py, gate.check])
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("gate", nargs="?", choices=sorted(GATES))
+    parser.add_argument("--list", action="store_true", help="enumerate gates")
+    parser.add_argument("--all", action="store_true", help="run every gate")
+    args = parser.parse_args(argv)
+    if args.list:
+        for gate in GATES.values():
+            print(f"{gate.name:12} {gate.description}")
+        return 0
+    if args.all:
+        for gate in GATES.values():
+            print(f"=== gate: {gate.name} ===", flush=True)
+            code = run_gate(gate)
+            if code:
+                return code
+        return 0
+    if not args.gate:
+        parser.error("pick a gate, --all, or --list")
+    return run_gate(GATES[args.gate])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

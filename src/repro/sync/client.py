@@ -132,6 +132,8 @@ class SyncClient:
         self.reconnects = 0
         self.replayed_notifications = 0
         self.pongs_sent = 0
+        #: Real (non-shutdown) accept failures on the callback listener.
+        self.accept_failures = 0
         #: Hook invocations that raised (and were contained); a failing
         #: observer must never take the read-loop or reconnect thread
         #: down with it.
@@ -215,12 +217,20 @@ class SyncClient:
     def _accept_callback_connection(self, timeout: float = 5.0) -> None:
         """Accept the DBMS's call-back connection and handshake (step 6)."""
         assert self._listener is not None
-        self._listener.settimeout(timeout)
         try:
+            self._listener.settimeout(timeout)
             sock, _addr = self._listener.accept()
         except socket.timeout:
             raise SyncError("DBMS never connected back") from None
         except OSError as exc:
+            # A mid-accept OSError is expected exactly once: when close()
+            # tears down the listener under us.  Anything else is a real
+            # accept failure (fd exhaustion, listener died) and must be
+            # visible, not folded into the shutdown path.
+            if self._closed:
+                raise SyncError("listener closed during shutdown") from None
+            self.accept_failures += 1
+            OBS.metrics.counter("sync.client.accept_failures").inc()
             raise SyncError(f"listener unusable: {exc}") from None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = protocol.MessageStream(sock)
@@ -278,9 +288,14 @@ class SyncClient:
                 for op, seq_no in events:
                     self._fire_notify_hooks(table, op, seq_no)
             elif kind == protocol.PING:
+                # Count before sending: once the frame is on the wire the
+                # server (or a test polling its pongs_received) may observe
+                # it ahead of this thread's next statement.  On send
+                # failure the link is torn down anyway, so one phantom
+                # count never survives a healthy run.
+                self.pongs_sent += 1
                 try:
                     stream.send(protocol.pong(message.get("seq", 0)))
-                    self.pongs_sent += 1
                 except OSError as exc:
                     if not self._closed and stream is self._stream:
                         self._connection_lost(f"pong send failed: {exc}")

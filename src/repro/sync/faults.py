@@ -113,14 +113,20 @@ class FaultyTransport:
     def _emit(self, data: bytes) -> None:
         self._stream._sock.sendall(data)
 
-    def _release_held(self, just_sent: int) -> None:
+    def _take_held(self, just_sent: int) -> list[bytes]:
         due = [(i, d) for i, d in self._held if self.plan.hold[i] <= just_sent]
         if not due:
-            return
+            return []
         self._held = [(i, d) for i, d in self._held if self.plan.hold[i] > just_sent]
-        for index, data in sorted(due):
-            self._emit(data)
+        released = []
+        for _index, data in sorted(due):
+            released.append(data)
             self.reordered += 1
+        return released
+
+    def _release_held(self, just_sent: int) -> None:
+        for data in self._take_held(just_sent):
+            self._emit(data)
 
     def send(self, message: dict[str, Any]) -> None:
         plan = self.plan
@@ -150,6 +156,44 @@ class FaultyTransport:
             self.duplicated += 1
             self._emit(data)
         self._release_held(index)
+
+    def perturb(self, message: dict[str, Any]) -> tuple[list[bytes], bool, float]:
+        """Plan the byte-level effect of sending *message*, without I/O.
+
+        Returns ``(chunks, kill, delay)``: the byte chunks to put on the
+        wire in order, whether the connection must be severed once they
+        are flushed, and a pre-send delay in seconds.  This consumes the
+        same seeded :class:`~repro.faults.FaultSchedule` (and bumps the
+        same counters) as :meth:`send`, so a given ``(plan, seed)`` pair
+        produces the identical fault schedule whether the transport is
+        driven by the threaded blocking path or by the async event
+        loop's per-client send queues.
+        """
+        plan = self.plan
+        index = self._schedule.next_index()
+        data = encode(message)
+        if plan.disconnect_at is not None and index >= plan.disconnect_at:
+            self.disconnected += 1
+            return [], True, 0.0
+        if plan.truncate_at is not None and index == plan.truncate_at:
+            self.truncated += 1
+            return [data[: max(1, len(data) // 2)]], True, 0.0
+        if index in plan.drop or self._schedule.chance(plan.drop_rate):
+            self.dropped += 1
+            return self._take_held(index), False, 0.0
+        delay = 0.0
+        if index in plan.delay:
+            self.delayed += 1
+            delay = plan.delay[index]
+        if index in plan.hold:
+            self._held.append((index, data))
+            return [], False, 0.0
+        chunks = [data]
+        if index in plan.duplicate or self._schedule.chance(plan.duplicate_rate):
+            self.duplicated += 1
+            chunks.append(data)
+        chunks.extend(self._take_held(index))
+        return chunks, False, delay
 
     # ------------------------------------------------------------------
     def receive(self, timeout: Optional[float] = None) -> dict[str, Any]:

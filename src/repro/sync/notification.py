@@ -23,12 +23,24 @@ method that may run on another thread and touch both (flush, purge, the
 replay readers) therefore acquires the *database* lock first -- one
 consistent order, no deadlock, and replay scans see a stable snapshot
 instead of racing a concurrent purge (the RefreshDriver/purge race).
+
+Sharding: the buffering plane is split into N independent shards
+(table -> shard via a stable CRC32, so the mapping survives process
+restarts and hash randomization).  Each shard owns its lock, its
+:class:`BatchBuffer` and its flush timer thread, so concurrent flushes
+of tables on different shards never serialize on a single center lock.
+Sequence numbers stay globally monotonic: ``_record`` allocates them
+under the database lock, which already serializes every write path.
+The lock order becomes ``db lock -> shard lock`` (and, separately,
+``db lock -> center lock`` for the listener/policy registry); a shard
+lock is never held while acquiring the registry lock or another shard's.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import zlib
 from typing import Any, Callable, Optional
 
 from ..core import datamodel
@@ -51,10 +63,32 @@ Listener = Callable[[str, str, int], None]
 BatchListener = Callable[[str, list[tuple[str, int]]], None]
 
 
+DEFAULT_SHARDS = 8
+
+
+class _Shard:
+    """One slice of the notification plane: lock + buffer + timer.
+
+    A shard serializes only the tables that hash to it; flushes on
+    different shards proceed concurrently (each still takes the database
+    lock for the record step, but buffering, coalescing and due-ness
+    tracking never contend across shards).
+    """
+
+    __slots__ = ("index", "lock", "buffer", "flush_thread", "flushes")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.lock = threading.RLock()
+        self.buffer = BatchBuffer()
+        self.flush_thread: Optional[threading.Thread] = None
+        self.flushes = 0
+
+
 class NotificationCenter:
     """Watches tables and appends to the Notification table."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, shards: int = DEFAULT_SHARDS) -> None:
         self.database = database
         datamodel.install_core_schema(database)
         if not database.has_table(T_CHANGED_ROWS):
@@ -80,15 +114,25 @@ class NotificationCenter:
         self._lock = threading.RLock()
         self._next_seq = self._initial_seq()
         # Propagation policies (P1/P2/P3): table -> policy; absent means
-        # immediate.  Buffered changes live in the batch buffer.
+        # immediate.  Buffered changes live in the owning shard's buffer.
         self._policies: dict[str, PropagationPolicy] = {}
-        self._buffer = BatchBuffer()
-        self._flush_thread: Optional[threading.Thread] = None
+        self._shards = [_Shard(i) for i in range(max(1, int(shards)))]
         self._flush_stop = threading.Event()
         self._closed = False
         # Counters (tests and dashboards read these).
         self.flushes = 0
         self.coalesced_ops = 0
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shard_of(self, table: str) -> int:
+        """Stable shard index for ``table`` (CRC32, not randomized hash)."""
+        return zlib.crc32(table.encode("utf-8")) % len(self._shards)
+
+    def _shard_for(self, table: str) -> _Shard:
+        return self._shards[self.shard_of(table)]
 
     def _initial_seq(self) -> int:
         table = self.database.table(datamodel.T_NOTIFICATION)
@@ -163,7 +207,7 @@ class NotificationCenter:
             else:
                 self._policies.pop(table, None)
         if policy.max_delay_ms is not None:
-            self._ensure_flush_thread()
+            self._ensure_flush_thread(self._shard_for(table))
 
     def policy(self, table: str) -> PropagationPolicy:
         with self._lock:
@@ -171,72 +215,87 @@ class NotificationCenter:
 
     def pending_ops(self, table: str) -> int:
         """Buffered (not yet flushed) raw operations for ``table``."""
-        with self._lock:
-            return self._buffer.pending_ops(table)
+        shard = self._shard_for(table)
+        with shard.lock:
+            return shard.buffer.pending_ops(table)
 
     # ------------------------------------------------------------------
-    # Time-based flushing
-    def _ensure_flush_thread(self) -> None:
+    # Time-based flushing (one timer thread per shard, started lazily
+    # when a timed policy lands on a table owned by that shard).
+    def _ensure_flush_thread(self, shard: _Shard) -> None:
         with self._lock:
-            if self._flush_thread is not None or self._closed:
+            if shard.flush_thread is not None or self._closed:
                 return
-            self._flush_thread = threading.Thread(
-                target=self._flush_loop, daemon=True
+            shard.flush_thread = threading.Thread(
+                target=self._shard_flush_loop, args=(shard,), daemon=True
             )
-            self._flush_thread.start()
+            shard.flush_thread.start()
 
-    def _flush_interval(self) -> float:
-        delays = [
-            p.max_delay_ms for p in self._policies.values() if p.max_delay_ms
-        ]
+    def _flush_interval(self, shard: _Shard) -> float:
+        with self._lock:
+            delays = [
+                p.max_delay_ms
+                for table, p in self._policies.items()
+                if p.max_delay_ms and self.shard_of(table) == shard.index
+            ]
         if not delays:
             return 0.05
         return min(0.05, max(0.001, min(delays) / 1000.0 / 4.0))
 
-    def _flush_loop(self) -> None:
-        while not self._flush_stop.wait(self._flush_interval()):
-            for table in self.due_tables():
+    def _shard_flush_loop(self, shard: _Shard) -> None:
+        while not self._flush_stop.wait(self._flush_interval(shard)):
+            for table in self._due_tables_in(shard):
                 self.flush(table)
 
-    def due_tables(self) -> list[str]:
-        """Tables whose buffered changes have exceeded their time bound."""
+    def _due_tables_in(self, shard: _Shard) -> list[str]:
+        with shard.lock:
+            pending = shard.buffer.keys()
+            ages = {table: shard.buffer.age_ms(table) for table in pending}
         with self._lock:
             due = []
-            for table in self._buffer.keys():
+            for table in pending:
                 policy = self._policies.get(table)
                 if policy is None:
                     due.append(table)  # policy dropped with changes queued
                 elif policy.max_delay_ms is not None and (
-                    self._buffer.age_ms(table) >= policy.max_delay_ms
+                    ages[table] >= policy.max_delay_ms
                 ):
                     due.append(table)
             return due
 
+    def due_tables(self) -> list[str]:
+        """Tables whose buffered changes have exceeded their time bound."""
+        due: list[str] = []
+        for shard in self._shards:
+            due.extend(self._due_tables_in(shard))
+        return sorted(due)
+
     def close(self) -> None:
-        """Flush everything and stop the background flusher."""
+        """Flush everything and stop the background flushers."""
         self._closed = True
         self._flush_stop.set()
         self.flush_all()
-        thread = self._flush_thread
-        if thread is not None:
-            thread.join(timeout=2.0)
-            self._flush_thread = None
+        for shard in self._shards:
+            thread = shard.flush_thread
+            if thread is not None:
+                thread.join(timeout=2.0)
+                shard.flush_thread = None
 
     # ------------------------------------------------------------------
     def _on_change(self, change: ChangeSet) -> None:
         # Trigger context: the database lock is held here, so taking the
-        # center lock respects the global db -> center order.
+        # registry/shard locks respects the global db -> center order.
         with self._lock:
             policy = self._policies.get(change.table)
-            if policy is not None:
-                coalescer = self._buffer.add(change.table, change)
-                due = policy.should_flush(
-                    coalescer.raw_ops, self._buffer.age_ms(change.table)
-                )
-                if not due:
-                    return
         if policy is not None:
-            self.flush(change.table)
+            shard = self._shard_for(change.table)
+            with shard.lock:
+                coalescer = shard.buffer.add(change.table, change)
+                due = policy.should_flush(
+                    coalescer.raw_ops, shard.buffer.age_ms(change.table)
+                )
+            if due:
+                self.flush(change.table)
             return
         if OBS.enabled:
             with OBS.tracer.span(
@@ -270,9 +329,15 @@ class NotificationCenter:
         """
         # Acquire the database lock first: the trigger path arrives with
         # it held, so a flusher thread must take the same order.
+        shard = self._shard_for(table)
         with self.database.lock:
-            with self._lock:
-                coalescer = self._buffer.take(table)
+            with shard.lock:
+                coalescer = shard.buffer.take(table)
+                # Only on a real take: an empty probe must not mint gauge
+                # series (the telemetry sink flushes its own tables, and
+                # self-instrumentation noise would feed back into it).
+                if coalescer is not None and OBS.enabled:
+                    self._observe_shard_depth(shard)
             if coalescer is None:
                 return 0
             away = coalescer.coalesced_away()
@@ -298,9 +363,34 @@ class NotificationCenter:
             else:
                 notified, listeners, batchers = self._record(net)
             self.flushes += 1
+            shard.flushes += 1
             self.coalesced_ops += away
             self._fan_out(table, notified, listeners, batchers)
             return net_ops
+
+    def _observe_shard_depth(self, shard: _Shard) -> None:
+        # Caller holds shard.lock.  One gauge per shard: buffered raw ops
+        # not yet flushed -- the backpressure signal for the fan-out plane.
+        depth = sum(shard.buffer.pending_ops(t) for t in shard.buffer.keys())
+        OBS.metrics.gauge("sync.shard.pending_ops", shard=str(shard.index)).set(depth)
+
+    def shard_stats(self) -> list[dict[str, int]]:
+        """Per-shard snapshot: buffered tables/ops and completed flushes."""
+        stats = []
+        for shard in self._shards:
+            with shard.lock:
+                tables = shard.buffer.keys()
+                stats.append(
+                    {
+                        "shard": shard.index,
+                        "tables": len(tables),
+                        "pending_ops": sum(
+                            shard.buffer.pending_ops(t) for t in tables
+                        ),
+                        "flushes": shard.flushes,
+                    }
+                )
+        return stats
 
     def _observe_flush(
         self, table: str, net_ops: int, away: int, started: float
@@ -314,8 +404,10 @@ class NotificationCenter:
 
     def flush_all(self) -> int:
         """Flush every table with buffered changes; returns total net ops."""
-        with self._lock:
-            tables = self._buffer.keys()
+        tables: list[str] = []
+        for shard in self._shards:
+            with shard.lock:
+                tables.extend(shard.buffer.keys())
         return sum(self.flush(table) for table in tables)
 
     def _record(

@@ -8,23 +8,46 @@ to a watched table.
 
 Fault tolerance (beyond the paper, which assumes a reliable LAN): each
 callback connection is a *detachable endpoint*.  The server pings it
-every ``heartbeat_interval`` seconds and runs a reader thread consuming
-the client's PONGs; a send failure, read EOF, or prolonged PONG silence
-**detaches** the endpoint -- the ConnectedUser rows and their
-``last_seq_no`` survive, so notifications keep accumulating on the
-server and the purge horizon (step 11) protects everything the client
-has not consumed.  A detached client later calls
-:meth:`reconnect_client` to attach a fresh stream and replays what it
-missed from ``NotificationCenter.changes_since(last_seq_no)``.  Links
+every ``heartbeat_interval`` seconds and consumes the client's PONGs; a
+send failure, read EOF, or prolonged PONG silence **detaches** the
+endpoint -- the ConnectedUser rows and their ``last_seq_no`` survive, so
+notifications keep accumulating on the server and the purge horizon
+(step 11) protects everything the client has not consumed.  A detached
+client later calls :meth:`reconnect_client` to attach a fresh stream and
+replays what it missed from ``NotificationCenter.changes_since``.  Links
 are dropped permanently only by explicit :meth:`unregister_client` /
 :meth:`close` (or an operator calling :meth:`evict_detached`).
+
+Two delivery engines share that bookkeeping, selected by ``mode``:
+
+- ``"async"`` (the default, overridable via the ``EDIFLOW_SYNC_MODE``
+  environment variable): a single-threaded :mod:`selectors` event loop
+  owns every callback socket in non-blocking mode.  A flush encodes each
+  NOTIFY/NOTIFYB frame **once** and hands the same bytes to every
+  subscriber's bounded per-connection send queue; the notifying thread
+  opportunistically writes inline when the queue is empty (so accounting
+  stays synchronous on healthy links) and the loop finishes partial
+  writes when the kernel pushes back.  A queue that exceeds its frame or
+  byte bound means the client reads slower than the system writes: the
+  connection is **evicted** (counted in :attr:`SyncServer.evictions`) and
+  the client falls back to the ordinary reconnect/replay machinery.
+  PINGs, PONGs and DISCONNECTs ride the same loop -- no reader or
+  heartbeat threads exist in this mode.
+
+- ``"threaded"``: the original thread-per-client engine (one reader
+  thread per endpoint, blocking sends on the notify path), kept
+  selectable for the fan-out ablation benchmark.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -39,6 +62,29 @@ from .notification import NotificationCenter
 #: Optional wrapper applied to every callback stream the server opens --
 #: the fault-injection hook (see :mod:`repro.sync.faults`).
 TransportFactory = Callable[[protocol.MessageStream], Any]
+
+MODE_ASYNC = "async"
+MODE_THREADED = "threaded"
+
+#: Per-subscriber cost estimate of an inline fan-out write.  Broadcasts
+#: arriving faster than ``links * BURST_COST_PER_LINK_S`` since the
+#: previous one ride the event loop instead of being written inline by
+#: the notifying thread: the queues build for a moment and the pump
+#: flushes many frames per ``send()`` syscall.  At one or two mirrors
+#: the window is tens of microseconds (every realistic write path stays
+#: inline, accounting stays synchronous); at 1k mirrors a burst switches
+#: to queued coalescing after the first flush.
+BURST_COST_PER_LINK_S = 50e-6
+#: Upper bound on one coalesced write (matches the protocol's frame cap;
+#: large enough to merge hundreds of NOTIFYs, small enough to keep a
+#: single ``send()`` from monopolizing the loop).
+COALESCE_BYTES = protocol.MAX_MESSAGE_BYTES
+
+
+def default_mode() -> str:
+    """The engine used when ``SyncServer(mode=None)``: the
+    ``EDIFLOW_SYNC_MODE`` environment variable, or ``"async"``."""
+    return os.environ.get("EDIFLOW_SYNC_MODE", MODE_ASYNC)
 
 
 @dataclass
@@ -62,6 +108,8 @@ class _Endpoint:
     #: Capabilities the client advertised in its HELLO; a peer without
     #: ``batch`` receives per-event NOTIFYs even for flushed batches.
     caps: frozenset[str] = frozenset()
+    #: Async engine only: the event-loop connection state.
+    conn: Optional["_AsyncConn"] = None
 
 
 @dataclass
@@ -80,6 +128,312 @@ class _ClientLink:
     missed_count: int = 0
 
 
+class _OutFrame:
+    """One queued write: a byte chunk, its progress, and who to credit.
+
+    ``data`` is shared across every subscriber of a broadcast (encoded
+    once); ``offset`` tracks partial writes.  When the chunk finishes,
+    ``link.notify_count += events`` -- attribution rides the *last* chunk
+    of a delivery so multi-frame deliveries stay all-or-nothing, exactly
+    like the threaded engine's accounting.  ``kill_after`` severs the
+    connection once the chunk is flushed (fault-injected truncation);
+    ``not_before`` delays the write (fault-injected latency).
+    """
+
+    __slots__ = ("data", "offset", "link", "events", "kill_after", "not_before")
+
+    def __init__(
+        self,
+        data: bytes,
+        link: Optional[_ClientLink] = None,
+        events: int = 0,
+        kill_after: bool = False,
+        not_before: float = 0.0,
+    ) -> None:
+        self.data = data
+        self.offset = 0
+        self.link = link
+        self.events = events
+        self.kill_after = kill_after
+        self.not_before = not_before
+
+
+class _AsyncConn:
+    """Event-loop state for one callback socket.
+
+    ``lock`` guards the send queue; it is taken by notifying threads
+    (opportunistic inline writes) and by the loop (draining), never while
+    holding the server registry lock.
+    """
+
+    __slots__ = (
+        "sock",
+        "endpoint",
+        "transport",
+        "faults",
+        "lock",
+        "outq",
+        "queued_bytes",
+        "rbuf",
+        "closing",
+        "want_write",
+        "events",
+    )
+
+    def __init__(
+        self,
+        sock: Any,
+        endpoint: _Endpoint,
+        transport: Any,
+        faults: Optional[Any] = None,
+        rbuf: bytes = b"",
+    ) -> None:
+        self.sock = sock
+        self.endpoint = endpoint
+        self.transport = transport
+        #: A ``perturb``-capable transport wrapper (fault injection), or None.
+        self.faults = faults
+        self.lock = threading.Lock()
+        self.outq: deque[_OutFrame] = deque()
+        self.queued_bytes = 0
+        #: Bytes received but not yet framed into a message.
+        self.rbuf = rbuf
+        #: Set once the queue is aborted; no further frames are accepted.
+        self.closing = False
+        #: True while the loop has been asked to drain this queue.
+        self.want_write = False
+        #: Selector interest mask currently registered for this socket
+        #: (loop thread only; lets no-op interest changes skip epoll_ctl).
+        self.events = 0
+
+
+class _EventLoop:
+    """The single thread that owns every async callback socket.
+
+    Readiness-driven: readable sockets feed PONG/DISCONNECT frames back
+    to the server, writable sockets drain their bounded send queues.  A
+    non-blocking socketpair doubles as the wake-up pipe for the
+    thread-safe command queue (attach/detach/interest changes all hop
+    onto the loop so selector state has a single owner).
+    """
+
+    def __init__(self, server: "SyncServer") -> None:
+        self._server = server
+        self._selector = selectors.DefaultSelector()
+        self._rwake, self._wwake = socket.socketpair()
+        self._rwake.setblocking(False)
+        self._wwake.setblocking(False)
+        self._selector.register(self._rwake, selectors.EVENT_READ, None)
+        self._commands: deque[Callable[[], None]] = deque()
+        self._stop = threading.Event()
+        self._conns: set[_AsyncConn] = set()
+        #: Connections whose head frame carries a fault-injected delay.
+        self._delayed: set[_AsyncConn] = set()
+        self._thread = threading.Thread(
+            target=self._run, name="ediflow-sync-loop", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` on the loop thread at the next iteration."""
+        self._commands.append(fn)
+        self.wake()
+
+    def wake(self) -> None:
+        try:
+            self._wwake.send(b"\x00")
+        except OSError:
+            pass
+
+    def stop(self, join: bool = True) -> None:
+        self._stop.set()
+        self.wake()
+        if join and self._thread.is_alive():
+            self._thread.join(timeout=2.0)
+
+    # -- loop thread ----------------------------------------------------
+    def _run(self) -> None:
+        interval = self._server.heartbeat_interval
+        tick = 0.05 if interval is None else min(0.05, interval / 2.0)
+        last_beat = time.monotonic()
+        try:
+            while not self._stop.is_set():
+                try:
+                    events = self._selector.select(timeout=tick)
+                    for key, mask in events:
+                        if key.data is None:
+                            self._drain_wake()
+                            continue
+                        conn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._handle_read(conn)
+                        if mask & selectors.EVENT_WRITE:
+                            self.service_conn(conn)
+                    while self._commands:
+                        self._commands.popleft()()
+                    if self._delayed:
+                        now = time.monotonic()
+                        for conn in list(self._delayed):
+                            head = conn.outq[0] if conn.outq else None
+                            if head is None or head.not_before <= now:
+                                self._delayed.discard(conn)
+                                self.service_conn(conn)
+                    if interval is not None:
+                        now = time.monotonic()
+                        if now - last_beat >= interval:
+                            last_beat = now
+                            self._server._heartbeat_tick()
+                except Exception:
+                    if self._stop.is_set():
+                        break
+                    # A loop crash would silently freeze every client;
+                    # count it and keep serving (the offending conn, if
+                    # any, dies on its next readiness event).
+                    self._server.loop_errors += 1
+                    OBS.metrics.counter("sync.server.loop_errors").inc()
+        finally:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            for sock in (self._rwake, self._wwake):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def _drain_wake(self) -> None:
+        try:
+            while self._rwake.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+
+    def add_conn(self, conn: _AsyncConn) -> None:
+        """Register a fresh connection (loop thread only)."""
+        if self._stop.is_set():
+            return
+        try:
+            fd = conn.sock.fileno()
+        except OSError:
+            fd = -1
+        if fd < 0:
+            self._server._conn_dead(conn)
+            return
+        stale = self._selector.get_map().get(fd)
+        if stale is not None:
+            # The previous owner of this fd was closed behind our back
+            # (tests kill sockets directly); evict the stale entry so the
+            # kernel-reused fd maps to the right connection.
+            try:
+                self._selector.unregister(stale.fileobj)
+            except (KeyError, ValueError, OSError):
+                pass
+            if stale.data is not None:
+                self._conns.discard(stale.data)
+                self._delayed.discard(stale.data)
+        try:
+            self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            conn.events = selectors.EVENT_READ
+        except (ValueError, OSError):
+            self._server._conn_dead(conn)
+            return
+        self._conns.add(conn)
+        if conn.outq or conn.want_write:
+            self.service_conn(conn)
+
+    def drop(self, conn: _AsyncConn) -> None:
+        """Forget a connection (loop thread only); socket closing is the
+        transport's job."""
+        self._conns.discard(conn)
+        self._delayed.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _set_events(self, conn: _AsyncConn, events: int) -> None:
+        if conn.events == events:
+            return
+        try:
+            self._selector.modify(conn.sock, events, conn)
+            conn.events = events
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _handle_read(self, conn: _AsyncConn) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._server._conn_dead(conn)
+            return
+        if not data:
+            self._server._conn_dead(conn)
+            return
+        conn.rbuf += data
+        while True:
+            newline = conn.rbuf.find(b"\n")
+            if newline < 0:
+                break
+            line = conn.rbuf[:newline]
+            conn.rbuf = conn.rbuf[newline + 1 :]
+            try:
+                message = protocol.decode(line)
+            except ProtocolError:
+                continue
+            self._server._on_frame(conn, message)
+        if len(conn.rbuf) > protocol.MAX_MESSAGE_BYTES:
+            self._server._conn_dead(conn)
+
+    def service_conn(self, conn: _AsyncConn) -> None:
+        """Drain what the kernel will take and update selector interest
+        (loop thread only)."""
+        with conn.lock:
+            status = self._server._pump_locked(conn)
+            if status == "alive":
+                conn.want_write = False
+        if status == "dead":
+            self._server._conn_dead(conn)
+        elif status == "blocked":
+            self._delayed.discard(conn)
+            self._set_events(conn, selectors.EVENT_READ | selectors.EVENT_WRITE)
+        elif status == "delayed":
+            self._delayed.add(conn)
+            self._set_events(conn, selectors.EVENT_READ)
+        else:
+            self._delayed.discard(conn)
+            self._set_events(conn, selectors.EVENT_READ)
+
+    def service_conns(self, conns: list[_AsyncConn]) -> None:
+        """Batched :meth:`service_conn` -- one submitted command (one
+        wake syscall) covers a whole broadcast's worth of queues."""
+        for conn in conns:
+            if conn in self._conns:
+                self.service_conn(conn)
+
+
+def _unwrap_transport(transport: Any) -> tuple[Any, Optional[Any], bytes]:
+    """Extract ``(raw socket, fault wrapper, buffered bytes)`` from a
+    handshake-complete transport so the event loop can own the socket."""
+    faults = transport if hasattr(transport, "perturb") else None
+    stream = transport._stream if faults is not None else transport
+    sock = getattr(stream, "_sock", None)
+    if sock is None:
+        raise SyncError(
+            "async mode requires MessageStream-based transports; "
+            f"got {type(transport).__name__}"
+        )
+    rbuf = getattr(stream, "_buffer", b"")
+    stream._buffer = b""
+    return sock, faults, rbuf
+
+
 class SyncServer:
     """Pushes change notifications to registered clients.
 
@@ -88,9 +442,18 @@ class SyncServer:
     directly.  Benchmarks use real sockets (loopback); most unit tests use
     the in-process mode.
 
+    ``mode`` selects the socket delivery engine (``"async"`` event loop
+    or ``"threaded"``); ``None`` resolves via :func:`default_mode`.  The
+    in-process mode is engine-independent.
+
     ``heartbeat_interval=None`` disables the liveness machinery (no ping
-    thread, no reader threads); dead links are then only detected on the
-    next failed NOTIFY send.
+    tick, no reader threads); dead links are then only detected on the
+    next failed NOTIFY send (async mode still notices read EOFs, since
+    the event loop always watches readability).
+
+    ``max_queue_frames`` / ``max_queue_bytes`` bound each async client's
+    send queue: exceeding either evicts the client (slow-consumer
+    protection; see :attr:`evictions`).
     """
 
     def __init__(
@@ -101,15 +464,25 @@ class SyncServer:
         heartbeat_interval: Optional[float] = 0.5,
         heartbeat_timeout: Optional[float] = None,
         transport_factory: Optional[TransportFactory] = None,
+        mode: Optional[str] = None,
+        max_queue_frames: int = 1024,
+        max_queue_bytes: int = 4 << 20,
+        drain_timeout: float = 2.0,
     ) -> None:
         self.database = database
         self.center = center or NotificationCenter(database)
         self.use_sockets = use_sockets
+        self.mode = mode or default_mode()
+        if self.mode not in (MODE_ASYNC, MODE_THREADED):
+            raise SyncError(f"unknown sync server mode {self.mode!r}")
         self.heartbeat_interval = heartbeat_interval
         if heartbeat_timeout is None and heartbeat_interval is not None:
             heartbeat_timeout = heartbeat_interval * 6
         self.heartbeat_timeout = heartbeat_timeout
         self.transport_factory = transport_factory
+        self.max_queue_frames = max_queue_frames
+        self.max_queue_bytes = max_queue_bytes
+        self.drain_timeout = drain_timeout
         self._links: dict[int, _ClientLink] = {}
         #: (host, port) -> shared callback endpoint; one per client
         #: process even when it mirrors several tables.
@@ -128,11 +501,23 @@ class SyncServer:
         self._closed = False
         self._stop = threading.Event()
         self._heartbeat_thread: Optional[threading.Thread] = None
+        self._loop: Optional[_EventLoop] = None
+        #: monotonic time of the last async broadcast; back-to-back
+        #: broadcasts (relative to the fan-out's inline-write cost) skip
+        #: the inline write so the loop can coalesce queued frames into
+        #: few syscalls.
+        self._last_broadcast = 0.0
         # Counters (tests and dashboards read these).
         self.detaches = 0
         self.reattaches = 0
         self.pings_sent = 0
         self.pongs_received = 0
+        self.evictions = 0
+        self.loop_errors = 0
+
+    @property
+    def _async_sockets(self) -> bool:
+        return self.use_sockets and self.mode == MODE_ASYNC
 
     # ------------------------------------------------------------------
     # Connection plumbing
@@ -159,11 +544,26 @@ class SyncServer:
             ) from None
         return transport, caps
 
+    def _ensure_loop(self) -> _EventLoop:
+        with self._lock:
+            if self._loop is None:
+                self._loop = _EventLoop(self)
+                self._loop.start()
+            return self._loop
+
     def _attach(self, endpoint: _Endpoint, transport: Any) -> None:
-        """Install a live transport on an endpoint and start its reader."""
+        """Install a live transport on an endpoint and start servicing it."""
         endpoint.stream = transport
         endpoint.last_rx = time.monotonic()
         endpoint.detached_at = None
+        if self._async_sockets:
+            sock, faults, rbuf = _unwrap_transport(transport)
+            sock.setblocking(False)
+            conn = _AsyncConn(sock, endpoint, transport, faults, rbuf)
+            endpoint.conn = conn
+            loop = self._ensure_loop()
+            loop.submit(lambda: loop.add_conn(conn))
+            return
         if self.heartbeat_interval is not None:
             reader = threading.Thread(
                 target=self._reader_loop, args=(endpoint, transport), daemon=True
@@ -180,25 +580,275 @@ class SyncServer:
             )
             self._heartbeat_thread.start()
 
-    def _detach_endpoint(self, endpoint: _Endpoint) -> None:
+    def _detach_endpoint(
+        self, endpoint: _Endpoint, expected: Optional[_AsyncConn] = None
+    ) -> bool:
         """Idempotently take a (suspected dead) transport out of service.
 
         The registration -- ConnectedUser rows, ``last_seq_no`` horizon,
-        link bookkeeping -- survives; only the socket goes away.
+        link bookkeeping -- survives; only the socket goes away.  When
+        ``expected`` is given, the detach only proceeds if the endpoint
+        still carries that connection (a concurrent reconnect must not be
+        torn down by the failure notice of its predecessor).
         """
         with self._lock:
+            conn = endpoint.conn
             transport = endpoint.stream
-            if transport is None:
-                return
+            if expected is not None and conn is not expected:
+                return False
+            if transport is None and conn is None:
+                return False
             endpoint.stream = None
+            endpoint.conn = None
             endpoint.detached_at = time.monotonic()
             self.detaches += 1
         # Rare event: always counted, enabled or not.
         OBS.metrics.counter("sync.server.detaches").inc()
-        transport.close()
+        if conn is not None:
+            self._abort_conn(conn)
+            loop = self._loop
+            if loop is not None:
+                loop.submit(lambda: loop.drop(conn))
+        if transport is not None:
+            transport.close()
+        return True
+
+    def _abort_conn(self, conn: _AsyncConn) -> None:
+        """Stop accepting frames and convert queued deliveries to misses."""
+        with conn.lock:
+            if conn.closing:
+                return
+            conn.closing = True
+            for frame in conn.outq:
+                if frame.link is not None:
+                    frame.link.missed_count += frame.events
+            conn.outq.clear()
+            conn.queued_bytes = 0
+
+    def _conn_dead(self, conn: _AsyncConn) -> None:
+        """A connection's socket failed, EOF'd, or was evicted."""
+        self._abort_conn(conn)
+        if not self._detach_endpoint(conn.endpoint, expected=conn):
+            # The endpoint moved on (reconnect won the race); just tear
+            # down this superseded connection.
+            loop = self._loop
+            if loop is not None:
+                loop.submit(lambda: loop.drop(conn))
+            try:
+                conn.transport.close()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------
-    # Liveness: reader (consumes PONGs) + heartbeat (sends PINGs)
+    # Async engine: write pump and frame intake
+    def _pump_locked(self, conn: _AsyncConn) -> str:
+        """Write queued frames until the kernel pushes back.
+
+        Caller holds ``conn.lock``.  Returns ``"alive"`` (queue empty),
+        ``"blocked"`` (kernel full), ``"delayed"`` (head frame not yet
+        due), or ``"dead"`` (socket failed / kill_after fired).
+
+        A contiguous run of due frames is coalesced into one ``send()``
+        (up to ``COALESCE_BYTES``): a burst of broadcasts costs a handful
+        of syscalls per client instead of one per notification.  A
+        ``kill_after`` frame ends its run (the cut must land exactly at
+        that frame's boundary) and a not-yet-due frame is never merged.
+        """
+        while conn.outq:
+            frame = conn.outq[0]
+            now = time.monotonic()
+            if frame.not_before and frame.not_before > now:
+                return "delayed"
+            run = [frame]
+            size = len(frame.data) - frame.offset
+            if not frame.kill_after and size < COALESCE_BYTES:
+                for nxt in itertools.islice(conn.outq, 1, None):
+                    if nxt.not_before and nxt.not_before > now:
+                        break
+                    run.append(nxt)
+                    size += len(nxt.data)
+                    if nxt.kill_after or size >= COALESCE_BYTES:
+                        break
+            if len(run) == 1:
+                buf: Any = frame.data
+                if frame.offset:
+                    buf = memoryview(frame.data)[frame.offset :]
+            else:
+                head = frame.data[frame.offset :] if frame.offset else frame.data
+                buf = head + b"".join(f.data for f in run[1:])
+            try:
+                sent = conn.sock.send(buf)
+            except (BlockingIOError, InterruptedError):
+                return "blocked"
+            except OSError:
+                return "dead"
+            conn.queued_bytes -= sent
+            for done in run:
+                take = min(sent, len(done.data) - done.offset)
+                done.offset += take
+                sent -= take
+                if done.offset < len(done.data):
+                    return "blocked"
+                conn.outq.popleft()
+                if done.link is not None:
+                    done.link.notify_count += done.events
+                if done.kill_after:
+                    return "dead"
+                if not sent:
+                    break
+        return "alive"
+
+    def _submit_frames(
+        self,
+        conn: _AsyncConn,
+        frames: list[_OutFrame],
+        inline: bool = True,
+        pending: Optional[list[_AsyncConn]] = None,
+    ) -> str:
+        """Queue frames for one connection, writing inline when possible.
+
+        Returns ``"ok"`` (sent or queued; delivery accounting happens as
+        chunks complete), ``"dead"`` (socket failed mid-submit; every
+        queued delivery was converted to a miss), ``"evicted"`` (queue
+        bound exceeded, ditto), or ``"closed"`` (connection was already
+        aborted; nothing queued, caller owns accounting).
+
+        ``inline=False`` skips the opportunistic write even on an idle
+        queue (burst broadcasts: leave the frames for the loop's
+        coalescing pump instead of paying one syscall per frame here).
+        With ``pending``, a connection that needs loop service is
+        appended there instead of submitted individually -- the caller
+        batches one submit (one wake syscall) for the whole fan-out.
+        """
+        need_service = False
+        with conn.lock:
+            if conn.closing:
+                return "closed"
+            was_idle = inline and not conn.outq and not conn.want_write
+            for frame in frames:
+                conn.outq.append(frame)
+                conn.queued_bytes += len(frame.data) - frame.offset
+            if was_idle:
+                status = self._pump_locked(conn)
+                if status == "dead":
+                    self._abort_queue_locked(conn)
+                    return "dead"
+            if conn.outq:
+                if (
+                    len(conn.outq) > self.max_queue_frames
+                    or conn.queued_bytes > self.max_queue_bytes
+                ):
+                    self._abort_queue_locked(conn)
+                    return "evicted"
+                if not conn.want_write:
+                    conn.want_write = True
+                    need_service = True
+        if need_service:
+            if pending is not None:
+                pending.append(conn)
+            else:
+                loop = self._loop
+                if loop is not None:
+                    loop.submit(lambda: loop.service_conn(conn))
+        return "ok"
+
+    def _abort_queue_locked(self, conn: _AsyncConn) -> None:
+        # Caller holds conn.lock; mirror of _abort_conn for in-lock paths.
+        conn.closing = True
+        for frame in conn.outq:
+            if frame.link is not None:
+                frame.link.missed_count += frame.events
+        conn.outq.clear()
+        conn.queued_bytes = 0
+
+    def _frames_for_conn(
+        self, conn: _AsyncConn, messages: list[dict[str, Any]], encoded: list[bytes]
+    ) -> tuple[list[_OutFrame], bool]:
+        """Byte chunks for one delivery, fault-perturbed when applicable.
+
+        Returns ``(frames, kill_now)``; ``kill_now`` means the connection
+        must die without flushing anything (fault-injected disconnect).
+        A fault-injected truncation instead marks the last chunk
+        ``kill_after`` so the partial bytes reach the wire first.
+        """
+        if conn.faults is None:
+            return [_OutFrame(data) for data in encoded], False
+        frames: list[_OutFrame] = []
+        for message in messages:
+            chunks, kill, delay = conn.faults.perturb(message)
+            not_before = time.monotonic() + delay if delay else 0.0
+            for chunk in chunks:
+                frames.append(_OutFrame(chunk, not_before=not_before))
+            if kill:
+                if frames:
+                    frames[-1].kill_after = True
+                    return frames, False
+                return [], True
+        return frames, False
+
+    def _on_frame(self, conn: _AsyncConn, message: dict[str, Any]) -> None:
+        """One inbound client frame, delivered by the event loop."""
+        endpoint = conn.endpoint
+        endpoint.last_rx = time.monotonic()
+        kind = message.get("type")
+        if kind == protocol.PONG:
+            self.pongs_received += 1
+            if OBS.enabled and endpoint.last_ping_at:
+                OBS.metrics.gauge(
+                    "sync.heartbeat_rtt_ms",
+                    client=f"{endpoint.host}:{endpoint.port}",
+                ).set((endpoint.last_rx - endpoint.last_ping_at) * 1e3)
+        elif kind == protocol.DISCONNECT:
+            self._conn_dead(conn)
+
+    def _heartbeat_tick(self) -> None:
+        """Async-mode liveness pass, run by the event loop every
+        ``heartbeat_interval`` seconds."""
+        if self.heartbeat_interval is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        for endpoint in endpoints:
+            conn = endpoint.conn
+            if conn is None:
+                continue
+            if (
+                self.heartbeat_timeout is not None
+                and now - endpoint.last_rx > self.heartbeat_timeout
+            ):
+                self._conn_dead(conn)
+                continue
+            endpoint.ping_seq += 1
+            endpoint.last_ping_at = time.monotonic()
+            message = protocol.ping(endpoint.ping_seq)
+            frames, kill_now = self._frames_for_conn(
+                conn, [message], [protocol.encode(message)]
+            )
+            if kill_now:
+                self._conn_dead(conn)
+                continue
+            if not frames:
+                continue  # fault plan dropped/held the ping
+            status = self._submit_frames(conn, frames)
+            if status == "ok":
+                self.pings_sent += 1
+            elif status in ("dead", "evicted", "closed"):
+                if status == "evicted":
+                    self._note_eviction(endpoint)
+                self._conn_dead(conn)
+
+    def _note_eviction(self, endpoint: _Endpoint) -> None:
+        self.evictions += 1
+        OBS.metrics.counter("sync.server.evictions").inc()
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "sync.server.evicted_clients",
+                client=f"{endpoint.host}:{endpoint.port}",
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # Liveness (threaded engine): reader threads + heartbeat thread
     def _reader_loop(self, endpoint: _Endpoint, transport: Any) -> None:
         while True:
             try:
@@ -310,8 +960,15 @@ class SyncServer:
         transport, caps = self._open_callback(host, port)
         with self._lock:
             stale = endpoint.stream
+            stale_conn = endpoint.conn
             endpoint.stream = None
+            endpoint.conn = None
             endpoint.caps = caps
+        if stale_conn is not None:
+            self._abort_conn(stale_conn)
+            loop = self._loop
+            if loop is not None:
+                loop.submit(lambda: loop.drop(stale_conn))
         if stale is not None:
             stale.close()
         self._attach(endpoint, transport)
@@ -390,6 +1047,18 @@ class SyncServer:
                 if link.endpoint is not None and link.endpoint.stream is None
             )
 
+    def queued_frames(self) -> int:
+        """Frames sitting in async send queues (backpressure snapshot)."""
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        total = 0
+        for endpoint in endpoints:
+            conn = endpoint.conn
+            if conn is not None:
+                with conn.lock:
+                    total += len(conn.outq)
+        return total
+
     # ------------------------------------------------------------------
     @staticmethod
     def _trace_ctx(table: str, seq_no: int) -> Optional[dict[str, int]]:
@@ -407,6 +1076,16 @@ class SyncServer:
         """Single-event convenience wrapper over :meth:`_on_notifications`."""
         self._on_notifications(table, [(op, seq_no)])
 
+    def broadcast(self, table: str, events: list[tuple[str, int]]) -> None:
+        """Push ``[(op, seq_no), ...]`` to every subscriber of ``table``.
+
+        This is the notification plane's entry point -- the center's
+        batch listener lands here after every flush.  Exposed publicly so
+        fan-out benchmarks can drive the plane directly, without paying
+        the storage engine's per-row cost in the measured loop.
+        """
+        self._on_notifications(table, events)
+
     def _on_notifications(self, table: str, events: list[tuple[str, int]]) -> None:
         """Step 7: push the recorded events to every client on ``table``.
 
@@ -422,6 +1101,9 @@ class SyncServer:
             return
         with self._lock:
             links = [link for link in self._links.values() if link.table == table]
+        if self._async_sockets:
+            self._broadcast_async(table, events, links)
+            return
         failed: list[_Endpoint] = []
         for link in links:
             endpoint = link.endpoint
@@ -464,6 +1146,129 @@ class SyncServer:
         for endpoint in failed:
             self._detach_endpoint(endpoint)
 
+    def _broadcast_async(
+        self, table: str, events: list[tuple[str, int]], links: list[_ClientLink]
+    ) -> None:
+        """Encode-once fan-out through the per-connection send queues.
+
+        The frame bytes for each capability variant are built exactly
+        once per flush and shared by every subscriber's queue entries; a
+        healthy client on an idle queue gets its bytes written inline on
+        this thread (so accounting stays synchronous), everyone else is
+        drained by the event loop.
+
+        Back-to-back broadcasts (arriving faster than the fan-out can be
+        written inline) skip the inline write entirely: this thread only
+        appends to the queues (sub-microsecond per client) while the
+        loop drains them with coalesced sends -- the burst costs a few
+        syscalls per client instead of one per notification, and the
+        notifying thread never stalls on 1k sockets.
+        """
+        cache: dict[
+            tuple[bool, bool], tuple[list[dict[str, Any]], list[bytes]]
+        ] = {}
+        now = time.monotonic()
+        window = len(links) * BURST_COST_PER_LINK_S
+        inline = (now - self._last_broadcast) >= window
+        self._last_broadcast = now
+        n = len(events)
+        dead: list[tuple[_AsyncConn, _Endpoint]] = []
+        evicted: list[tuple[_AsyncConn, _Endpoint]] = []
+        pending: list[_AsyncConn] = []
+        for link in links:
+            endpoint = link.endpoint
+            if endpoint is None:
+                link.notify_count += n
+                continue
+            conn = endpoint.conn
+            if conn is None:
+                link.missed_count += n
+                continue
+            want_trace = OBS.enabled and protocol.CAP_TRACE in endpoint.caps
+            use_batch = protocol.CAP_BATCH in endpoint.caps and n > 1
+            key = (use_batch, want_trace)
+            cached = cache.get(key)
+            if cached is None:
+                if use_batch:
+                    ctx = (
+                        self._trace_ctx(table, events[-1][1]) if want_trace else None
+                    )
+                    messages = [protocol.notify_batch(table, events, ctx=ctx)]
+                else:
+                    messages = [
+                        protocol.notify(
+                            table,
+                            s,
+                            op,
+                            ctx=self._trace_ctx(table, s) if want_trace else None,
+                        )
+                        for op, s in events
+                    ]
+                cached = (messages, [protocol.encode(m) for m in messages])
+                cache[key] = cached
+            messages, encoded = cached
+            if not inline and conn.faults is None:
+                # Burst fast path (no fault wrapper): append the shared
+                # bytes under the conn lock without the general-purpose
+                # call stack -- at 1k clients per broadcast, per-client
+                # call overhead is the fan-out cost.
+                with conn.lock:
+                    if conn.closing:
+                        link.missed_count += n
+                        dead.append((conn, endpoint))
+                        continue
+                    frame = None
+                    for data in encoded:
+                        frame = _OutFrame(data)
+                        conn.outq.append(frame)
+                        conn.queued_bytes += len(data)
+                    frame.link = link
+                    frame.events = n
+                    if (
+                        len(conn.outq) > self.max_queue_frames
+                        or conn.queued_bytes > self.max_queue_bytes
+                    ):
+                        self._abort_queue_locked(conn)
+                        evicted.append((conn, endpoint))
+                        continue
+                    if not conn.want_write:
+                        conn.want_write = True
+                        pending.append(conn)
+                continue
+            frames, kill_now = self._frames_for_conn(conn, messages, encoded)
+            delivery_fails = kill_now or bool(frames and frames[-1].kill_after)
+            if delivery_fails:
+                link.missed_count += n
+            elif frames:
+                frames[-1].link = link
+                frames[-1].events = n
+            else:
+                # The fault plan dropped or held every chunk: the
+                # threaded engine's send() returns normally here.
+                link.notify_count += n
+                continue
+            if not frames:
+                dead.append((conn, endpoint))
+                continue
+            status = self._submit_frames(conn, frames, inline=inline, pending=pending)
+            if status == "closed":
+                if not delivery_fails:
+                    link.missed_count += n
+                dead.append((conn, endpoint))
+            elif status == "evicted":
+                evicted.append((conn, endpoint))
+            elif status == "dead":
+                dead.append((conn, endpoint))
+        if pending:
+            loop = self._loop
+            if loop is not None:
+                loop.submit(lambda: loop.service_conns(pending))
+        for conn, _endpoint in dead:
+            self._conn_dead(conn)
+        for conn, endpoint in evicted:
+            self._note_eviction(endpoint)
+            self._conn_dead(conn)
+
     # ------------------------------------------------------------------
     def purge_notifications(self) -> int:
         """Step 11: purge fully-consumed notifications."""
@@ -477,16 +1282,19 @@ class SyncServer:
             endpoints = list(self._endpoints.values())
             self._links.clear()
             self._endpoints.clear()
-        for endpoint in endpoints:
-            transport = endpoint.stream
-            endpoint.stream = None
-            if transport is not None:
-                try:
-                    with endpoint.lock:
-                        transport.send(protocol.disconnect())
-                except (OSError, ProtocolError):
-                    pass
-                transport.close()
+        if self._async_sockets:
+            self._drain_and_stop(endpoints)
+        else:
+            for endpoint in endpoints:
+                transport = endpoint.stream
+                endpoint.stream = None
+                if transport is not None:
+                    try:
+                        with endpoint.lock:
+                            transport.send(protocol.disconnect())
+                    except (OSError, ProtocolError):
+                        pass
+                    transport.close()
         for link in links:
             self.database.delete(
                 datamodel.T_CONNECTED_USER, col("id") == link.connected_user_id
@@ -495,3 +1303,40 @@ class SyncServer:
         if self._heartbeat_thread is not None:
             self._heartbeat_thread.join(timeout=2.0)
             self._heartbeat_thread = None
+
+    def _drain_and_stop(self, endpoints: list[_Endpoint]) -> None:
+        """Graceful async shutdown: say goodbye, flush queues, stop loop."""
+        goodbye = protocol.disconnect()
+        goodbye_bytes = protocol.encode(goodbye)
+        live: list[tuple[_AsyncConn, Any]] = []
+        for endpoint in endpoints:
+            conn = endpoint.conn
+            transport = endpoint.stream
+            endpoint.conn = None
+            endpoint.stream = None
+            if conn is None:
+                if transport is not None:
+                    transport.close()
+                continue
+            frames, kill_now = self._frames_for_conn(
+                conn, [goodbye], [goodbye_bytes]
+            )
+            if not kill_now and frames:
+                self._submit_frames(conn, frames)
+            live.append((conn, transport))
+        deadline = time.monotonic() + self.drain_timeout
+        while time.monotonic() < deadline:
+            pending = 0
+            for conn, _transport in live:
+                with conn.lock:
+                    pending += len(conn.outq)
+            if not pending:
+                break
+            time.sleep(0.005)
+        loop = self._loop
+        if loop is not None:
+            loop.stop()
+            self._loop = None
+        for conn, transport in live:
+            if transport is not None:
+                transport.close()

@@ -1,0 +1,263 @@
+"""Fault injection through the async event loop.
+
+The same :class:`FaultPlan` schedules that drive the threaded engine's
+blocking sends are applied byte-level to the async engine's per-client
+queues (``FaultyTransport.perturb``): truncated frames flush their
+partial bytes before the kill, delays ride the queue without blocking
+the notifying thread, and every failure converges back to byte-identical
+mirrors via the ordinary reconnect/replay machinery."""
+
+import time
+
+from repro.db import Column, Database
+from repro.db.types import FLOAT, INTEGER
+from repro.retry import RetryPolicy
+from repro.sync import (
+    FaultPlan,
+    FaultyTransport,
+    NotificationCenter,
+    SyncClient,
+    SyncServer,
+)
+from repro.sync.server import MODE_ASYNC
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def fast_reconnect(max_attempts=10):
+    return RetryPolicy(
+        max_attempts=max_attempts,
+        base_delay=0.01,
+        multiplier=1.5,
+        max_delay=0.1,
+        jitter=0.5,
+        retryable=(OSError, Exception),
+    )
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "pts",
+        [Column("id", INTEGER, nullable=False), Column("x", FLOAT)],
+        primary_key="id",
+    )
+    return db
+
+
+def faulted_stack(plans, heartbeat=0.05, **server_kwargs):
+    """Async-mode socket stack whose Nth callback connection runs
+    plans[N]; later connections (after a reconnect) run clean."""
+    db = make_db()
+    center = NotificationCenter(db)
+    queue = list(plans)
+    transports = []
+
+    def factory(stream):
+        plan = queue.pop(0) if queue else None
+        transport = FaultyTransport(stream, plan)
+        transports.append(transport)
+        return transport
+
+    server = SyncServer(
+        db,
+        center,
+        use_sockets=True,
+        heartbeat_interval=heartbeat,
+        transport_factory=factory,
+        mode=MODE_ASYNC,
+        **server_kwargs,
+    )
+    client = SyncClient(
+        server, reconnect=fast_reconnect(), heartbeat_timeout=0.25
+    )
+    return db, server, client, transports
+
+
+def contents(client):
+    return sorted((r["id"], r["x"]) for r in client.table("pts").all_rows())
+
+
+def source_contents(db):
+    return sorted((r["id"], r["x"]) for r in db.table("pts").scan())
+
+
+class TestAsyncFaultInjection:
+    def test_truncated_frame_flushes_partial_bytes_then_converges(self):
+        """Index 0 is the handshake REPLY (sent on the blocking path);
+        index 1 -- the first NOTIFY -- is cut mid-frame by the event
+        loop, which must still flush the partial bytes before killing
+        the connection."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(truncate_at=1)]
+        )
+        try:
+            client.mirror("pts")
+            link = next(iter(server._links.values()))
+            db.insert("pts", {"id": 0, "x": 0.0})
+            assert wait_until(lambda: transports[0].truncated == 1)
+            # The cut delivery is a miss, never a success.
+            assert wait_until(lambda: link.missed_count >= 1)
+            assert link.notify_count == 0
+            assert wait_until(lambda: client.reconnects >= 1)
+            for i in range(1, 5):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert wait_until(
+                lambda: client.refresh("pts") is not None
+                and contents(client) == source_contents(db)
+            )
+        finally:
+            client.close()
+            server.close()
+
+    def test_disconnect_mid_stream_evicts_and_replays(self):
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(disconnect_at=2)]
+        )
+        try:
+            client.mirror("pts")
+            for i in range(8):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert transports[0].disconnected >= 1
+            assert wait_until(lambda: client.reconnects >= 1)
+            assert wait_until(
+                lambda: client.refresh("pts") is not None
+                and contents(client) == source_contents(db)
+            )
+            assert server.detaches >= 1
+            assert server.reattaches >= 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_delayed_frame_defers_credit_without_blocking_writers(self):
+        """A fault-injected delay parks the frame in the send queue; the
+        insert returns immediately and the delivery credit lands only
+        when the loop flushes it after the deadline."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(delay={1: 0.2})], heartbeat=None
+        )
+        try:
+            client.mirror("pts")
+            link = next(iter(server._links.values()))
+            started = time.monotonic()
+            db.insert("pts", {"id": 0, "x": 0.0})
+            insert_latency = time.monotonic() - started
+            # The notifying thread never slept the 200ms.
+            assert insert_latency < 0.15
+            assert link.notify_count == 0
+            assert transports[0].delayed == 1
+            assert wait_until(lambda: link.notify_count == 1)
+            assert time.monotonic() - started >= 0.2
+            assert wait_until(lambda: client.notify_received >= 1)
+            client.refresh("pts")
+            assert contents(client) == [(0, 0.0)]
+        finally:
+            client.close()
+            server.close()
+
+    def test_dropped_notify_recovered_by_later_refresh(self):
+        """A dropped NOTIFY counts as sent (the wire ate it, not us); the
+        client recovers the change when the next NOTIFY triggers a
+        cumulative changes_since refresh."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(drop={1})], heartbeat=None
+        )
+        try:
+            client.mirror("pts")
+            link = next(iter(server._links.values()))
+            db.insert("pts", {"id": 0, "x": 0.0})
+            assert transports[0].dropped == 1
+            assert link.notify_count == 1  # engine-level success
+            db.insert("pts", {"id": 1, "x": 1.0})
+            assert wait_until(lambda: client.notify_received >= 1)
+            client.refresh("pts")
+            assert contents(client) == [(0, 0.0), (1, 1.0)]
+        finally:
+            client.close()
+            server.close()
+
+    def test_duplicate_and_reorder_ride_the_queue(self):
+        """Duplicated and held/reordered frames pass through the queue
+        byte-for-byte; the client's seq-cursor refresh absorbs both."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(duplicate={1}, hold={2: 3})], heartbeat=None
+        )
+        try:
+            client.mirror("pts")
+            for i in range(4):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert transports[0].duplicated == 1
+            assert wait_until(lambda: transports[0].reordered == 1)
+            assert wait_until(
+                lambda: client.refresh("pts") is not None
+                and contents(client) == source_contents(db)
+            )
+        finally:
+            client.close()
+            server.close()
+
+    def test_slow_reader_eviction_leaves_mirror_byte_identical(self):
+        """The eviction path under a fault plan: a slow reader trips the
+        queue bound, the client reconnects (second connection runs
+        clean), and the mirror converges to the source bytes."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan()], heartbeat=None, max_queue_frames=8
+        )
+        try:
+            client.mirror("pts")
+            endpoint = server._endpoints[(client.host, client.port)]
+            conn = endpoint.conn
+
+            class Stub:
+                def __init__(self, real):
+                    self._real = real
+
+                def send(self, data):
+                    raise BlockingIOError("stubbed full buffer")
+
+                def __getattr__(self, name):
+                    return getattr(self._real, name)
+
+            conn.sock = Stub(conn.sock)
+            for i in range(20):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert server.evictions == 1
+            assert wait_until(lambda: client.reconnects >= 1)
+            assert wait_until(
+                lambda: client.refresh("pts") is not None
+                and contents(client) == source_contents(db)
+            )
+            assert contents(client) == [(i, float(i)) for i in range(20)]
+        finally:
+            client.close()
+            server.close()
+
+    def test_rate_based_faults_converge_under_load(self):
+        """Seeded probabilistic drops/duplicates through the event loop:
+        deterministic schedule, eventual convergence."""
+        db, server, client, transports = faulted_stack(
+            [FaultPlan(drop_rate=0.2, duplicate_rate=0.2)], heartbeat=None
+        )
+        try:
+            client.mirror("pts")
+            for i in range(30):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert transports[0].dropped >= 1
+            assert transports[0].duplicated >= 1
+            # One clean closing NOTIFY guarantees a fresh refresh trigger.
+            db.insert("pts", {"id": 1000, "x": 0.5})
+            assert wait_until(
+                lambda: client.refresh("pts") is not None
+                and contents(client) == source_contents(db)
+            )
+        finally:
+            client.close()
+            server.close()

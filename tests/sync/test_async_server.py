@@ -1,0 +1,291 @@
+"""The async (event-loop) server engine: mode selection, encode-once
+fan-out accounting, bounded send queues with slow-client eviction, and
+graceful drain on shutdown.
+
+The protocol-level behavior (reconnect, replay, batching, traces) is
+covered by the pre-existing suite, which runs against whatever engine
+``EDIFLOW_SYNC_MODE`` selects; this file pins the contracts that only
+exist in async mode."""
+
+import socket
+import time
+
+import pytest
+
+from repro.db import Column, Database
+from repro.db.types import FLOAT, INTEGER
+from repro.errors import SyncError
+from repro.retry import RetryPolicy
+from repro.sync import NotificationCenter, SyncClient, SyncServer
+from repro.sync.server import MODE_ASYNC, MODE_THREADED, default_mode
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+def fast_reconnect(max_attempts=10):
+    return RetryPolicy(
+        max_attempts=max_attempts,
+        base_delay=0.01,
+        multiplier=1.5,
+        max_delay=0.1,
+        jitter=0.5,
+        retryable=(OSError, Exception),
+    )
+
+
+def make_db():
+    db = Database()
+    db.create_table(
+        "pts",
+        [Column("id", INTEGER, nullable=False), Column("x", FLOAT)],
+        primary_key="id",
+    )
+    return db
+
+
+def make_stack(**server_kwargs):
+    db = make_db()
+    center = NotificationCenter(db)
+    server_kwargs.setdefault("use_sockets", True)
+    server_kwargs.setdefault("heartbeat_interval", None)
+    server = SyncServer(db, center, **server_kwargs)
+    client = SyncClient(server, reconnect=fast_reconnect())
+    return db, center, server, client
+
+
+def contents(client):
+    return sorted((r["id"], r["x"]) for r in client.table("pts").all_rows())
+
+
+class _StubSock:
+    """Wraps a real socket but refuses writes: the kernel-buffer-full
+    condition, made deterministic."""
+
+    def __init__(self, real):
+        self._real = real
+        self.blocked = True
+
+    def send(self, data):
+        if self.blocked:
+            raise BlockingIOError("stubbed: kernel buffer full")
+        return self._real.send(data)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestModeSelection:
+    def test_default_mode_is_async(self, monkeypatch):
+        monkeypatch.delenv("EDIFLOW_SYNC_MODE", raising=False)
+        assert default_mode() == MODE_ASYNC
+        db = make_db()
+        server = SyncServer(db, NotificationCenter(db), use_sockets=False)
+        assert server.mode == MODE_ASYNC
+        server.close()
+
+    def test_env_var_selects_threaded(self, monkeypatch):
+        monkeypatch.setenv("EDIFLOW_SYNC_MODE", "threaded")
+        db = make_db()
+        server = SyncServer(db, NotificationCenter(db), use_sockets=False)
+        assert server.mode == MODE_THREADED
+        server.close()
+
+    def test_explicit_mode_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("EDIFLOW_SYNC_MODE", "threaded")
+        db = make_db()
+        server = SyncServer(
+            db, NotificationCenter(db), use_sockets=False, mode=MODE_ASYNC
+        )
+        assert server.mode == MODE_ASYNC
+        server.close()
+
+    def test_unknown_mode_rejected(self):
+        db = make_db()
+        with pytest.raises(SyncError):
+            SyncServer(db, NotificationCenter(db), use_sockets=False, mode="fibers")
+
+    def test_threaded_mode_still_serves_sockets(self):
+        db, _center, server, client = make_stack(
+            mode=MODE_THREADED, heartbeat_interval=0.05
+        )
+        try:
+            client.mirror("pts")
+            db.insert("pts", {"id": 1, "x": 1.0})
+            assert client.wait_dirty("pts", timeout=5.0)
+            client.refresh("pts")
+            assert contents(client) == [(1, 1.0)]
+        finally:
+            client.close()
+            server.close()
+
+
+class TestAsyncEngine:
+    def test_no_liveness_threads_even_with_heartbeats_on(self):
+        """Async heartbeats ride the event loop: no per-client reader
+        threads, no dedicated heartbeat thread."""
+        db, _center, server, client = make_stack(
+            mode=MODE_ASYNC, heartbeat_interval=0.05
+        )
+        try:
+            client.mirror("pts")
+            assert server._heartbeat_thread is None
+            assert server._loop is not None
+            # Liveness still works: pings flow and PONGs come back.
+            assert wait_until(
+                lambda: server.pings_sent >= 2 and server.pongs_received >= 2
+            )
+            assert server.connected_count() == 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_notify_accounting_is_synchronous_on_healthy_links(self):
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        try:
+            client.mirror("pts")
+            link = next(iter(server._links.values()))
+            db.insert("pts", {"id": 1, "x": 1.0})
+            # No sleeping: the idle-queue inline write credits the link
+            # before insert() returns.
+            assert link.notify_count == 1
+            assert link.missed_count == 0
+        finally:
+            client.close()
+            server.close()
+
+    def test_slow_client_is_evicted_at_queue_bound(self):
+        db, _center, server, client = make_stack(
+            mode=MODE_ASYNC, max_queue_frames=16
+        )
+        try:
+            client.mirror("pts")
+            endpoint = server._endpoints[(client.host, client.port)]
+            conn = endpoint.conn
+            assert conn is not None
+            link = next(iter(server._links.values()))
+            conn.sock = _StubSock(conn.sock)
+            # Frames pile up in the bounded queue...
+            for i in range(10):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert server.queued_frames() == 10
+            assert link.notify_count == 0
+            # ...until the bound trips and the slow client is evicted.
+            for i in range(10, 30):
+                db.insert("pts", {"id": i, "x": float(i)})
+            assert server.evictions == 1
+            # Eviction detaches the callback, but the fast_reconnect
+            # client may re-attach (on a fresh, unstubbed socket) before
+            # we look -- possibly even mid-loop, in which case the tail
+            # of the inserts is delivered live.  The race-free
+            # invariants: exactly one registered link, the bounded
+            # queue's worth of frames (and everything sent while
+            # detached) became replayable misses, and every
+            # notification is accounted for exactly once.
+            assert server.detached_count() + server.connected_count() == 1
+            assert wait_until(lambda: server.queued_frames() == 0)
+            assert link.missed_count > server.max_queue_frames
+            assert link.notify_count + link.missed_count == 30
+            # The registration survived eviction: the client reconnects
+            # through the ordinary machinery and replays what it missed.
+            assert server.client_count() == 1
+            assert wait_until(lambda: client.reconnects >= 1)
+            client.refresh("pts")
+            assert contents(client) == [(i, float(i)) for i in range(30)]
+        finally:
+            client.close()
+            server.close()
+
+    def test_close_drains_queued_frames_before_shutdown(self):
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        received = []
+        client.on_notify(lambda table, op, seq: received.append(seq))
+        try:
+            client.mirror("pts")
+            for i in range(50):
+                db.insert("pts", {"id": i, "x": float(i)})
+            server.close()
+            # Everything queued at close() time reached the client before
+            # the FIN: the drain is graceful, not a truncation.
+            assert wait_until(lambda: len(received) >= 50)
+        finally:
+            client.close()
+
+    def test_externally_closed_socket_detaches_via_loop(self):
+        """The event loop notices a read EOF even with heartbeats off."""
+        db = make_db()
+        center = NotificationCenter(db)
+        server = SyncServer(
+            db, center, use_sockets=True, heartbeat_interval=None, mode=MODE_ASYNC
+        )
+        # No auto-reconnect: the only detach path is the loop's read EOF.
+        client = SyncClient(server, auto_reconnect=False)
+        try:
+            client.mirror("pts")
+            # Client kills its end (shutdown, so the FIN goes out even
+            # with its reader thread mid-recv); the loop is watching
+            # readability and detaches without any NOTIFY traffic.
+            client._stream._sock.shutdown(socket.SHUT_RDWR)
+            assert wait_until(lambda: server.detaches >= 1)
+            assert server.client_count() == 1  # registration survives
+        finally:
+            client.close()
+            server.close()
+
+    def test_shared_endpoint_two_tables_one_connection(self):
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        db.create_table(
+            "aux",
+            [Column("id", INTEGER, nullable=False), Column("x", FLOAT)],
+            primary_key="id",
+        )
+        try:
+            client.mirror("pts")
+            client.mirror("aux")
+            assert len(server._endpoints) == 1
+            db.insert("pts", {"id": 1, "x": 1.0})
+            db.insert("aux", {"id": 2, "x": 2.0})
+            assert client.wait_dirty("pts", timeout=5.0)
+            assert client.wait_dirty("aux", timeout=5.0)
+            client.refresh("pts")
+            client.refresh("aux")
+            assert contents(client) == [(1, 1.0)]
+        finally:
+            client.close()
+            server.close()
+
+
+class TestAcceptFailureAccounting:
+    def test_shutdown_accept_stays_silent(self):
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        try:
+            client.mirror("pts")
+            assert client.accept_failures == 0
+        finally:
+            client.close()
+            server.close()
+        # close() tears the listener down; no counter increment for that.
+        assert client.accept_failures == 0
+
+    def test_real_accept_failure_is_counted(self):
+        db = make_db()
+        center = NotificationCenter(db)
+        server = SyncServer(db, center, use_sockets=True, heartbeat_interval=None)
+        client = SyncClient(server)
+        try:
+            client._open_listener()
+            # Break the listener while the client still believes it is
+            # healthy: accept() now fails with a real OSError.
+            client._listener.close()
+            with pytest.raises(SyncError, match="listener unusable"):
+                client._accept_callback_connection(timeout=0.2)
+            assert client.accept_failures == 1
+        finally:
+            client.close()
+            server.close()
