@@ -254,6 +254,11 @@ def _run_arm(mode: str, n_clients: int, rows: int, probes: int) -> dict:
             db.insert("pts", {"id": rows + i + 1, "x": i})
             assert fleet.wait_frames(rows + i + 1)
             samples.extend(fleet.probe_latencies_ms(start_ns))
+
+        # --- saturation snapshot, taken while everything is still up:
+        # event-loop lag / idle headroom and send-queue high watermarks
+        # accumulated across the ramp + burst + probes above.
+        health = server.health()
     finally:
         fleet.close()
         server.close()
@@ -269,6 +274,11 @@ def _run_arm(mode: str, n_clients: int, rows: int, probes: int) -> dict:
         "latency_p50_ms": statistics.median(samples),
         "latency_p99_ms": samples[min(len(samples) - 1, int(0.99 * len(samples)))],
         "evictions": 0,
+        "health": {
+            "loop": health["loop"],
+            "queues": health["queues"],
+            "shards": health["shards"],
+        },
     }
 
 
@@ -346,6 +356,18 @@ def fanout_result(emit, emit_json):
         f"{headline['deliveries_per_s']:,.0f} deliveries/s, "
         f"p99 {headline['latency_p99_ms']:.2f} ms"
     )
+    loop = headline["health"]["loop"]
+    queues = headline["health"]["queues"]
+    if loop is not None:
+        emit(
+            f"async@{headline['clients']} loop health: "
+            f"lag p50 {loop['lag_ms']['p50'] or 0:.2f} ms "
+            f"p99 {loop['lag_ms']['p99'] or 0:.2f} ms, "
+            f"poll idle {loop['poll_idle_ratio']:.1%}; "
+            f"queue hiwat {queues['hiwat_frames']} frames "
+            f"/ {queues['hiwat_bytes']:,} bytes "
+            f"(limit {queues['limit_frames']})"
+        )
     emit_json("fanout", table, extra=extra)
     return by_key, gate_speedup
 
@@ -370,3 +392,21 @@ def test_ramp_scales(fanout_result):
     arms, _gate = fanout_result
     for arm in arms.values():
         assert arm["ramp_clients_per_s"] > 50.0
+
+
+def test_async_arms_report_loop_health(fanout_result):
+    """Every async arm lands a saturation snapshot in the JSON: loop lag
+    quantiles observed (the loop serviced cross-thread submits) and
+    queue high watermarks inside the eviction limits (nothing evicted)."""
+    arms, _gate = fanout_result
+    for (mode, _clients), arm in arms.items():
+        health = arm["health"]
+        if mode != MODE_ASYNC:
+            assert health["loop"] is None
+            continue
+        loop = health["loop"]
+        assert loop is not None and loop["iterations"] > 0
+        assert loop["lag_ms"]["count"] > 0
+        assert loop["lag_ms"]["p99"] is not None
+        queues = health["queues"]
+        assert 0 < queues["hiwat_frames"] <= queues["limit_frames"]

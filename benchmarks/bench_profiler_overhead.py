@@ -1,0 +1,116 @@
+"""Continuous profiler overhead: Figure-8 pipeline, sampler on vs off.
+
+The sampling profiler (``repro.obs.profiler``) is designed to stay on in
+production: a 99 Hz daemon thread walking ``sys._current_frames()``
+costs the *sampled* threads nothing directly -- the overhead is GIL
+contention from the sampler's own work (one frame walk per live thread
+per tick).  This bench pins that contract on the paper's headline
+workload, the Figure-8 insert pipeline (DB write -> trigger -> NOTIFY ->
+mirror refresh -> delta handler -> layout), by comparing:
+
+* **baseline**: the pipeline with tracing+metrics enabled, no profiler;
+* **profiled**: the same batches with the sampler running at
+  ``BENCH_PROFILER_HZ`` and span attribution active.
+
+Variants are paired back-to-back in alternating order (see
+``bench_telemetry_overhead`` for the rationale) and the gate takes the
+cleanest pair: noise only ever inflates the measured overhead.  The
+profiled arm must stay within ``OVERHEAD_BUDGET`` of baseline, and the
+run must produce a non-empty flamegraph -- a sampler that costs nothing
+because it observed nothing would pass a pure time gate.
+
+Scale with ``BENCH_PROFILER_BATCH`` / ``BENCH_PROFILER_BATCHES``.
+"""
+
+import gc
+import os
+
+import repro.obs as obs
+from repro.bench import InsertPipeline, Timer
+
+BATCH = int(os.environ.get("BENCH_PROFILER_BATCH", "500"))
+BATCHES = int(os.environ.get("BENCH_PROFILER_BATCHES", "6"))
+SAMPLES = int(os.environ.get("BENCH_PROFILER_SAMPLES", "5"))
+HZ = float(os.environ.get("BENCH_PROFILER_HZ", "99"))
+#: The CI gate: continuous profiling may cost at most 5% wall time.
+OVERHEAD_BUDGET = 0.05
+
+
+def _timed(fn) -> float:
+    gc.collect()
+    with Timer() as t:
+        fn()
+    return t.ms
+
+
+def test_profiler_overhead_under_budget(emit, emit_json):
+    obs.enable()
+    pipeline = InsertPipeline(use_sockets=False)
+    try:
+        pipeline.run_batch(BATCH)  # warm caches on both code paths
+
+        def run() -> None:
+            for _ in range(BATCHES):
+                pipeline.run_batch(BATCH)
+
+        pairs: list[tuple[float, float]] = []
+        for round_no in range(SAMPLES):
+            if round_no % 2 == 0:
+                baseline = _timed(run)
+                profiler = obs.OBS.enable_profiler(hz=HZ)
+                profiled = _timed(run)
+                obs.OBS.disable_profiler()
+            else:
+                profiler = obs.OBS.enable_profiler(hz=HZ)
+                profiled = _timed(run)
+                obs.OBS.disable_profiler()
+                baseline = _timed(run)
+            pairs.append((baseline, profiled))
+
+        overhead = min(p / b for b, p in pairs) - 1.0
+        baseline_ms = min(b for b, _ in pairs)
+        profiled_ms = min(p for _, p in pairs)
+        stats = profiler.stats()
+        flame = obs.OBS.flamegraph()
+        flame_lines = len([line for line in flame.splitlines() if line])
+        hottest = profiler.hottest_spans(limit=5)
+    finally:
+        pipeline.close()
+        obs.disable()
+        obs.reset()
+
+    emit(
+        f"\n== Profiler overhead: Figure-8 pipeline, "
+        f"{BATCHES}x{BATCH}-row batches at {HZ:g} Hz ==\n"
+        f"baseline (tracing, no profiler): {baseline_ms:.1f} ms\n"
+        f"profiled (sampler running):      {profiled_ms:.1f} ms "
+        f"(best-pair overhead {overhead * 100:+.1f}%)\n"
+        f"{stats['samples']} samples over {stats['distinct_stacks']} stacks, "
+        f"{flame_lines} flamegraph lines; hottest spans: "
+        + ", ".join(f"{h['span_name']} {h['self_ms']:.0f}ms" for h in hottest)
+    )
+    emit_json(
+        "profiler_overhead",
+        {
+            "batch": BATCH,
+            "batches": BATCHES,
+            "hz": HZ,
+            "baseline_ms": baseline_ms,
+            "profiled_ms": profiled_ms,
+            "profiler_overhead": overhead,
+            "budget": OVERHEAD_BUDGET,
+            "samples": stats["samples"],
+            "attributed_ms": stats["attributed_ms"],
+            "distinct_stacks": stats["distinct_stacks"],
+            "sampler_errors": stats["errors"],
+            "flamegraph_lines": flame_lines,
+            "hottest_spans": hottest,
+        },
+    )
+    assert flame_lines > 0, "profiled run produced an empty flamegraph"
+    assert stats["errors"] == 0
+    assert overhead < OVERHEAD_BUDGET, (
+        f"profiler costs {overhead * 100:.1f}% "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%) -- "
+        f"baseline {baseline_ms:.1f} ms vs profiled {profiled_ms:.1f} ms"
+    )

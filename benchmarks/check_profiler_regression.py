@@ -1,0 +1,47 @@
+"""CI gate: continuous profiling must stay under its overhead budget.
+
+Reads ``benchmarks/BENCH_profiler_overhead.json`` (written by
+``bench_profiler_overhead.py``) and exits non-zero if the sampler's
+measured overhead on the Figure-8 insert pipeline exceeds the recorded
+budget, or if the run produced no flamegraph output (a sampler that
+observed nothing trivially costs nothing).  Run after the benchmark:
+
+    python benchmarks/check_profiler_regression.py
+
+Kept as a standalone script (not a test) so the CI job can upload the
+JSON artifact even when the gate fails.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+RESULT = Path(__file__).parent / "BENCH_profiler_overhead.json"
+
+
+def main() -> int:
+    if not RESULT.exists():
+        print(f"FAIL: {RESULT} missing -- did bench_profiler_overhead run?")
+        return 2
+    payload = json.loads(RESULT.read_text(encoding="utf-8"))
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        print(f"FAIL: {RESULT} has no data block")
+        return 2
+    overhead = float(data["profiler_overhead"])
+    budget = float(data["budget"])
+    flame_lines = int(data.get("flamegraph_lines", 0))
+    ok = overhead < budget and flame_lines > 0
+    verdict = "PASS" if ok else "FAIL"
+    print(
+        f"{verdict}: profiler overhead on the Figure-8 pipeline at "
+        f"{data.get('hz')} Hz: {overhead * 100:+.1f}% "
+        f"(budget {budget * 100:.0f}%; baseline {data['baseline_ms']:.1f} ms, "
+        f"profiled {data['profiled_ms']:.1f} ms, "
+        f"{data.get('samples')} samples, {flame_lines} flamegraph lines)"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

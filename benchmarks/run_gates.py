@@ -91,6 +91,15 @@ GATES: dict[str, Gate] = {
             },
             artifacts="BENCH_fanout.json",
         ),
+        Gate(
+            name="profiler",
+            description="continuous profiling must cost under 5% on fig-8",
+            bench="benchmarks/bench_profiler_overhead.py",
+            check="benchmarks/check_profiler_regression.py",
+            env={"BENCH_PROFILER_BATCH": "300", "BENCH_PROFILER_BATCHES": "4"},
+            pre_tests=("tests/obs/test_profiler.py", "tests/obs/test_slowlog.py"),
+            artifacts="BENCH_profiler_overhead.json",
+        ),
     )
 }
 

@@ -35,7 +35,7 @@ from ..db.expression import col
 from ..db.schema import TID
 from ..ivm.registry import ViewRegistry
 from ..ivm.view import AggregateView
-from ..obs.store import SYS_METRICS, SYS_SPANS, TelemetrySink
+from ..obs.store import SYS_METRICS, SYS_PROFILES, SYS_SPANS, SYS_STACKS, TelemetrySink
 from ..sync.client import SyncClient
 from ..sync.server import SyncServer
 from ..vis.attributes import VisualItem
@@ -46,13 +46,16 @@ from ..vis.treemap import squarify
 
 __all__ = [
     "TelemetryDashboard",
+    "V_HOT_SPANS",
     "V_SPAN_STATS",
     "compute_coalesce_treemap",
+    "compute_flame_icicle",
     "compute_latency_points",
     "compute_span_waterfall",
 ]
 
 V_SPAN_STATS = "telemetry_span_stats"
+V_HOT_SPANS = "telemetry_hot_spans"
 
 #: Quantile stats persisted per histogram, in plotting order.
 _QUANTILE_STATS = ("p50", "p95", "p99")
@@ -214,6 +217,73 @@ def compute_coalesce_treemap(
     return items
 
 
+def compute_flame_icicle(
+    stack_rows: list[dict[str, Any]],
+    width: float = 900.0,
+    height: float = 300.0,
+    max_depth: int = 12,
+) -> list[VisualItem]:
+    """Persisted ``sys_stacks`` rows as an icicle (root-at-top flamegraph).
+
+    Each row is one collapsed stack delta from the sampling profiler;
+    the synthetic frame chain is ``thread -> span:<name> -> frames...``,
+    weighted by attributed self-time (falling back to sample counts when
+    a row carries no time).  One cell per distinct frame *prefix*: cell
+    width is the prefix's share of total attributed time, depth is the
+    row below its caller -- exactly a flamegraph, drawn top-down.
+    """
+    totals: dict[tuple[str, ...], float] = {}
+    for row in stack_rows:
+        frames: list[str] = [row.get("thread") or "?"]
+        if row.get("span_name"):
+            frames.append(f"span:{row['span_name']}")
+        stack = row.get("stack") or ""
+        if stack:
+            frames.extend(stack.split(";"))
+        frames = frames[:max_depth]
+        weight = float(row.get("self_ms") or 0.0) or float(row.get("samples") or 0)
+        if weight <= 0:
+            continue
+        for depth in range(1, len(frames) + 1):
+            key = tuple(frames[:depth])
+            totals[key] = totals.get(key, 0.0) + weight
+    if not totals:
+        return []
+    depth_max = max(len(key) for key in totals)
+    row_height = height / depth_max
+    grand_total = sum(v for key, v in totals.items() if len(key) == 1)
+    children: dict[tuple[str, ...], list[tuple[str, ...]]] = {}
+    for key in totals:
+        if len(key) > 1:
+            children.setdefault(key[:-1], []).append(key)
+    items: list[VisualItem] = []
+
+    def emit(key: tuple[str, ...], x_px: float) -> None:
+        cell_width = totals[key] / grand_total * width
+        depth = len(key) - 1
+        items.append(
+            VisualItem(
+                obj_id=";".join(key),
+                x=x_px,
+                y=depth * row_height,
+                width=max(cell_width, 0.5),
+                height=row_height * 0.92,
+                color=categorical(depth),
+                label=f"{key[-1]} {totals[key]:.1f}",
+            )
+        )
+        child_x = x_px
+        for child in sorted(children.get(key, [])):
+            emit(child, child_x)
+            child_x += totals[child] / grand_total * width
+
+    x = 0.0
+    for root in sorted(key for key in totals if len(key) == 1):
+        emit(root, x)
+        x += totals[root] / grand_total * width
+    return items
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -252,6 +322,7 @@ class TelemetryDashboard:
             self.client = SyncClient(self.server)
             self.span_mirror = self.client.mirror(SYS_SPANS)
             self.metric_mirror = self.client.mirror(SYS_METRICS)
+            self.stack_mirror = self.client.mirror(SYS_STACKS)
             self.registry = ViewRegistry(sink.database)
             self.span_stats = AggregateView(
                 V_SPAN_STATS,
@@ -269,9 +340,26 @@ class TelemetryDashboard:
             # "why is this pixel here" without re-querying.
             self.span_stats.enable_lineage()
             self.registry.register(self.span_stats)
+            # Hottest spans by profiler self-time: an ordinary
+            # AggregateView over sys_profiles delta rows, maintained
+            # incrementally as the sink writes (and pruned sums shrink
+            # with retention -- the view is a sliding window, on purpose).
+            self.hot_spans_view = AggregateView(
+                V_HOT_SPANS,
+                SYS_PROFILES,
+                ("span_name",),
+                [
+                    AggSpec("COUNT", None, "n"),
+                    AggSpec("SUM", col("samples"), "samples"),
+                    AggSpec("SUM", col("self_ms"), "self_ms"),
+                ],
+                where=col("kind") == "delta",
+            )
+            self.registry.register(self.hot_spans_view)
         self.waterfall = Display("span-waterfall", width=width, height=height)
         self.latency = Display("notify-latency", width=width, height=height)
         self.savings = Display("coalesce-savings", width=width, height=height)
+        self.flame = Display("flame-icicle", width=width, height=height)
         self.refreshes = 0
 
     # ------------------------------------------------------------------
@@ -286,8 +374,10 @@ class TelemetryDashboard:
         with self.sink.runtime.tracer.suppress():
             self.client.refresh(SYS_SPANS)
             self.client.refresh(SYS_METRICS)
+            self.client.refresh(SYS_STACKS)
             span_rows = self.span_mirror.all_rows()
             metric_rows = self.metric_mirror.all_rows()
+            stack_rows = self.stack_mirror.all_rows()
             self.waterfall.apply_snapshot(
                 r.to_row(0, i + 1)
                 for i, r in enumerate(compute_span_waterfall(span_rows))
@@ -300,20 +390,51 @@ class TelemetryDashboard:
                 r.to_row(2, i + 1)
                 for i, r in enumerate(compute_coalesce_treemap(metric_rows))
             )
+            self.flame.apply_snapshot(
+                r.to_row(3, i + 1)
+                for i, r in enumerate(compute_flame_icicle(stack_rows))
+            )
         self.refreshes += 1
         return {
             "span_rows": len(span_rows),
             "metric_rows": len(metric_rows),
+            "stack_rows": len(stack_rows),
             "snap": max((r["snap"] for r in metric_rows), default=0),
             "waterfall_items": len(self.waterfall),
             "latency_items": len(self.latency),
             "savings_items": len(self.savings),
+            "flame_items": len(self.flame),
         }
 
     def span_summary(self) -> list[dict[str, Any]]:
         """Per-span-name statistics from the incremental AggregateView."""
         rows = self.registry.rows(V_SPAN_STATS)
         return sorted(rows, key=lambda r: -(r["total_ms"] or 0.0))
+
+    def hot_spans(self) -> list[dict[str, Any]]:
+        """Span names by profiler self-time, hottest first.
+
+        Fed by the :data:`V_HOT_SPANS` AggregateView over ``sys_profiles``
+        delta rows -- the dashboard's "where is the CPU going" answer.
+        Rows with no span attribution (samples outside any span) appear
+        under the ``None`` group last.
+        """
+        rows = self.registry.rows(V_HOT_SPANS)
+        return sorted(
+            rows,
+            key=lambda r: (r["span_name"] is None, -(r["self_ms"] or 0.0)),
+        )
+
+    def format_hot_spans(self, limit: int = 12) -> str:
+        """A terminal-friendly rendering of the hottest-spans view."""
+        lines = [f"{'span':<28}{'samples':>9}{'self ms':>12}"]
+        for row in self.hot_spans()[:limit]:
+            name = row["span_name"] if row["span_name"] is not None else "<no span>"
+            lines.append(
+                f"{name:<28}{int(row['samples'] or 0):>9}"
+                f"{(row['self_ms'] or 0.0):>12.2f}"
+            )
+        return "\n".join(lines)
 
     def format_summary(self, limit: int = 12) -> str:
         """A terminal-friendly rendering of the span-stats view."""
@@ -368,16 +489,17 @@ class TelemetryDashboard:
         }
 
     def render_svg(self) -> dict[str, str]:
-        """All three views as SVG documents (keyed by display name)."""
+        """All four views as SVG documents (keyed by display name)."""
         return {
             d.name: d.render_svg()
-            for d in (self.waterfall, self.latency, self.savings)
+            for d in (self.waterfall, self.latency, self.savings, self.flame)
         }
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self.sink.runtime.tracer.suppress():
             self.registry.unregister(V_SPAN_STATS)
+            self.registry.unregister(V_HOT_SPANS)
             self.client.close()
             self.server.close()
 

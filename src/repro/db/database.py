@@ -109,6 +109,10 @@ class Database:
         # Lineage capture (repro.lineage).  Off by default -- queries pay
         # nothing until enable_lineage() installs a manager.
         self._lineage: Any = None
+        # Slow-path attributor (repro.obs.slowlog).  Off by default --
+        # traced statements pay one attribute check until
+        # enable_slowlog() installs a log.
+        self._slowlog: Any = None
 
     # ------------------------------------------------------------------
     # Lineage
@@ -141,6 +145,37 @@ class Database:
         """Stop capturing lineage (sys_lineage_* tables are left as-is)."""
         with self._lock:
             self._lineage = None
+
+    # ------------------------------------------------------------------
+    # Slow-path attribution
+    def slowlog(self) -> Any:
+        """The installed :class:`~repro.obs.slowlog.SlowLog`, or None
+        when slow-path capture is disabled (the default)."""
+        return self._slowlog
+
+    def enable_slowlog(self, budget_ms: float = 50.0, **kwargs: Any) -> Any:
+        """Record over-budget statements/spans into ``sys_slowlog``.
+
+        Creates a :class:`~repro.obs.slowlog.SlowLog` on this database:
+        any traced statement slower than ``budget_ms`` is persisted with
+        its EXPLAIN ANALYZE operator rows, and (via a tracer hook) any
+        other over-budget span with its profile stacks.  Requires
+        tracing (``obs.enable()``) to see statements.  Returns the log.
+        """
+        from ..obs.slowlog import SlowLog
+
+        with self._lock:
+            if self._slowlog is not None:
+                return self._slowlog
+            self._slowlog = SlowLog(self, budget_ms=budget_ms, **kwargs)
+            return self._slowlog
+
+    def disable_slowlog(self) -> None:
+        """Stop slow-path capture (sys_slowlog rows are left as-is)."""
+        with self._lock:
+            log, self._slowlog = self._slowlog, None
+        if log is not None:
+            log.close()
 
     def query_lineage(
         self, sql: str, params: Sequence[Any] = ()
@@ -599,6 +634,7 @@ class Database:
         else:
             metrics.counter("db.statement_cache", result="hit").inc()
         kind = type(statement).__name__.removesuffix("Stmt").lower()
+        select_plan = None
         with OBS.tracer.span("db.execute", tags={"kind": kind}) as span:
             if isinstance(statement, SelectStmt):
                 with self._lock:
@@ -611,6 +647,7 @@ class Database:
                     else:
                         metrics.counter("db.plan_cache", result="hit").inc()
                     span.set_tag("access", plan_access_kind(plan))
+                    select_plan = plan
                     captured = (
                         self._lineage.maybe_capture(sql, plan)
                         if self._lineage is not None
@@ -627,6 +664,8 @@ class Database:
                 span.set_tag("rows", result.rowcount)
         metrics.counter("db.statements", kind=kind).inc()
         metrics.histogram("db.execute_ms", kind=kind).observe(span.duration_ms)
+        if self._slowlog is not None:
+            self._slowlog.maybe_record_query(sql, span, select_plan)
         return result
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[dict[str, Any]]:

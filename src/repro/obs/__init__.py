@@ -31,21 +31,30 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiler import DEFAULT_HZ, SamplingProfiler, collapse_frames
 from .propagation import STAGES, PropagationReport, propagation_report
 from .runtime import OBS, ObsRuntime, disable, enable, enabled, reset
 from .trace import NullSpan, Span, SpanContext, Tracer
 
-#: Names served lazily from :mod:`repro.obs.store`.  The store pulls in
-#: the db + sync layers, which themselves import ``repro.obs.runtime``
-#: -- importing it eagerly here would make ``repro.db`` -> ``repro.obs``
-#: a hard cycle.  PEP 562 module __getattr__ keeps ``repro.obs.X``
-#: working for every export without the eager edge.
+#: Names served lazily from :mod:`repro.obs.store` and
+#: :mod:`repro.obs.slowlog`.  Both pull in the db + sync layers, which
+#: themselves import ``repro.obs.runtime`` -- importing them eagerly
+#: here would make ``repro.db`` -> ``repro.obs`` a hard cycle.  PEP 562
+#: module __getattr__ keeps ``repro.obs.X`` working for every export
+#: without the eager edge.
 _STORE_EXPORTS = (
     "SYS_METRICS",
+    "SYS_PROFILES",
     "SYS_SPANS",
     "SYS_SPAN_EVENTS",
+    "SYS_STACKS",
     "SYSTEM_TABLES",
     "TelemetrySink",
+)
+
+_SLOWLOG_EXPORTS = (
+    "SYS_SLOWLOG",
+    "SlowLog",
 )
 
 
@@ -54,11 +63,16 @@ def __getattr__(name: str):
         from . import store
 
         return getattr(store, name)
+    if name in _SLOWLOG_EXPORTS:
+        from . import slowlog
+
+        return getattr(slowlog, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HZ",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -69,13 +83,19 @@ __all__ = [
     "STAGES",
     "SUMMARY_QUANTILES",
     "SYS_METRICS",
+    "SYS_PROFILES",
+    "SYS_SLOWLOG",
     "SYS_SPANS",
     "SYS_SPAN_EVENTS",
+    "SYS_STACKS",
     "SYSTEM_TABLES",
+    "SamplingProfiler",
+    "SlowLog",
     "Span",
     "SpanContext",
     "TelemetrySink",
     "Tracer",
+    "collapse_frames",
     "disable",
     "enable",
     "enabled",

@@ -116,7 +116,17 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram (cumulative on export, like Prometheus)."""
 
-    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "_counts",
+        "_sum",
+        "_count",
+        "_min",
+        "_max",
+        "_lock",
+    )
 
     def __init__(
         self,
@@ -132,6 +142,8 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
         self._sum = 0.0
         self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -140,6 +152,10 @@ class Histogram:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
 
     @property
     def count(self) -> int:
@@ -148,6 +164,16 @@ class Histogram:
     @property
     def sum(self) -> float:
         return self._sum
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observed value (None while empty)."""
+        return self._min if self._count else None
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observed value (None while empty)."""
+        return self._max if self._count else None
 
     def bucket_counts(self) -> dict[str, int]:
         """Cumulative counts keyed by upper bound (incl. ``+Inf``)."""
@@ -166,17 +192,25 @@ class Histogram:
 
         Uses the standard ``histogram_quantile`` interpolation: find the
         bucket the target rank falls into and interpolate linearly within
-        it (the first bucket's lower edge is 0).  Observations beyond the
-        last finite bound clamp to that bound -- with fixed buckets
-        nothing better is knowable.  Returns ``None`` while empty.
+        it (the first bucket's lower edge is 0).  Returns ``None`` while
+        empty.  Every estimate is clamped to the *observed* ``[min, max]``
+        range: interpolation alone fabricates values a single-bucket or
+        single-valued histogram never saw (e.g. all observations equal to
+        0.01 reporting a p99 of 0.049), and observations past the last
+        finite bound clamp to the true maximum rather than the bound.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             counts = list(self._counts)
             total = self._count
+            lo = self._min
+            hi = self._max
         if total == 0:
             return None
+        if lo == hi:
+            # Every observation was the same value: exact, not interpolated.
+            return lo
         rank = q * total
         cumulative = 0.0
         for index, bound in enumerate(self.buckets):
@@ -184,10 +218,10 @@ class Histogram:
             if cumulative + in_bucket >= rank and in_bucket > 0:
                 lower = self.buckets[index - 1] if index > 0 else 0.0
                 fraction = (rank - cumulative) / in_bucket
-                return lower + (bound - lower) * fraction
+                return min(max(lower + (bound - lower) * fraction, lo), hi)
             cumulative += in_bucket
-        # Rank lives in the +Inf bucket: clamp to the last finite bound.
-        return self.buckets[-1]
+        # Rank lives in the +Inf bucket: clamp to the observed maximum.
+        return hi
 
     def quantiles(
         self, qs: tuple[float, ...] = SUMMARY_QUANTILES
@@ -206,11 +240,21 @@ def _sanitize(name: str) -> str:
     return "repro_" + name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first (it is the escape character itself), then the quote
+    that would close the value early, then literal newlines which would
+    break the line-oriented format.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _label_text(labels: LabelKey, extra: Optional[tuple[tuple[str, str], ...]] = None) -> str:
     pairs = list(labels) + list(extra or ())
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -302,6 +346,8 @@ class MetricsRegistry:
                 self._series_name(h.name, h.labels): {
                     "count": h.count,
                     "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
                     "buckets": h.bucket_counts(),
                     **h.quantiles(),
                 }

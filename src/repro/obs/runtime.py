@@ -21,21 +21,28 @@ new value, both of which are consistent states).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .metrics import MetricsRegistry
+from .profiler import DEFAULT_HZ, SamplingProfiler
 from .trace import Tracer
 
 __all__ = ["OBS", "ObsRuntime", "enable", "disable", "enabled", "reset"]
 
 
 class ObsRuntime:
-    """One tracer + one metrics registry + the master switch."""
+    """One tracer + one metrics registry + one profiler + the switch."""
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "profiler")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        #: The continuous sampling profiler, or None until enabled.
+        #: Kept separate from ``enabled``: sampling has a real (small)
+        #: cost, so it is opt-in even while tracing is on.
+        self.profiler: Optional[SamplingProfiler] = None
 
     def enable(self) -> None:
         self.enabled = True
@@ -43,10 +50,52 @@ class ObsRuntime:
     def disable(self) -> None:
         self.enabled = False
 
+    # ------------------------------------------------------------------
+    # Continuous profiling
+    def enable_profiler(self, hz: float = DEFAULT_HZ, **kwargs) -> SamplingProfiler:
+        """Start (or return the already-running) sampling profiler.
+
+        The profiler is wired to this runtime's tracer: samples are
+        attributed to active spans, and a finish hook stamps
+        ``self_time_ms`` onto spans the sampler saw.  Idempotent --
+        a second call returns the live instance untouched.
+        """
+        profiler = self.profiler
+        if profiler is not None and profiler.running:
+            return profiler
+        if profiler is None:
+            profiler = SamplingProfiler(tracer=self.tracer, hz=hz, **kwargs)
+            self.profiler = profiler
+        self.tracer.add_finish_hook(profiler.on_span_finish)
+        profiler.start()
+        return profiler
+
+    def disable_profiler(self) -> None:
+        """Stop the sampler (aggregates survive for post-mortem reads)."""
+        profiler = self.profiler
+        if profiler is None:
+            return
+        self.tracer.remove_finish_hook(profiler.on_span_finish)
+        profiler.stop()
+
+    def flamegraph(self, weights: str = "samples") -> str:
+        """Collapsed-stack flamegraph text from the profiler.
+
+        Empty string when the profiler was never enabled: callers can
+        pipe the output to flamegraph tooling unconditionally.
+        """
+        profiler = self.profiler
+        if profiler is None:
+            return ""
+        return profiler.flamegraph(weights=weights)
+
     def reset(self) -> None:
         """Clear collected spans and metrics (the switch is untouched)."""
         self.tracer.reset()
         self.metrics.reset()
+        if self.profiler is not None:
+            self.disable_profiler()
+            self.profiler = None
 
 
 #: The process-wide instance every instrumentation site reads.

@@ -27,6 +27,13 @@ dedicated telemetry :class:`~repro.db.database.Database`:
     (``snap``): counters and gauges as ``stat='value'``, histograms as
     ``count``/``sum``/``p50``/``p95``/``p99``.  Old generations are
     pruned past :attr:`TelemetrySink.metric_retention`.
+``sys_profiles`` / ``sys_stacks``
+    the continuous sampling profiler's aggregates
+    (:mod:`repro.obs.profiler`): per-(thread, span) self-time rows and
+    the collapsed stacks behind them, one delta batch per collection
+    plus lifetime-keyframe rows every
+    :attr:`TelemetrySink.metric_keyframe_every` collections, pruned past
+    :attr:`TelemetrySink.profile_retention`.
 
 The system tables are watched by the sink's own
 :class:`~repro.sync.notification.NotificationCenter` under a
@@ -75,19 +82,31 @@ from .trace import Span
 
 __all__ = [
     "SYS_METRICS",
+    "SYS_PROFILES",
     "SYS_SPANS",
     "SYS_SPAN_EVENTS",
+    "SYS_STACKS",
     "SYSTEM_TABLES",
+    "GUARDED_TABLES",
     "TelemetrySink",
 ]
 
 SYS_SPANS = "sys_spans"
 SYS_SPAN_EVENTS = "sys_span_events"
 SYS_METRICS = "sys_metrics"
+SYS_PROFILES = "sys_profiles"
+SYS_STACKS = "sys_stacks"
 
 #: Every telemetry system table.  Spans tagged with one of these (a
 #: dashboard refreshing its own mirrors) are filtered at collect time.
-SYSTEM_TABLES = (SYS_SPANS, SYS_SPAN_EVENTS, SYS_METRICS)
+SYSTEM_TABLES = (SYS_SPANS, SYS_SPAN_EVENTS, SYS_METRICS, SYS_PROFILES, SYS_STACKS)
+
+#: Tables the recursion guard filters on.  A superset of
+#: :data:`SYSTEM_TABLES`: ``sys_slowlog`` lives in whatever database its
+#: :class:`~repro.obs.slowlog.SlowLog` was pointed at (possibly not the
+#: sink's), but spans touching it are still the observer observing
+#: itself and must never persist.
+GUARDED_TABLES = frozenset(SYSTEM_TABLES) | {"sys_slowlog"}
 
 #: Default flush policy: pure count batching, no timer thread (see the
 #: module docstring for why the time bound lives in the sink, not here).
@@ -154,6 +173,8 @@ class TelemetrySink:
             self.center.set_policy(table, self.policy)
         #: How many metric collection generations to keep in sys_metrics.
         self.metric_retention = 16
+        #: How many collection generations of profile/stack rows to keep.
+        self.profile_retention = 16
         #: Full-registry snapshot (keyframe) every N collections; between
         #: keyframes only changed series are persisted.  Must stay below
         #: metric_retention so every series has a retained row.
@@ -179,6 +200,8 @@ class TelemetrySink:
         self.spans_stored = 0
         self.events_stored = 0
         self.metrics_stored = 0
+        self.profiles_stored = 0
+        self.stacks_stored = 0
         self.guard_dropped = 0
         self.sampled_out = 0
 
@@ -235,6 +258,41 @@ class TelemetrySink:
             )
             db.table(SYS_METRICS).create_index(
                 "ix_sys_metrics_snap", ("snap",), sorted=True
+            )
+        if not db.has_table(SYS_PROFILES):
+            db.create_table(
+                SYS_PROFILES,
+                [
+                    Column("snap", INTEGER, nullable=False),
+                    Column("ts", INTEGER, nullable=False),
+                    # 'delta' = samples since the previous collection;
+                    # 'total' = lifetime keyframe (every
+                    # metric_keyframe_every-th collection).
+                    Column("kind", TEXT, nullable=False),
+                    Column("thread", TEXT, nullable=False),
+                    Column("span_name", TEXT),
+                    Column("samples", INTEGER, nullable=False),
+                    Column("self_ms", FLOAT, nullable=False),
+                ],
+            )
+            db.table(SYS_PROFILES).create_index(
+                "ix_sys_profiles_snap", ("snap",), sorted=True
+            )
+        if not db.has_table(SYS_STACKS):
+            db.create_table(
+                SYS_STACKS,
+                [
+                    Column("snap", INTEGER, nullable=False),
+                    Column("ts", INTEGER, nullable=False),
+                    Column("thread", TEXT, nullable=False),
+                    Column("span_name", TEXT),
+                    Column("stack", TEXT, nullable=False),
+                    Column("samples", INTEGER, nullable=False),
+                    Column("self_ms", FLOAT, nullable=False),
+                ],
+            )
+            db.table(SYS_STACKS).create_index(
+                "ix_sys_stacks_snap", ("snap",), sorted=True
             )
 
     # ------------------------------------------------------------------
@@ -305,7 +363,7 @@ class TelemetrySink:
             # flushes update sync.* series labeled with the system
             # tables; persisting those would make every collection
             # dirty its own next collection.
-            if label_map.get("table") in SYSTEM_TABLES:
+            if label_map.get("table") in GUARDED_TABLES:
                 continue
             labels = _json_text(label_map)
             if kind in ("counter", "gauge"):
@@ -324,6 +382,79 @@ class TelemetrySink:
                 for stat, value in inst.quantiles().items():
                     row(kind, inst, labels, stat, value)
         return rows
+
+    def _profile_rows(
+        self, snap: int
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+        """``(sys_profiles rows, sys_stacks rows)`` for this collection.
+
+        Drains the profiler's since-last-collection aggregates: one
+        ``sys_stacks`` row per distinct ``(thread, span, stack)`` delta
+        and one ``sys_profiles`` ``kind='delta'`` row per
+        ``(thread, span)``.  On keyframe collections (the same cadence
+        as metric keyframes) the profiler's *lifetime* per-span totals
+        are also persisted as ``kind='total'`` rows, so cumulative
+        profiles survive delta rows aging past
+        :attr:`profile_retention`.  No profiler, or an idle one, costs
+        nothing.
+        """
+        profiler = getattr(self.runtime, "profiler", None)
+        if profiler is None:
+            return [], []
+        drained = profiler.drain()
+        if not drained:
+            return [], []
+        ts = self.database.now()
+        stack_rows = [
+            {
+                "snap": snap,
+                "ts": ts,
+                "thread": entry["thread"],
+                "span_name": entry["span_name"],
+                "stack": entry["stack"],
+                "samples": entry["samples"],
+                "self_ms": entry["self_ms"],
+            }
+            for entry in drained
+        ]
+        agg: dict[tuple[str, Optional[str]], list[float]] = {}
+        for entry in drained:
+            cell = agg.setdefault((entry["thread"], entry["span_name"]), [0, 0.0])
+            cell[0] += entry["samples"]
+            cell[1] += entry["self_ms"]
+        profile_rows = [
+            {
+                "snap": snap,
+                "ts": ts,
+                "kind": "delta",
+                "thread": thread,
+                "span_name": span_name,
+                "samples": int(samples),
+                "self_ms": self_ms,
+            }
+            for (thread, span_name), (samples, self_ms) in agg.items()
+        ]
+        if (snap - 1) % self.metric_keyframe_every == 0:
+            totals: dict[tuple[str, Optional[str]], list[float]] = {}
+            for entry in profiler.totals():
+                cell = totals.setdefault(
+                    (entry["thread"], entry["span_name"]), [0, 0.0]
+                )
+                cell[0] += entry["samples"]
+                cell[1] += entry["self_ms"]
+            profile_rows.extend(
+                {
+                    "snap": snap,
+                    "ts": ts,
+                    "kind": "total",
+                    "thread": thread,
+                    "span_name": span_name,
+                    "samples": int(samples),
+                    "self_ms": self_ms,
+                }
+                for (thread, span_name), (samples, self_ms) in totals.items()
+            )
+        return profile_rows, stack_rows
 
     # ------------------------------------------------------------------
     def collect(self) -> dict[str, int]:
@@ -345,7 +476,7 @@ class TelemetrySink:
                 self.sampled_out += len(drained) - len(picked)
             else:
                 picked = drained
-            spans = [s for s in picked if s.tags.get("table") not in SYSTEM_TABLES]
+            spans = [s for s in picked if s.tags.get("table") not in GUARDED_TABLES]
             dropped = len(picked) - len(spans)
             span_rows = [self._span_row(s) for s in spans]
             event_rows = [row for s in spans for row in self._event_rows(s)]
@@ -353,6 +484,7 @@ class TelemetrySink:
                 self._snap += 1
                 snap = self._snap
             metric_rows = self._metric_rows(snap)
+            profile_rows, stack_rows = self._profile_rows(snap)
             if span_rows:
                 self.database.insert_many(SYS_SPANS, span_rows)
                 self._span_watermarks.append(max(r["start_ns"] for r in span_rows))
@@ -360,19 +492,31 @@ class TelemetrySink:
                 self.database.insert_many(SYS_SPAN_EVENTS, event_rows)
             if metric_rows:
                 self.database.insert_many(SYS_METRICS, metric_rows)
+            if profile_rows:
+                self.database.insert_many(SYS_PROFILES, profile_rows)
+            if stack_rows:
+                self.database.insert_many(SYS_STACKS, stack_rows)
             cutoff = snap - self.metric_retention
             if cutoff > 0:
                 self.database.delete(SYS_METRICS, col("snap") <= cutoff)
+            profile_cutoff = snap - self.profile_retention
+            if profile_cutoff > 0:
+                self.database.delete(SYS_PROFILES, col("snap") <= profile_cutoff)
+                self.database.delete(SYS_STACKS, col("snap") <= profile_cutoff)
             self._prune_spans()
             self.collections += 1
             self.spans_stored += len(span_rows)
             self.events_stored += len(event_rows)
             self.metrics_stored += len(metric_rows)
+            self.profiles_stored += len(profile_rows)
+            self.stacks_stored += len(stack_rows)
             self.guard_dropped += dropped
         return {
             "spans": len(span_rows),
             "events": len(event_rows),
             "metrics": len(metric_rows),
+            "profiles": len(profile_rows),
+            "stacks": len(stack_rows),
             "dropped": dropped,
         }
 
@@ -436,6 +580,8 @@ class TelemetrySink:
             "spans_stored": self.spans_stored,
             "events_stored": self.events_stored,
             "metrics_stored": self.metrics_stored,
+            "profiles_stored": self.profiles_stored,
+            "stacks_stored": self.stacks_stored,
             "guard_dropped": self.guard_dropped,
             "sampled_out": self.sampled_out,
         }

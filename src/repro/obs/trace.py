@@ -249,11 +249,22 @@ class _Suppression:
 
     def __enter__(self) -> None:
         local = self.tracer._local
-        local.suppress = getattr(local, "suppress", 0) + 1
+        depth = getattr(local, "suppress", 0) + 1
+        local.suppress = depth
+        if depth == 1:
+            # Mirror into the shared ident set so *other* threads (the
+            # sampling profiler) can honor this thread's do-not-observe
+            # marker without reaching into its thread-locals.
+            with self.tracer._lock:
+                self.tracer._suppressed_idents.add(threading.get_ident())
 
     def __exit__(self, *exc: Any) -> None:
         local = self.tracer._local
-        local.suppress = max(getattr(local, "suppress", 1) - 1, 0)
+        depth = max(getattr(local, "suppress", 1) - 1, 0)
+        local.suppress = depth
+        if depth == 0:
+            with self.tracer._lock:
+                self.tracer._suppressed_idents.discard(threading.get_ident())
 
 
 class _Activation:
@@ -296,6 +307,15 @@ class Tracer:
         self._lock = threading.Lock()
         self._links: OrderedDict[Any, tuple[SpanContext, int]] = OrderedDict()
         self._link_capacity = link_capacity
+        #: thread ident -> that thread's live context stack.  The stacks
+        #: are only ever *mutated* by their owning thread; the registry
+        #: lets the sampling profiler read "what span is thread T inside
+        #: right now" from its own sampler thread.
+        self._thread_stacks: dict[int, list[Any]] = {}
+        #: idents currently inside :meth:`suppress` (see _Suppression).
+        self._suppressed_idents: set[int] = set()
+        #: Called with each finished span, after it enters the buffer.
+        self._finish_hooks: list[Any] = []
 
     # ------------------------------------------------------------------
     def _stack(self) -> list[Any]:
@@ -303,11 +323,74 @@ class Tracer:
         if stack is None:
             stack = []
             self._local.stack = stack
+            with self._lock:
+                self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     def _record(self, span: Span) -> None:
         with self._lock:
             self._buffer.append(span)
+        for hook in self._finish_hooks:
+            try:
+                hook(span)
+            except Exception:  # pragma: no cover - hooks must not break tracing
+                pass
+
+    # ------------------------------------------------------------------
+    # Cross-thread introspection (the sampling profiler's read path)
+    def add_finish_hook(self, hook: Any) -> None:
+        """Call ``hook(span)`` whenever a span finishes.
+
+        Hooks run on the finishing thread, outside the buffer lock, and
+        exceptions are swallowed: observability must never take the
+        workload down.  The profiler uses this to stamp ``self_time_ms``
+        onto spans it sampled; the slow-path attributor uses it to catch
+        over-budget spans the moment they close.
+        """
+        if hook not in self._finish_hooks:
+            self._finish_hooks.append(hook)
+
+    def remove_finish_hook(self, hook: Any) -> None:
+        # Equality, not identity: ``obj.method`` builds a fresh bound
+        # method on every access, so the unhook call never passes the
+        # same object that add_finish_hook stored.
+        self._finish_hooks = [h for h in self._finish_hooks if h != hook]
+
+    def suppressed_idents(self) -> set[int]:
+        """Idents of threads currently inside :meth:`suppress`."""
+        with self._lock:
+            return set(self._suppressed_idents)
+
+    def active_spans(self) -> dict[int, Span]:
+        """Innermost *open* span per thread ident, read cross-thread.
+
+        The registry maps each thread to the same list object that
+        thread pushes/pops; reading it from another thread is safe under
+        the GIL (list ops are atomic) and at worst one frame stale --
+        exactly the tolerance a statistical profiler has anyway.
+        """
+        with self._lock:
+            stacks = list(self._thread_stacks.items())
+        out: dict[int, Span] = {}
+        for ident, stack in stacks:
+            for frame in reversed(tuple(stack)):
+                if isinstance(frame, Span) and frame.end_ns is None:
+                    out[ident] = frame
+                    break
+        return out
+
+    def prune_thread_registry(self, live_idents: Any) -> None:
+        """Forget context stacks of threads no longer in ``live_idents``.
+
+        Called by the profiler with ``sys._current_frames().keys()`` so
+        the registry does not grow one (empty) entry per short-lived
+        thread forever.
+        """
+        keep = set(live_idents)
+        with self._lock:
+            for ident in [i for i in self._thread_stacks if i not in keep]:
+                del self._thread_stacks[ident]
+                self._suppressed_idents.discard(ident)
 
     # ------------------------------------------------------------------
     # Suppression (the telemetry sink's recursion guard)

@@ -75,7 +75,14 @@ class _Shard:
     tracking never contend across shards).
     """
 
-    __slots__ = ("index", "lock", "buffer", "flush_thread", "flushes")
+    __slots__ = (
+        "index",
+        "lock",
+        "buffer",
+        "flush_thread",
+        "flushes",
+        "timer_fires",
+    )
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -83,6 +90,7 @@ class _Shard:
         self.buffer = BatchBuffer()
         self.flush_thread: Optional[threading.Thread] = None
         self.flushes = 0
+        self.timer_fires = 0
 
 
 class NotificationCenter:
@@ -244,7 +252,10 @@ class NotificationCenter:
 
     def _shard_flush_loop(self, shard: _Shard) -> None:
         while not self._flush_stop.wait(self._flush_interval(shard)):
-            for table in self._due_tables_in(shard):
+            due = self._due_tables_in(shard)
+            if due:
+                shard.timer_fires += 1
+            for table in due:
                 self.flush(table)
 
     def _due_tables_in(self, shard: _Shard) -> list[str]:
@@ -388,6 +399,7 @@ class NotificationCenter:
                             shard.buffer.pending_ops(t) for t in tables
                         ),
                         "flushes": shard.flushes,
+                        "timer_fires": shard.timer_fires,
                     }
                 )
         return stats

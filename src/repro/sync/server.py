@@ -55,6 +55,7 @@ from ..core import datamodel
 from ..db.database import Database
 from ..db.expression import col
 from ..errors import ProtocolError, SyncError
+from ..obs.metrics import Histogram
 from ..obs.runtime import OBS
 from . import protocol
 from .notification import NotificationCenter
@@ -178,6 +179,8 @@ class _AsyncConn:
         "closing",
         "want_write",
         "events",
+        "hiwat_frames",
+        "hiwat_bytes",
     )
 
     def __init__(
@@ -205,6 +208,10 @@ class _AsyncConn:
         #: Selector interest mask currently registered for this socket
         #: (loop thread only; lets no-op interest changes skip epoll_ctl).
         self.events = 0
+        #: Send-queue high watermarks (saturation telemetry): the
+        #: deepest this queue has ever been, in frames and bytes.
+        self.hiwat_frames = 0
+        self.hiwat_bytes = 0
 
 
 class _EventLoop:
@@ -224,7 +231,9 @@ class _EventLoop:
         self._rwake.setblocking(False)
         self._wwake.setblocking(False)
         self._selector.register(self._rwake, selectors.EVENT_READ, None)
-        self._commands: deque[Callable[[], None]] = deque()
+        #: ``(fn, enqueued_at_ns)`` pairs; the enqueue timestamp feeds
+        #: the scheduled-wake-to-serviced lag histogram below.
+        self._commands: deque[tuple[Callable[[], None], int]] = deque()
         self._stop = threading.Event()
         self._conns: set[_AsyncConn] = set()
         #: Connections whose head frame carries a fault-injected delay.
@@ -232,13 +241,33 @@ class _EventLoop:
         self._thread = threading.Thread(
             target=self._run, name="ediflow-sync-loop", daemon=True
         )
+        # Saturation accounting -- always on.  The cost is a few clock
+        # reads and integer adds per loop *iteration* (not per event or
+        # per delivered frame), so it is invisible next to the selector
+        # syscall each iteration already pays.
+        #: Loop iterations completed.
+        self.iterations = 0
+        #: Commands executed off the submit queue.
+        self.commands_run = 0
+        #: ns spent blocked in ``select()`` (the loop's idle headroom).
+        self._poll_ns = 0
+        #: ns spent doing work between selects.
+        self._busy_ns = 0
+        #: submit() -> executed delta: how long a cross-thread request
+        #: waited for the loop.  This is the single best saturation
+        #: signal -- an overloaded loop services its wake pipe late.
+        self.lag_hist = Histogram("sync.loop.lag_ms")
+        #: Per-iteration working time (select excluded).
+        self.iter_hist = Histogram("sync.loop.iteration_ms")
+        #: Heartbeat timer fires serviced by this loop.
+        self.timer_fires = 0
 
     def start(self) -> None:
         self._thread.start()
 
     def submit(self, fn: Callable[[], None]) -> None:
         """Run ``fn`` on the loop thread at the next iteration."""
-        self._commands.append(fn)
+        self._commands.append((fn, time.perf_counter_ns()))
         self.wake()
 
     def wake(self) -> None:
@@ -261,7 +290,10 @@ class _EventLoop:
         try:
             while not self._stop.is_set():
                 try:
+                    select_at = time.perf_counter_ns()
                     events = self._selector.select(timeout=tick)
+                    woke_at = time.perf_counter_ns()
+                    self._poll_ns += woke_at - select_at
                     for key, mask in events:
                         if key.data is None:
                             self._drain_wake()
@@ -272,7 +304,12 @@ class _EventLoop:
                         if mask & selectors.EVENT_WRITE:
                             self.service_conn(conn)
                     while self._commands:
-                        self._commands.popleft()()
+                        fn, enqueued_ns = self._commands.popleft()
+                        self.lag_hist.observe(
+                            (time.perf_counter_ns() - enqueued_ns) / 1e6
+                        )
+                        fn()
+                        self.commands_run += 1
                     if self._delayed:
                         now = time.monotonic()
                         for conn in list(self._delayed):
@@ -284,7 +321,12 @@ class _EventLoop:
                         now = time.monotonic()
                         if now - last_beat >= interval:
                             last_beat = now
+                            self.timer_fires += 1
                             self._server._heartbeat_tick()
+                    done_at = time.perf_counter_ns()
+                    self._busy_ns += done_at - woke_at
+                    self.iter_hist.observe((done_at - woke_at) / 1e6)
+                    self.iterations += 1
                 except Exception:
                     if self._stop.is_set():
                         break
@@ -416,6 +458,43 @@ class _EventLoop:
         for conn in conns:
             if conn in self._conns:
                 self.service_conn(conn)
+
+    # -- saturation telemetry (any thread) ------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Loop-health snapshot: lag, iteration time, idle headroom.
+
+        ``poll_idle_ratio`` near 1.0 means the loop mostly waits (cold);
+        near 0.0 means every iteration returns with work already pending
+        -- the single core is the bottleneck and the ROADMAP's multi-loop
+        sharding is due.  ``lag_ms`` quantiles are the submit-to-serviced
+        delay cross-thread work experienced.
+        """
+        poll_ns = self._poll_ns
+        busy_ns = self._busy_ns
+        total_ns = poll_ns + busy_ns
+        lag = self.lag_hist
+        iteration = self.iter_hist
+        return {
+            "iterations": self.iterations,
+            "commands_run": self.commands_run,
+            "commands_pending": len(self._commands),
+            "timer_fires": self.timer_fires,
+            "conns": len(self._conns),
+            "poll_idle_ratio": poll_ns / total_ns if total_ns else 1.0,
+            "busy_ratio": busy_ns / total_ns if total_ns else 0.0,
+            "lag_ms": {
+                "count": lag.count,
+                "p50": lag.quantile(0.5),
+                "p99": lag.quantile(0.99),
+                "max": lag.max,
+            },
+            "iteration_ms": {
+                "count": iteration.count,
+                "p50": iteration.quantile(0.5),
+                "p99": iteration.quantile(0.99),
+                "max": iteration.max,
+            },
+        }
 
 
 def _unwrap_transport(transport: Any) -> tuple[Any, Optional[Any], bytes]:
@@ -728,6 +807,10 @@ class SyncServer:
             for frame in frames:
                 conn.outq.append(frame)
                 conn.queued_bytes += len(frame.data) - frame.offset
+            if len(conn.outq) > conn.hiwat_frames:
+                conn.hiwat_frames = len(conn.outq)
+            if conn.queued_bytes > conn.hiwat_bytes:
+                conn.hiwat_bytes = conn.queued_bytes
             if was_idle:
                 status = self._pump_locked(conn)
                 if status == "dead":
@@ -1058,6 +1141,93 @@ class SyncServer:
                 with conn.lock:
                     total += len(conn.outq)
         return total
+
+    def queue_depths(self) -> dict[str, Any]:
+        """Send-queue saturation across every live async connection.
+
+        Current depths say how far behind clients are *right now*; the
+        high watermarks say how close the worst burst came to the
+        eviction bounds (``max_queue_frames`` / ``max_queue_bytes``) --
+        a ``hiwat_frames`` near the limit means the next burst evicts.
+        """
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        depth_frames = depth_bytes = 0
+        max_depth = hiwat_frames = hiwat_bytes = 0
+        connections = 0
+        for endpoint in endpoints:
+            conn = endpoint.conn
+            if conn is None:
+                continue
+            connections += 1
+            with conn.lock:
+                depth = len(conn.outq)
+                depth_frames += depth
+                depth_bytes += conn.queued_bytes
+                max_depth = max(max_depth, depth)
+                hiwat_frames = max(hiwat_frames, conn.hiwat_frames)
+                hiwat_bytes = max(hiwat_bytes, conn.hiwat_bytes)
+        return {
+            "connections": connections,
+            "depth_frames": depth_frames,
+            "depth_bytes": depth_bytes,
+            "max_depth_frames": max_depth,
+            "hiwat_frames": hiwat_frames,
+            "hiwat_bytes": hiwat_bytes,
+            "limit_frames": self.max_queue_frames,
+            "limit_bytes": self.max_queue_bytes,
+        }
+
+    def health(self) -> dict[str, Any]:
+        """One saturation snapshot of the whole notification plane.
+
+        Combines loop health (:meth:`_EventLoop.stats`), send-queue
+        depths/watermarks (:meth:`queue_depths`), per-shard
+        NotificationCenter occupancy, and the server's lifetime
+        counters.  Each call also publishes the headline numbers as
+        ``sync.health.*`` gauges, so a running telemetry sink lands them
+        in ``sys_metrics`` and dashboards chart saturation over time the
+        same way they chart everything else.
+        """
+        loop = self._loop
+        loop_stats = loop.stats() if loop is not None else None
+        queues = self.queue_depths()
+        shards = self.center.shard_stats()
+        snapshot: dict[str, Any] = {
+            "mode": self.mode,
+            "use_sockets": self.use_sockets,
+            "clients": self.client_count(),
+            "connected": self.connected_count(),
+            "detached": self.detached_count(),
+            "detaches": self.detaches,
+            "reattaches": self.reattaches,
+            "evictions": self.evictions,
+            "loop_errors": self.loop_errors,
+            "pings_sent": self.pings_sent,
+            "pongs_received": self.pongs_received,
+            "loop": loop_stats,
+            "queues": queues,
+            "shards": shards,
+        }
+        gauge = OBS.metrics.gauge
+        if loop_stats is not None:
+            lag = loop_stats["lag_ms"]
+            gauge("sync.health.loop_lag_p50_ms").set(lag["p50"] or 0.0)
+            gauge("sync.health.loop_lag_p99_ms").set(lag["p99"] or 0.0)
+            gauge("sync.health.loop_poll_idle_ratio").set(
+                loop_stats["poll_idle_ratio"]
+            )
+            gauge("sync.health.loop_iterations").set(loop_stats["iterations"])
+        gauge("sync.health.queue_depth_frames").set(queues["depth_frames"])
+        gauge("sync.health.queue_hiwat_frames").set(queues["hiwat_frames"])
+        gauge("sync.health.queue_hiwat_bytes").set(queues["hiwat_bytes"])
+        gauge("sync.health.connected").set(snapshot["connected"])
+        gauge("sync.health.evictions").set(self.evictions)
+        for shard in shards:
+            gauge(
+                "sync.health.shard_pending_ops", shard=str(shard["shard"])
+            ).set(shard["pending_ops"])
+        return snapshot
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -203,6 +203,7 @@ class TestDashboardEndToEnd:
                 "span-waterfall",
                 "notify-latency",
                 "coalesce-savings",
+                "flame-icicle",
             }
             assert all(svg.startswith("<svg") for svg in svgs.values())
             # The whole cycle left the tracer clean (recursion guard).

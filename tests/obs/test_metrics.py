@@ -156,15 +156,63 @@ class TestPrometheusText:
         assert "repro_sync_client_hook_failures_total" in text
         assert "." not in text.split()[-2]  # metric name carries no dots
 
+    def test_label_values_escaped(self):
+        """Backslash, quote, and newline in label values must be escaped
+        per the exposition format -- raw, they corrupt the dump."""
+        registry = MetricsRegistry()
+        registry.counter("c", path='C:\\tmp\\"x"\nrest').inc(2)
+        text = registry.prometheus_text()
+        # One metric line (no raw newline leaked into the output).
+        metric_lines = [l for l in text.splitlines() if not l.startswith("#") and l]
+        assert len(metric_lines) == 1
+        assert metric_lines[0] == (
+            'repro_c_total{path="C:\\\\tmp\\\\\\"x\\"\\nrest"} 2'
+        )
+
+    def test_plain_label_values_unchanged(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", table="nodes").set(7)
+        assert 'repro_g{table="nodes"} 7' in registry.prometheus_text()
+
 
 class TestQuantiles:
     def test_interpolation_within_a_bucket(self):
-        # 10 observations all landing in the (1.0, 2.5] bucket: the
-        # median interpolates linearly to the bucket midpoint.
+        # 10 varied observations all landing in the (1.0, 2.5] bucket:
+        # the median interpolates linearly to the bucket midpoint.
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.5, 5.0))
+        for index in range(10):
+            histogram.observe(1.2 if index % 2 else 2.4)
+        assert histogram.quantile(0.5) == pytest.approx(1.0 + (2.5 - 1.0) * 0.5)
+
+    def test_identical_observations_are_exact(self):
+        # All-equal observations must report the exact value, not an
+        # interpolated point the histogram never saw.
         histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.5, 5.0))
         for _ in range(10):
             histogram.observe(2.0)
-        assert histogram.quantile(0.5) == pytest.approx(1.0 + (2.5 - 1.0) * 0.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 2.0
+
+    def test_single_bucket_clamps_to_observed_range(self):
+        # One finite bucket: naive interpolation over [0, 5] would
+        # report values below the true minimum and above the maximum.
+        histogram = MetricsRegistry().histogram("h", buckets=(5.0,))
+        histogram.observe(3.0)
+        histogram.observe(4.0)
+        assert histogram.quantile(0.0) == pytest.approx(3.0)
+        assert histogram.quantile(1.0) == pytest.approx(4.0)
+        for q in (0.25, 0.5, 0.99):
+            value = histogram.quantile(q)
+            assert 3.0 <= value <= 4.0
+        assert histogram.min == 3.0
+        assert histogram.max == 4.0
+
+    def test_empty_histogram_min_max_none(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.min is None
+        assert histogram.max is None
+        snap = MetricsRegistry().snapshot()
+        assert snap["histograms"] == {}
 
     def test_quantile_spans_buckets(self):
         histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
@@ -175,10 +223,13 @@ class TestQuantiles:
         # Rank 0.25*8=2 exhausts the first bucket exactly.
         assert histogram.quantile(0.25) == pytest.approx(1.0)
 
-    def test_overflow_clamps_to_last_finite_bound(self):
+    def test_overflow_clamps_to_observed_max(self):
         histogram = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(5.0)
         histogram.observe(999.0)  # +Inf bucket
-        assert histogram.quantile(0.99) == pytest.approx(10.0)
+        # The +Inf bucket reports the true maximum, not the last finite
+        # bound (10.0 would be a fabrication -- nothing landed there).
+        assert histogram.quantile(0.99) == pytest.approx(999.0)
 
     def test_empty_histogram_returns_none(self):
         histogram = MetricsRegistry().histogram("h")

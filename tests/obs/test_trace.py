@@ -320,3 +320,38 @@ class TestDrain:
         for p in producers:
             p.join()
         assert errors == []
+
+
+class TestFinishHooks:
+    def test_hook_fires_on_finish_and_add_is_idempotent(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_finish_hook(seen.append)
+        tracer.add_finish_hook(seen.append)  # duplicate ignored
+        with tracer.span("hooked"):
+            pass
+        assert [s.name for s in seen] == ["hooked"]
+
+    def test_bound_method_hook_can_be_removed(self):
+        """Regression: ``obj.method`` builds a fresh bound-method object
+        on every attribute access, so unhooking must match by equality,
+        not identity -- otherwise disable_profiler/SlowLog.close leak
+        their hooks forever."""
+        tracer = Tracer()
+
+        class Listener:
+            def __init__(self):
+                self.spans = []
+
+            def on_finish(self, span):
+                self.spans.append(span)
+
+        listener = Listener()
+        tracer.add_finish_hook(listener.on_finish)
+        # A second access to the attribute is a different object...
+        assert listener.on_finish is not listener.on_finish
+        # ...yet removal with it must still work.
+        tracer.remove_finish_hook(listener.on_finish)
+        with tracer.span("after-unhook"):
+            pass
+        assert listener.spans == []

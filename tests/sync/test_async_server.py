@@ -289,3 +289,90 @@ class TestAcceptFailureAccounting:
         finally:
             client.close()
             server.close()
+
+
+class TestHealth:
+    """SyncServer.health(): one saturation snapshot, published as gauges."""
+
+    def test_async_snapshot_reports_loop_and_queues(self):
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        try:
+            client.mirror("pts")
+            for i in range(20):
+                db.insert("pts", {"id": i, "x": float(i)})
+            client.wait_dirty("pts", timeout=5.0)
+            health = server.health()
+            assert health["mode"] == MODE_ASYNC
+            assert health["connected"] == 1
+            loop = health["loop"]
+            assert loop is not None and loop["iterations"] > 0
+            lag = loop["lag_ms"]
+            assert lag["count"] > 0 and lag["p99"] is not None
+            assert 0.0 <= loop["poll_idle_ratio"] <= 1.0
+            queues = health["queues"]
+            assert queues["connections"] == 1
+            # Twenty notifies crossed the wire: the high watermark moved.
+            assert 1 <= queues["hiwat_frames"] <= queues["limit_frames"]
+            assert queues["hiwat_bytes"] > 0
+            assert health["shards"], "shard stats missing"
+            assert all("pending_ops" in s for s in health["shards"])
+        finally:
+            client.close()
+            server.close()
+
+    def test_threaded_snapshot_has_no_loop(self):
+        db, _center, server, client = make_stack(mode=MODE_THREADED)
+        try:
+            client.mirror("pts")
+            health = server.health()
+            assert health["mode"] == MODE_THREADED
+            assert health["loop"] is None
+            assert health["queues"]["connections"] == 0  # no async conns
+        finally:
+            client.close()
+            server.close()
+
+    def test_health_gauges_land_in_sys_metrics(self):
+        """The acceptance path: health() -> sync.health.* gauges -> a
+        running TelemetrySink persists them into sys_metrics."""
+        import repro.obs as obs
+        from repro.obs.store import SYS_METRICS, TelemetrySink
+
+        obs.disable()
+        obs.reset()
+        obs.enable()
+        sink = None
+        db, _center, server, client = make_stack(mode=MODE_ASYNC)
+        try:
+            client.mirror("pts")
+            for i in range(10):
+                db.insert("pts", {"id": i, "x": float(i)})
+            client.wait_dirty("pts", timeout=5.0)
+            server.health()
+            sink = TelemetrySink()
+            sink.collect_and_flush()
+            rows = sink.database.query(f"SELECT * FROM {SYS_METRICS}")
+            stored = {r["name"] for r in rows if r["name"].startswith("sync.health.")}
+            assert "sync.health.loop_lag_p99_ms" in stored
+            assert "sync.health.loop_poll_idle_ratio" in stored
+            assert "sync.health.queue_hiwat_frames" in stored
+            assert "sync.health.connected" in stored
+            connected = [
+                r for r in rows if r["name"] == "sync.health.connected"
+            ]
+            assert any(r["value"] == 1.0 for r in connected)
+            # Shard occupancy keeps its shard label through the sink.
+            shard_rows = [
+                r for r in rows if r["name"] == "sync.health.shard_pending_ops"
+            ]
+            import json
+
+            assert shard_rows
+            assert all("shard" in json.loads(r["labels"]) for r in shard_rows)
+        finally:
+            client.close()
+            server.close()
+            if sink is not None:
+                sink.close()
+            obs.disable()
+            obs.reset()
